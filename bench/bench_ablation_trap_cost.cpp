@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Ablation: when do hardware traps stop paying?
+ *
+ * An implicit check is free until it fires: a *taken* trap costs an OS
+ * signal round trip (~600 cycles in our model) where an explicit check
+ * costs 2 cycles every time.  The whole design therefore assumes null
+ * dereferences are exceptional.  This bench sweeps the fraction of
+ * actually-null receivers in a catch-heavy loop and reports the
+ * crossover — the quantified version of the assumption the paper (and
+ * every production JVM since) relies on.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "jit/compiler.h"
+#include "support/table.h"
+#include "workloads/kernel_util.h"
+
+using namespace trapjit;
+
+namespace
+{
+
+/**
+ * int kernel(Obj o, Obj nil, int n, int nullEveryK):
+ *   for i in [0, n):
+ *     r = (i % nullEveryK == 0) ? nil : o;
+ *     try { acc += r.f; } catch (NPE) { acc += 1; }
+ */
+std::unique_ptr<Module>
+buildProgram()
+{
+    auto mod = std::make_unique<Module>();
+    ClassId cls = mod->addClass("Obj");
+    int64_t offF = mod->addField(cls, "f", Type::I32);
+
+    Function &fn = mod->addFunction("kernel", Type::I32);
+    fn.setNeverInline(true);
+    ValueId o = fn.addParam(Type::Ref, "o", cls);
+    ValueId nil = fn.addParam(Type::Ref, "nil", cls);
+    ValueId n = fn.addParam(Type::I32, "n");
+    ValueId everyK = fn.addParam(Type::I32, "k");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId acc = fn.addLocal(Type::I32, "acc");
+    ValueId i = fn.addLocal(Type::I32, "i");
+    b.move(acc, b.constInt(0));
+    CountedLoop loop(b, i, b.constInt(0), n);
+    {
+        ValueId r = fn.addLocal(Type::Ref, "r", cls);
+        ValueId rem = b.binop(Opcode::IRem, i, everyK);
+        BasicBlock &pickNull = fn.newBlock();
+        BasicBlock &pickObj = fn.newBlock();
+        BasicBlock &doTry = fn.newBlock();
+        ValueId isZero =
+            b.cmp(Opcode::ICmp, CmpPred::EQ, rem, b.constInt(0));
+        b.branch(isZero, pickNull, pickObj);
+        b.atEnd(pickNull);
+        b.move(r, nil);
+        b.jump(doTry);
+        b.atEnd(pickObj);
+        b.move(r, o);
+        b.jump(doTry);
+        b.atEnd(doTry);
+
+        BasicBlock &handler = fn.newBlock();
+        TryRegionId region =
+            fn.addTryRegion(handler.id(), ExcKind::NullPointer);
+        BasicBlock &body = fn.newBlock(region);
+        BasicBlock &join = fn.newBlock();
+        b.jump(body);
+        b.atEnd(body);
+        ValueId v = b.getField(r, offF, Type::I32);
+        ValueId acc2 = b.binop(Opcode::IAdd, acc, v);
+        b.move(acc, acc2);
+        b.jump(join);
+        b.atEnd(handler);
+        ValueId acc3 = b.binop(Opcode::IAdd, acc, b.constInt(1));
+        b.move(acc, acc3);
+        b.jump(join);
+        b.atEnd(join);
+    }
+    loop.close();
+    b.ret(acc);
+    return mod;
+}
+
+double
+run(const PipelineConfig &config, int nullEveryK)
+{
+    Target ia32 = makeIA32WindowsTarget();
+    auto mod = buildProgram();
+    Compiler compiler(ia32, config);
+    compiler.compile(*mod);
+
+    Interpreter interp(*mod, ia32);
+    Heap &heap = interp.heap();
+    Address obj = heap.allocateObject(0, 16);
+    heap.writeI32(obj + 8, 2);
+    ExecResult r = interp.run(
+        mod->findFunction("kernel"),
+        {RuntimeValue::ofRef(obj), RuntimeValue::ofRef(0),
+         RuntimeValue::ofInt(4000), RuntimeValue::ofInt(nullEveryK)});
+    return r.stats.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation: explicit checks vs hardware traps as null "
+                 "frequency rises\n(cycles for 4000 iterations; 1 NPE "
+                 "per K iterations)\n\n";
+
+    int ks[] = {4000, 1000, 300, 100, 30, 10, 3};
+    TextTable table({"1 null per K", "explicit (no-trap)",
+                     "implicit (new algorithm)", "implicit / explicit"});
+    for (int k : ks) {
+        double explicitCycles = run(makeNoOptNoTrapConfig(), k);
+        double implicitCycles = run(makeNewFullConfig(), k);
+        table.addRow({std::to_string(k),
+                      TextTable::num(explicitCycles, 0),
+                      TextTable::num(implicitCycles, 0),
+                      TextTable::num(implicitCycles / explicitCycles,
+                                     3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nTraps win while nulls are rare and lose once NPEs "
+                 "become frequent — the\nassumption behind the paper's "
+                 "design, quantified.  (The trap dispatch costs\n~600 "
+                 "cycles in the model; an explicit check costs 2.)\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks of the optimizer itself: the cost
+ * of the dataflow solver and of each null check pass on a realistic
+ * function (the javac-like module, the biggest of the suite).  These
+ * complement the wall-clock compile-time tables with per-pass
+ * throughput numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "opt/nullcheck/local_trap_lowering.h"
+#include "opt/nullcheck/phase1.h"
+#include "opt/nullcheck/phase2.h"
+#include "opt/nullcheck/whaley.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace trapjit;
+
+/** Build + pre-clean a module so the measured pass sees realistic IR. */
+std::unique_ptr<Module>
+prepare(const char *workload)
+{
+    const Workload *w = findWorkload(workload);
+    auto mod = w->build();
+    for (FunctionId f = 0; f < mod->numFunctions(); ++f)
+        mod->function(f).recomputeCFG();
+    return mod;
+}
+
+template <typename PassT>
+void
+runPassBenchmark(benchmark::State &state, const char *workload)
+{
+    Target target = makeIA32WindowsTarget();
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto mod = prepare(workload);
+        PassContext ctx{*mod, target, false};
+        PassT pass;
+        state.ResumeTiming();
+        for (FunctionId f = 0; f < mod->numFunctions(); ++f)
+            pass.runOnFunction(mod->function(f), ctx);
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_Phase1_javac(benchmark::State &state)
+{
+    runPassBenchmark<NullCheckPhase1>(state, "javac");
+}
+
+void
+BM_Phase2_javac(benchmark::State &state)
+{
+    runPassBenchmark<NullCheckPhase2>(state, "javac");
+}
+
+void
+BM_Whaley_javac(benchmark::State &state)
+{
+    runPassBenchmark<WhaleyNullCheckElimination>(state, "javac");
+}
+
+void
+BM_Lowering_javac(benchmark::State &state)
+{
+    runPassBenchmark<LocalTrapLowering>(state, "javac");
+}
+
+void
+BM_Phase1_assignment(benchmark::State &state)
+{
+    runPassBenchmark<NullCheckPhase1>(state, "Assignment");
+}
+
+void
+BM_FullCompile_javac(benchmark::State &state)
+{
+    Target target = makeIA32WindowsTarget();
+    Compiler compiler(target, makeNewFullConfig());
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto mod = prepare("javac");
+        state.ResumeTiming();
+        compiler.compile(*mod);
+        benchmark::ClobberMemory();
+    }
+}
+
+BENCHMARK(BM_Phase1_javac);
+BENCHMARK(BM_Phase2_javac);
+BENCHMARK(BM_Whaley_javac);
+BENCHMARK(BM_Lowering_javac);
+BENCHMARK(BM_Phase1_assignment);
+BENCHMARK(BM_FullCompile_javac);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static check counts per configuration: how many null checks remain in
+ * the compiled code, of which flavor — the compiler's-eye view
+ * complementing the dynamic counts of the performance tables.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "jit/stats.h"
+
+using namespace trapjit;
+using namespace trapjit::bench;
+
+int
+main()
+{
+    std::cout << "Static null check counts after compilation "
+                 "(explicit / implicit / marked sites), summed over "
+                 "each suite\n\n";
+
+    Target ia32 = makeIA32WindowsTarget();
+    struct ArmDef
+    {
+        const char *label;
+        PipelineConfig config;
+    };
+    std::vector<ArmDef> arms = {
+        {"No Null Opt. (No Hardware Trap)", makeNoOptNoTrapConfig()},
+        {"No Null Opt. (Hardware Trap)", makeNoOptTrapConfig()},
+        {"Old Null Check", makeOldNullCheckConfig()},
+        {"New Null Check (Phase1 only)", makeNewPhase1OnlyConfig()},
+        {"New Null Check (Phase1+Phase2)", makeNewFullConfig()},
+    };
+
+    TextTable table({"configuration", "jBYTEmark expl", "impl",
+                     "marked", "SPECjvm98 expl", "impl", "marked"});
+    for (ArmDef &arm : arms) {
+        Compiler compiler(ia32, arm.config);
+        CheckStats jb, sj;
+        for (const Workload &w : jbytemarkWorkloads()) {
+            auto mod = w.build();
+            compiler.compile(*mod);
+            jb += collectCheckStats(*mod);
+        }
+        for (const Workload &w : specjvmWorkloads()) {
+            auto mod = w.build();
+            compiler.compile(*mod);
+            sj += collectCheckStats(*mod);
+        }
+        table.addRow({arm.label, std::to_string(jb.explicitNullChecks),
+                      std::to_string(jb.implicitNullChecks),
+                      std::to_string(jb.markedExceptionSites),
+                      std::to_string(sj.explicitNullChecks),
+                      std::to_string(sj.implicitNullChecks),
+                      std::to_string(sj.markedExceptionSites)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading guide: the trap column converts explicit to "
+                 "implicit where an access\nis adjacent; the old "
+                 "algorithm deletes forward-redundant checks; phase 1\n"
+                 "hoists and deletes more; phase 2 converts nearly "
+                 "everything that remains.\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The Figure 1 / Figure 7 story, end to end.
+ *
+ * A virtual accessor is devirtualized and inlined, which leaves an
+ * explicit null check for a receiver whose slots are only touched on
+ * one branch.  Phase 2 then pushes the check forward: the accessing
+ * path absorbs it into the hardware trap, the other path keeps a
+ * single explicit check at its latest point.
+ */
+
+#include <iostream>
+
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "jit/compiler.h"
+
+using namespace trapjit;
+
+namespace
+{
+
+std::unique_ptr<Module>
+buildProgram()
+{
+    auto mod = std::make_unique<Module>();
+
+    ClassId cls = mod->addClass("Box");
+    int64_t offField = mod->addField(cls, "field1", Type::I32);
+
+    // int Box.func(int s1):  if (s1 < 0) return s1; return this.field1;
+    // — exactly the method of Figure 1.
+    Function &func = mod->addFunction("Box.func", Type::I32, true);
+    {
+        ValueId self = func.addParam(Type::Ref, "this", cls);
+        ValueId s1 = func.addParam(Type::I32, "s1");
+        IRBuilder b(func);
+        BasicBlock &entry = b.startBlock();
+        BasicBlock &negative = func.newBlock();
+        BasicBlock &positive = func.newBlock();
+        b.atEnd(entry);
+        ValueId zero = b.constInt(0);
+        ValueId isNeg = b.cmp(Opcode::ICmp, CmpPred::LT, s1, zero);
+        b.branch(isNeg, negative, positive);
+        b.atEnd(negative);
+        b.ret(s1);
+        b.atEnd(positive);
+        ValueId v = b.getField(self, offField, Type::I32);
+        b.ret(v);
+    }
+    uint32_t slot = mod->addVirtualMethod(cls, func.id());
+
+    // int call(Box a, int i): result = a.func(i);
+    Function &caller = mod->addFunction("call", Type::I32);
+    {
+        ValueId a = caller.addParam(Type::Ref, "a", cls);
+        ValueId i = caller.addParam(Type::I32, "i");
+        IRBuilder b(caller);
+        b.startBlock();
+        ValueId result = b.callVirtual(slot, {a, i}, Type::I32);
+        b.ret(result);
+    }
+    return mod;
+}
+
+void
+show(const char *label, const PipelineConfig &config)
+{
+    Target target = makeIA32WindowsTarget();
+    auto mod = buildProgram();
+    Compiler compiler(target, config);
+    compiler.compile(*mod);
+    std::cout << "==== " << label << " ====\n";
+    printFunction(std::cout, mod->function(mod->findFunction("call")));
+
+    // Dynamic check counts for a negative argument (the branch that
+    // never touches the receiver's slots — the interesting path).
+    Target runtime = makeIA32WindowsTarget();
+    Interpreter interp(*mod, runtime);
+    Heap &heap = interp.heap();
+    Address box = heap.allocateObject(0, 16);
+    heap.writeI32(box + 8, 777);
+    ExecResult r = interp.run(
+        mod->findFunction("call"),
+        {RuntimeValue::ofRef(box), RuntimeValue::ofInt(-5)});
+    std::cout << "call(box, -5) = " << r.value.i
+              << "  [explicit checks executed: "
+              << r.stats.explicitNullChecks
+              << ", trap-carried: " << r.stats.implicitNullChecks
+              << "]\n";
+    ExecResult r2 = interp.run(
+        mod->findFunction("call"),
+        {RuntimeValue::ofRef(box), RuntimeValue::ofInt(5)});
+    std::cout << "call(box, +5) = " << r2.value.i << "\n";
+    // A null receiver must still throw, whichever path implements it.
+    ExecResult r3 = interp.run(
+        mod->findFunction("call"),
+        {RuntimeValue::ofRef(0), RuntimeValue::ofInt(-5)});
+    std::cout << "call(null, -5) -> "
+              << (r3.outcome == ExecResult::Outcome::Threw
+                      ? excName(r3.exception)
+                      : "no exception (BUG)")
+              << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Devirtualization + inlining and the Figure 1 explicit "
+                 "check\n\n";
+    show("Phase 1 only: the inlined check stays explicit",
+         makeNewPhase1OnlyConfig());
+    show("Phase 1 + Phase 2: implicit on the accessing path, explicit "
+         "at the latest point of the other",
+         makeNewFullConfig());
+    return 0;
+}

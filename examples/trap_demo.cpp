@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Real hardware-trap null checking on this machine.
+ *
+ * Everything else in the repository models OS page protection inside
+ * the interpreter; this demo uses the actual mechanism: an mprotect'ed
+ * page stands in for the null page, a SIGSEGV handler converts faulting
+ * accesses into "NullPointerException" results, and in-page/out-of-page
+ * offsets demonstrate why big-offset fields need explicit checks
+ * (Figure 5).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "runtime/trap_runtime.h"
+
+using namespace trapjit;
+
+int
+main()
+{
+    TrapRuntime runtime;
+    std::cout << "Protected page mapped at 0x" << std::hex
+              << runtime.simNull() << std::dec << " ("
+              << runtime.trapAreaBytes() << " bytes)\n\n";
+
+    // A "non-null object": a little real memory with a field at +8.
+    int32_t object[16] = {};
+    object[2] = 4242; // field at byte offset 8
+    uintptr_t obj = reinterpret_cast<uintptr_t>(object);
+    uintptr_t nil = runtime.simNull();
+
+    auto access = [&](const char *what, uintptr_t base, int64_t offset) {
+        auto result = runtime.guardedReadI32(base + offset);
+        std::cout << std::left << std::setw(44) << what;
+        if (result)
+            std::cout << "-> value " << *result << "\n";
+        else
+            std::cout << "-> SIGSEGV caught: NullPointerException\n";
+    };
+
+    std::cout << "Implicit null checks (no compare-and-branch "
+                 "executed):\n";
+    access("read obj.field (offset 8), obj non-null", obj, 8);
+    access("read obj.field (offset 8), obj null", nil, 8);
+    access("read arraylength (offset 4), null array", nil, 4);
+
+    std::cout << "\nWhy big offsets need explicit checks (Figure 5):\n";
+    int64_t bigOffset =
+        static_cast<int64_t>(runtime.trapAreaBytes()) + 4096;
+    std::cout << "  offset " << bigOffset << " trap-covered? "
+              << (runtime.trapCoversAddress(nil + bigOffset) ? "yes"
+                                                             : "NO")
+              << " -> the compiler must emit an explicit check\n";
+
+    std::cout << "\nTraps taken in this demo: " << runtime.trapsTaken()
+              << " (each recovered via siglongjmp, the way the paper's "
+                 "VM turns the fault into an NPE)\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+#include "analysis/dataflow.h"
+
+#include "analysis/rpo.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Apply edge add/kill to a copy of @p src flowing over (from, to). */
+BitSet
+flowEdge(const DataflowSpec &spec, BlockId from, BlockId to, BitSet value)
+{
+    uint64_t key = DataflowSpec::edgeKey(from, to);
+    auto addIt = spec.edgeAdd.find(key);
+    if (addIt != spec.edgeAdd.end())
+        value.unionWith(addIt->second);
+    auto killIt = spec.edgeKill.find(key);
+    if (killIt != spec.edgeKill.end())
+        value.subtract(killIt->second);
+    return value;
+}
+
+} // namespace
+
+DataflowResult
+solveDataflow(const Function &func, const DataflowSpec &spec)
+{
+    const size_t numBlocks = func.numBlocks();
+    TRAPJIT_ASSERT(spec.gen.size() == numBlocks &&
+                       spec.kill.size() == numBlocks,
+                   "gen/kill must have one entry per block");
+
+    const bool forward = spec.direction == DataflowSpec::Direction::Forward;
+    const bool intersect =
+        spec.confluence == DataflowSpec::Confluence::Intersect;
+
+    BitSet identity(spec.numFacts);
+    if (intersect)
+        identity.setAll();
+
+    BitSet boundary = spec.boundary;
+    if (boundary.size() != spec.numFacts)
+        boundary.resize(spec.numFacts);
+
+    DataflowResult result;
+    result.in.assign(numBlocks, identity);
+    result.out.assign(numBlocks, identity);
+
+    // Iterate in RPO for forward problems, postorder for backward ones.
+    std::vector<BlockId> order =
+        forward ? reversePostorder(func) : postorder(func);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId block : order) {
+            const BasicBlock &bb = func.block(block);
+            const auto &inputs = forward ? bb.preds() : bb.succs();
+
+            // Confluence over incoming edges.
+            BitSet meet(spec.numFacts);
+            if (inputs.empty()) {
+                meet = boundary;
+            } else {
+                meet = identity;
+                for (BlockId other : inputs) {
+                    BitSet value =
+                        forward ? flowEdge(spec, other, block,
+                                           result.out[other])
+                                : flowEdge(spec, block, other,
+                                           result.in[other]);
+                    if (intersect)
+                        meet.intersectWith(value);
+                    else
+                        meet.unionWith(value);
+                }
+            }
+
+            BitSet transfer = meet;
+            transfer.subtract(spec.kill[block]);
+            transfer.unionWith(spec.gen[block]);
+
+            BitSet &entrySide = forward ? result.in[block]
+                                        : result.out[block];
+            BitSet &exitSide = forward ? result.out[block]
+                                       : result.in[block];
+            if (entrySide != meet) {
+                entrySide = std::move(meet);
+                changed = true;
+            }
+            if (exitSide != transfer) {
+                exitSide = std::move(transfer);
+                changed = true;
+            }
+        }
+    }
+    return result;
+}
+
+void
+addTryBoundaryKills(const Function &func, DataflowSpec &spec)
+{
+    BitSet all(spec.numFacts);
+    all.setAll();
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        for (BlockId succ : bb.succs()) {
+            if (func.block(succ).tryRegion() != bb.tryRegion()) {
+                spec.edgeKill[DataflowSpec::edgeKey(bb.id(), succ)] = all;
+            }
+        }
+    }
+}
+
+void
+addExceptionEdgeKills(const Function &func, DataflowSpec &spec)
+{
+    BitSet all(spec.numFacts);
+    all.setAll();
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        for (TryRegionId r = bb.tryRegion(); r != 0;
+             r = func.tryRegion(r).parent) {
+            BlockId handler = func.tryRegion(r).handlerBlock;
+            spec.edgeKill[DataflowSpec::edgeKey(bb.id(), handler)] = all;
+        }
+    }
+}
+
+} // namespace trapjit

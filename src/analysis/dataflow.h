@@ -1,0 +1,103 @@
+#ifndef TRAPJIT_ANALYSIS_DATAFLOW_H_
+#define TRAPJIT_ANALYSIS_DATAFLOW_H_
+
+/**
+ * @file
+ * Generic iterative bit-vector dataflow solver.
+ *
+ * All six analyses of the paper are instances of one scheme:
+ *
+ *   forward:   In(n)  = CONF over preds m of
+ *                         ((Out(m) | edgeAdd(m,n)) - edgeKill(m,n))
+ *              Out(n) = (In(n) - kill(n)) | gen(n)
+ *   backward:  Out(n) = CONF over succs m of
+ *                         ((In(m) | edgeAdd(n,m)) - edgeKill(n,m))
+ *              In(n)  = (Out(n) - kill(n)) | gen(n)
+ *
+ * with CONF either set-intersection (must/anticipation problems: the
+ * paper's backward motion 4.1.1, forward motion 4.2.1, substitutability
+ * 4.2.2, and the non-nullness elimination analyses) or set-union (may
+ * problems).  The per-edge kill sets realize Edge_try(m, n); the per-edge
+ * add sets realize the Earliest(m) and Edge(m, n) terms of Section 4.1.2.
+ *
+ * Blocks without the relevant boundary edges (the entry for forward, the
+ * exit blocks for backward) start from `boundary`; everything else starts
+ * from the confluence identity (universal set for intersection, empty for
+ * union) and the solver sweeps in (reverse) postorder to a fixed point.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+#include "support/bitset.h"
+
+namespace trapjit
+{
+
+/** Specification of a dataflow problem over one function. */
+struct DataflowSpec
+{
+    enum class Direction : uint8_t { Forward, Backward };
+    enum class Confluence : uint8_t { Intersect, Union };
+
+    Direction direction = Direction::Forward;
+    Confluence confluence = Confluence::Intersect;
+
+    /** Number of facts (bits). */
+    size_t numFacts = 0;
+
+    /** Per-block gen/kill, indexed by BlockId; sized numFacts each. */
+    std::vector<BitSet> gen;
+    std::vector<BitSet> kill;
+
+    /** Value at the boundary (entry In / exit Out).  Empty if unset. */
+    BitSet boundary;
+
+    /** Facts removed on a CFG edge (Edge_try).  Key = edgeKey(m, n). */
+    std::unordered_map<uint64_t, BitSet> edgeKill;
+
+    /** Facts added on a CFG edge (Earliest/Edge of 4.1.2). */
+    std::unordered_map<uint64_t, BitSet> edgeAdd;
+
+    /** Encode an edge for the edgeKill/edgeAdd maps. */
+    static uint64_t
+    edgeKey(BlockId from, BlockId to)
+    {
+        return (static_cast<uint64_t>(from) << 32) | to;
+    }
+};
+
+/** Fixed-point solution: one In and Out set per block. */
+struct DataflowResult
+{
+    std::vector<BitSet> in;
+    std::vector<BitSet> out;
+};
+
+/**
+ * Solve @p spec over @p func.  CFG edges must be current.
+ * Unreachable blocks converge to the confluence identity; callers that
+ * transform code should ignore them (they are never executed).
+ */
+DataflowResult solveDataflow(const Function &func, const DataflowSpec &spec);
+
+/**
+ * Build the Edge_try kill map for null-check motion: every fact is killed
+ * on any edge whose endpoints are in different try regions (checks may
+ * not move across a try boundary, Section 4.1.1).
+ */
+void addTryBoundaryKills(const Function &func, DataflowSpec &spec);
+
+/**
+ * Kill every fact on factored exception edges (block -> its try region's
+ * handler).  Facts established mid-block do not necessarily hold when an
+ * instruction earlier in the block throws, so forward availability
+ * analyses must not propagate anything along these edges.
+ */
+void addExceptionEdgeKills(const Function &func, DataflowSpec &spec);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_ANALYSIS_DATAFLOW_H_

@@ -1,0 +1,63 @@
+#include "analysis/dominators.h"
+
+#include "analysis/rpo.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+DominatorTree::DominatorTree(const Function &func)
+    : idom_(func.numBlocks(), kNoBlock),
+      rpoIndex_(func.numBlocks(), UINT32_MAX)
+{
+    std::vector<BlockId> rpo = reversePostorder(func);
+    for (uint32_t i = 0; i < rpo.size(); ++i)
+        rpoIndex_[rpo[i]] = i;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpoIndex_[a] > rpoIndex_[b])
+                a = idom_[a];
+            while (rpoIndex_[b] > rpoIndex_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId block : rpo) {
+            if (block == 0)
+                continue;
+            BlockId newIdom = kNoBlock;
+            for (BlockId pred : func.block(block).preds()) {
+                if (idom_[pred] == kNoBlock)
+                    continue; // unreachable or not yet processed
+                newIdom = (newIdom == kNoBlock) ? pred
+                                                : intersect(pred, newIdom);
+            }
+            if (newIdom != kNoBlock && idom_[block] != newIdom) {
+                idom_[block] = newIdom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    TRAPJIT_ASSERT(reachable(a) && reachable(b),
+                   "dominance query on unreachable block");
+    while (true) {
+        if (a == b)
+            return true;
+        if (b == 0)
+            return false;
+        b = idom_[b];
+    }
+}
+
+} // namespace trapjit

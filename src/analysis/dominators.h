@@ -1,0 +1,45 @@
+#ifndef TRAPJIT_ANALYSIS_DOMINATORS_H_
+#define TRAPJIT_ANALYSIS_DOMINATORS_H_
+
+/**
+ * @file
+ * Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+ * Used by the loop analysis (back-edge detection) and by scalar
+ * replacement (an access may only be hoisted out of a loop if its block
+ * dominates every latch, i.e. it executes on every iteration).
+ */
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** Immediate-dominator tree over the reachable CFG. */
+class DominatorTree
+{
+  public:
+    /** Build for @p func; CFG edges must be current. */
+    explicit DominatorTree(const Function &func);
+
+    /** Immediate dominator of @p block (entry's idom is itself). */
+    BlockId idom(BlockId block) const { return idom_[block]; }
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** True if @p block is reachable from the entry. */
+    bool reachable(BlockId block) const
+    {
+        return idom_[block] != kNoBlock;
+    }
+
+  private:
+    std::vector<BlockId> idom_;
+    std::vector<uint32_t> rpoIndex_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_ANALYSIS_DOMINATORS_H_

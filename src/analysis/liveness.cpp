@@ -1,0 +1,43 @@
+#include "analysis/liveness.h"
+
+#include <vector>
+
+namespace trapjit
+{
+
+DataflowResult
+solveLiveness(const Function &func)
+{
+    const size_t numValues = func.numValues();
+    const size_t numBlocks = func.numBlocks();
+
+    DataflowSpec spec;
+    spec.direction = DataflowSpec::Direction::Backward;
+    spec.confluence = DataflowSpec::Confluence::Union;
+    spec.numFacts = numValues;
+    spec.gen.assign(numBlocks, BitSet(numValues));
+    spec.kill.assign(numBlocks, BitSet(numValues));
+
+    std::vector<ValueId> uses;
+    for (size_t b = 0; b < numBlocks; ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool defsKill = bb.tryRegion() == 0;
+        BitSet &gen = spec.gen[b];
+        BitSet &kill = spec.kill[b];
+        for (auto it = bb.insts().rbegin(); it != bb.insts().rend(); ++it) {
+            if (it->hasDst() && defsKill) {
+                gen.reset(it->dst);
+                kill.set(it->dst);
+            }
+            uses.clear();
+            it->forEachUse(uses);
+            for (ValueId u : uses) {
+                gen.set(u);
+                kill.reset(u);
+            }
+        }
+    }
+    return solveDataflow(func, spec);
+}
+
+} // namespace trapjit

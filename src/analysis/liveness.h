@@ -1,0 +1,25 @@
+#ifndef TRAPJIT_ANALYSIS_LIVENESS_H_
+#define TRAPJIT_ANALYSIS_LIVENESS_H_
+
+/**
+ * @file
+ * Value liveness at block boundaries.
+ *
+ * Used by the linear-scan register allocator (live intervals) and
+ * available to other back-end passes.  Inside try regions a definition
+ * does not end liveness: the handler may observe the previous value of
+ * a local at any throwing instruction of the block.
+ */
+
+#include "analysis/dataflow.h"
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** Solve backward liveness over all values of @p func. */
+DataflowResult solveLiveness(const Function &func);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_ANALYSIS_LIVENESS_H_

@@ -1,0 +1,134 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+bool
+Loop::contains(BlockId block) const
+{
+    return std::find(blocks.begin(), blocks.end(), block) != blocks.end();
+}
+
+LoopForest::LoopForest(const Function &func, const DominatorTree &domtree)
+    : blockLoop_(func.numBlocks(), -1)
+{
+    // Find back edges and collect one loop per header.
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        BlockId block = static_cast<BlockId>(b);
+        if (!domtree.reachable(block))
+            continue;
+        for (BlockId succ : func.block(block).succs()) {
+            if (!domtree.dominates(succ, block))
+                continue;
+            // block -> succ is a back edge; succ is a loop header.
+            auto it = std::find_if(loops_.begin(), loops_.end(),
+                                   [succ](const Loop &loop) {
+                                       return loop.header == succ;
+                                   });
+            if (it == loops_.end()) {
+                loops_.push_back(Loop{});
+                it = loops_.end() - 1;
+                it->header = succ;
+                it->blocks.push_back(succ);
+            }
+            it->latches.push_back(block);
+
+            // Walk predecessors from the latch up to the header.
+            std::vector<BlockId> work{block};
+            while (!work.empty()) {
+                BlockId cur = work.back();
+                work.pop_back();
+                if (it->contains(cur))
+                    continue;
+                it->blocks.push_back(cur);
+                for (BlockId pred : func.block(cur).preds())
+                    if (domtree.reachable(pred))
+                        work.push_back(pred);
+            }
+        }
+    }
+
+    // Establish nesting: the parent of L is the smallest other loop that
+    // contains L's header.
+    for (size_t i = 0; i < loops_.size(); ++i) {
+        size_t bestSize = SIZE_MAX;
+        for (size_t j = 0; j < loops_.size(); ++j) {
+            if (i == j || !loops_[j].contains(loops_[i].header))
+                continue;
+            if (loops_[j].blocks.size() < bestSize) {
+                bestSize = loops_[j].blocks.size();
+                loops_[i].parent = static_cast<int>(j);
+            }
+        }
+    }
+    for (auto &loop : loops_) {
+        int depth = 1;
+        for (int p = loop.parent; p != -1; p = loops_[p].parent)
+            ++depth;
+        loop.depth = depth;
+    }
+
+    // Innermost loop per block = deepest loop containing it.
+    for (size_t i = 0; i < loops_.size(); ++i) {
+        for (BlockId block : loops_[i].blocks) {
+            int cur = blockLoop_[block];
+            if (cur == -1 || loops_[cur].depth < loops_[i].depth)
+                blockLoop_[block] = static_cast<int>(i);
+        }
+    }
+}
+
+BlockId
+ensurePreheader(Function &func, const Loop &loop)
+{
+    TRAPJIT_ASSERT(loop.header != 0,
+                   "entry block must not be a loop header");
+
+    std::vector<BlockId> outsidePreds;
+    for (BlockId pred : func.block(loop.header).preds())
+        if (!loop.contains(pred))
+            outsidePreds.push_back(pred);
+    TRAPJIT_ASSERT(!outsidePreds.empty(), "loop without an entering edge");
+
+    // An existing block qualifies as preheader if it is the only outside
+    // predecessor and falls through to the header unconditionally.
+    if (outsidePreds.size() == 1) {
+        const BasicBlock &cand = func.block(outsidePreds[0]);
+        if (cand.terminator().op == Opcode::Jump && cand.succs().size() <= 2)
+            return outsidePreds[0];
+    }
+
+    BasicBlock &pre =
+        func.newBlock(func.block(loop.header).tryRegion());
+    Instruction jump;
+    jump.op = Opcode::Jump;
+    jump.imm = loop.header;
+    pre.insts().push_back(jump);
+
+    for (BlockId predId : outsidePreds) {
+        Instruction &term = func.block(predId).terminator();
+        switch (term.op) {
+          case Opcode::Jump:
+            term.imm = pre.id();
+            break;
+          case Opcode::Branch:
+          case Opcode::IfNull:
+            if (term.imm == static_cast<int64_t>(loop.header))
+                term.imm = pre.id();
+            if (term.imm2 == static_cast<int64_t>(loop.header))
+                term.imm2 = pre.id();
+            break;
+          default:
+            TRAPJIT_PANIC("unexpected terminator entering a loop header");
+        }
+    }
+
+    func.recomputeCFG();
+    return pre.id();
+}
+
+} // namespace trapjit

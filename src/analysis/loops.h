@@ -1,0 +1,75 @@
+#ifndef TRAPJIT_ANALYSIS_LOOPS_H_
+#define TRAPJIT_ANALYSIS_LOOPS_H_
+
+/**
+ * @file
+ * Natural loop detection from dominator back edges.
+ *
+ * Loops are what the whole paper is about operationally: the architecture
+ * independent phase exists to move loop-invariant null checks out of loop
+ * bodies, and scalar replacement hoists the accesses they guard.  The
+ * loop analysis also provides ensurePreheader(), which gives the hoisting
+ * passes a block that executes exactly once before the loop.
+ */
+
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** One natural loop. */
+struct Loop
+{
+    BlockId header = kNoBlock;
+
+    /** Blocks of the loop body, header included. */
+    std::vector<BlockId> blocks;
+
+    /** Blocks with a back edge to the header. */
+    std::vector<BlockId> latches;
+
+    /** Index of the enclosing loop in LoopForest::loops, or -1. */
+    int parent = -1;
+
+    /** Loop nesting depth (outermost = 1). */
+    int depth = 1;
+
+    /** True if @p block is in the loop body. */
+    bool contains(BlockId block) const;
+};
+
+/** All natural loops of a function. */
+class LoopForest
+{
+  public:
+    /** Detect loops; CFG edges must be current. */
+    LoopForest(const Function &func, const DominatorTree &domtree);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Innermost loop containing @p block, or -1. */
+    int innermostLoopOf(BlockId block) const
+    {
+        return blockLoop_[block];
+    }
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> blockLoop_;
+};
+
+/**
+ * Return the unique preheader of @p loop — the single block outside the
+ * loop whose only successor is the header and which is the header's only
+ * predecessor from outside — creating one (and retargeting entering
+ * edges) if necessary.  Mutates the CFG; the caller must recompute
+ * analyses afterwards.  The loop header must not be the entry block.
+ */
+BlockId ensurePreheader(Function &func, const Loop &loop);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_ANALYSIS_LOOPS_H_

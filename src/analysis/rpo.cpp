@@ -1,0 +1,69 @@
+#include "analysis/rpo.h"
+
+#include <algorithm>
+
+namespace trapjit
+{
+
+namespace
+{
+
+void
+dfs(const Function &func, BlockId block, std::vector<bool> &seen,
+    std::vector<BlockId> &order)
+{
+    // Iterative DFS to stay safe on deep graphs.
+    struct Frame
+    {
+        BlockId block;
+        size_t nextSucc;
+    };
+    std::vector<Frame> stack;
+    seen[block] = true;
+    stack.push_back({block, 0});
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        const auto &succs = func.block(frame.block).succs();
+        if (frame.nextSucc < succs.size()) {
+            BlockId succ = succs[frame.nextSucc++];
+            if (!seen[succ]) {
+                seen[succ] = true;
+                stack.push_back({succ, 0});
+            }
+        } else {
+            order.push_back(frame.block);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+std::vector<BlockId>
+postorder(const Function &func)
+{
+    std::vector<bool> seen(func.numBlocks(), false);
+    std::vector<BlockId> order;
+    order.reserve(func.numBlocks());
+    dfs(func, 0, seen, order);
+    return order;
+}
+
+std::vector<BlockId>
+reversePostorder(const Function &func)
+{
+    std::vector<BlockId> order = postorder(func);
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::vector<bool>
+reachableBlocks(const Function &func)
+{
+    std::vector<bool> seen(func.numBlocks(), false);
+    std::vector<BlockId> order;
+    dfs(func, 0, seen, order);
+    return seen;
+}
+
+} // namespace trapjit

@@ -1,0 +1,31 @@
+#ifndef TRAPJIT_ANALYSIS_RPO_H_
+#define TRAPJIT_ANALYSIS_RPO_H_
+
+/**
+ * @file
+ * Block orderings: depth-first postorder and reverse postorder over the
+ * CFG (following both normal and factored exception edges).  Forward
+ * dataflow iterates in RPO, backward dataflow in postorder, which makes
+ * the round-robin solver converge in a handful of sweeps on reducible
+ * graphs.
+ */
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** Postorder of the blocks reachable from the entry. */
+std::vector<BlockId> postorder(const Function &func);
+
+/** Reverse postorder of the blocks reachable from the entry. */
+std::vector<BlockId> reversePostorder(const Function &func);
+
+/** Per-block reachability from the entry (indexed by BlockId). */
+std::vector<bool> reachableBlocks(const Function &func);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_ANALYSIS_RPO_H_

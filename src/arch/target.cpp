@@ -1,0 +1,96 @@
+#include "arch/target.h"
+
+namespace trapjit
+{
+
+bool
+Target::trapCovers(const Instruction &inst) const
+{
+    SlotAccess access = inst.slotAccess();
+    if (access == SlotAccess::None)
+        return false;
+    int64_t offset = inst.slotOffset();
+    if (offset < 0 || offset >= trapAreaBytes)
+        return false;
+    return access == SlotAccess::Read ? trapsOnRead : trapsOnWrite;
+}
+
+bool
+Target::readIsSpeculationSafe(int64_t offset) const
+{
+    return allowsReadSpeculation() && offset >= 0 &&
+           offset < trapAreaBytes;
+}
+
+Target
+makeIA32WindowsTarget()
+{
+    Target t;
+    t.name = "ia32-winnt";
+    t.trapAreaBytes = 4096;
+    t.trapsOnRead = true;
+    t.trapsOnWrite = true;
+    t.readOfNullPageYieldsZero = false;
+    t.hasExpInstruction = true;
+    t.explicitNullCheckCycles = 2.0; // test reg,reg + jz
+    return t;
+}
+
+Target
+makePPCAIXTarget()
+{
+    Target t;
+    t.name = "ppc-aix";
+    t.trapAreaBytes = 4096;
+    t.trapsOnRead = false;
+    t.trapsOnWrite = true;
+    t.readOfNullPageYieldsZero = true;
+    t.hasExpInstruction = false;
+    // A conditional trap (tweqi) costs a single cycle when not taken.
+    t.explicitNullCheckCycles = 1.0;
+    // The 604e at 332 MHz is roughly half as fast per cycle budget as the
+    // PIII; model that with slightly slower memory operations.
+    t.loadCycles = 5.0;
+    t.storeCycles = 4.0;
+    return t;
+}
+
+Target
+makeS390Target()
+{
+    Target t;
+    t.name = "s390";
+    t.trapAreaBytes = 8192;
+    t.trapsOnRead = true;
+    t.trapsOnWrite = true;
+    t.hasExpInstruction = false;
+    t.explicitNullCheckCycles = 2.0;
+    return t;
+}
+
+Target
+makeSPARCTarget()
+{
+    Target t;
+    t.name = "sparc";
+    t.trapAreaBytes = 4096;
+    t.trapsOnRead = true;
+    t.trapsOnWrite = true;
+    t.hasExpInstruction = false;
+    t.explicitNullCheckCycles = 2.0;
+    return t;
+}
+
+Target
+makeIllegalImplicitAIXTarget()
+{
+    Target t = makePPCAIXTarget();
+    t.name = "ppc-aix-illegal-implicit";
+    // Lie to the compiler: pretend reads trap.  The interpreter is always
+    // driven by the honest makePPCAIXTarget() model, so programs compiled
+    // against this target silently read zero where an NPE was due.
+    t.trapsOnRead = true;
+    return t;
+}
+
+} // namespace trapjit

@@ -1,0 +1,14 @@
+#include "codegen/codegen_pass.h"
+
+namespace trapjit
+{
+
+bool
+CodegenPass::runOnFunction(Function &func, PassContext &ctx)
+{
+    allocations_[func.id()] = allocateRegisters(func);
+    emitted_[func.id()] = emitFunction(func, ctx.target);
+    return false; // analysis + emission only, the IR is unchanged
+}
+
+} // namespace trapjit

@@ -1,0 +1,51 @@
+#ifndef TRAPJIT_CODEGEN_CODEGEN_PASS_H_
+#define TRAPJIT_CODEGEN_CODEGEN_PASS_H_
+
+/**
+ * @file
+ * Back-end pass: register allocation + code emission.
+ *
+ * Runs after all optimizations (and after the local scheduler).  The
+ * results are kept per function id so benches and tests can inspect
+ * code size and spill statistics; the interpreter keeps executing
+ * virtual registers, so this pass never changes behavior — it exists
+ * because a JIT's compile-time profile is dominated by its back end,
+ * which the compile-time tables (Tables 3-5) account for.
+ */
+
+#include <map>
+
+#include "codegen/emitter.h"
+#include "codegen/linear_scan.h"
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Register allocation + emission, with retrievable per-function data. */
+class CodegenPass : public Pass
+{
+  public:
+    const char *name() const override { return "codegen"; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+
+    /** Allocation of a compiled function (empty map if never run). */
+    const std::map<FunctionId, RegAllocation> &allocations() const
+    {
+        return allocations_;
+    }
+
+    /** Emitted code per compiled function. */
+    const std::map<FunctionId, EmittedCode> &emitted() const
+    {
+        return emitted_;
+    }
+
+  private:
+    std::map<FunctionId, RegAllocation> allocations_;
+    std::map<FunctionId, EmittedCode> emitted_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_CODEGEN_CODEGEN_PASS_H_

@@ -1,0 +1,155 @@
+#include "codegen/emitter.h"
+
+#include <cstring>
+#include <map>
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Append a little-endian 32-bit immediate. */
+void
+putU32(std::vector<uint8_t> &bytes, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &bytes, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+/** Operand register byte (virtual register id, truncated). */
+void
+putReg(std::vector<uint8_t> &bytes, ValueId v)
+{
+    bytes.push_back(static_cast<uint8_t>(v == kNoValue ? 0xff : v & 0xff));
+}
+
+} // namespace
+
+EmittedCode
+emitFunction(const Function &func, const Target &target)
+{
+    EmittedCode code;
+    // Block start offsets, for branch fixups.
+    std::vector<uint32_t> blockOffset(func.numBlocks(), 0);
+    struct Fixup
+    {
+        size_t at;
+        BlockId block;
+    };
+    std::vector<Fixup> fixups;
+
+    auto emitBranchTarget = [&](BlockId block) {
+        fixups.push_back(Fixup{code.bytes.size(), block});
+        putU32(code.bytes, 0);
+    };
+
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        blockOffset[b] = static_cast<uint32_t>(code.bytes.size());
+        for (const Instruction &inst :
+             func.block(static_cast<BlockId>(b)).insts()) {
+            size_t before = code.bytes.size();
+            switch (inst.op) {
+              case Opcode::NullCheck:
+                if (inst.flavor == CheckFlavor::Explicit) {
+                    // test r, r ; jz <npe stub>  (or a conditional trap
+                    // instruction on targets that have one).
+                    code.bytes.push_back(0x85);
+                    putReg(code.bytes, inst.a);
+                    code.bytes.push_back(0x74);
+                    code.bytes.push_back(0x00); // stub displacement
+                    code.explicitNullCheckBytes +=
+                        code.bytes.size() - before;
+                }
+                // Implicit: no bytes at all — the following access traps.
+                break;
+              case Opcode::BoundCheck:
+                // cmp idx, len ; jae <aioobe stub>
+                code.bytes.push_back(0x39);
+                putReg(code.bytes, inst.a);
+                putReg(code.bytes, inst.b);
+                code.bytes.push_back(0x73);
+                code.bytes.push_back(0x00);
+                code.boundCheckBytes += code.bytes.size() - before;
+                break;
+              case Opcode::ConstInt:
+                code.bytes.push_back(0xb8);
+                putReg(code.bytes, inst.dst);
+                putU64(code.bytes, static_cast<uint64_t>(inst.imm));
+                break;
+              case Opcode::ConstFloat: {
+                code.bytes.push_back(0xb9);
+                putReg(code.bytes, inst.dst);
+                uint64_t bits;
+                std::memcpy(&bits, &inst.fimm, sizeof(bits));
+                putU64(code.bytes, bits);
+                break;
+              }
+              case Opcode::GetField:
+              case Opcode::PutField:
+                code.bytes.push_back(0x8b);
+                putReg(code.bytes, inst.dst);
+                putReg(code.bytes, inst.a);
+                putU32(code.bytes, static_cast<uint32_t>(inst.imm));
+                break;
+              case Opcode::ArrayLoad:
+              case Opcode::ArrayStore:
+                code.bytes.push_back(0x8a);
+                putReg(code.bytes, inst.dst);
+                putReg(code.bytes, inst.a);
+                putReg(code.bytes, inst.b);
+                putReg(code.bytes, inst.c);
+                break;
+              case Opcode::Call: {
+                code.bytes.push_back(0xe8);
+                putU32(code.bytes, static_cast<uint32_t>(inst.imm));
+                for (ValueId arg : inst.args)
+                    putReg(code.bytes, arg);
+                break;
+              }
+              case Opcode::Jump:
+                code.bytes.push_back(0xe9);
+                emitBranchTarget(static_cast<BlockId>(inst.imm));
+                break;
+              case Opcode::Branch:
+              case Opcode::IfNull:
+                code.bytes.push_back(0x0f);
+                putReg(code.bytes, inst.a);
+                emitBranchTarget(static_cast<BlockId>(inst.imm));
+                emitBranchTarget(static_cast<BlockId>(inst.imm2));
+                break;
+              case Opcode::Return:
+                code.bytes.push_back(0xc3);
+                putReg(code.bytes, inst.a);
+                break;
+              default:
+                // Generic three-address encoding.
+                code.bytes.push_back(
+                    static_cast<uint8_t>(inst.op) + 0x10);
+                putReg(code.bytes, inst.dst);
+                putReg(code.bytes, inst.a);
+                putReg(code.bytes, inst.b);
+                break;
+            }
+            ++code.instructionsEmitted;
+        }
+    }
+
+    for (const Fixup &fixup : fixups) {
+        uint32_t offset = blockOffset[fixup.block];
+        for (int i = 0; i < 4; ++i)
+            code.bytes[fixup.at + i] =
+                static_cast<uint8_t>(offset >> (8 * i));
+    }
+    (void)target;
+    return code;
+}
+
+} // namespace trapjit

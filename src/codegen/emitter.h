@@ -1,0 +1,45 @@
+#ifndef TRAPJIT_CODEGEN_EMITTER_H_
+#define TRAPJIT_CODEGEN_EMITTER_H_
+
+/**
+ * @file
+ * Pseudo machine-code emission.
+ *
+ * Produces a flat byte encoding of a function the way the final JIT
+ * phase would: every instruction gets an opcode byte plus operand
+ * bytes, branch targets are fixed up after layout, and — the point the
+ * paper's whole mechanism turns on — an *explicit* null check costs
+ * real bytes (test + conditional branch) while an *implicit* one emits
+ * nothing at all.  The emitter therefore exposes code-size effects of
+ * the null check configurations in addition to the cycle effects the
+ * interpreter measures.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/target.h"
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** Result of emitting one function. */
+struct EmittedCode
+{
+    std::vector<uint8_t> bytes;
+    size_t instructionsEmitted = 0;
+
+    /** Bytes spent on explicit null check sequences. */
+    size_t explicitNullCheckBytes = 0;
+
+    /** Bytes spent on bound check sequences. */
+    size_t boundCheckBytes = 0;
+};
+
+/** Encode @p func for @p target.  CFG must be current. */
+EmittedCode emitFunction(const Function &func, const Target &target);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_CODEGEN_EMITTER_H_

@@ -1,0 +1,171 @@
+#include "codegen/linear_scan.h"
+
+#include <algorithm>
+
+#include "analysis/liveness.h"
+#include "analysis/rpo.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+bool
+isFloatValue(const Function &func, ValueId v)
+{
+    return func.value(v).type == Type::F64;
+}
+
+} // namespace
+
+RegAllocation
+allocateRegisters(const Function &func, size_t int_regs,
+                  size_t float_regs)
+{
+    const size_t numValues = func.numValues();
+    RegAllocation result;
+    result.assignment.assign(numValues, -2);
+    result.intervalStart.assign(numValues, -1);
+    result.intervalEnd.assign(numValues, -1);
+    if (numValues == 0)
+        return result;
+
+    DataflowResult live = solveLiveness(func);
+    std::vector<BlockId> order = reversePostorder(func);
+
+    // Build conservative live intervals over the linearized order.
+    int cursor = 0;
+    std::vector<ValueId> uses;
+    auto touch = [&result](ValueId v, int at) {
+        if (result.intervalStart[v] < 0)
+            result.intervalStart[v] = at;
+        result.intervalStart[v] = std::min(result.intervalStart[v], at);
+        result.intervalEnd[v] = std::max(result.intervalEnd[v], at);
+    };
+
+    // Parameters are live from index 0.
+    for (ValueId p = 0; p < func.numParams(); ++p)
+        touch(p, 0);
+
+    for (BlockId block : order) {
+        const BasicBlock &bb = func.block(block);
+        const int blockStart = cursor;
+        live.in[block].forEach(
+            [&](size_t v) { touch(static_cast<ValueId>(v), blockStart); });
+        for (const Instruction &inst : bb.insts()) {
+            uses.clear();
+            inst.forEachUse(uses);
+            for (ValueId u : uses)
+                touch(u, cursor);
+            if (inst.hasDst())
+                touch(inst.dst, cursor);
+            ++cursor;
+        }
+        const int blockEnd = cursor;
+        live.out[block].forEach(
+            [&](size_t v) { touch(static_cast<ValueId>(v), blockEnd); });
+    }
+
+    // Classic linear scan, one pool per register class.
+    struct Interval
+    {
+        ValueId value;
+        int start;
+        int end;
+    };
+    std::vector<Interval> intervals;
+    for (ValueId v = 0; v < numValues; ++v)
+        if (result.intervalStart[v] >= 0)
+            intervals.push_back(
+                Interval{v, result.intervalStart[v],
+                         result.intervalEnd[v]});
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+
+    struct Pool
+    {
+        size_t numRegs;
+        std::vector<int> freeRegs;
+        std::vector<Interval> active; // sorted by end ascending
+        size_t maxPressure = 0;
+    };
+    auto makePool = [](size_t n) {
+        Pool pool;
+        pool.numRegs = n;
+        for (int r = static_cast<int>(n) - 1; r >= 0; --r)
+            pool.freeRegs.push_back(r);
+        return pool;
+    };
+    Pool intPool = makePool(int_regs);
+    Pool floatPool = makePool(float_regs);
+
+    auto expire = [&](Pool &pool, int start) {
+        while (!pool.active.empty() && pool.active.front().end < start) {
+            int reg = result.assignment[pool.active.front().value];
+            TRAPJIT_ASSERT(reg >= 0, "active interval without register");
+            pool.freeRegs.push_back(reg);
+            pool.active.erase(pool.active.begin());
+        }
+    };
+    auto insertActive = [](Pool &pool, Interval interval) {
+        auto it = std::lower_bound(
+            pool.active.begin(), pool.active.end(), interval,
+            [](const Interval &a, const Interval &b) {
+                return a.end < b.end;
+            });
+        pool.active.insert(it, interval);
+    };
+
+    for (const Interval &interval : intervals) {
+        Pool &pool = isFloatValue(func, interval.value) ? floatPool
+                                                        : intPool;
+        expire(intPool, interval.start);
+        expire(floatPool, interval.start);
+
+        if (!pool.freeRegs.empty()) {
+            int reg = pool.freeRegs.back();
+            pool.freeRegs.pop_back();
+            result.assignment[interval.value] = reg;
+            insertActive(pool, interval);
+        } else if (!pool.active.empty() &&
+                   pool.active.back().end > interval.end) {
+            // Spill the furthest-ending active interval instead.
+            Interval victim = pool.active.back();
+            pool.active.pop_back();
+            int reg = result.assignment[victim.value];
+            result.assignment[victim.value] = -1;
+            ++result.spilledValues;
+            result.assignment[interval.value] = reg;
+            insertActive(pool, interval);
+        } else {
+            result.assignment[interval.value] = -1;
+            ++result.spilledValues;
+        }
+        pool.maxPressure = std::max(
+            pool.maxPressure, pool.numRegs - pool.freeRegs.size());
+    }
+    result.maxIntPressure = intPool.maxPressure;
+    result.maxFloatPressure = floatPool.maxPressure;
+
+    // Count the implied spill memory operations.
+    std::vector<ValueId> operands;
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        for (const Instruction &inst :
+             func.block(static_cast<BlockId>(b)).insts()) {
+            operands.clear();
+            inst.forEachUse(operands);
+            for (ValueId u : operands)
+                if (result.assignment[u] == -1)
+                    ++result.spillOps; // reload before use
+            if (inst.hasDst() && result.assignment[inst.dst] == -1)
+                ++result.spillOps; // store after def
+        }
+    }
+    return result;
+}
+
+} // namespace trapjit

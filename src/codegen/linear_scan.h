@@ -1,0 +1,55 @@
+#ifndef TRAPJIT_CODEGEN_LINEAR_SCAN_H_
+#define TRAPJIT_CODEGEN_LINEAR_SCAN_H_
+
+/**
+ * @file
+ * Linear-scan register allocation (Poletto/Sarkar style, the algorithm
+ * JITs of the paper's era used — LaTTe's distinguishing feature was
+ * exactly this).  Values are linearized in reverse postorder, live
+ * intervals are derived from block liveness, and intervals compete for
+ * a fixed pool of integer (incl. reference) and float registers; when
+ * the pool is exhausted the interval with the furthest end is spilled.
+ *
+ * The allocator is an analysis here — the interpreter executes virtual
+ * registers directly — but it is a real allocator: its assignments are
+ * verified non-overlapping by the test suite, and it contributes the
+ * realistic back-end share of the compile-time accounting (Tables 3-5).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** Result of allocating one function. */
+struct RegAllocation
+{
+    /** Physical register per value, or -1 = spilled, -2 = never live. */
+    std::vector<int> assignment;
+
+    /** Live interval per value: [start, end] linear indices (or -1). */
+    std::vector<int> intervalStart;
+    std::vector<int> intervalEnd;
+
+    size_t spilledValues = 0;
+    size_t maxIntPressure = 0;
+    size_t maxFloatPressure = 0;
+
+    /** Spill memory operations implied at spilled defs/uses. */
+    size_t spillOps = 0;
+};
+
+/**
+ * Allocate @p func onto @p int_regs integer/reference registers and
+ * @p float_regs float registers.  CFG must be current.
+ */
+RegAllocation allocateRegisters(const Function &func,
+                                size_t int_regs = 12,
+                                size_t float_regs = 8);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_CODEGEN_LINEAR_SCAN_H_

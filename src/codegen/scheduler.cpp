@@ -1,0 +1,190 @@
+#include "codegen/scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "interp/cost_model.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Order-pinned: a Java program can observe this instruction's order. */
+bool
+isPinned(const Function &func, const Instruction &inst, bool in_try)
+{
+    switch (inst.op) {
+      case Opcode::NullCheck:
+      case Opcode::BoundCheck:
+      case Opcode::IDiv:
+      case Opcode::IRem:
+      case Opcode::Call:
+      case Opcode::NewObject:
+      case Opcode::NewArray:
+      case Opcode::Throw:
+      case Opcode::PutField:
+      case Opcode::ArrayStore:
+        return true;
+      default:
+        break;
+    }
+    if (inst.exceptionSite)
+        return true;
+    // Any access that requires a non-null base must not move across the
+    // checks (explicit or implicit) that guard it.
+    if (inst.checkedRef() != kNoValue)
+        return true;
+    if (in_try && inst.hasDst() && func.value(inst.dst).isLocal())
+        return true;
+    return false;
+}
+
+bool
+readsMemory(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::GetField:
+      case Opcode::ArrayLength:
+      case Opcode::ArrayLoad:
+        return true;
+      case Opcode::Call:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesMemoryOp(const Instruction &inst)
+{
+    return inst.writesMemory();
+}
+
+} // namespace
+
+bool
+LocalScheduler::runOnFunction(Function &func, PassContext &ctx)
+{
+    bool changed = false;
+    std::vector<ValueId> uses;
+
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool inTry = bb.tryRegion() != 0;
+        auto &insts = bb.insts();
+        if (insts.size() < 3)
+            continue;
+        const size_t n = insts.size() - 1; // terminator stays last
+
+        // Dependence edges: succs[i] = instructions that must follow i.
+        std::vector<std::vector<size_t>> succs(n);
+        std::vector<size_t> npreds(n, 0);
+        auto addEdge = [&](size_t from, size_t to) {
+            succs[from].push_back(to);
+            ++npreds[to];
+        };
+
+        // Last def and uses-so-far per value (value ids are sparse; a
+        // small map vector keyed by ValueId suffices).
+        std::vector<int> lastDef(func.numValues(), -1);
+        std::vector<std::vector<size_t>> lastUses(func.numValues());
+        int lastPinned = -1;
+        int lastMemWrite = -1;
+        std::vector<size_t> memReadsSinceWrite;
+
+        for (size_t i = 0; i < n; ++i) {
+            const Instruction &inst = insts[i];
+
+            uses.clear();
+            inst.forEachUse(uses);
+            for (ValueId u : uses) {
+                if (lastDef[u] >= 0)
+                    addEdge(static_cast<size_t>(lastDef[u]), i); // RAW
+                lastUses[u].push_back(i);
+            }
+            if (inst.hasDst()) {
+                ValueId d = inst.dst;
+                if (lastDef[d] >= 0)
+                    addEdge(static_cast<size_t>(lastDef[d]), i); // WAW
+                for (size_t use : lastUses[d])
+                    if (use != i)
+                        addEdge(use, i); // WAR
+                lastUses[d].clear();
+                lastDef[d] = static_cast<int>(i);
+            }
+
+            if (writesMemoryOp(inst)) {
+                if (lastMemWrite >= 0)
+                    addEdge(static_cast<size_t>(lastMemWrite), i);
+                for (size_t r : memReadsSinceWrite)
+                    addEdge(r, i);
+                memReadsSinceWrite.clear();
+                lastMemWrite = static_cast<int>(i);
+            } else if (readsMemory(inst)) {
+                if (lastMemWrite >= 0)
+                    addEdge(static_cast<size_t>(lastMemWrite), i);
+                memReadsSinceWrite.push_back(i);
+            }
+
+            if (isPinned(func, inst, inTry)) {
+                if (lastPinned >= 0)
+                    addEdge(static_cast<size_t>(lastPinned), i);
+                lastPinned = static_cast<int>(i);
+            }
+        }
+
+        // Critical-path priority (longest latency path to any sink).
+        std::vector<double> priority(n, 0.0);
+        for (size_t ri = n; ri-- > 0;) {
+            double best = 0.0;
+            for (size_t s : succs[ri])
+                best = std::max(best, priority[s]);
+            priority[ri] = best + instructionCost(insts[ri], ctx.target);
+        }
+
+        // Greedy list schedule: among ready instructions pick the one
+        // with the highest priority (ties broken by program order).
+        std::vector<size_t> ready;
+        for (size_t i = 0; i < n; ++i)
+            if (npreds[i] == 0)
+                ready.push_back(i);
+        std::vector<size_t> sequence;
+        sequence.reserve(n);
+        while (!ready.empty()) {
+            size_t bestIdx = 0;
+            for (size_t k = 1; k < ready.size(); ++k) {
+                if (priority[ready[k]] > priority[ready[bestIdx]] ||
+                    (priority[ready[k]] == priority[ready[bestIdx]] &&
+                     ready[k] < ready[bestIdx])) {
+                    bestIdx = k;
+                }
+            }
+            size_t chosen = ready[bestIdx];
+            ready.erase(ready.begin() + static_cast<long>(bestIdx));
+            sequence.push_back(chosen);
+            for (size_t s : succs[chosen])
+                if (--npreds[s] == 0)
+                    ready.push_back(s);
+        }
+
+        bool reordered = false;
+        for (size_t i = 0; i < n; ++i)
+            if (sequence[i] != i)
+                reordered = true;
+        if (!reordered)
+            continue;
+
+        std::vector<Instruction> rebuilt;
+        rebuilt.reserve(insts.size());
+        for (size_t idx : sequence)
+            rebuilt.push_back(std::move(insts[idx]));
+        rebuilt.push_back(std::move(insts.back()));
+        insts = std::move(rebuilt);
+        changed = true;
+    }
+    return changed;
+}
+
+} // namespace trapjit

@@ -1,0 +1,84 @@
+#include "interp/cost_model.h"
+
+namespace trapjit
+{
+
+double
+instructionCost(const Instruction &inst, const Target &target)
+{
+    switch (inst.op) {
+      case Opcode::ConstInt:
+      case Opcode::ConstFloat:
+      case Opcode::ConstNull:
+        return target.constCycles;
+      case Opcode::Move:
+        return target.moveCycles;
+      case Opcode::IAdd: case Opcode::ISub: case Opcode::INeg:
+      case Opcode::IAnd: case Opcode::IOr: case Opcode::IXor:
+      case Opcode::IShl: case Opcode::IShr: case Opcode::IUshr:
+        return target.intAluCycles;
+      case Opcode::IMul:
+        return target.intMulCycles;
+      case Opcode::IDiv:
+      case Opcode::IRem:
+        return target.intDivCycles;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FNeg:
+      case Opcode::FAbs:
+        return target.floatAluCycles;
+      case Opcode::FMul:
+        return target.floatMulCycles;
+      case Opcode::FDiv:
+        return target.floatDivCycles;
+      case Opcode::FExp: case Opcode::FSqrt: case Opcode::FSin:
+      case Opcode::FCos: case Opcode::FLog:
+        return target.mathIntrinsicCycles;
+      case Opcode::I2F: case Opcode::F2I: case Opcode::I2L:
+      case Opcode::L2I:
+        return target.intAluCycles;
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        return target.intAluCycles;
+      case Opcode::NullCheck:
+        // This is the crux of the whole paper: an explicit check costs
+        // real cycles on every execution, an implicit one costs nothing
+        // (its cost is the trap dispatch, charged only when taken).
+        return inst.flavor == CheckFlavor::Explicit
+                   ? target.explicitNullCheckCycles
+                   : 0.0;
+      case Opcode::BoundCheck:
+        return target.boundCheckCycles;
+      case Opcode::GetField:
+        return target.loadCycles;
+      case Opcode::PutField:
+        return target.storeCycles;
+      case Opcode::ArrayLength:
+        return target.loadCycles;
+      case Opcode::ArrayLoad:
+        return target.loadCycles + target.arrayAccessExtraCycles;
+      case Opcode::ArrayStore:
+        return target.storeCycles + target.arrayAccessExtraCycles;
+      case Opcode::NewObject:
+      case Opcode::NewArray:
+        return target.allocBaseCycles; // + per-byte, added by interpreter
+      case Opcode::Call: {
+        double cost = target.callOverheadCycles;
+        if (inst.callKind == CallKind::Virtual)
+            cost += target.virtualDispatchExtraCycles;
+        return cost;
+      }
+      case Opcode::Jump:
+        return target.jumpCycles;
+      case Opcode::Branch:
+      case Opcode::IfNull:
+        return target.branchCycles;
+      case Opcode::Return:
+        return target.jumpCycles;
+      case Opcode::Throw:
+        return target.throwCycles;
+      case Opcode::Nop:
+        return 0.0;
+    }
+    return 1.0;
+}
+
+} // namespace trapjit

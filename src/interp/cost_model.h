@@ -1,0 +1,31 @@
+#ifndef TRAPJIT_INTERP_COST_MODEL_H_
+#define TRAPJIT_INTERP_COST_MODEL_H_
+
+/**
+ * @file
+ * Per-instruction cycle cost model.
+ *
+ * The experiments do not run on a Pentium III; instead the interpreter
+ * charges each executed instruction a cycle cost taken from the Target.
+ * What matters for reproducing the paper's tables is the *relative* cost
+ * structure: explicit null checks cost real cycles (2 on IA32, 1 on a
+ * PowerPC conditional trap), implicit null checks cost nothing until
+ * taken, loads/stores dominate array kernels, and calls are expensive
+ * enough that inlining small accessors matters.
+ */
+
+#include "arch/target.h"
+#include "ir/instruction.h"
+
+namespace trapjit
+{
+
+/**
+ * Cycles charged for executing @p inst once (not counting a callee's own
+ * cycles for Call, nor exceptional dispatch).
+ */
+double instructionCost(const Instruction &inst, const Target &target);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_INTERP_COST_MODEL_H_

@@ -1,0 +1,40 @@
+#include "interp/event_trace.h"
+
+#include <sstream>
+
+namespace trapjit
+{
+
+std::string
+Event::toString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::HeapWrite:
+        os << "write[" << int(width) << "] @0x" << std::hex << address
+           << " = 0x" << payload;
+        break;
+      case Kind::Exception:
+        os << "exception " << excName(static_cast<ExcKind>(payload));
+        break;
+      case Kind::Allocation:
+        os << "alloc @0x" << std::hex << address << " size " << std::dec
+           << payload;
+        break;
+    }
+    return os.str();
+}
+
+long
+EventTrace::firstDifference(const EventTrace &a, const EventTrace &b)
+{
+    size_t n = std::min(a.events_.size(), b.events_.size());
+    for (size_t i = 0; i < n; ++i)
+        if (!(a.events_[i] == b.events_[i]))
+            return static_cast<long>(i);
+    if (a.events_.size() != b.events_.size())
+        return static_cast<long>(n);
+    return -1;
+}
+
+} // namespace trapjit

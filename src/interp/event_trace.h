@@ -1,0 +1,93 @@
+#ifndef TRAPJIT_INTERP_EVENT_TRACE_H_
+#define TRAPJIT_INTERP_EVENT_TRACE_H_
+
+/**
+ * @file
+ * Observable-event trace for precise-exception equivalence testing.
+ *
+ * Java's precise exception rule means an optimized method must expose
+ * exactly the same *observable* behavior as the unoptimized one: the same
+ * heap writes in the same order with the same values, the same escaping
+ * exception, and the same result.  Reads are unobservable (that is what
+ * makes read speculation legal), so they are not traced.
+ *
+ * The property test in tests/ runs reference and optimized code and
+ * asserts the traces are identical event for event.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "runtime/heap.h"
+
+namespace trapjit
+{
+
+/** One observable event. */
+struct Event
+{
+    enum class Kind : uint8_t
+    {
+        HeapWrite,  ///< address + raw value bits + width
+        Exception,  ///< an exception escaped the top-level frame
+        Allocation, ///< an object/array was allocated (address + size)
+    };
+
+    Kind kind = Kind::HeapWrite;
+    Address address = 0;
+    uint64_t payload = 0; ///< value bits / ExcKind / allocation size
+    uint8_t width = 0;    ///< write width in bytes
+
+    bool operator==(const Event &other) const = default;
+
+    std::string toString() const;
+};
+
+/** Ordered sequence of observable events. */
+class EventTrace
+{
+  public:
+    /** Enable/disable recording (recording costs time; benches disable). */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    void
+    recordWrite(Address addr, uint64_t bits, uint8_t width)
+    {
+        if (enabled_)
+            events_.push_back(Event{Event::Kind::HeapWrite, addr, bits,
+                                    width});
+    }
+
+    void
+    recordAllocation(Address addr, uint64_t size)
+    {
+        if (enabled_)
+            events_.push_back(Event{Event::Kind::Allocation, addr, size,
+                                    0});
+    }
+
+    void
+    recordEscapedException(ExcKind kind)
+    {
+        if (enabled_)
+            events_.push_back(Event{Event::Kind::Exception, 0,
+                                    static_cast<uint64_t>(kind), 0});
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /** First index at which the traces differ, or -1 if identical. */
+    static long firstDifference(const EventTrace &a, const EventTrace &b);
+
+  private:
+    bool enabled_ = true;
+    std::vector<Event> events_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_INTERP_EVENT_TRACE_H_

@@ -1,0 +1,19 @@
+#include "ir/basic_block.h"
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+void
+BasicBlock::insertBeforeTerminator(Instruction inst)
+{
+    TRAPJIT_ASSERT(!inst.isTerminator(),
+                   "insertBeforeTerminator takes non-terminators");
+    if (isTerminated())
+        insts_.insert(insts_.end() - 1, std::move(inst));
+    else
+        insts_.push_back(std::move(inst));
+}
+
+} // namespace trapjit

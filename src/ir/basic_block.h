@@ -1,0 +1,92 @@
+#ifndef TRAPJIT_IR_BASIC_BLOCK_H_
+#define TRAPJIT_IR_BASIC_BLOCK_H_
+
+/**
+ * @file
+ * Basic blocks of the control flow graph.
+ *
+ * A block holds a straight-line instruction sequence whose last
+ * instruction is the only terminator.  Exception flow is *factored*: a
+ * block belongs to at most one try region, and if it does, the region's
+ * handler block is an additional CFG successor.  The paper's
+ * Edge_try(m, n) sets fall out of comparing the region ids of the two
+ * endpoint blocks.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace trapjit
+{
+
+/** Index of a basic block within its Function. */
+using BlockId = uint32_t;
+
+/** Sentinel block id. */
+constexpr BlockId kNoBlock = UINT32_MAX;
+
+/** Index of a try region within its Function; 0 means "not in a region". */
+using TryRegionId = uint32_t;
+
+/** A basic block. */
+class BasicBlock
+{
+  public:
+    BasicBlock(BlockId id, TryRegionId try_region)
+        : id_(id), tryRegion_(try_region)
+    {}
+
+    BlockId id() const { return id_; }
+
+    /** Try region this block belongs to (0 = none). */
+    TryRegionId tryRegion() const { return tryRegion_; }
+    void setTryRegion(TryRegionId region) { tryRegion_ = region; }
+
+    /** The instruction sequence; the terminator is the last entry. */
+    std::vector<Instruction> &insts() { return insts_; }
+    const std::vector<Instruction> &insts() const { return insts_; }
+
+    bool empty() const { return insts_.empty(); }
+
+    /** True if the block ends in a terminator. */
+    bool
+    isTerminated() const
+    {
+        return !insts_.empty() && insts_.back().isTerminator();
+    }
+
+    /** The terminator; block must be terminated. */
+    const Instruction &terminator() const { return insts_.back(); }
+    Instruction &terminator() { return insts_.back(); }
+
+    /**
+     * Insert @p inst immediately before the terminator (or append if the
+     * block is not yet terminated).  This is where the architecture
+     * independent phase materializes checks "at the end of basic blocks".
+     */
+    void insertBeforeTerminator(Instruction inst);
+
+    /** CFG edges; valid after Function::recomputeCFG(). */
+    const std::vector<BlockId> &succs() const { return succs_; }
+    const std::vector<BlockId> &preds() const { return preds_; }
+
+    /** @name Edge storage, managed by Function::recomputeCFG(). */
+    /// @{
+    void clearEdges() { succs_.clear(); preds_.clear(); }
+    void addSucc(BlockId succ) { succs_.push_back(succ); }
+    void addPred(BlockId pred) { preds_.push_back(pred); }
+    /// @}
+
+  private:
+    BlockId id_;
+    TryRegionId tryRegion_;
+    std::vector<Instruction> insts_;
+    std::vector<BlockId> succs_;
+    std::vector<BlockId> preds_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_BASIC_BLOCK_H_

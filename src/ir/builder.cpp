@@ -1,0 +1,314 @@
+#include "ir/builder.h"
+
+#include "ir/layout.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+BasicBlock &
+IRBuilder::startBlock(TryRegionId try_region)
+{
+    BasicBlock &bb = func_.newBlock(try_region);
+    block_ = &bb;
+    return bb;
+}
+
+Instruction &
+IRBuilder::emit(Instruction inst)
+{
+    TRAPJIT_ASSERT(block_ != nullptr, "builder is not positioned");
+    TRAPJIT_ASSERT(!block_->isTerminated(),
+                   "emitting after the terminator of block ", block_->id());
+    if (inst.site == 0)
+        inst.site = func_.takeSiteId();
+    block_->insts().push_back(std::move(inst));
+    return block_->insts().back();
+}
+
+ValueId
+IRBuilder::constInt(int64_t value, Type type)
+{
+    TRAPJIT_ASSERT(isIntType(type), "constInt requires an integer type");
+    Instruction inst;
+    inst.op = Opcode::ConstInt;
+    inst.dst = func_.addTemp(type);
+    inst.imm = value;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::constFloat(double value)
+{
+    Instruction inst;
+    inst.op = Opcode::ConstFloat;
+    inst.dst = func_.addTemp(Type::F64);
+    inst.fimm = value;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::constNull(ClassId class_id)
+{
+    Instruction inst;
+    inst.op = Opcode::ConstNull;
+    inst.dst = func_.addTemp(Type::Ref, class_id);
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+void
+IRBuilder::move(ValueId dst, ValueId src)
+{
+    Instruction inst;
+    inst.op = Opcode::Move;
+    inst.dst = dst;
+    inst.a = src;
+    emit(std::move(inst));
+}
+
+ValueId
+IRBuilder::binop(Opcode op, ValueId lhs, ValueId rhs)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = func_.addTemp(func_.value(lhs).type);
+    inst.a = lhs;
+    inst.b = rhs;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::unop(Opcode op, ValueId src, Type dst_type)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = func_.addTemp(dst_type);
+    inst.a = src;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::cmp(Opcode op, CmpPred pred, ValueId lhs, ValueId rhs)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.pred = pred;
+    inst.dst = func_.addTemp(Type::I32);
+    inst.a = lhs;
+    inst.b = rhs;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+void
+IRBuilder::nullCheck(ValueId ref)
+{
+    TRAPJIT_ASSERT(func_.value(ref).isRef(), "nullcheck of non-ref value");
+    Instruction inst;
+    inst.op = Opcode::NullCheck;
+    inst.flavor = CheckFlavor::Explicit;
+    inst.a = ref;
+    emit(std::move(inst));
+}
+
+void
+IRBuilder::boundCheck(ValueId idx, ValueId len)
+{
+    Instruction inst;
+    inst.op = Opcode::BoundCheck;
+    inst.a = idx;
+    inst.b = len;
+    emit(std::move(inst));
+}
+
+ValueId
+IRBuilder::getField(ValueId obj, int64_t offset, Type type)
+{
+    nullCheck(obj);
+    Instruction inst;
+    inst.op = Opcode::GetField;
+    inst.dst = func_.addTemp(type);
+    inst.a = obj;
+    inst.imm = offset;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+void
+IRBuilder::putField(ValueId obj, int64_t offset, ValueId src)
+{
+    nullCheck(obj);
+    Instruction inst;
+    inst.op = Opcode::PutField;
+    inst.a = obj;
+    inst.b = src;
+    inst.imm = offset;
+    emit(std::move(inst));
+}
+
+ValueId
+IRBuilder::arrayLength(ValueId arr)
+{
+    nullCheck(arr);
+    Instruction inst;
+    inst.op = Opcode::ArrayLength;
+    inst.dst = func_.addTemp(Type::I32);
+    inst.a = arr;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::arrayLoad(ValueId arr, ValueId idx, Type elem_type)
+{
+    ValueId len = arrayLength(arr);
+    boundCheck(idx, len);
+    Instruction inst;
+    inst.op = Opcode::ArrayLoad;
+    inst.dst = func_.addTemp(elem_type);
+    inst.a = arr;
+    inst.b = idx;
+    inst.elemType = elem_type;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+void
+IRBuilder::arrayStore(ValueId arr, ValueId idx, ValueId src, Type elem_type)
+{
+    ValueId len = arrayLength(arr);
+    boundCheck(idx, len);
+    Instruction inst;
+    inst.op = Opcode::ArrayStore;
+    inst.a = arr;
+    inst.b = idx;
+    inst.c = src;
+    inst.elemType = elem_type;
+    emit(std::move(inst));
+}
+
+ValueId
+IRBuilder::newObject(ClassId cls, int64_t size)
+{
+    Instruction inst;
+    inst.op = Opcode::NewObject;
+    inst.dst = func_.addTemp(Type::Ref, cls);
+    inst.imm = static_cast<int64_t>(cls);
+    inst.imm2 = size;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::newArray(ValueId len, Type elem_type, ClassId class_id)
+{
+    Instruction inst;
+    inst.op = Opcode::NewArray;
+    inst.dst = func_.addTemp(Type::Ref, class_id);
+    inst.a = len;
+    inst.elemType = elem_type;
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::callVirtual(uint32_t slot, const std::vector<ValueId> &args,
+                       Type ret_type)
+{
+    TRAPJIT_ASSERT(!args.empty(), "virtual call needs a receiver");
+    nullCheck(args[0]);
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.callKind = CallKind::Virtual;
+    inst.imm = slot;
+    inst.args = args;
+    inst.dst = ret_type == Type::Void ? kNoValue : func_.addTemp(ret_type);
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::callSpecial(FunctionId callee, const std::vector<ValueId> &args,
+                       Type ret_type)
+{
+    TRAPJIT_ASSERT(!args.empty(), "special call needs a receiver");
+    nullCheck(args[0]);
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.callKind = CallKind::Special;
+    inst.imm = callee;
+    inst.args = args;
+    inst.dst = ret_type == Type::Void ? kNoValue : func_.addTemp(ret_type);
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+ValueId
+IRBuilder::callStatic(FunctionId callee, const std::vector<ValueId> &args,
+                      Type ret_type)
+{
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.callKind = CallKind::Static;
+    inst.imm = callee;
+    inst.args = args;
+    inst.dst = ret_type == Type::Void ? kNoValue : func_.addTemp(ret_type);
+    emit(std::move(inst));
+    return block_->insts().back().dst;
+}
+
+void
+IRBuilder::jump(BasicBlock &target)
+{
+    Instruction inst;
+    inst.op = Opcode::Jump;
+    inst.imm = target.id();
+    emit(std::move(inst));
+}
+
+void
+IRBuilder::branch(ValueId cond, BasicBlock &if_true, BasicBlock &if_false)
+{
+    Instruction inst;
+    inst.op = Opcode::Branch;
+    inst.a = cond;
+    inst.imm = if_true.id();
+    inst.imm2 = if_false.id();
+    emit(std::move(inst));
+}
+
+void
+IRBuilder::ifNull(ValueId ref, BasicBlock &if_null, BasicBlock &if_nonnull)
+{
+    Instruction inst;
+    inst.op = Opcode::IfNull;
+    inst.a = ref;
+    inst.imm = if_null.id();
+    inst.imm2 = if_nonnull.id();
+    emit(std::move(inst));
+}
+
+void
+IRBuilder::ret(ValueId v)
+{
+    Instruction inst;
+    inst.op = Opcode::Return;
+    inst.a = v;
+    emit(std::move(inst));
+}
+
+void
+IRBuilder::throwExc(ExcKind kind)
+{
+    Instruction inst;
+    inst.op = Opcode::Throw;
+    inst.imm = static_cast<int64_t>(kind);
+    emit(std::move(inst));
+}
+
+} // namespace trapjit

@@ -1,0 +1,113 @@
+#ifndef TRAPJIT_IR_BUILDER_H_
+#define TRAPJIT_IR_BUILDER_H_
+
+/**
+ * @file
+ * Convenience builder for IR construction.
+ *
+ * The builder plays the role of the JIT front end: its *checked* memory
+ * helpers emit the split representation the paper's optimizer consumes —
+ * a fresh `nullcheck` before every field/array/receiver access and a
+ * fresh `arraylength` + `boundcheck` before every element access, exactly
+ * one per access, unoptimized.  All redundancy is left for the optimizer
+ * to remove; the tables of Section 5 measure precisely that removal.
+ *
+ * Raw emitters (emit*) are also public so tests can construct
+ * deliberately unusual shapes.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** Fluent instruction builder positioned at the end of a block. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function &func) : func_(func) {}
+
+    /** Position at the end of @p bb; subsequent emissions append there. */
+    void atEnd(BasicBlock &bb) { block_ = &bb; }
+
+    /** Create (and position at) a fresh block in @p try_region. */
+    BasicBlock &startBlock(TryRegionId try_region = 0);
+
+    Function &function() { return func_; }
+    BasicBlock &currentBlock() { return *block_; }
+
+    // -- Constants and moves ------------------------------------------------
+
+    ValueId constInt(int64_t value, Type type = Type::I32);
+    ValueId constFloat(double value);
+    ValueId constNull(ClassId class_id = kUnknownClass);
+    void move(ValueId dst, ValueId src);
+
+    // -- Arithmetic -----------------------------------------------------------
+
+    /** Binary integer/float op; dst is a fresh temp of a's type. */
+    ValueId binop(Opcode op, ValueId lhs, ValueId rhs);
+    /** Unary op (INeg/FNeg/intrinsics/conversions). */
+    ValueId unop(Opcode op, ValueId src, Type dst_type);
+    /** Comparison producing an I32 0/1 temp. */
+    ValueId cmp(Opcode op, CmpPred pred, ValueId lhs, ValueId rhs);
+
+    // -- Checked memory accesses (front-end expansion) ----------------------
+
+    /** nullcheck obj; dst = obj.field(offset). */
+    ValueId getField(ValueId obj, int64_t offset, Type type);
+    /** nullcheck obj; obj.field(offset) = src. */
+    void putField(ValueId obj, int64_t offset, ValueId src);
+    /** nullcheck arr; dst = arraylength arr. */
+    ValueId arrayLength(ValueId arr);
+    /** Full checked element read: nullcheck, length, boundcheck, load. */
+    ValueId arrayLoad(ValueId arr, ValueId idx, Type elem_type);
+    /** Full checked element write. */
+    void arrayStore(ValueId arr, ValueId idx, ValueId src, Type elem_type);
+
+    /** dst = new cls. */
+    ValueId newObject(ClassId cls, int64_t size);
+    /** dst = new elem_type[len]. */
+    ValueId newArray(ValueId len, Type elem_type,
+                     ClassId class_id = kUnknownClass);
+
+    // -- Calls -------------------------------------------------------------
+
+    /** nullcheck args[0]; virtual dispatch through vtable @p slot. */
+    ValueId callVirtual(uint32_t slot, const std::vector<ValueId> &args,
+                        Type ret_type);
+    /** nullcheck args[0]; direct call that skips the receiver's slots. */
+    ValueId callSpecial(FunctionId callee, const std::vector<ValueId> &args,
+                        Type ret_type);
+    /** Direct call with no receiver. */
+    ValueId callStatic(FunctionId callee, const std::vector<ValueId> &args,
+                       Type ret_type);
+
+    // -- Control flow --------------------------------------------------------
+
+    void jump(BasicBlock &target);
+    void branch(ValueId cond, BasicBlock &if_true, BasicBlock &if_false);
+    void ifNull(ValueId ref, BasicBlock &if_null, BasicBlock &if_nonnull);
+    void ret(ValueId v = kNoValue);
+    void throwExc(ExcKind kind);
+
+    // -- Raw emission ---------------------------------------------------------
+
+    /** Emit a bare nullcheck of @p ref (front-end flavor: explicit). */
+    void nullCheck(ValueId ref);
+    /** Emit a bare boundcheck of (idx, len). */
+    void boundCheck(ValueId idx, ValueId len);
+    /** Append a fully-formed instruction (assigns a site id). */
+    Instruction &emit(Instruction inst);
+
+  private:
+    Function &func_;
+    BasicBlock *block_ = nullptr;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_BUILDER_H_

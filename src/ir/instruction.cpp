@@ -1,0 +1,213 @@
+#include "ir/instruction.h"
+
+#include "ir/layout.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+bool
+Instruction::isTerminator() const
+{
+    switch (op) {
+      case Opcode::Jump:
+      case Opcode::Branch:
+      case Opcode::IfNull:
+      case Opcode::Return:
+      case Opcode::Throw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writesMemory() const
+{
+    switch (op) {
+      case Opcode::PutField:
+      case Opcode::ArrayStore:
+      case Opcode::Call:
+      case Opcode::NewObject:
+      case Opcode::NewArray:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::mayThrowOtherThanNull() const
+{
+    switch (op) {
+      case Opcode::IDiv:
+      case Opcode::IRem:
+      case Opcode::BoundCheck:
+      case Opcode::NewObject:
+      case Opcode::NewArray:
+      case Opcode::Call:
+      case Opcode::Throw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+ValueId
+Instruction::checkedRef() const
+{
+    switch (op) {
+      case Opcode::NullCheck:
+      case Opcode::GetField:
+      case Opcode::PutField:
+      case Opcode::ArrayLength:
+      case Opcode::ArrayLoad:
+      case Opcode::ArrayStore:
+        return a;
+      case Opcode::Call:
+        if (callKind != CallKind::Static) {
+            TRAPJIT_ASSERT(!args.empty(), "instance call without receiver");
+            return args[0];
+        }
+        return kNoValue;
+      default:
+        return kNoValue;
+    }
+}
+
+SlotAccess
+Instruction::slotAccess() const
+{
+    switch (op) {
+      case Opcode::GetField:
+      case Opcode::ArrayLength:
+      case Opcode::ArrayLoad:
+        return SlotAccess::Read;
+      case Opcode::PutField:
+      case Opcode::ArrayStore:
+        return SlotAccess::Write;
+      case Opcode::Call:
+        // Virtual dispatch reads the method table through the header.
+        // A devirtualized (Special) call no longer touches the receiver,
+        // which is why Figure 1 requires its check to stay explicit.
+        return callKind == CallKind::Virtual ? SlotAccess::Read
+                                             : SlotAccess::None;
+      default:
+        return SlotAccess::None;
+    }
+}
+
+int64_t
+Instruction::slotOffset() const
+{
+    switch (op) {
+      case Opcode::GetField:
+      case Opcode::PutField:
+        return imm;
+      case Opcode::ArrayLength:
+        return kArrayLengthOffset;
+      case Opcode::Call:
+        return callKind == CallKind::Virtual ? kHeaderOffset : -1;
+      case Opcode::ArrayLoad:
+      case Opcode::ArrayStore:
+        // Element offset depends on the runtime index: not statically
+        // bounded by the protected page, so never trap-covered.
+        return -1;
+      default:
+        return -1;
+    }
+}
+
+void
+Instruction::forEachUse(std::vector<ValueId> &out) const
+{
+    auto push = [&out](ValueId v) {
+        if (v != kNoValue)
+            out.push_back(v);
+    };
+    push(a);
+    push(b);
+    push(c);
+    if (op == Opcode::Call)
+        for (ValueId arg : args)
+            push(arg);
+}
+
+const char *
+Instruction::name() const
+{
+    return opcodeName(op);
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConstInt:    return "const";
+      case Opcode::ConstFloat:  return "fconst";
+      case Opcode::ConstNull:   return "nullconst";
+      case Opcode::Move:        return "move";
+      case Opcode::IAdd:        return "iadd";
+      case Opcode::ISub:        return "isub";
+      case Opcode::IMul:        return "imul";
+      case Opcode::IDiv:        return "idiv";
+      case Opcode::IRem:        return "irem";
+      case Opcode::INeg:        return "ineg";
+      case Opcode::IAnd:        return "iand";
+      case Opcode::IOr:         return "ior";
+      case Opcode::IXor:        return "ixor";
+      case Opcode::IShl:        return "ishl";
+      case Opcode::IShr:        return "ishr";
+      case Opcode::IUshr:       return "iushr";
+      case Opcode::FAdd:        return "fadd";
+      case Opcode::FSub:        return "fsub";
+      case Opcode::FMul:        return "fmul";
+      case Opcode::FDiv:        return "fdiv";
+      case Opcode::FNeg:        return "fneg";
+      case Opcode::FExp:        return "fexp";
+      case Opcode::FSqrt:       return "fsqrt";
+      case Opcode::FSin:        return "fsin";
+      case Opcode::FCos:        return "fcos";
+      case Opcode::FAbs:        return "fabs";
+      case Opcode::FLog:        return "flog";
+      case Opcode::I2F:         return "i2f";
+      case Opcode::F2I:         return "f2i";
+      case Opcode::I2L:         return "i2l";
+      case Opcode::L2I:         return "l2i";
+      case Opcode::ICmp:        return "icmp";
+      case Opcode::FCmp:        return "fcmp";
+      case Opcode::NullCheck:   return "nullcheck";
+      case Opcode::BoundCheck:  return "boundcheck";
+      case Opcode::GetField:    return "getfield";
+      case Opcode::PutField:    return "putfield";
+      case Opcode::ArrayLength: return "arraylength";
+      case Opcode::ArrayLoad:   return "aload";
+      case Opcode::ArrayStore:  return "astore";
+      case Opcode::NewObject:   return "new";
+      case Opcode::NewArray:    return "newarray";
+      case Opcode::Call:        return "call";
+      case Opcode::Jump:        return "jump";
+      case Opcode::Branch:      return "branch";
+      case Opcode::IfNull:      return "ifnull";
+      case Opcode::Return:      return "return";
+      case Opcode::Throw:       return "throw";
+      case Opcode::Nop:         return "nop";
+    }
+    TRAPJIT_PANIC("bad opcode");
+}
+
+const char *
+predName(CmpPred pred)
+{
+    switch (pred) {
+      case CmpPred::EQ: return "eq";
+      case CmpPred::NE: return "ne";
+      case CmpPred::LT: return "lt";
+      case CmpPred::LE: return "le";
+      case CmpPred::GT: return "gt";
+      case CmpPred::GE: return "ge";
+    }
+    TRAPJIT_PANIC("bad predicate");
+}
+
+} // namespace trapjit

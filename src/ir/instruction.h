@@ -1,0 +1,243 @@
+#ifndef TRAPJIT_IR_INSTRUCTION_H_
+#define TRAPJIT_IR_INSTRUCTION_H_
+
+/**
+ * @file
+ * Instruction set of the JIT IR.
+ *
+ * The representation follows the paper's key idea (Section 1): every
+ * operation that may throw a NullPointerException is *split* into a
+ * separate NullCheck instruction plus the raw memory operation, so that
+ * the check can be moved independently of the access.  Likewise array
+ * bounds checks are split into a BoundCheck instruction, which makes the
+ * raw ArrayLoad/ArrayStore pure memory operations.
+ *
+ * Each instruction carries classification queries used by the dataflow
+ * analyses of Section 4:
+ *  - writesMemory()          : PutField / ArrayStore / Call / allocation
+ *  - mayThrowOtherThanNull() : IDiv, BoundCheck, Call, Throw, New*
+ *  - checkedRef()            : the reference a NullCheck guards, or the
+ *                              base reference of a slot access
+ *  - slot access kind/offset : used by the architecture model to decide
+ *                              whether a null access would hardware-trap
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace trapjit
+{
+
+/** Identifier of a function in the Module's function table. */
+using FunctionId = uint32_t;
+
+/** Stable id of a source "site"; survives optimization, for debugging. */
+using SiteId = uint32_t;
+
+/** IR opcodes. */
+enum class Opcode : uint8_t
+{
+    // Constants and moves.
+    ConstInt,   ///< dst = imm              (I32 or I64 dst)
+    ConstFloat, ///< dst = fimm             (F64 dst)
+    ConstNull,  ///< dst = null             (Ref dst)
+    Move,       ///< dst = a
+
+    // Integer arithmetic (I32/I64; both operands same type as dst).
+    IAdd, ISub, IMul,
+    IDiv,       ///< throws ArithmeticException on division by zero
+    IRem,       ///< throws ArithmeticException on division by zero
+    INeg, IAnd, IOr, IXor, IShl, IShr, IUshr,
+
+    // Floating point arithmetic (F64).
+    FAdd, FSub, FMul, FDiv, FNeg,
+
+    // Math intrinsics (F64 -> F64).  FExp models java.lang.Math.exp: on
+    // targets with a native exp the inliner turns the call into this
+    // instruction; otherwise the call remains opaque (Section 5.4).
+    FExp, FSqrt, FSin, FCos, FAbs, FLog,
+
+    // Conversions.
+    I2F,        ///< dst(F64) = (double)a
+    F2I,        ///< dst(I32) = (int)a
+    I2L,        ///< dst(I64) = (long)a(I32)
+    L2I,        ///< dst(I32) = (int)a(I64)
+
+    // Comparison; dst(I32) = (a <pred> b) ? 1 : 0.
+    ICmp, FCmp,
+
+    // Checks.
+    NullCheck,  ///< check a != null, else NullPointerException
+    BoundCheck, ///< check 0 <= a < b (idx, len), else AIOOBE
+
+    // Object and array memory.
+    GetField,    ///< dst = *(a + imm)        field read at byte offset imm
+    PutField,    ///< *(a + imm) = b          field write at byte offset imm
+    ArrayLength, ///< dst(I32) = length of array a
+    ArrayLoad,   ///< dst = a[b]              raw element read (no checks)
+    ArrayStore,  ///< a[b] = c                raw element write (no checks)
+    NewObject,   ///< dst = new instance of class imm
+    NewArray,    ///< dst = new array, element type from aux, length a
+
+    // Calls.  args[] holds the arguments; for instance calls args[0] is
+    // the receiver.  imm = callee FunctionId (Static/Special) or vtable
+    // slot (Virtual).
+    Call,
+
+    // Control flow (always the last instruction of a block).
+    Jump,    ///< goto block imm
+    Branch,  ///< if (a != 0) goto block imm else block imm2
+    IfNull,  ///< if (a == null) goto block imm else block imm2
+    Return,  ///< return a (or void if a == kNoValue)
+    Throw,   ///< throw exception class imm (models athrow)
+
+    Nop,
+};
+
+/** Predicates for ICmp / FCmp. */
+enum class CmpPred : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/** How a NullCheck will be implemented (Section 3.3.1). */
+enum class CheckFlavor : uint8_t
+{
+    Explicit, ///< emits a real compare-and-branch / conditional trap
+    Implicit, ///< relies on the hardware trap of the following access
+};
+
+/** Call dispatch kinds. */
+enum class CallKind : uint8_t
+{
+    Static,  ///< direct call, no receiver slot access
+    Special, ///< direct call with a receiver that must be null-checked
+             ///< but whose slots are not necessarily accessed (Figure 1)
+    Virtual, ///< dispatch through the receiver header (a slot read)
+};
+
+/** Kind of heap access an instruction performs on its base reference. */
+enum class SlotAccess : uint8_t
+{
+    None,
+    Read,
+    Write,
+};
+
+/** One IR instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    CmpPred pred = CmpPred::EQ;
+    CheckFlavor flavor = CheckFlavor::Explicit; ///< NullCheck only
+    CallKind callKind = CallKind::Static;       ///< Call only
+
+    ValueId dst = kNoValue;
+    ValueId a = kNoValue;
+    ValueId b = kNoValue;
+    ValueId c = kNoValue;
+
+    /**
+     * Immediate payload: integer constant (ConstInt), field byte offset
+     * (GetField/PutField), class id (NewObject, Throw), callee/slot id
+     * (Call), or target block id (Jump/Branch/IfNull).
+     */
+    int64_t imm = 0;
+    int64_t imm2 = 0;   ///< second block target for Branch/IfNull
+    double fimm = 0.0;  ///< float constant (ConstFloat)
+
+    /** Element type for NewArray / ArrayLoad / ArrayStore. */
+    Type elemType = Type::I32;
+
+    /** Arguments of a Call (args[0] = receiver for instance calls). */
+    std::vector<ValueId> args;
+
+    /** Stable source-site id assigned by the builder (debugging aid). */
+    SiteId site = 0;
+
+    /**
+     * Marked by the architecture dependent phase: this instruction is the
+     * actual exception site of an implicit null check, i.e. its hardware
+     * trap implements the check.  Later phases must not move it, and the
+     * interpreter throws NullPointerException when it faults.
+     */
+    bool exceptionSite = false;
+
+    /**
+     * Marked by scalar replacement when a memory *read* has been moved
+     * above its null check (legal only on targets where reads through a
+     * null reference do not trap, Section 3.3.1 / Figure 6).  The
+     * interpreter lets such a read of the null page yield zero instead of
+     * faulting, and the coverage checker exempts it.
+     */
+    bool speculative = false;
+
+    // -- Classification queries used by the analyses ---------------------
+
+    /** True for Jump/Branch/IfNull/Return/Throw. */
+    bool isTerminator() const;
+
+    /** True if the instruction writes to the heap (or may, via a call). */
+    bool writesMemory() const;
+
+    /**
+     * True if the instruction may throw an exception *other than* a
+     * NullPointerException: IDiv/IRem (ArithmeticException), BoundCheck
+     * (ArrayIndexOutOfBounds), allocation (OutOfMemory / NegativeArraySize),
+     * Call (anything), Throw.
+     */
+    bool mayThrowOtherThanNull() const;
+
+    /**
+     * Side-effecting in the sense of the paper's Kill sets: may throw a
+     * non-NPE exception or may write memory.  (The additional "writes a
+     * local variable inside a try region" condition depends on block
+     * context and is applied by the analyses, not here.)
+     */
+    bool isSideEffecting() const
+    {
+        return writesMemory() || mayThrowOtherThanNull();
+    }
+
+    /**
+     * The reference this instruction requires to be non-null, or kNoValue:
+     * the operand of a NullCheck, the base of a field/array access, or the
+     * receiver of an instance call.
+     */
+    ValueId checkedRef() const;
+
+    /**
+     * What kind of slot access the instruction performs on checkedRef().
+     * NullCheck itself and Special calls return SlotAccess::None: they
+     * require a non-null reference but never touch its memory (that is
+     * exactly why Figure 1's inlined call needs an explicit check).
+     */
+    SlotAccess slotAccess() const;
+
+    /**
+     * Byte offset of the slot access relative to the base reference, when
+     * statically known; -1 when unknown (array element accesses, whose
+     * offset depends on the index and therefore may exceed the protected
+     * page).  Used together with the Target to decide trap coverage.
+     */
+    int64_t slotOffset() const;
+
+    /** True if the instruction defines dst. */
+    bool hasDst() const { return dst != kNoValue; }
+
+    /** Collect the input operands (excluding dst) into @p out. */
+    void forEachUse(std::vector<ValueId> &out) const;
+
+    /** Mnemonic, e.g. "getfield". */
+    const char *name() const;
+};
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Printable predicate name ("eq", "lt", ...). */
+const char *predName(CmpPred pred);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_INSTRUCTION_H_

@@ -1,0 +1,38 @@
+#ifndef TRAPJIT_IR_LAYOUT_H_
+#define TRAPJIT_IR_LAYOUT_H_
+
+/**
+ * @file
+ * Object and array memory layout shared by the compiler and the runtime.
+ *
+ * The layout is chosen the way the paper assumes (Section 3.3.1): the
+ * header and the array length live at small positive offsets from the
+ * reference, so that reading them through a null reference lands inside
+ * the protected page and hardware-traps.  Field offsets start right after
+ * the header; a field offset may legally be as large as 512 KB (JVM spec),
+ * which can exceed the protected area ("BigOffset", Figure 5).
+ */
+
+#include <cstdint>
+
+namespace trapjit
+{
+
+/** Byte offset of the object header (class id word). */
+constexpr int64_t kHeaderOffset = 0;
+
+/** Byte offset of an array's length word. */
+constexpr int64_t kArrayLengthOffset = 4;
+
+/** Byte offset of the first array element. */
+constexpr int64_t kArrayDataOffset = 8;
+
+/** Smallest legal field offset (just past the header). */
+constexpr int64_t kFieldBaseOffset = 8;
+
+/** Largest legal field offset per the JVM specification (~512 KB). */
+constexpr int64_t kMaxFieldOffset = 65534LL * 8;
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_LAYOUT_H_

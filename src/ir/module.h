@@ -1,0 +1,116 @@
+#ifndef TRAPJIT_IR_MODULE_H_
+#define TRAPJIT_IR_MODULE_H_
+
+/**
+ * @file
+ * A Module is the unit of compilation: a class table plus a function
+ * table.  The class table carries field layouts and virtual-method
+ * tables; the devirtualizer performs class-hierarchy analysis over it to
+ * turn virtual calls into direct calls (which is what creates the
+ * explicit null checks of Figure 1).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "ir/layout.h"
+
+namespace trapjit
+{
+
+/** A field of a class: name, byte offset, and value type. */
+struct FieldInfo
+{
+    std::string name;
+    int64_t offset = kFieldBaseOffset;
+    Type type = Type::I32;
+};
+
+/** A class: field layout, vtable, and superclass link. */
+struct ClassInfo
+{
+    ClassId id = kUnknownClass;
+    std::string name;
+    ClassId superId = kUnknownClass;
+    std::vector<FieldInfo> fields;
+
+    /** vtable[slot] = implementing FunctionId (kNoFunction if abstract). */
+    std::vector<FunctionId> vtable;
+
+    /** Instance size in bytes (header + fields). */
+    int64_t instanceSize = kFieldBaseOffset;
+};
+
+/** Sentinel function id. */
+constexpr FunctionId kNoFunction = UINT32_MAX;
+
+/** The compilation unit. */
+class Module
+{
+  public:
+    Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    // -- Classes ------------------------------------------------------------
+
+    /** Create a class; fields/vtable are filled in afterwards. */
+    ClassId addClass(std::string name, ClassId super = kUnknownClass);
+
+    /**
+     * Append a field to @p cls with automatic layout (next free offset),
+     * and return its byte offset.
+     */
+    int64_t addField(ClassId cls, std::string name, Type type);
+
+    /**
+     * Append a field at an explicit byte offset (used to model the
+     * "BigOffset" fields of Figure 5 whose offset exceeds the protected
+     * page).  Returns the offset.
+     */
+    int64_t addFieldAt(ClassId cls, std::string name, Type type,
+                       int64_t offset);
+
+    /** Look up a field's byte offset by name (searches superclasses). */
+    int64_t fieldOffset(ClassId cls, const std::string &name) const;
+
+    /**
+     * Add a fresh vtable slot to @p cls implemented by @p impl; returns
+     * the slot index.  Subclasses inherit and may override the slot.
+     */
+    uint32_t addVirtualMethod(ClassId cls, FunctionId impl);
+
+    /** Override an inherited vtable slot in @p cls. */
+    void overrideMethod(ClassId cls, uint32_t slot, FunctionId impl);
+
+    size_t numClasses() const { return classes_.size(); }
+    const ClassInfo &cls(ClassId id) const { return classes_[id]; }
+    ClassInfo &cls(ClassId id) { return classes_[id]; }
+
+    /** True if @p sub equals or derives from @p super. */
+    bool isSubclassOf(ClassId sub, ClassId super) const;
+
+    // -- Functions ----------------------------------------------------------
+
+    /** Create a function and return a reference to it. */
+    Function &addFunction(std::string name, Type return_type,
+                          bool is_instance = false);
+
+    size_t numFunctions() const { return functions_.size(); }
+    Function &function(FunctionId id) { return *functions_[id]; }
+    const Function &function(FunctionId id) const { return *functions_[id]; }
+
+    /** Find a function by name; kNoFunction if absent. */
+    FunctionId findFunction(const std::string &name) const;
+
+  private:
+    std::vector<ClassInfo> classes_;
+    std::vector<std::unique_ptr<Function>> functions_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_MODULE_H_

@@ -1,0 +1,165 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace trapjit
+{
+
+namespace
+{
+
+std::string
+valueName(const Function &func, ValueId id)
+{
+    if (id == kNoValue)
+        return "_";
+    return func.value(id).name;
+}
+
+} // namespace
+
+void
+printInstruction(std::ostream &os, const Function &func,
+                 const Instruction &inst)
+{
+    auto v = [&](ValueId id) { return valueName(func, id); };
+
+    if (inst.hasDst())
+        os << v(inst.dst) << " = ";
+
+    switch (inst.op) {
+      case Opcode::ConstInt:
+        os << "const " << inst.imm;
+        break;
+      case Opcode::ConstFloat:
+        os << "fconst " << inst.fimm;
+        break;
+      case Opcode::ConstNull:
+        os << "null";
+        break;
+      case Opcode::Move:
+        os << "move " << v(inst.a);
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        os << inst.name() << "." << predName(inst.pred) << " " << v(inst.a)
+           << ", " << v(inst.b);
+        break;
+      case Opcode::NullCheck:
+        os << "nullcheck " << v(inst.a) << "  ; "
+           << (inst.flavor == CheckFlavor::Implicit ? "implicit"
+                                                    : "explicit");
+        break;
+      case Opcode::BoundCheck:
+        os << "boundcheck " << v(inst.a) << ", " << v(inst.b);
+        break;
+      case Opcode::GetField:
+        os << "getfield " << v(inst.a) << ", +" << inst.imm;
+        break;
+      case Opcode::PutField:
+        os << "putfield " << v(inst.a) << ", +" << inst.imm << ", "
+           << v(inst.b);
+        break;
+      case Opcode::ArrayLength:
+        os << "arraylength " << v(inst.a);
+        break;
+      case Opcode::ArrayLoad:
+        os << "aload." << typeName(inst.elemType) << " " << v(inst.a) << "["
+           << v(inst.b) << "]";
+        break;
+      case Opcode::ArrayStore:
+        os << "astore." << typeName(inst.elemType) << " " << v(inst.a) << "["
+           << v(inst.b) << "], " << v(inst.c);
+        break;
+      case Opcode::NewObject:
+        os << "new class#" << inst.imm;
+        break;
+      case Opcode::NewArray:
+        os << "newarray." << typeName(inst.elemType) << " " << v(inst.a);
+        break;
+      case Opcode::Call: {
+        const char *kind = inst.callKind == CallKind::Virtual  ? "virtual"
+                           : inst.callKind == CallKind::Special ? "special"
+                                                                 : "static";
+        os << "call." << kind << " #" << inst.imm << " (";
+        for (size_t i = 0; i < inst.args.size(); ++i)
+            os << (i ? ", " : "") << v(inst.args[i]);
+        os << ")";
+        break;
+      }
+      case Opcode::Jump:
+        os << "jump " << inst.imm;
+        break;
+      case Opcode::Branch:
+        os << "branch " << v(inst.a) << " ? " << inst.imm << " : "
+           << inst.imm2;
+        break;
+      case Opcode::IfNull:
+        os << "ifnull " << v(inst.a) << " ? " << inst.imm << " : "
+           << inst.imm2;
+        break;
+      case Opcode::Return:
+        os << "return";
+        if (inst.a != kNoValue)
+            os << " " << v(inst.a);
+        break;
+      case Opcode::Throw:
+        os << "throw " << excName(static_cast<ExcKind>(inst.imm));
+        break;
+      default:
+        os << inst.name() << " " << v(inst.a);
+        if (inst.b != kNoValue)
+            os << ", " << v(inst.b);
+        if (inst.c != kNoValue)
+            os << ", " << v(inst.c);
+        break;
+    }
+
+    if (inst.exceptionSite)
+        os << "  ; exception-site";
+}
+
+void
+printFunction(std::ostream &os, const Function &func)
+{
+    os << "function " << func.name() << " (" << func.numParams()
+       << " params) -> " << typeName(func.returnType()) << "\n";
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        os << "  block " << bb.id();
+        if (bb.tryRegion() != 0)
+            os << " (try " << bb.tryRegion() << ")";
+        if (!bb.preds().empty()) {
+            os << ":  ; preds:";
+            for (BlockId p : bb.preds())
+                os << " " << p;
+        } else {
+            os << ":";
+        }
+        os << "\n";
+        for (const Instruction &inst : bb.insts()) {
+            os << "    ";
+            printInstruction(os, func, inst);
+            os << "\n";
+        }
+    }
+}
+
+void
+printModule(std::ostream &os, const Module &mod)
+{
+    for (size_t f = 0; f < mod.numFunctions(); ++f) {
+        printFunction(os, mod.function(static_cast<FunctionId>(f)));
+        os << "\n";
+    }
+}
+
+std::string
+toString(const Function &func)
+{
+    std::ostringstream os;
+    printFunction(os, func);
+    return os.str();
+}
+
+} // namespace trapjit

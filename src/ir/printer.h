@@ -1,0 +1,39 @@
+#ifndef TRAPJIT_IR_PRINTER_H_
+#define TRAPJIT_IR_PRINTER_H_
+
+/**
+ * @file
+ * Textual dumping of IR functions, used by the examples and for
+ * debugging test failures.  The format mirrors the paper's listings:
+ *
+ *     block 2 (try 1):            ; preds: 0 1
+ *         nullcheck a             ; explicit
+ *         t3 = getfield a, +16    ; exception-site
+ *         jump 4
+ */
+
+#include <ostream>
+#include <string>
+
+#include "ir/function.h"
+#include "ir/module.h"
+
+namespace trapjit
+{
+
+/** Print one instruction (no trailing newline). */
+void printInstruction(std::ostream &os, const Function &func,
+                      const Instruction &inst);
+
+/** Print a whole function. */
+void printFunction(std::ostream &os, const Function &func);
+
+/** Print every function in the module. */
+void printModule(std::ostream &os, const Module &mod);
+
+/** Render a function to a string (convenient for gtest messages). */
+std::string toString(const Function &func);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_PRINTER_H_

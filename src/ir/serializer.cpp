@@ -1,0 +1,452 @@
+#include "ir/serializer.h"
+
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Enum <-> name tables
+// ---------------------------------------------------------------------
+
+constexpr Opcode kAllOpcodes[] = {
+    Opcode::ConstInt, Opcode::ConstFloat, Opcode::ConstNull, Opcode::Move,
+    Opcode::IAdd, Opcode::ISub, Opcode::IMul, Opcode::IDiv, Opcode::IRem,
+    Opcode::INeg, Opcode::IAnd, Opcode::IOr, Opcode::IXor, Opcode::IShl,
+    Opcode::IShr, Opcode::IUshr, Opcode::FAdd, Opcode::FSub, Opcode::FMul,
+    Opcode::FDiv, Opcode::FNeg, Opcode::FExp, Opcode::FSqrt, Opcode::FSin,
+    Opcode::FCos, Opcode::FAbs, Opcode::FLog, Opcode::I2F, Opcode::F2I,
+    Opcode::I2L, Opcode::L2I, Opcode::ICmp, Opcode::FCmp,
+    Opcode::NullCheck, Opcode::BoundCheck, Opcode::GetField,
+    Opcode::PutField, Opcode::ArrayLength, Opcode::ArrayLoad,
+    Opcode::ArrayStore, Opcode::NewObject, Opcode::NewArray, Opcode::Call,
+    Opcode::Jump, Opcode::Branch, Opcode::IfNull, Opcode::Return,
+    Opcode::Throw, Opcode::Nop,
+};
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (Opcode op : kAllOpcodes)
+            t[opcodeName(op)] = op;
+        return t;
+    }();
+    auto it = table.find(name);
+    if (it == table.end())
+        TRAPJIT_FATAL("unknown opcode '", name, "'");
+    return it->second;
+}
+
+const char *
+typeToken(Type type)
+{
+    return typeName(type);
+}
+
+Type
+typeFromName(const std::string &name)
+{
+    for (Type t : {Type::Void, Type::I32, Type::I64, Type::F64, Type::Ref})
+        if (name == typeName(t))
+            return t;
+    TRAPJIT_FATAL("unknown type '", name, "'");
+}
+
+CmpPred
+predFromName(const std::string &name)
+{
+    for (CmpPred p : {CmpPred::EQ, CmpPred::NE, CmpPred::LT, CmpPred::LE,
+                      CmpPred::GT, CmpPred::GE})
+        if (name == predName(p))
+            return p;
+    TRAPJIT_FATAL("unknown predicate '", name, "'");
+}
+
+ExcKind
+excFromName(const std::string &name)
+{
+    for (ExcKind k :
+         {ExcKind::None, ExcKind::NullPointer,
+          ExcKind::ArrayIndexOutOfBounds, ExcKind::Arithmetic,
+          ExcKind::NegativeArraySize, ExcKind::OutOfMemory, ExcKind::User,
+          ExcKind::CatchAll})
+        if (name == excName(k))
+            return k;
+    TRAPJIT_FATAL("unknown exception kind '", name, "'");
+}
+
+const char *
+intrinsicToken(Intrinsic intrinsic)
+{
+    switch (intrinsic) {
+      case Intrinsic::None: return "none";
+      case Intrinsic::Exp:  return "exp";
+      case Intrinsic::Sqrt: return "sqrt";
+      case Intrinsic::Sin:  return "sin";
+      case Intrinsic::Cos:  return "cos";
+      case Intrinsic::Log:  return "log";
+      case Intrinsic::Abs:  return "abs";
+    }
+    TRAPJIT_PANIC("bad intrinsic");
+}
+
+Intrinsic
+intrinsicFromName(const std::string &name)
+{
+    for (Intrinsic i : {Intrinsic::None, Intrinsic::Exp, Intrinsic::Sqrt,
+                        Intrinsic::Sin, Intrinsic::Cos, Intrinsic::Log,
+                        Intrinsic::Abs})
+        if (name == intrinsicToken(i))
+            return i;
+    TRAPJIT_FATAL("unknown intrinsic '", name, "'");
+}
+
+std::string
+idToken(uint32_t id)
+{
+    return id == UINT32_MAX ? "-" : std::to_string(id);
+}
+
+uint32_t
+idFromToken(const std::string &token)
+{
+    if (token == "-")
+        return UINT32_MAX;
+    return static_cast<uint32_t>(std::stoul(token));
+}
+
+/** Names must be whitespace-free to serialize on one line. */
+void
+checkName(const std::string &name)
+{
+    TRAPJIT_ASSERT(name.find_first_of(" \t\n") == std::string::npos,
+                   "name with whitespace cannot be serialized: '", name,
+                   "'");
+}
+
+/** key=value field reader over the tokens of one line. */
+class Fields
+{
+  public:
+    explicit Fields(const std::string &line, int line_no)
+        : lineNo_(line_no)
+    {
+        std::istringstream is(line);
+        std::string token;
+        is >> kind_;
+        while (is >> token) {
+            auto eq = token.find('=');
+            if (eq == std::string::npos)
+                flags_.push_back(token);
+            else
+                values_[token.substr(0, eq)] = token.substr(eq + 1);
+        }
+    }
+
+    const std::string &kind() const { return kind_; }
+
+    bool
+    hasFlag(const std::string &flag) const
+    {
+        for (const auto &f : flags_)
+            if (f == flag)
+                return true;
+        return false;
+    }
+
+    std::string
+    get(const std::string &key) const
+    {
+        auto it = values_.find(key);
+        if (it == values_.end())
+            TRAPJIT_FATAL("line ", lineNo_, ": missing field '", key,
+                          "' in '", kind_, "' record");
+        return it->second;
+    }
+
+    std::string
+    getOr(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    int64_t getInt(const std::string &key) const
+    {
+        return std::stoll(get(key));
+    }
+
+    uint32_t getId(const std::string &key) const
+    {
+        return idFromToken(get(key));
+    }
+
+  private:
+    int lineNo_;
+    std::string kind_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> flags_;
+};
+
+uint64_t
+doubleToBits(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToDouble(uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+void
+serializeModule(std::ostream &os, const Module &mod)
+{
+    os << "trapjit-module v1\n";
+
+    for (ClassId c = 0; c < mod.numClasses(); ++c) {
+        const ClassInfo &cls = mod.cls(c);
+        checkName(cls.name);
+        os << "class name=" << cls.name
+           << " super=" << idToken(cls.superId)
+           << " size=" << cls.instanceSize << "\n";
+        for (const FieldInfo &field : cls.fields) {
+            checkName(field.name);
+            os << "  field name=" << field.name
+               << " type=" << typeToken(field.type)
+               << " offset=" << field.offset << "\n";
+        }
+        for (size_t slot = 0; slot < cls.vtable.size(); ++slot) {
+            os << "  vslot index=" << slot
+               << " fn=" << idToken(cls.vtable[slot]) << "\n";
+        }
+    }
+
+    for (FunctionId f = 0; f < mod.numFunctions(); ++f) {
+        const Function &fn = mod.function(f);
+        checkName(fn.name());
+        os << "func name=" << fn.name()
+           << " ret=" << typeToken(fn.returnType())
+           << " params=" << fn.numParams()
+           << " instance=" << (fn.isInstanceMethod() ? 1 : 0)
+           << " neverinline=" << (fn.neverInline() ? 1 : 0)
+           << " intrinsic=" << intrinsicToken(fn.intrinsic()) << "\n";
+
+        for (ValueId v = 0; v < fn.numValues(); ++v) {
+            const Value &value = fn.value(v);
+            checkName(value.name);
+            os << "  value kind="
+               << (value.kind == Value::Kind::Local ? "local" : "temp")
+               << " type=" << typeToken(value.type)
+               << " class=" << idToken(value.classId)
+               << " name=" << value.name << "\n";
+        }
+        for (TryRegionId r = 1; r < fn.numTryRegions(); ++r) {
+            const TryRegion &region = fn.tryRegion(r);
+            os << "  region handler=" << region.handlerBlock
+               << " catches=" << excName(region.catches)
+               << " parent=" << region.parent << "\n";
+        }
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            const BasicBlock &bb = fn.block(b);
+            os << "  block region=" << bb.tryRegion() << "\n";
+            for (const Instruction &inst : bb.insts()) {
+                os << "    inst op=" << opcodeName(inst.op)
+                   << " dst=" << idToken(inst.dst)
+                   << " a=" << idToken(inst.a)
+                   << " b=" << idToken(inst.b)
+                   << " c=" << idToken(inst.c) << " imm=" << inst.imm
+                   << " imm2=" << inst.imm2
+                   << " fimm=" << doubleToBits(inst.fimm)
+                   << " elem=" << typeToken(inst.elemType)
+                   << " pred=" << predName(inst.pred) << " flavor="
+                   << (inst.flavor == CheckFlavor::Explicit ? "explicit"
+                                                            : "implicit")
+                   << " kind="
+                   << (inst.callKind == CallKind::Static    ? "static"
+                       : inst.callKind == CallKind::Special ? "special"
+                                                            : "virtual")
+                   << " site=" << inst.site;
+                if (inst.exceptionSite)
+                    os << " excsite";
+                if (inst.speculative)
+                    os << " spec";
+                if (!inst.args.empty()) {
+                    os << " args=";
+                    for (size_t i = 0; i < inst.args.size(); ++i)
+                        os << (i ? "," : "") << inst.args[i];
+                }
+                os << "\n";
+            }
+        }
+        os << "end\n";
+    }
+}
+
+std::string
+serializeModuleToString(const Module &mod)
+{
+    std::ostringstream os;
+    serializeModule(os, mod);
+    return os.str();
+}
+
+std::unique_ptr<Module>
+deserializeModule(std::istream &is)
+{
+    auto mod = std::make_unique<Module>();
+    std::string line;
+    int lineNo = 0;
+
+    auto nextLine = [&]() -> bool {
+        while (std::getline(is, line)) {
+            ++lineNo;
+            // Strip leading whitespace; skip blanks and comments.
+            size_t start = line.find_first_not_of(" \t");
+            if (start == std::string::npos)
+                continue;
+            line = line.substr(start);
+            if (line[0] == '#')
+                continue;
+            return true;
+        }
+        return false;
+    };
+
+    if (!nextLine() || line.rfind("trapjit-module", 0) != 0)
+        TRAPJIT_FATAL("line ", lineNo, ": missing module header");
+
+    Function *fn = nullptr;
+    BasicBlock *bb = nullptr;
+    ClassId curClass = kUnknownClass;
+    uint32_t paramTarget = 0;
+
+    while (nextLine()) {
+        Fields fields(line, lineNo);
+        const std::string &kind = fields.kind();
+
+        if (kind == "class") {
+            curClass = mod->addClass(fields.get("name"),
+                                     fields.getId("super"));
+            mod->cls(curClass).instanceSize = fields.getInt("size");
+            // addClass copied the parent vtable; records override below.
+            mod->cls(curClass).vtable.clear();
+        } else if (kind == "field") {
+            TRAPJIT_ASSERT(curClass != kUnknownClass, "field before class");
+            mod->cls(curClass).fields.push_back(
+                FieldInfo{fields.get("name"),
+                          fields.getInt("offset"),
+                          typeFromName(fields.get("type"))});
+        } else if (kind == "vslot") {
+            TRAPJIT_ASSERT(curClass != kUnknownClass, "vslot before class");
+            auto &vtable = mod->cls(curClass).vtable;
+            size_t index = static_cast<size_t>(fields.getInt("index"));
+            if (vtable.size() <= index)
+                vtable.resize(index + 1, kNoFunction);
+            vtable[index] = fields.getId("fn");
+        } else if (kind == "func") {
+            fn = &mod->addFunction(fields.get("name"),
+                                   typeFromName(fields.get("ret")),
+                                   fields.getInt("instance") != 0);
+            fn->setNeverInline(fields.getInt("neverinline") != 0);
+            fn->setIntrinsic(intrinsicFromName(fields.get("intrinsic")));
+            paramTarget = static_cast<uint32_t>(fields.getInt("params"));
+            bb = nullptr;
+        } else if (kind == "value") {
+            TRAPJIT_ASSERT(fn, "value outside func");
+            bool isLocal = fields.get("kind") == "local";
+            Type type = typeFromName(fields.get("type"));
+            ClassId cls = fields.getId("class");
+            std::string name = fields.get("name");
+            // Parameters come first and are re-created as such.
+            if (fn->numValues() < paramTarget) {
+                fn->addParam(type, std::move(name), cls);
+            } else if (isLocal) {
+                fn->addLocal(type, std::move(name), cls);
+            } else {
+                ValueId id = fn->addTemp(type, cls);
+                fn->value(id).name = name;
+            }
+        } else if (kind == "region") {
+            TRAPJIT_ASSERT(fn, "region outside func");
+            fn->addTryRegion(
+                static_cast<BlockId>(fields.getInt("handler")),
+                excFromName(fields.get("catches")),
+                static_cast<TryRegionId>(fields.getInt("parent")));
+        } else if (kind == "block") {
+            TRAPJIT_ASSERT(fn, "block outside func");
+            bb = &fn->newBlock(
+                static_cast<TryRegionId>(fields.getInt("region")));
+        } else if (kind == "inst") {
+            TRAPJIT_ASSERT(bb, "inst outside block");
+            Instruction inst;
+            inst.op = opcodeFromName(fields.get("op"));
+            inst.dst = fields.getId("dst");
+            inst.a = fields.getId("a");
+            inst.b = fields.getId("b");
+            inst.c = fields.getId("c");
+            inst.imm = fields.getInt("imm");
+            inst.imm2 = fields.getInt("imm2");
+            inst.fimm = bitsToDouble(
+                std::stoull(fields.get("fimm")));
+            inst.elemType = typeFromName(fields.get("elem"));
+            inst.pred = predFromName(fields.get("pred"));
+            inst.flavor = fields.get("flavor") == "implicit"
+                              ? CheckFlavor::Implicit
+                              : CheckFlavor::Explicit;
+            std::string callKind = fields.get("kind");
+            inst.callKind = callKind == "virtual"  ? CallKind::Virtual
+                            : callKind == "special" ? CallKind::Special
+                                                     : CallKind::Static;
+            inst.site = static_cast<SiteId>(fields.getInt("site"));
+            inst.exceptionSite = fields.hasFlag("excsite");
+            inst.speculative = fields.hasFlag("spec");
+            std::string args = fields.getOr("args", "");
+            size_t pos = 0;
+            while (pos < args.size()) {
+                size_t comma = args.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = args.size();
+                inst.args.push_back(static_cast<ValueId>(
+                    std::stoul(args.substr(pos, comma - pos))));
+                pos = comma + 1;
+            }
+            bb->insts().push_back(std::move(inst));
+        } else if (kind == "end") {
+            TRAPJIT_ASSERT(fn, "end outside func");
+            fn->recomputeCFG();
+            fn = nullptr;
+        } else {
+            TRAPJIT_FATAL("line ", lineNo, ": unknown record '", kind,
+                          "'");
+        }
+    }
+    return mod;
+}
+
+std::unique_ptr<Module>
+deserializeModuleFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return deserializeModule(is);
+}
+
+} // namespace trapjit

@@ -1,0 +1,57 @@
+#ifndef TRAPJIT_IR_SERIALIZER_H_
+#define TRAPJIT_IR_SERIALIZER_H_
+
+/**
+ * @file
+ * Module serialization.
+ *
+ * A complete, line-based textual format for modules: classes with field
+ * layouts and vtables, functions with values, try regions and
+ * instructions.  Unlike the pretty-printer (ir/printer.h), which is for
+ * humans, this format round-trips exactly — `deserializeModule` applied
+ * to `serializeModule` output reproduces the module bit for bit — so
+ * test cases and miscompile reproducers can be saved to disk.
+ *
+ * Format sketch:
+ *
+ *     trapjit-module v1
+ *     class Obj super=- size=24
+ *       field ival i32 @8
+ *       vslot 0 fn=3
+ *     func 0 name=sum ret=i32 params=2 instance=0 neverinline=1 \
+ *         intrinsic=none
+ *       value 0 kind=local type=ref class=- name=arr
+ *       region 1 handler=2 catches=NullPointerException parent=0
+ *       block 0 region=0
+ *         inst op=nullcheck a=0 flavor=explicit site=1
+ *     end
+ */
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+
+namespace trapjit
+{
+
+/** Write @p mod to @p os in the round-trip text format. */
+void serializeModule(std::ostream &os, const Module &mod);
+
+/** Convenience: serialize to a string. */
+std::string serializeModuleToString(const Module &mod);
+
+/**
+ * Parse a module from @p is.  Throws UsageError with a line number on
+ * malformed input.
+ */
+std::unique_ptr<Module> deserializeModule(std::istream &is);
+
+/** Convenience: parse from a string. */
+std::unique_ptr<Module> deserializeModuleFromString(
+    const std::string &text);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_SERIALIZER_H_

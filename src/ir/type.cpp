@@ -1,0 +1,34 @@
+#include "ir/type.h"
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+const char *
+typeName(Type type)
+{
+    switch (type) {
+      case Type::Void: return "void";
+      case Type::I32:  return "i32";
+      case Type::I64:  return "i64";
+      case Type::F64:  return "f64";
+      case Type::Ref:  return "ref";
+    }
+    TRAPJIT_PANIC("bad type");
+}
+
+uint32_t
+typeSize(Type type)
+{
+    switch (type) {
+      case Type::Void: return 0;
+      case Type::I32:  return 4;
+      case Type::I64:  return 8;
+      case Type::F64:  return 8;
+      case Type::Ref:  return 8;
+    }
+    TRAPJIT_PANIC("bad type");
+}
+
+} // namespace trapjit

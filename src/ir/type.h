@@ -1,0 +1,46 @@
+#ifndef TRAPJIT_IR_TYPE_H_
+#define TRAPJIT_IR_TYPE_H_
+
+/**
+ * @file
+ * Value types of the JIT intermediate representation.
+ *
+ * The IR is deliberately small: a 32-bit integer type, a 64-bit integer
+ * type, a double-precision float type, and an object-reference type.  That
+ * is enough to express every workload shape the paper's evaluation uses
+ * (integer kernels, FP kernels, object-graph programs) while keeping the
+ * interpreter and verifier simple.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace trapjit
+{
+
+/** Static type of an IR value. */
+enum class Type : uint8_t
+{
+    Void, ///< only valid as a function return type
+    I32,  ///< 32-bit signed integer
+    I64,  ///< 64-bit signed integer
+    F64,  ///< IEEE double
+    Ref,  ///< object or array reference (may be null)
+};
+
+/** Human-readable type name ("i32", "ref", ...). */
+const char *typeName(Type type);
+
+/** Size in bytes of a heap slot holding a value of @p type. */
+uint32_t typeSize(Type type);
+
+/** True for I32 / I64. */
+inline bool
+isIntType(Type type)
+{
+    return type == Type::I32 || type == Type::I64;
+}
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_TYPE_H_

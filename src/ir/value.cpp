@@ -1,0 +1,9 @@
+#include "ir/value.h"
+
+namespace trapjit
+{
+
+// Value is a plain aggregate; helpers live in the header.  This file exists
+// so the value unit has a translation unit of its own if helpers grow.
+
+} // namespace trapjit

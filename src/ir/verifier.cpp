@@ -1,0 +1,297 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+#include "ir/layout.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Collects errors with block/instruction context. */
+class Checker
+{
+  public:
+    explicit Checker(const Function &func) : func_(func) {}
+
+    template <typename... Args>
+    void
+    error(Args &&...args)
+    {
+        std::ostringstream os;
+        os << func_.name() << " block " << blockId_ << " inst " << instIdx_
+           << ": ";
+        (os << ... << args);
+        errors_.push_back(os.str());
+    }
+
+    void setContext(BlockId block, size_t inst)
+    {
+        blockId_ = block;
+        instIdx_ = inst;
+    }
+
+    std::vector<std::string> take() { return std::move(errors_); }
+
+    bool
+    validValue(ValueId id)
+    {
+        return id != kNoValue && id < func_.numValues();
+    }
+
+    /** Check an operand exists and, if typed, has the expected type. */
+    void
+    checkOperand(ValueId id, const char *role)
+    {
+        if (!validValue(id))
+            error("invalid ", role, " value id ", id);
+    }
+
+    void
+    checkOperandType(ValueId id, Type type, const char *role)
+    {
+        checkOperand(id, role);
+        if (validValue(id) && func_.value(id).type != type)
+            error(role, " has type ", typeName(func_.value(id).type),
+                  ", expected ", typeName(type));
+    }
+
+  private:
+    const Function &func_;
+    BlockId blockId_ = 0;
+    size_t instIdx_ = 0;
+    std::vector<std::string> errors_;
+};
+
+void
+verifyInstruction(Checker &chk, const Function &func,
+                  const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::ConstInt:
+        if (!chk.validValue(inst.dst) || !isIntType(func.value(inst.dst).type))
+            chk.error("const requires an integer dst");
+        break;
+      case Opcode::ConstFloat:
+        chk.checkOperandType(inst.dst, Type::F64, "dst");
+        break;
+      case Opcode::ConstNull:
+        chk.checkOperandType(inst.dst, Type::Ref, "dst");
+        break;
+      case Opcode::Move:
+        chk.checkOperand(inst.dst, "dst");
+        chk.checkOperand(inst.a, "src");
+        if (chk.validValue(inst.dst) && chk.validValue(inst.a) &&
+            func.value(inst.dst).type != func.value(inst.a).type) {
+            chk.error("move between mismatched types");
+        }
+        break;
+      case Opcode::IAdd: case Opcode::ISub: case Opcode::IMul:
+      case Opcode::IDiv: case Opcode::IRem: case Opcode::IAnd:
+      case Opcode::IOr: case Opcode::IXor: case Opcode::IShl:
+      case Opcode::IShr: case Opcode::IUshr:
+        chk.checkOperand(inst.dst, "dst");
+        chk.checkOperand(inst.a, "lhs");
+        chk.checkOperand(inst.b, "rhs");
+        if (chk.validValue(inst.dst) && !isIntType(func.value(inst.dst).type))
+            chk.error("integer op with non-integer dst");
+        break;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+        chk.checkOperandType(inst.dst, Type::F64, "dst");
+        chk.checkOperandType(inst.a, Type::F64, "lhs");
+        chk.checkOperandType(inst.b, Type::F64, "rhs");
+        break;
+      case Opcode::INeg:
+        chk.checkOperand(inst.dst, "dst");
+        chk.checkOperand(inst.a, "src");
+        break;
+      case Opcode::FNeg: case Opcode::FExp: case Opcode::FSqrt:
+      case Opcode::FSin: case Opcode::FCos: case Opcode::FAbs:
+      case Opcode::FLog:
+        chk.checkOperandType(inst.dst, Type::F64, "dst");
+        chk.checkOperandType(inst.a, Type::F64, "src");
+        break;
+      case Opcode::I2F:
+        chk.checkOperandType(inst.dst, Type::F64, "dst");
+        chk.checkOperand(inst.a, "src");
+        break;
+      case Opcode::F2I:
+        chk.checkOperandType(inst.dst, Type::I32, "dst");
+        chk.checkOperandType(inst.a, Type::F64, "src");
+        break;
+      case Opcode::I2L:
+        chk.checkOperandType(inst.dst, Type::I64, "dst");
+        chk.checkOperandType(inst.a, Type::I32, "src");
+        break;
+      case Opcode::L2I:
+        chk.checkOperandType(inst.dst, Type::I32, "dst");
+        chk.checkOperandType(inst.a, Type::I64, "src");
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        chk.checkOperandType(inst.dst, Type::I32, "dst");
+        chk.checkOperand(inst.a, "lhs");
+        chk.checkOperand(inst.b, "rhs");
+        break;
+      case Opcode::NullCheck:
+        chk.checkOperandType(inst.a, Type::Ref, "checked ref");
+        break;
+      case Opcode::BoundCheck:
+        chk.checkOperandType(inst.a, Type::I32, "index");
+        chk.checkOperandType(inst.b, Type::I32, "length");
+        break;
+      case Opcode::GetField:
+        chk.checkOperand(inst.dst, "dst");
+        chk.checkOperandType(inst.a, Type::Ref, "object");
+        if (inst.imm < kFieldBaseOffset || inst.imm > kMaxFieldOffset)
+            chk.error("field offset ", inst.imm, " out of range");
+        break;
+      case Opcode::PutField:
+        chk.checkOperandType(inst.a, Type::Ref, "object");
+        chk.checkOperand(inst.b, "stored value");
+        if (inst.imm < kFieldBaseOffset || inst.imm > kMaxFieldOffset)
+            chk.error("field offset ", inst.imm, " out of range");
+        break;
+      case Opcode::ArrayLength:
+        chk.checkOperandType(inst.dst, Type::I32, "dst");
+        chk.checkOperandType(inst.a, Type::Ref, "array");
+        break;
+      case Opcode::ArrayLoad:
+        chk.checkOperand(inst.dst, "dst");
+        chk.checkOperandType(inst.a, Type::Ref, "array");
+        chk.checkOperandType(inst.b, Type::I32, "index");
+        break;
+      case Opcode::ArrayStore:
+        chk.checkOperandType(inst.a, Type::Ref, "array");
+        chk.checkOperandType(inst.b, Type::I32, "index");
+        chk.checkOperand(inst.c, "stored value");
+        break;
+      case Opcode::NewObject:
+        chk.checkOperandType(inst.dst, Type::Ref, "dst");
+        break;
+      case Opcode::NewArray:
+        chk.checkOperandType(inst.dst, Type::Ref, "dst");
+        chk.checkOperandType(inst.a, Type::I32, "length");
+        break;
+      case Opcode::Call:
+        for (ValueId arg : inst.args)
+            chk.checkOperand(arg, "argument");
+        if (inst.callKind != CallKind::Static) {
+            if (inst.args.empty())
+                chk.error("instance call without receiver");
+            else if (func.value(inst.args[0]).type != Type::Ref)
+                chk.error("receiver is not a reference");
+        }
+        break;
+      case Opcode::Jump:
+        if (static_cast<size_t>(inst.imm) >= func.numBlocks())
+            chk.error("jump to invalid block ", inst.imm);
+        break;
+      case Opcode::Branch:
+        chk.checkOperandType(inst.a, Type::I32, "condition");
+        [[fallthrough]];
+      case Opcode::IfNull:
+        if (inst.op == Opcode::IfNull)
+            chk.checkOperandType(inst.a, Type::Ref, "tested ref");
+        if (static_cast<size_t>(inst.imm) >= func.numBlocks() ||
+            static_cast<size_t>(inst.imm2) >= func.numBlocks()) {
+            chk.error("branch to invalid block");
+        }
+        break;
+      case Opcode::Return:
+        if (func.returnType() == Type::Void) {
+            if (inst.a != kNoValue)
+                chk.error("void function returns a value");
+        } else {
+            chk.checkOperandType(inst.a, func.returnType(), "return value");
+        }
+        break;
+      case Opcode::Throw:
+      case Opcode::Nop:
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+VerifyResult::message() const
+{
+    std::ostringstream os;
+    for (const auto &err : errors)
+        os << err << "\n";
+    return os.str();
+}
+
+VerifyResult
+verifyFunction(const Function &func)
+{
+    Checker chk(func);
+
+    if (func.numBlocks() == 0) {
+        chk.setContext(0, 0);
+        chk.error("function has no blocks");
+        return VerifyResult{chk.take()};
+    }
+
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        if (bb.tryRegion() >= func.numTryRegions()) {
+            chk.setContext(bb.id(), 0);
+            chk.error("invalid try region ", bb.tryRegion());
+        }
+        if (!bb.isTerminated()) {
+            chk.setContext(bb.id(), bb.insts().size());
+            chk.error("block is not terminated");
+            continue;
+        }
+        for (size_t i = 0; i < bb.insts().size(); ++i) {
+            const Instruction &inst = bb.insts()[i];
+            chk.setContext(bb.id(), i);
+            if (inst.isTerminator() && i + 1 != bb.insts().size())
+                chk.error("terminator in the middle of a block");
+            verifyInstruction(chk, func, inst);
+        }
+    }
+
+    for (size_t r = 1; r < func.numTryRegions(); ++r) {
+        const TryRegion &region = func.tryRegion(static_cast<TryRegionId>(r));
+        chk.setContext(0, 0);
+        if (region.handlerBlock == kNoBlock ||
+            region.handlerBlock >= func.numBlocks()) {
+            chk.error("try region ", r, " has an invalid handler");
+        }
+        if (region.parent >= r)
+            chk.error("try region ", r, " has a non-enclosing parent ",
+                      region.parent);
+    }
+
+    return VerifyResult{chk.take()};
+}
+
+VerifyResult
+verifyModule(const Module &mod)
+{
+    VerifyResult result;
+    for (size_t f = 0; f < mod.numFunctions(); ++f) {
+        VerifyResult sub = verifyFunction(
+            mod.function(static_cast<FunctionId>(f)));
+        for (auto &err : sub.errors)
+            result.errors.push_back(std::move(err));
+    }
+    for (size_t c = 0; c < mod.numClasses(); ++c) {
+        const ClassInfo &info = mod.cls(static_cast<ClassId>(c));
+        for (FunctionId impl : info.vtable) {
+            if (impl != kNoFunction && impl >= mod.numFunctions()) {
+                result.errors.push_back("class " + info.name +
+                                        ": vtable entry out of range");
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace trapjit

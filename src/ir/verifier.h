@@ -1,0 +1,43 @@
+#ifndef TRAPJIT_IR_VERIFIER_H_
+#define TRAPJIT_IR_VERIFIER_H_
+
+/**
+ * @file
+ * Structural IR verifier.
+ *
+ * Every optimization pass must leave the IR in a state this verifier
+ * accepts; the test suite runs it after each pass on every workload and
+ * on every randomly generated program.  It checks block structure
+ * (exactly one terminator, at the end), operand validity and typing,
+ * branch-target validity, try-region consistency, and call shapes.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "ir/module.h"
+
+namespace trapjit
+{
+
+/** Result of verification: empty errors means the IR is well-formed. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All errors joined with newlines (for gtest messages). */
+    std::string message() const;
+};
+
+/** Verify one function. */
+VerifyResult verifyFunction(const Function &func);
+
+/** Verify every function of a module plus class-table consistency. */
+VerifyResult verifyModule(const Module &mod);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_IR_VERIFIER_H_

@@ -1,0 +1,23 @@
+#include "jit/compiler.h"
+
+namespace trapjit
+{
+
+CompileReport
+Compiler::compile(Module &mod) const
+{
+    std::unique_ptr<PassManager> pm = buildPipeline(config_);
+    PassContext ctx{mod, target_, config_.enableSpeculation};
+
+    CompileReport report;
+    for (FunctionId f = 0; f < mod.numFunctions(); ++f) {
+        Function &func = mod.function(f);
+        func.recomputeCFG();
+        pm->run(func, ctx);
+        ++report.functionsCompiled;
+    }
+    report.timings = pm->timings();
+    return report;
+}
+
+} // namespace trapjit

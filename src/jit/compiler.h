@@ -1,0 +1,50 @@
+#ifndef TRAPJIT_JIT_COMPILER_H_
+#define TRAPJIT_JIT_COMPILER_H_
+
+/**
+ * @file
+ * The JIT compiler driver: applies a pipeline configuration to a module
+ * and reports where the compile time went.
+ */
+
+#include "arch/target.h"
+#include "ir/module.h"
+#include "jit/pipeline.h"
+
+namespace trapjit
+{
+
+/** Where the compile time went (regenerates Tables 4/5). */
+struct CompileReport
+{
+    PassTimings timings;
+    size_t functionsCompiled = 0;
+};
+
+/** Compiles modules under one (target, pipeline) pair. */
+class Compiler
+{
+  public:
+    /**
+     * @param target the target the compiler optimizes for (for the
+     *        Illegal Implicit experiment this is the lying AIX model)
+     * @param config the pipeline configuration (experiment arm)
+     */
+    Compiler(const Target &target, PipelineConfig config)
+        : target_(target), config_(std::move(config))
+    {}
+
+    const Target &target() const { return target_; }
+    const PipelineConfig &config() const { return config_; }
+
+    /** Optimize every function of @p mod in place. */
+    CompileReport compile(Module &mod) const;
+
+  private:
+    Target target_;
+    PipelineConfig config_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_JIT_COMPILER_H_

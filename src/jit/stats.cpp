@@ -1,0 +1,59 @@
+#include "jit/stats.h"
+
+namespace trapjit
+{
+
+CheckStats &
+CheckStats::operator+=(const CheckStats &other)
+{
+    explicitNullChecks += other.explicitNullChecks;
+    implicitNullChecks += other.implicitNullChecks;
+    markedExceptionSites += other.markedExceptionSites;
+    speculativeReads += other.speculativeReads;
+    boundChecks += other.boundChecks;
+    instructions += other.instructions;
+    blocks += other.blocks;
+    return *this;
+}
+
+CheckStats
+collectCheckStats(const Function &func)
+{
+    CheckStats stats;
+    stats.blocks = func.numBlocks();
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        for (const Instruction &inst :
+             func.block(static_cast<BlockId>(b)).insts()) {
+            ++stats.instructions;
+            switch (inst.op) {
+              case Opcode::NullCheck:
+                if (inst.flavor == CheckFlavor::Explicit)
+                    ++stats.explicitNullChecks;
+                else
+                    ++stats.implicitNullChecks;
+                break;
+              case Opcode::BoundCheck:
+                ++stats.boundChecks;
+                break;
+              default:
+                break;
+            }
+            if (inst.exceptionSite)
+                ++stats.markedExceptionSites;
+            if (inst.speculative)
+                ++stats.speculativeReads;
+        }
+    }
+    return stats;
+}
+
+CheckStats
+collectCheckStats(const Module &mod)
+{
+    CheckStats total;
+    for (FunctionId f = 0; f < mod.numFunctions(); ++f)
+        total += collectCheckStats(mod.function(f));
+    return total;
+}
+
+} // namespace trapjit

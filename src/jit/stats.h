@@ -1,0 +1,39 @@
+#ifndef TRAPJIT_JIT_STATS_H_
+#define TRAPJIT_JIT_STATS_H_
+
+/**
+ * @file
+ * Static IR statistics: what a compiled module looks like on paper —
+ * how many checks are left, of which flavor, how many accesses carry
+ * implicit checks, how large the functions are.  Used by the static
+ * check-count bench and handy when debugging a pipeline.
+ */
+
+#include "ir/module.h"
+
+namespace trapjit
+{
+
+/** Static counts over a function or module. */
+struct CheckStats
+{
+    size_t explicitNullChecks = 0;
+    size_t implicitNullChecks = 0;
+    size_t markedExceptionSites = 0;
+    size_t speculativeReads = 0;
+    size_t boundChecks = 0;
+    size_t instructions = 0;
+    size_t blocks = 0;
+
+    CheckStats &operator+=(const CheckStats &other);
+};
+
+/** Count checks in one function. */
+CheckStats collectCheckStats(const Function &func);
+
+/** Count checks over every function of a module. */
+CheckStats collectCheckStats(const Module &mod);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_JIT_STATS_H_

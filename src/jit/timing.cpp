@@ -1,0 +1,8 @@
+#include "jit/timing.h"
+
+namespace trapjit
+{
+
+// Header-only helpers; this translation unit anchors the component.
+
+} // namespace trapjit

@@ -1,0 +1,58 @@
+#ifndef TRAPJIT_JIT_TIMING_H_
+#define TRAPJIT_JIT_TIMING_H_
+
+/**
+ * @file
+ * Small wall-clock helpers for the benchmark harnesses.
+ */
+
+#include <chrono>
+#include <cstddef>
+
+namespace trapjit
+{
+
+/** Steady-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Seconds since construction or the last restart(). */
+    double
+    elapsed() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    void restart() { start_ = Clock::now(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Run @p fn repeatedly until at least @p min_seconds have elapsed (and at
+ * least @p min_reps times); return the average seconds per invocation.
+ * Used to get stable compile-time measurements out of microsecond-scale
+ * pipelines.
+ */
+template <typename Fn>
+double
+measureAverageSeconds(Fn &&fn, double min_seconds = 0.2,
+                      size_t min_reps = 3)
+{
+    Stopwatch watch;
+    size_t reps = 0;
+    do {
+        fn();
+        ++reps;
+    } while (reps < min_reps || watch.elapsed() < min_seconds);
+    return watch.elapsed() / static_cast<double>(reps);
+}
+
+} // namespace trapjit
+
+#endif // TRAPJIT_JIT_TIMING_H_

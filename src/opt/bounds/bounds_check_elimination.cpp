@@ -1,0 +1,157 @@
+#include "opt/bounds/bounds_check_elimination.h"
+
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "analysis/rpo.h"
+#include "opt/bounds/bounds_facts.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/**
+ * Barrier for bounds check motion: everything a null check may not cross
+ * plus anything that can throw a different exception class (null checks
+ * and implicit-check sites throw NPE); other bound checks are not
+ * barriers (AIOOBE order among themselves may change, the class cannot).
+ */
+bool
+isBoundsBarrier(const Function &func, const Instruction &inst, bool in_try)
+{
+    if (inst.op == Opcode::BoundCheck)
+        return false;
+    if (inst.op == Opcode::NullCheck || inst.exceptionSite)
+        return true;
+    if (inst.mayThrowOtherThanNull() || inst.writesMemory())
+        return true;
+    if (in_try && inst.hasDst() && func.value(inst.dst).isLocal())
+        return true;
+    return false;
+}
+
+Instruction
+makeBoundCheck(Function &func, ValueId idx, ValueId len)
+{
+    Instruction check;
+    check.op = Opcode::BoundCheck;
+    check.a = idx;
+    check.b = len;
+    check.site = func.takeSiteId();
+    return check;
+}
+
+} // namespace
+
+bool
+BoundsCheckElimination::runOnFunction(Function &func, PassContext &)
+{
+    stats_ = Stats{};
+    BoundsUniverse universe(func);
+    const size_t numFacts = universe.numFacts();
+    if (numFacts == 0)
+        return false;
+    const size_t numBlocks = func.numBlocks();
+    const std::vector<bool> reachable = reachableBlocks(func);
+
+    // ---- Backward anticipation ------------------------------------------
+    DataflowSpec bwd;
+    bwd.direction = DataflowSpec::Direction::Backward;
+    bwd.confluence = DataflowSpec::Confluence::Intersect;
+    bwd.numFacts = numFacts;
+    bwd.gen.assign(numBlocks, BitSet(numFacts));
+    bwd.kill.assign(numBlocks, BitSet(numFacts));
+    for (size_t b = 0; b < numBlocks; ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool inTry = bb.tryRegion() != 0;
+        BitSet &gen = bwd.gen[b];
+        BitSet &kill = bwd.kill[b];
+        for (auto it = bb.insts().rbegin(); it != bb.insts().rend(); ++it) {
+            const Instruction &inst = *it;
+            if (inst.op == Opcode::BoundCheck) {
+                gen.set(static_cast<size_t>(
+                    universe.factOf(inst.a, inst.b)));
+                continue;
+            }
+            if (isBoundsBarrier(func, inst, inTry)) {
+                gen.clearAll();
+                kill.setAll();
+            }
+            if (inst.hasDst()) {
+                for (size_t fact : universe.factsUsing(inst.dst)) {
+                    gen.reset(fact);
+                    kill.set(fact);
+                }
+            }
+        }
+    }
+    addTryBoundaryKills(func, bwd);
+    DataflowResult ant = solveDataflow(func, bwd);
+
+    std::vector<BitSet> earliest(numBlocks, BitSet(numFacts));
+    for (size_t b = 0; b < numBlocks; ++b) {
+        if (!reachable[b])
+            continue;
+        earliest[b] = ant.out[b];
+        for (BlockId pred : func.block(static_cast<BlockId>(b)).preds())
+            earliest[b].subtract(ant.out[pred]);
+    }
+
+    // ---- Forward availability, elimination, insertion -------------------
+    DataflowResult avail = solveBoundsAvailability(func, universe,
+                                                   &earliest);
+
+    bool changed = false;
+    BitSet eliminatedFacts(numFacts);
+    for (size_t b = 0; b < numBlocks; ++b) {
+        if (!reachable[b])
+            continue;
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        BitSet now = avail.in[b];
+        auto &insts = bb.insts();
+        for (size_t i = 0; i < insts.size();) {
+            Instruction &inst = insts[i];
+            if (inst.op == Opcode::BoundCheck) {
+                size_t fact = static_cast<size_t>(
+                    universe.factOf(inst.a, inst.b));
+                if (now.test(fact)) {
+                    eliminatedFacts.set(fact);
+                    insts.erase(insts.begin() + static_cast<long>(i));
+                    ++stats_.eliminated;
+                    changed = true;
+                    continue;
+                }
+                now.set(fact);
+            } else if (inst.hasDst()) {
+                for (size_t fact : universe.factsUsing(inst.dst))
+                    now.reset(fact);
+            }
+            ++i;
+        }
+    }
+
+    for (size_t b = 0; b < numBlocks; ++b) {
+        if (!reachable[b])
+            continue;
+        // Insert only where the fact paid for an elimination somewhere;
+        // a pure insertion would only add dynamic checks.
+        BitSet pending = earliest[b];
+        pending.intersectWith(eliminatedFacts);
+        pending.subtract(avail.out[b]);
+        if (pending.empty())
+            continue;
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        pending.forEach([&](size_t fact) {
+            const auto &pair = universe.pairOf(fact);
+            bb.insertBeforeTerminator(
+                makeBoundCheck(func, pair.first, pair.second));
+            ++stats_.inserted;
+        });
+        changed = true;
+    }
+    return changed;
+}
+
+} // namespace trapjit

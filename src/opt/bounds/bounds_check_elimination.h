@@ -1,0 +1,49 @@
+#ifndef TRAPJIT_OPT_BOUNDS_BOUNDS_CHECK_ELIMINATION_H_
+#define TRAPJIT_OPT_BOUNDS_BOUNDS_CHECK_ELIMINATION_H_
+
+/**
+ * @file
+ * Array bounds check optimization (the companion box of Figure 2).
+ *
+ * Structurally the same PRE scheme as null check phase 1, over facts
+ * keyed by the (index, length) value pair of each `boundcheck`: a
+ * backward anticipation analysis hoists checks to their earliest points
+ * (out of loops once both operands are loop-invariant — which the
+ * iterated pipeline arranges by first hoisting the `arraylength` via
+ * CSE/scalar replacement), and a forward availability analysis removes
+ * checks that are already covered (including the very common
+ * read-modify-write pattern `b[i] += x`, whose second expansion repeats
+ * the first one's checks).
+ *
+ * Motion barriers additionally include null checks and other
+ * exception-throwing instructions, so the *class* of the thrown
+ * exception is never changed by the motion, only AIOOBE-vs-AIOOBE order.
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** PRE-style bounds check hoisting and elimination. */
+class BoundsCheckElimination : public Pass
+{
+  public:
+    const char *name() const override { return "bounds-check-elim"; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+
+    struct Stats
+    {
+        size_t eliminated = 0;
+        size_t inserted = 0;
+    };
+
+    const Stats &lastStats() const { return stats_; }
+
+  private:
+    Stats stats_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_BOUNDS_BOUNDS_CHECK_ELIMINATION_H_

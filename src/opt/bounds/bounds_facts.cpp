@@ -1,0 +1,84 @@
+#include "opt/bounds/bounds_facts.h"
+
+#include "analysis/rpo.h"
+
+namespace trapjit
+{
+
+BoundsUniverse::BoundsUniverse(const Function &func)
+{
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        for (const Instruction &inst :
+             func.block(static_cast<BlockId>(b)).insts()) {
+            if (inst.op != Opcode::BoundCheck)
+                continue;
+            auto key = std::make_pair(inst.a, inst.b);
+            if (factOf_.emplace(key, pairs_.size()).second)
+                pairs_.push_back(key);
+        }
+    }
+    byValue_.resize(func.numValues());
+    for (size_t f = 0; f < pairs_.size(); ++f) {
+        byValue_[pairs_[f].first].push_back(f);
+        if (pairs_[f].second != pairs_[f].first)
+            byValue_[pairs_[f].second].push_back(f);
+    }
+}
+
+int
+BoundsUniverse::factOf(ValueId idx, ValueId len) const
+{
+    auto it = factOf_.find(std::make_pair(idx, len));
+    return it == factOf_.end() ? -1 : static_cast<int>(it->second);
+}
+
+DataflowResult
+solveBoundsAvailability(const Function &func, const BoundsUniverse &universe,
+                        const std::vector<BitSet> *earliest_per_block)
+{
+    const size_t numFacts = universe.numFacts();
+    const size_t numBlocks = func.numBlocks();
+    const std::vector<bool> reachable = reachableBlocks(func);
+
+    DataflowSpec fwd;
+    fwd.direction = DataflowSpec::Direction::Forward;
+    fwd.confluence = DataflowSpec::Confluence::Intersect;
+    fwd.numFacts = numFacts;
+    fwd.gen.assign(numBlocks, BitSet(numFacts));
+    fwd.kill.assign(numBlocks, BitSet(numFacts));
+    for (size_t b = 0; b < numBlocks; ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        BitSet &gen = fwd.gen[b];
+        BitSet &kill = fwd.kill[b];
+        for (const Instruction &inst : bb.insts()) {
+            if (inst.op == Opcode::BoundCheck) {
+                size_t fact = static_cast<size_t>(
+                    universe.factOf(inst.a, inst.b));
+                gen.set(fact);
+                kill.reset(fact);
+                continue;
+            }
+            if (inst.hasDst()) {
+                for (size_t fact : universe.factsUsing(inst.dst)) {
+                    gen.reset(fact);
+                    kill.set(fact);
+                }
+            }
+        }
+        if (reachable[b] && earliest_per_block &&
+            !(*earliest_per_block)[b].empty()) {
+            for (BlockId succ : bb.succs()) {
+                auto &add =
+                    fwd.edgeAdd[DataflowSpec::edgeKey(bb.id(), succ)];
+                if (add.size() != numFacts)
+                    add.resize(numFacts);
+                add.unionWith((*earliest_per_block)[b]);
+            }
+        }
+    }
+    addExceptionEdgeKills(func, fwd);
+    fwd.boundary.resize(numFacts);
+    return solveDataflow(func, fwd);
+}
+
+} // namespace trapjit

@@ -1,0 +1,71 @@
+#ifndef TRAPJIT_OPT_BOUNDS_BOUNDS_FACTS_H_
+#define TRAPJIT_OPT_BOUNDS_BOUNDS_FACTS_H_
+
+/**
+ * @file
+ * Shared vocabulary of the bounds check analyses.
+ *
+ * A bounds fact is the (index value, length value) pair of a
+ * `boundcheck`; it is established by executing the check and destroyed by
+ * redefining either operand (never by side effects — array lengths are
+ * immutable, so "idx < len" cannot be invalidated by memory writes).
+ * Scalar replacement reuses the availability analysis to prove that a
+ * loop-invariant element access is in bounds at the loop header before
+ * hoisting its load.
+ */
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** Dense numbering of the (index, length) pairs checked in a function. */
+class BoundsUniverse
+{
+  public:
+    explicit BoundsUniverse(const Function &func);
+
+    size_t numFacts() const { return pairs_.size(); }
+
+    /** Fact index of (idx, len), or -1 if never checked. */
+    int factOf(ValueId idx, ValueId len) const;
+
+    const std::pair<ValueId, ValueId> &pairOf(size_t fact) const
+    {
+        return pairs_[fact];
+    }
+
+    /** Facts that mention @p value as index or length. */
+    const std::vector<size_t> &factsUsing(ValueId value) const
+    {
+        return byValue_[value];
+    }
+
+  private:
+    std::vector<std::pair<ValueId, ValueId>> pairs_;
+    std::map<std::pair<ValueId, ValueId>, size_t> factOf_;
+    std::vector<std::vector<size_t>> byValue_;
+};
+
+/**
+ * Forward availability of bounds facts (must-available, intersection):
+ * fact (i, l) is available where a `boundcheck i, l` has executed on
+ * every incoming path with neither operand redefined since.
+ *
+ * @param earliest_per_block  optional pending insertions at block exits,
+ *        treated as available on out-edges (the bounds pass passes its
+ *        Earliest sets; scalar replacement passes nullptr).
+ */
+DataflowResult solveBoundsAvailability(const Function &func,
+                                       const BoundsUniverse &universe,
+                                       const std::vector<BitSet>
+                                           *earliest_per_block);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_BOUNDS_BOUNDS_FACTS_H_

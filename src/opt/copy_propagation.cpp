@@ -1,0 +1,50 @@
+#include "opt/copy_propagation.h"
+
+#include <vector>
+
+namespace trapjit
+{
+
+bool
+CopyPropagation::runOnFunction(Function &func, PassContext &)
+{
+    bool changed = false;
+    std::vector<ValueId> copyOf; // copyOf[v] = current source of v
+
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        copyOf.assign(func.numValues(), kNoValue);
+
+        auto root = [&](ValueId v) {
+            return copyOf[v] != kNoValue ? copyOf[v] : v;
+        };
+        auto rewrite = [&](ValueId &v) {
+            if (v != kNoValue && copyOf[v] != kNoValue) {
+                v = copyOf[v];
+                changed = true;
+            }
+        };
+
+        for (Instruction &inst : bb.insts()) {
+            rewrite(inst.a);
+            rewrite(inst.b);
+            rewrite(inst.c);
+            for (ValueId &arg : inst.args)
+                rewrite(arg);
+
+            if (inst.hasDst()) {
+                // The definition invalidates every mapping involving dst.
+                ValueId dst = inst.dst;
+                copyOf[dst] = kNoValue;
+                for (ValueId &src : copyOf)
+                    if (src == dst)
+                        src = kNoValue;
+                if (inst.op == Opcode::Move && inst.a != dst)
+                    copyOf[dst] = root(inst.a);
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace trapjit

@@ -1,0 +1,30 @@
+#ifndef TRAPJIT_OPT_COPY_PROPAGATION_H_
+#define TRAPJIT_OPT_COPY_PROPAGATION_H_
+
+/**
+ * @file
+ * Block-local copy propagation.
+ *
+ * Scalar replacement and CSE leave `move` chains behind; this pass
+ * rewrites uses to the copy source within each block so the moves become
+ * dead (and are removed by dead-code elimination).  It also canonicalizes
+ * null-check operands, which lets the null check analyses see two checks
+ * of the same runtime value as the same fact.
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Rewrites uses of copies to their sources within each block. */
+class CopyPropagation : public Pass
+{
+  public:
+    const char *name() const override { return "copy-propagation"; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_COPY_PROPAGATION_H_

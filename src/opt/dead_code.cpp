@@ -1,0 +1,66 @@
+#include "opt/dead_code.h"
+
+#include <vector>
+
+#include "analysis/liveness.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** True if @p inst may be deleted when its result is unused. */
+bool
+isRemovableWhenDead(const Instruction &inst)
+{
+    if (!inst.hasDst() || inst.isTerminator() || inst.isSideEffecting())
+        return false;
+    if (inst.op == Opcode::NullCheck || inst.op == Opcode::BoundCheck)
+        return false;
+    if (inst.exceptionSite)
+        return false; // carries an implicit null check
+    return true;
+}
+
+} // namespace
+
+bool
+DeadCodeElimination::runOnFunction(Function &func, PassContext &)
+{
+    const size_t numValues = func.numValues();
+    const size_t numBlocks = func.numBlocks();
+    if (numValues == 0)
+        return false;
+
+    DataflowResult live = solveLiveness(func);
+
+    std::vector<ValueId> uses;
+    bool changed = false;
+    for (size_t b = 0; b < numBlocks; ++b) {
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool defsKill = bb.tryRegion() == 0;
+        BitSet liveNow = live.out[b];
+        auto &insts = bb.insts();
+        std::vector<size_t> doomed;
+        for (size_t ri = insts.size(); ri-- > 0;) {
+            const Instruction &inst = insts[ri];
+            if (isRemovableWhenDead(inst) && !liveNow.test(inst.dst)) {
+                doomed.push_back(ri);
+                continue; // its uses do not become live
+            }
+            if (inst.hasDst() && defsKill)
+                liveNow.reset(inst.dst);
+            uses.clear();
+            inst.forEachUse(uses);
+            for (ValueId u : uses)
+                liveNow.set(u);
+        }
+        for (size_t idx : doomed)
+            insts.erase(insts.begin() + static_cast<long>(idx));
+        changed |= !doomed.empty();
+    }
+    return changed;
+}
+
+} // namespace trapjit

@@ -1,0 +1,30 @@
+#ifndef TRAPJIT_OPT_DEAD_CODE_H_
+#define TRAPJIT_OPT_DEAD_CODE_H_
+
+/**
+ * @file
+ * Global dead code elimination over a liveness analysis.
+ *
+ * Removes pure value-producing instructions whose result is dead.  It
+ * never touches anything with observable behavior: terminators, checks
+ * (they throw), side-effecting instructions, or accesses marked as
+ * implicit-check exception sites (their hardware trap *is* the check).
+ * Unmarked memory reads are removable — reads are unobservable.
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Liveness-based dead code elimination. */
+class DeadCodeElimination : public Pass
+{
+  public:
+    const char *name() const override { return "dead-code-elimination"; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_DEAD_CODE_H_

@@ -1,0 +1,42 @@
+#include "opt/inliner/class_hierarchy.h"
+
+namespace trapjit
+{
+
+ClassHierarchy::ClassHierarchy(const Module &mod)
+    : mod_(mod), subclassesOf_(mod.numClasses())
+{
+    for (ClassId c = 0; c < mod.numClasses(); ++c) {
+        for (ClassId up = c; up != kUnknownClass;
+             up = mod.cls(up).superId) {
+            subclassesOf_[up].push_back(c);
+        }
+    }
+}
+
+FunctionId
+ClassHierarchy::uniqueImplementation(ClassId static_class,
+                                     uint32_t slot) const
+{
+    if (static_class == kUnknownClass ||
+        static_class >= mod_.numClasses()) {
+        return kNoFunction;
+    }
+    FunctionId unique = kNoFunction;
+    for (ClassId sub : subclassesOf_[static_class]) {
+        const auto &vtable = mod_.cls(sub).vtable;
+        if (slot >= vtable.size())
+            return kNoFunction;
+        FunctionId impl = vtable[slot];
+        if (impl == kNoFunction)
+            return kNoFunction; // abstract: a future subclass may differ
+        if (unique == kNoFunction) {
+            unique = impl;
+        } else if (unique != impl) {
+            return kNoFunction; // polymorphic
+        }
+    }
+    return unique;
+}
+
+} // namespace trapjit

@@ -1,0 +1,41 @@
+#ifndef TRAPJIT_OPT_INLINER_CLASS_HIERARCHY_H_
+#define TRAPJIT_OPT_INLINER_CLASS_HIERARCHY_H_
+
+/**
+ * @file
+ * Class hierarchy analysis (CHA) for devirtualization.
+ *
+ * A virtual call through vtable slot s on a receiver statically typed C
+ * can be devirtualized when every class that is C or derives from C
+ * provides the same implementation for s.  The resulting direct call no
+ * longer reads the receiver's method table — which is precisely why an
+ * explicit null check must be materialized for it (Figure 1).
+ */
+
+#include "ir/module.h"
+
+namespace trapjit
+{
+
+/** CHA over a module's class table. */
+class ClassHierarchy
+{
+  public:
+    explicit ClassHierarchy(const Module &mod);
+
+    /**
+     * The unique implementation of @p slot among @p static_class and its
+     * subclasses, or kNoFunction if the receiver type is unknown or the
+     * slot is polymorphic.
+     */
+    FunctionId uniqueImplementation(ClassId static_class,
+                                    uint32_t slot) const;
+
+  private:
+    const Module &mod_;
+    std::vector<std::vector<ClassId>> subclassesOf_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_INLINER_CLASS_HIERARCHY_H_

@@ -1,0 +1,167 @@
+#include "opt/local_cse.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Expression classes for invalidation purposes. */
+enum class ExprClass : uint8_t
+{
+    PureValue,   ///< arithmetic, constants, conversions
+    FieldRead,   ///< getfield: invalidated by putfield and calls
+    ElementRead, ///< aload: invalidated by astore and calls
+    LengthRead,  ///< arraylength: never invalidated (lengths are final)
+};
+
+/** Whether @p inst is CSE-eligible and its class. */
+bool
+classify(const Instruction &inst, ExprClass &cls)
+{
+    switch (inst.op) {
+      case Opcode::ConstInt:
+      case Opcode::ConstFloat:
+      case Opcode::ConstNull:
+      case Opcode::IAdd: case Opcode::ISub: case Opcode::IMul:
+      case Opcode::IDiv: case Opcode::IRem: case Opcode::INeg:
+      case Opcode::IAnd: case Opcode::IOr: case Opcode::IXor:
+      case Opcode::IShl: case Opcode::IShr: case Opcode::IUshr:
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FNeg:
+      case Opcode::FExp: case Opcode::FSqrt: case Opcode::FSin:
+      case Opcode::FCos: case Opcode::FAbs: case Opcode::FLog:
+      case Opcode::I2F: case Opcode::F2I: case Opcode::I2L:
+      case Opcode::L2I:
+      case Opcode::ICmp: case Opcode::FCmp:
+        cls = ExprClass::PureValue;
+        return true;
+      case Opcode::GetField:
+        cls = ExprClass::FieldRead;
+        return true;
+      case Opcode::ArrayLoad:
+        cls = ExprClass::ElementRead;
+        return true;
+      case Opcode::ArrayLength:
+        cls = ExprClass::LengthRead;
+        return true;
+      default:
+        return false;
+    }
+}
+
+using ExprKey = std::tuple<uint8_t /*op*/, uint8_t /*pred*/, ValueId,
+                           ValueId, ValueId, int64_t /*imm*/,
+                           int64_t /*imm2*/, uint64_t /*fimm bits*/,
+                           uint8_t /*elemType*/, uint8_t /*dst type*/>;
+
+ExprKey
+keyOf(const Function &func, const Instruction &inst)
+{
+    uint64_t fbits;
+    static_assert(sizeof(fbits) == sizeof(inst.fimm));
+    __builtin_memcpy(&fbits, &inst.fimm, sizeof(fbits));
+    return ExprKey{static_cast<uint8_t>(inst.op),
+                   static_cast<uint8_t>(inst.pred),
+                   inst.a, inst.b, inst.c, inst.imm, inst.imm2, fbits,
+                   static_cast<uint8_t>(inst.elemType),
+                   static_cast<uint8_t>(func.value(inst.dst).type)};
+}
+
+} // namespace
+
+bool
+LocalCSE::runOnFunction(Function &func, PassContext &)
+{
+    bool changed = false;
+    struct Entry
+    {
+        ValueId result;
+        ExprClass cls;
+    };
+
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        std::map<ExprKey, Entry> avail;
+
+        for (Instruction &inst : bb.insts()) {
+            ExprClass cls;
+            const bool eligible = classify(inst, cls);
+
+            bool replaced = false;
+            if (eligible && !inst.exceptionSite) {
+                auto it = avail.find(keyOf(func, inst));
+                if (it != avail.end()) {
+                    // Replace with a move from the previous result.
+                    ValueId dst = inst.dst;
+                    ValueId src = it->second.result;
+                    SiteId site = inst.site;
+                    inst = Instruction{};
+                    inst.op = Opcode::Move;
+                    inst.dst = dst;
+                    inst.a = src;
+                    inst.site = site;
+                    changed = true;
+                    replaced = true;
+                }
+            }
+
+            // Invalidate by definition: any expression using or producing
+            // the redefined value dies.
+            if (inst.hasDst()) {
+                ValueId dst = inst.dst;
+                for (auto it = avail.begin(); it != avail.end();) {
+                    const ExprKey &key = it->first;
+                    if (std::get<2>(key) == dst ||
+                        std::get<3>(key) == dst ||
+                        std::get<4>(key) == dst ||
+                        it->second.result == dst) {
+                        it = avail.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+
+            // Register after invalidation (so the fresh entry survives),
+            // unless the expression reads its own destination.
+            if (eligible && !replaced && !inst.exceptionSite &&
+                inst.dst != inst.a && inst.dst != inst.b &&
+                inst.dst != inst.c) {
+                avail[keyOf(func, inst)] = Entry{inst.dst, cls};
+            }
+
+            // Invalidate by memory effect (type-based: fields and array
+            // elements never alias; lengths are immutable).
+            auto dropClass = [&](ExprClass dead) {
+                for (auto it = avail.begin(); it != avail.end();) {
+                    if (it->second.cls == dead)
+                        it = avail.erase(it);
+                    else
+                        ++it;
+                }
+            };
+            switch (inst.op) {
+              case Opcode::PutField:
+                dropClass(ExprClass::FieldRead);
+                break;
+              case Opcode::ArrayStore:
+                dropClass(ExprClass::ElementRead);
+                break;
+              case Opcode::Call:
+                dropClass(ExprClass::FieldRead);
+                dropClass(ExprClass::ElementRead);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace trapjit

@@ -1,0 +1,33 @@
+#ifndef TRAPJIT_OPT_LOCAL_CSE_H_
+#define TRAPJIT_OPT_LOCAL_CSE_H_
+
+/**
+ * @file
+ * Block-local common subexpression elimination ("commoning").
+ *
+ * The front end expands every array access into its own arraylength +
+ * boundcheck + element access; CSE unifies the repeated pure
+ * subexpressions (especially repeated `arraylength` of the same array —
+ * array lengths are immutable, so they even survive calls and stores),
+ * which in turn lets the bounds-check and null-check analyses see the
+ * repeated checks as identical facts.  Type-based aliasing is used for
+ * invalidation: object fields and array elements can never alias in
+ * Java.
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Local value-numbering CSE. */
+class LocalCSE : public Pass
+{
+  public:
+    const char *name() const override { return "local-cse"; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_LOCAL_CSE_H_

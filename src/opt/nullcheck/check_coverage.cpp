@@ -1,0 +1,55 @@
+#include "opt/nullcheck/check_coverage.h"
+
+#include <sstream>
+
+#include "analysis/rpo.h"
+#include "opt/nullcheck/facts.h"
+#include "support/bitset.h"
+
+namespace trapjit
+{
+
+std::vector<CoverageViolation>
+checkNullGuardCoverage(const Function &func, const Target &target)
+{
+    std::vector<CoverageViolation> violations;
+    NullCheckUniverse universe(func);
+    if (universe.numFacts() == 0)
+        return violations;
+
+    NonNullDomain domain(func, universe, &target);
+    NonNullStates states =
+        solveNonNullStates(func, domain, universe, nullptr);
+    const std::vector<bool> reachable = reachableBlocks(func);
+
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        if (!reachable[b])
+            continue;
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        BitSet now = states.in[b];
+        for (size_t i = 0; i < bb.insts().size(); ++i) {
+            const Instruction &inst = bb.insts()[i];
+            ValueId ref = inst.checkedRef();
+            if (ref != kNoValue && inst.op != Opcode::NullCheck) {
+                bool guarded =
+                    (inst.exceptionSite && target.trapCovers(inst)) ||
+                    (inst.speculative &&
+                     inst.slotAccess() == SlotAccess::Read &&
+                     target.readIsSpeculationSafe(inst.slotOffset())) ||
+                    now.test(domain.nonnullBit(ref));
+                if (!guarded) {
+                    std::ostringstream os;
+                    os << func.name() << " block " << bb.id() << " inst "
+                       << i << ": unguarded " << inst.name() << " of "
+                       << func.value(ref).name;
+                    violations.push_back(CoverageViolation{
+                        bb.id(), i, ref, os.str()});
+                }
+            }
+            domain.transfer(inst, now);
+        }
+    }
+    return violations;
+}
+
+} // namespace trapjit

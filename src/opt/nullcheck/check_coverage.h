@@ -1,0 +1,46 @@
+#ifndef TRAPJIT_OPT_NULLCHECK_CHECK_COVERAGE_H_
+#define TRAPJIT_OPT_NULLCHECK_CHECK_COVERAGE_H_
+
+/**
+ * @file
+ * Static verification that every dereference is null-guarded.
+ *
+ * After any pipeline, every instruction that requires a non-null
+ * reference must be (a) marked as an implicit-check exception site whose
+ * access the target is guaranteed to trap, (b) a legally speculative
+ * read, or (c) dominated by coverage of its reference: an explicit
+ * check, a marked trapping access of the same value, an allocation, the
+ * non-null `this`, or an `ifnonnull` edge — with no overwrite in
+ * between.  The test suite runs this on every compiled workload and
+ * random program; the interpreter enforces the same property dynamically
+ * (HardFault).
+ */
+
+#include <string>
+#include <vector>
+
+#include "arch/target.h"
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** One unguarded dereference. */
+struct CoverageViolation
+{
+    BlockId block = kNoBlock;
+    size_t instIndex = 0;
+    ValueId ref = kNoValue;
+    std::string description;
+};
+
+/**
+ * Check @p func against @p target's trap model.  Returns every violation
+ * found (empty means the function is fully guarded).
+ */
+std::vector<CoverageViolation> checkNullGuardCoverage(
+    const Function &func, const Target &target);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_NULLCHECK_CHECK_COVERAGE_H_

@@ -1,0 +1,326 @@
+#include "opt/nullcheck/facts.h"
+
+#include "analysis/rpo.h"
+
+namespace trapjit
+{
+
+NullCheckUniverse::NullCheckUniverse(const Function &func)
+    : factOf_(func.numValues(), -1)
+{
+    for (ValueId v = 0; v < func.numValues(); ++v) {
+        if (func.value(v).isRef()) {
+            factOf_[v] = static_cast<int>(values_.size());
+            values_.push_back(v);
+        }
+    }
+}
+
+RefAliasClasses::RefAliasClasses(const Function &func)
+    : parent_(func.numValues())
+{
+    for (ValueId v = 0; v < parent_.size(); ++v)
+        parent_[v] = v;
+
+    auto findMut = [this](ValueId v) {
+        while (parent_[v] != v) {
+            parent_[v] = parent_[parent_[v]];
+            v = parent_[v];
+        }
+        return v;
+    };
+
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        for (const Instruction &inst :
+             func.block(static_cast<BlockId>(b)).insts()) {
+            if (inst.op != Opcode::Move || inst.dst == kNoValue ||
+                !func.value(inst.dst).isRef()) {
+                continue;
+            }
+            ValueId ra = findMut(inst.dst);
+            ValueId rb = findMut(inst.a);
+            if (ra != rb)
+                parent_[ra] = rb;
+        }
+    }
+
+    members_.resize(parent_.size());
+    for (ValueId v = 0; v < parent_.size(); ++v)
+        if (func.value(v).isRef())
+            members_[findMut(v)].push_back(v);
+}
+
+bool
+isMotionBarrier(const Function &func, const Instruction &inst,
+                bool in_try_region)
+{
+    if (inst.isSideEffecting())
+        return true;
+    // Inside a try region, even a local-variable write is observable by
+    // the handler, so checks may not move across it.
+    if (in_try_region && inst.hasDst() &&
+        func.value(inst.dst).isLocal()) {
+        return true;
+    }
+    return false;
+}
+
+Instruction
+makeExplicitNullCheck(Function &func, ValueId value)
+{
+    Instruction check;
+    check.op = Opcode::NullCheck;
+    check.flavor = CheckFlavor::Explicit;
+    check.a = value;
+    check.site = func.takeSiteId();
+    return check;
+}
+
+// ---------------------------------------------------------------------
+// NonNullDomain
+// ---------------------------------------------------------------------
+
+NonNullDomain::NonNullDomain(const Function &func,
+                             const NullCheckUniverse &universe,
+                             const Target *target)
+    : func_(func), universe_(universe), target_(target)
+{
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        for (const Instruction &inst :
+             func.block(static_cast<BlockId>(b)).insts()) {
+            if (inst.op != Opcode::Move ||
+                !func.value(inst.dst).isRef() || inst.a == inst.dst) {
+                continue;
+            }
+            auto key = std::make_pair(inst.dst, inst.a);
+            if (pairIndex_.emplace(key, pairs_.size()).second)
+                pairs_.push_back(key);
+        }
+    }
+    pairsUsing_.resize(func.numValues());
+    for (size_t p = 0; p < pairs_.size(); ++p) {
+        pairsUsing_[pairs_[p].first].push_back(p);
+        if (pairs_[p].second != pairs_[p].first)
+            pairsUsing_[pairs_[p].second].push_back(p);
+    }
+    copyMask_.resize(numBits());
+    for (size_t p = 0; p < pairs_.size(); ++p)
+        copyMask_.set(copyBit(p));
+}
+
+void
+NonNullDomain::killValue(BitSet &set, ValueId v) const
+{
+    if (universe_.factOf(v) >= 0)
+        set.reset(nonnullBit(v));
+    if (v < pairsUsing_.size())
+        for (size_t p : pairsUsing_[v])
+            set.reset(copyBit(p));
+}
+
+void
+NonNullDomain::establish(BitSet &set, ValueId v) const
+{
+    if (universe_.factOf(v) < 0)
+        return;
+    set.set(nonnullBit(v));
+    // Fast path: no live copy bits, nothing to propagate through.
+    if (pairs_.empty() || !set.intersects(copyMask_))
+        return;
+    // Transitive closure over live copies (the pair list is tiny).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t p = 0; p < pairs_.size(); ++p) {
+            if (!set.test(copyBit(p)))
+                continue;
+            size_t d = nonnullBit(pairs_[p].first);
+            size_t s = nonnullBit(pairs_[p].second);
+            if (set.test(d) != set.test(s)) {
+                set.set(d);
+                set.set(s);
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+NonNullDomain::establishes(const Instruction &inst) const
+{
+    if (inst.op == Opcode::NullCheck)
+        return inst.flavor == CheckFlavor::Explicit;
+    return target_ != nullptr && inst.exceptionSite &&
+           target_->trapCovers(inst);
+}
+
+void
+NonNullDomain::transfer(const Instruction &inst, BitSet &now) const
+{
+    if (establishes(inst))
+        establish(now, inst.checkedRef());
+
+    if (!inst.hasDst() || !func_.value(inst.dst).isRef())
+        return;
+    switch (inst.op) {
+      case Opcode::NewObject:
+      case Opcode::NewArray:
+        killValue(now, inst.dst);
+        establish(now, inst.dst);
+        break;
+      case Opcode::Move: {
+        if (inst.a == inst.dst)
+            break;
+        bool srcNonNull =
+            tracked(inst.a) && now.test(nonnullBit(inst.a));
+        killValue(now, inst.dst);
+        auto it = pairIndex_.find(std::make_pair(inst.dst, inst.a));
+        if (it != pairIndex_.end())
+            now.set(copyBit(it->second));
+        if (srcNonNull)
+            establish(now, inst.dst);
+        break;
+      }
+      default:
+        killValue(now, inst.dst);
+        break;
+    }
+}
+
+bool
+NonNullDomain::mustEqual(const BitSet &state, ValueId a, ValueId b) const
+{
+    if (a == b)
+        return true;
+    // BFS over the live copy pairs (the pair list is tiny).
+    std::vector<ValueId> frontier{a};
+    std::vector<bool> seen(func_.numValues(), false);
+    seen[a] = true;
+    while (!frontier.empty()) {
+        ValueId cur = frontier.back();
+        frontier.pop_back();
+        if (cur >= pairsUsing_.size())
+            continue;
+        for (size_t p : pairsUsing_[cur]) {
+            if (!state.test(copyBit(p)))
+                continue;
+            ValueId other = pairs_[p].first == cur ? pairs_[p].second
+                                                   : pairs_[p].first;
+            if (other == b)
+                return true;
+            if (!seen[other]) {
+                seen[other] = true;
+                frontier.push_back(other);
+            }
+        }
+    }
+    return false;
+}
+
+NonNullStates
+solveNonNullStates(const Function &func, const NonNullDomain &domain,
+                   const NullCheckUniverse &universe,
+                   const std::vector<BitSet> *earliest_per_block)
+{
+    const size_t numBits = domain.numBits();
+    const size_t numBlocks = func.numBlocks();
+    const std::vector<BlockId> rpo = reversePostorder(func);
+
+    BitSet universal(numBits);
+    universal.setAll();
+    std::vector<BitSet> in(numBlocks, universal);
+    std::vector<BitSet> out(numBlocks, universal);
+
+    BitSet boundary(numBits);
+    if (func.isInstanceMethod() && func.numParams() > 0 &&
+        func.value(0).isRef()) {
+        boundary.set(domain.nonnullBit(0));
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId block : rpo) {
+            const BasicBlock &bb = func.block(block);
+
+            BitSet meet(numBits);
+            if (bb.preds().empty()) {
+                meet = boundary;
+            } else {
+                meet = universal;
+                for (BlockId pred : bb.preds()) {
+                    const BasicBlock &pb = func.block(pred);
+                    BitSet value(numBits);
+                    // Nothing flows along factored exception edges: a
+                    // fact established mid-block need not hold when an
+                    // earlier instruction of the block threw.
+                    if (!func.isExceptionalEdge(pred, block)) {
+                        value = out[pred];
+                        const Instruction &term = pb.terminator();
+                        if (term.op == Opcode::IfNull &&
+                            term.imm != term.imm2 &&
+                            static_cast<BlockId>(term.imm2) == block) {
+                            domain.establish(value, term.a);
+                        }
+                        if (earliest_per_block) {
+                            (*earliest_per_block)[pred].forEach(
+                                [&](size_t fact) {
+                                    domain.establish(
+                                        value, universe.valueOf(fact));
+                                });
+                        }
+                    }
+                    meet.intersectWith(value);
+                }
+            }
+
+            BitSet next = meet;
+            for (const Instruction &inst : bb.insts())
+                domain.transfer(inst, next);
+            if (in[block] != meet) {
+                in[block] = std::move(meet);
+                changed = true;
+            }
+            if (out[block] != next) {
+                out[block] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    return NonNullStates{std::move(in), std::move(out)};
+}
+
+size_t
+eliminateCoveredChecks(Function &func, const NullCheckUniverse &universe,
+                       const NonNullDomain &domain,
+                       const std::vector<BitSet> &entry_states,
+                       BitSet *eliminated_facts)
+{
+    const std::vector<bool> reachable = reachableBlocks(func);
+    size_t eliminated = 0;
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        if (!reachable[b])
+            continue;
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        BitSet now = entry_states[b];
+        auto &insts = bb.insts();
+        for (size_t i = 0; i < insts.size();) {
+            Instruction &inst = insts[i];
+            if (inst.op == Opcode::NullCheck &&
+                now.test(domain.nonnullBit(inst.a))) {
+                if (eliminated_facts) {
+                    eliminated_facts->set(static_cast<size_t>(
+                        universe.factOf(inst.a)));
+                }
+                insts.erase(insts.begin() + static_cast<long>(i));
+                ++eliminated;
+                continue;
+            }
+            domain.transfer(inst, now);
+            ++i;
+        }
+    }
+    return eliminated;
+}
+
+} // namespace trapjit

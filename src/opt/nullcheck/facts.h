@@ -1,0 +1,223 @@
+#ifndef TRAPJIT_OPT_NULLCHECK_FACTS_H_
+#define TRAPJIT_OPT_NULLCHECK_FACTS_H_
+
+/**
+ * @file
+ * Shared vocabulary of the null check analyses.
+ *
+ * A *null check fact* is identified by the reference-typed value it
+ * guards: `nullcheck a` and a later `nullcheck a` denote the same fact as
+ * long as `a` is not overwritten in between.  NullCheckUniverse maps the
+ * function's reference values to dense bit indices for the dataflow
+ * solver.
+ *
+ * This header also centralizes the paper's side-effect rule: a null
+ * check may not move across an instruction that can throw an exception
+ * other than NullPointerException, that may write memory, or that writes
+ * a local variable while inside a try region (a handler could observe
+ * the local).
+ */
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "arch/target.h"
+#include "ir/function.h"
+#include "support/bitset.h"
+
+namespace trapjit
+{
+
+/** Dense numbering of the reference-typed values of one function. */
+class NullCheckUniverse
+{
+  public:
+    explicit NullCheckUniverse(const Function &func);
+
+    /** Number of tracked facts. */
+    size_t numFacts() const { return values_.size(); }
+
+    /** Bit index of @p value, or -1 if it is not reference-typed. */
+    int
+    factOf(ValueId value) const
+    {
+        return value < factOf_.size() ? factOf_[value] : -1;
+    }
+
+    /** The value a bit index denotes. */
+    ValueId valueOf(size_t fact) const { return values_[fact]; }
+
+  private:
+    std::vector<ValueId> values_;
+    std::vector<int> factOf_;
+};
+
+/**
+ * Flow-insensitive may-alias classes over reference values: two values
+ * are in the same class if any `move` chain connects them anywhere in
+ * the function.  Forward check motion (phase 2 and the lowering
+ * peephole) must treat an access through a *copy* of the checked
+ * variable as consuming the pending check — otherwise a check can float
+ * below a dereference of the same runtime reference under another name
+ * (a pattern inlining produces), which would fault unguarded.
+ */
+class RefAliasClasses
+{
+  public:
+    explicit RefAliasClasses(const Function &func);
+
+    /** True if @p a and @p b may hold the same reference via copies. */
+    bool
+    mayAlias(ValueId a, ValueId b) const
+    {
+        return find(a) == find(b);
+    }
+
+    /** Members of @p v's class (singleton classes return just {v}). */
+    const std::vector<ValueId> &aliasesOf(ValueId v) const
+    {
+        return members_[find(v)];
+    }
+
+  private:
+    ValueId
+    find(ValueId v) const
+    {
+        while (parent_[v] != v)
+            v = parent_[v];
+        return v;
+    }
+
+    std::vector<ValueId> parent_;
+    std::vector<std::vector<ValueId>> members_; ///< indexed by root
+};
+
+/**
+ * The paper's Kill condition for check motion: true if a null check may
+ * not move across @p inst when the enclosing block is (@p in_try_region)
+ * inside a try region.
+ */
+bool isMotionBarrier(const Function &func, const Instruction &inst,
+                     bool in_try_region);
+
+/**
+ * Make an explicit `nullcheck` instruction for @p value (used when an
+ * analysis materializes a check at an insertion point).
+ */
+Instruction makeExplicitNullCheck(Function &func, ValueId value);
+
+/**
+ * Copy-aware must-non-nullness domain, shared by the elimination passes
+ * (phase 1 and Whaley), scalar replacement's hoist-safety test, and the
+ * test suite's coverage checker.
+ *
+ * The bit space is the universe's non-null facts plus one *copy* bit per
+ * (dst, src) pair appearing in a reference-typed `move`: a live copy bit
+ * means the two values are equal and neither has been redefined since,
+ * so establishing either one establishes the other.  This is what lets
+ * the analyses see through the copies that copy propagation and
+ * inlining leave between a check and its uses.
+ */
+class NonNullDomain
+{
+  public:
+    /**
+     * @param target  if non-null, accesses marked as implicit-check
+     *        exception sites count as establishing (they trap).  Passes
+     *        running before any lowering can still encounter marks, in
+     *        code inlined from already-compiled callees.
+     */
+    NonNullDomain(const Function &func, const NullCheckUniverse &universe,
+                  const Target *target);
+
+    /** Total bit-space size (non-null facts + copy facts). */
+    size_t numBits() const { return universe_.numFacts() + pairs_.size(); }
+
+    /** Bit of the "v is non-null" fact; v must be reference-typed. */
+    size_t
+    nonnullBit(ValueId v) const
+    {
+        return static_cast<size_t>(universe_.factOf(v));
+    }
+
+    /** True if @p v is a tracked reference value. */
+    bool tracked(ValueId v) const { return universe_.factOf(v) >= 0; }
+
+    /** Kill the non-null bit and every copy bit mentioning @p v. */
+    void killValue(BitSet &set, ValueId v) const;
+
+    /** Set non-null(@p v) and propagate through live copy bits. */
+    void establish(BitSet &set, ValueId v) const;
+
+    /** Apply one instruction's effect to @p now (establishes + kills). */
+    void transfer(const Instruction &inst, BitSet &now) const;
+
+    /** Does @p inst establish its checked reference (check or trap)? */
+    bool establishes(const Instruction &inst) const;
+
+    /**
+     * True if @p a and @p b provably hold the same reference at a point
+     * whose state is @p state (connected through live copy bits).
+     * Phase 2 uses this to let a trapping access of a copy carry the
+     * original variable's check implicitly.
+     */
+    bool mustEqual(const BitSet &state, ValueId a, ValueId b) const;
+
+  private:
+    size_t
+    copyBit(size_t pair) const
+    {
+        return universe_.numFacts() + pair;
+    }
+
+    const Function &func_;
+    const NullCheckUniverse &universe_;
+    const Target *target_;
+    std::vector<std::pair<ValueId, ValueId>> pairs_;
+    std::map<std::pair<ValueId, ValueId>, size_t> pairIndex_;
+    std::vector<std::vector<size_t>> pairsUsing_;
+    BitSet copyMask_; ///< all copy bits, for the establish() fast path
+};
+
+/**
+ * Solve forward must-non-nullness (Section 4.1.2) over the copy-aware
+ * domain: returns the entry state of every block, given checks,
+ * allocations, copies, `ifnull` edge facts, and the non-null `this`.
+ * Nothing propagates along factored exception edges.
+ *
+ * @param earliest_per_block  if non-null, Earliest(m) — indexed by the
+ *        universe's fact numbering — is treated as established on every
+ *        non-exceptional out-edge of m (phase 1); Whaley's baseline and
+ *        scalar replacement pass nullptr.
+ */
+struct NonNullStates
+{
+    std::vector<BitSet> in;  ///< entry state per block
+    std::vector<BitSet> out; ///< exit state per block
+};
+
+NonNullStates solveNonNullStates(const Function &func,
+                                 const NonNullDomain &domain,
+                                 const NullCheckUniverse &universe,
+                                 const std::vector<BitSet>
+                                     *earliest_per_block);
+
+/**
+ * Delete every null check the solved entry states prove redundant.
+ * Returns the number of checks removed.
+ *
+ * @param eliminated_facts  if non-null (sized to the universe), the fact
+ *        bit of every deleted check is set — phase 1 uses this to prune
+ *        insertion points that paid for no elimination (a pure insertion
+ *        would only add dynamic checks).
+ */
+size_t eliminateCoveredChecks(Function &func,
+                              const NullCheckUniverse &universe,
+                              const NonNullDomain &domain,
+                              const std::vector<BitSet> &entry_states,
+                              BitSet *eliminated_facts = nullptr);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_NULLCHECK_FACTS_H_

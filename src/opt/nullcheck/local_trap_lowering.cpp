@@ -1,0 +1,57 @@
+#include "opt/nullcheck/local_trap_lowering.h"
+
+#include "opt/nullcheck/facts.h"
+
+namespace trapjit
+{
+
+bool
+LocalTrapLowering::runOnFunction(Function &func, PassContext &ctx)
+{
+    converted_ = 0;
+    RefAliasClasses aliases(func);
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool inTry = bb.tryRegion() != 0;
+        auto &insts = bb.insts();
+        for (size_t i = 0; i < insts.size(); ++i) {
+            Instruction &check = insts[i];
+            if (check.op != Opcode::NullCheck ||
+                check.flavor != CheckFlavor::Explicit) {
+                continue;
+            }
+            const ValueId guarded = check.a;
+            // Scan forward for a trapping consumer of the same reference;
+            // stop at anything that must not execute before the NPE is
+            // raised or that redefines the reference.
+            for (size_t j = i + 1; j < insts.size(); ++j) {
+                Instruction &cand = insts[j];
+                if (cand.checkedRef() == guarded) {
+                    if (ctx.target.trapCovers(cand)) {
+                        check.flavor = CheckFlavor::Implicit;
+                        cand.exceptionSite = true;
+                        ++converted_;
+                    }
+                    // A non-trapping access of the same reference needs
+                    // the explicit check; either way stop here.
+                    break;
+                }
+                // An access through a may-alias copy would dereference
+                // the same runtime reference before the deferred check.
+                if (cand.checkedRef() != kNoValue &&
+                    aliases.mayAlias(cand.checkedRef(), guarded)) {
+                    break;
+                }
+                if (isMotionBarrier(func, cand, inTry))
+                    break;
+                if (cand.hasDst() && cand.dst == guarded)
+                    break;
+                if (cand.isTerminator())
+                    break;
+            }
+        }
+    }
+    return converted_ > 0;
+}
+
+} // namespace trapjit

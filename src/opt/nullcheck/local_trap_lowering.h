@@ -1,0 +1,39 @@
+#ifndef TRAPJIT_OPT_NULLCHECK_LOCAL_TRAP_LOWERING_H_
+#define TRAPJIT_OPT_NULLCHECK_LOCAL_TRAP_LOWERING_H_
+
+/**
+ * @file
+ * Naive hardware-trap utilization (no data flow).
+ *
+ * This is how the paper's *non*-phase-2 configurations use the trap
+ * ("No Null Opt (Hardware Trap)", "Old Null Check", "New Null Check
+ * (Phase 1 only)"): an explicit check is converted to an implicit one
+ * when, within the same basic block and before any side effect or
+ * overwrite, the checked reference is consumed by an access that is
+ * guaranteed to trap on null.  It captures the common front-end pattern
+ * (check immediately followed by its access) but none of the cross-block
+ * cases phase 2 handles (Figure 7).
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Peephole conversion of explicit checks to hardware traps. */
+class LocalTrapLowering : public Pass
+{
+  public:
+    const char *name() const override { return "local-trap-lowering"; }
+    bool isNullCheckPass() const override { return true; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+
+    size_t lastConverted() const { return converted_; }
+
+  private:
+    size_t converted_ = 0;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_NULLCHECK_LOCAL_TRAP_LOWERING_H_

@@ -1,0 +1,127 @@
+#include "opt/nullcheck/phase1.h"
+
+#include "analysis/dataflow.h"
+#include "analysis/rpo.h"
+#include "opt/nullcheck/facts.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/**
+ * Gen/Kill of the backward anticipation analysis (4.1.1).
+ *
+ * Gen_bwd(n): checks located in n that can move up to n's entry — found
+ * by scanning upward and dropping the moving set at each barrier and the
+ * moving check at an overwrite of its variable.
+ *
+ * Kill_bwd(n): facts that cannot traverse the whole block upward — every
+ * overwritten variable, and everything if the block contains a barrier.
+ */
+void
+backwardGenKill(const Function &func, const NullCheckUniverse &universe,
+                const BasicBlock &bb, BitSet &gen, BitSet &kill)
+{
+    const bool inTry = bb.tryRegion() != 0;
+    for (auto it = bb.insts().rbegin(); it != bb.insts().rend(); ++it) {
+        const Instruction &inst = *it;
+        if (inst.op == Opcode::NullCheck) {
+            gen.set(static_cast<size_t>(universe.factOf(inst.a)));
+            continue;
+        }
+        if (isMotionBarrier(func, inst, inTry)) {
+            gen.clearAll();
+            kill.setAll();
+        }
+        if (inst.hasDst()) {
+            int fact = universe.factOf(inst.dst);
+            if (fact >= 0) {
+                gen.reset(static_cast<size_t>(fact));
+                kill.set(static_cast<size_t>(fact));
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+NullCheckPhase1::runOnFunction(Function &func, PassContext &ctx)
+{
+    stats_ = Stats{};
+    NullCheckUniverse universe(func);
+    const size_t numFacts = universe.numFacts();
+    if (numFacts == 0)
+        return false;
+    const size_t numBlocks = func.numBlocks();
+    const std::vector<bool> reachable = reachableBlocks(func);
+
+    // ---- 4.1.1: backward anticipation ----------------------------------
+    DataflowSpec bwd;
+    bwd.direction = DataflowSpec::Direction::Backward;
+    bwd.confluence = DataflowSpec::Confluence::Intersect;
+    bwd.numFacts = numFacts;
+    bwd.gen.assign(numBlocks, BitSet(numFacts));
+    bwd.kill.assign(numBlocks, BitSet(numFacts));
+    for (size_t b = 0; b < numBlocks; ++b) {
+        backwardGenKill(func, universe, func.block(static_cast<BlockId>(b)),
+                        bwd.gen[b], bwd.kill[b]);
+    }
+    addTryBoundaryKills(func, bwd);
+    DataflowResult ant = solveDataflow(func, bwd);
+
+    // Earliest(n) = Out_bwd(n) − U_{m in Pred(n)} Out_bwd(m):
+    // anticipated at n's exit but at no predecessor's exit — these are
+    // the insertion points.
+    std::vector<BitSet> earliest(numBlocks, BitSet(numFacts));
+    for (size_t b = 0; b < numBlocks; ++b) {
+        if (!reachable[b])
+            continue;
+        earliest[b] = ant.out[b];
+        for (BlockId pred : func.block(static_cast<BlockId>(b)).preds())
+            earliest[b].subtract(ant.out[pred]);
+    }
+
+    // ---- 4.1.2: forward non-nullness, elimination, insertion -----------
+    NonNullDomain domain(func, universe, &ctx.target);
+    NonNullStates nonnull =
+        solveNonNullStates(func, domain, universe, &earliest);
+
+    BitSet eliminatedFacts(numFacts);
+    stats_.eliminated = eliminateCoveredChecks(func, universe, domain,
+                                               nonnull.in, &eliminatedFacts);
+    bool changed = stats_.eliminated > 0;
+
+    for (size_t b = 0; b < numBlocks; ++b) {
+        if (!reachable[b])
+            continue;
+        // Prune insertions already covered at the block's exit
+        // (Earliest(n) -= Out_fwd(n)), and insertions of facts that
+        // enabled no elimination anywhere — materializing those would
+        // only add dynamic checks (the classic PRE pessimization on
+        // partially anticipated paths).
+        BitSet pending(numFacts);
+        earliest[b].forEach([&](size_t fact) {
+            if (eliminatedFacts.test(fact) &&
+                !nonnull.out[b].test(
+                    domain.nonnullBit(universe.valueOf(fact)))) {
+                pending.set(fact);
+            }
+        });
+        if (pending.empty())
+            continue;
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        pending.forEach([&](size_t fact) {
+            bb.insertBeforeTerminator(
+                makeExplicitNullCheck(func, universe.valueOf(fact)));
+            ++stats_.inserted;
+        });
+        changed = true;
+    }
+
+    return changed;
+}
+
+} // namespace trapjit

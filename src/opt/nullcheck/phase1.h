@@ -1,0 +1,61 @@
+#ifndef TRAPJIT_OPT_NULLCHECK_PHASE1_H_
+#define TRAPJIT_OPT_NULLCHECK_PHASE1_H_
+
+/**
+ * @file
+ * Architecture independent null check optimization (paper Section 4.1).
+ *
+ * The pass moves null checks *backward* to the earliest points they can
+ * reach — which pulls loop-invariant checks in front of loops — and
+ * eliminates checks that are then provably redundant.  It is a
+ * partial-redundancy-elimination scheme specialized to null-check facts:
+ *
+ *  1. A backward anticipation analysis (4.1.1) computes, per block, the
+ *     set of checks that can move up to the block's exit without crossing
+ *     a side-effecting instruction, an overwrite of the checked variable,
+ *     or a try-region boundary.  `Earliest(n)` — anticipated at n's exit
+ *     but at no predecessor's exit — are the insertion points.
+ *
+ *  2. A forward non-nullness analysis (4.1.2), which treats the pending
+ *     `Earliest` insertions as available on the corresponding edges plus
+ *     the `ifnull`/`ifnonnull` edge facts and the non-null `this`
+ *     parameter, then deletes every original check that is dominated by
+ *     equivalent coverage, prunes insertions that are already covered
+ *     (`Earliest(n) -= Out_fwd(n)`), and materializes the remainder at
+ *     block exits.
+ *
+ * The motion is safe because insertion points are *anticipated*: on
+ * every path from them, the original program performs the same check
+ * before any observable effect, so a hoisted check throws the same
+ * NullPointerException in the same visible state, merely earlier.
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Phase 1 of the paper's two-phase null check optimization. */
+class NullCheckPhase1 : public Pass
+{
+  public:
+    const char *name() const override { return "nullcheck-phase1"; }
+    bool isNullCheckPass() const override { return true; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+
+    /** Telemetry of the last runOnFunction call. */
+    struct Stats
+    {
+        size_t eliminated = 0;
+        size_t inserted = 0;
+    };
+
+    const Stats &lastStats() const { return stats_; }
+
+  private:
+    Stats stats_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_NULLCHECK_PHASE1_H_

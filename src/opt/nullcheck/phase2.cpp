@@ -1,0 +1,354 @@
+#include "opt/nullcheck/phase2.h"
+
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "analysis/rpo.h"
+#include "opt/nullcheck/facts.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/**
+ * Gen/Kill of the forward motion analysis (4.2.1).  A check moves down
+ * until it hits a side-effect barrier, an overwrite of its variable, or
+ * *any* access requiring its variable (where it is consumed: as an
+ * implicit check if the access traps, as a rematerialized explicit check
+ * otherwise).
+ */
+void
+motionGenKill(const Function &func, const NullCheckUniverse &universe,
+              const RefAliasClasses &aliases, const BasicBlock &bb,
+              BitSet &gen, BitSet &kill)
+{
+    const bool inTry = bb.tryRegion() != 0;
+    BitSet moving(universe.numFacts());
+    for (const Instruction &inst : bb.insts()) {
+        if (inst.op == Opcode::NullCheck) {
+            moving.set(static_cast<size_t>(universe.factOf(inst.a)));
+            continue;
+        }
+        ValueId checked = inst.checkedRef();
+        if (checked != kNoValue) {
+            // The access consumes not only a pending check of its own
+            // variable but any pending check of a may-alias copy: a
+            // check must never float below a dereference of the same
+            // runtime reference under another name.
+            for (ValueId alias : aliases.aliasesOf(checked)) {
+                size_t fact =
+                    static_cast<size_t>(universe.factOf(alias));
+                moving.reset(fact);
+                kill.set(fact);
+            }
+        }
+        if (isMotionBarrier(func, inst, inTry)) {
+            moving.clearAll();
+            kill.setAll();
+        }
+        if (inst.hasDst()) {
+            int fact = universe.factOf(inst.dst);
+            if (fact >= 0) {
+                moving.reset(static_cast<size_t>(fact));
+                kill.set(static_cast<size_t>(fact));
+            }
+        }
+    }
+    gen = moving;
+}
+
+/** Normal (non-exceptional) successors of a terminator. */
+void
+normalSuccs(const Instruction &term, std::vector<BlockId> &out)
+{
+    out.clear();
+    switch (term.op) {
+      case Opcode::Jump:
+        out.push_back(static_cast<BlockId>(term.imm));
+        break;
+      case Opcode::Branch:
+      case Opcode::IfNull:
+        out.push_back(static_cast<BlockId>(term.imm));
+        if (term.imm2 != term.imm)
+            out.push_back(static_cast<BlockId>(term.imm2));
+        break;
+      default:
+        break;
+    }
+}
+
+/** An implicit `nullcheck` marker placed in front of a marked access. */
+Instruction
+makeImplicitNullCheck(Function &func, ValueId value)
+{
+    Instruction check = makeExplicitNullCheck(func, value);
+    check.flavor = CheckFlavor::Implicit;
+    return check;
+}
+
+} // namespace
+
+bool
+NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
+{
+    stats_ = Stats{};
+    NullCheckUniverse universe(func);
+    const size_t numFacts = universe.numFacts();
+    if (numFacts == 0)
+        return false;
+    const size_t numBlocks = func.numBlocks();
+    const std::vector<bool> reachable = reachableBlocks(func);
+
+    // ---- 4.2.1: forward motion -----------------------------------------
+    DataflowSpec fwd;
+    fwd.direction = DataflowSpec::Direction::Forward;
+    fwd.confluence = DataflowSpec::Confluence::Intersect;
+    fwd.numFacts = numFacts;
+    fwd.gen.assign(numBlocks, BitSet(numFacts));
+    fwd.kill.assign(numBlocks, BitSet(numFacts));
+    RefAliasClasses aliases(func);
+    for (size_t b = 0; b < numBlocks; ++b) {
+        motionGenKill(func, universe, aliases,
+                      func.block(static_cast<BlockId>(b)), fwd.gen[b],
+                      fwd.kill[b]);
+    }
+    addTryBoundaryKills(func, fwd);
+    addExceptionEdgeKills(func, fwd);
+    DataflowResult motion = solveDataflow(func, fwd);
+
+    // Copy availability, for attaching a pending check implicitly to a
+    // trapping access of a must-equal copy (the inlined-receiver shape of
+    // Figure 1: the check guards the call-site variable, the slot access
+    // uses the callee's cloned `this`).
+    NonNullDomain domain(func, universe, &ctx.target);
+    NonNullStates copyStates =
+        solveNonNullStates(func, domain, universe, nullptr);
+
+    // ---- In-block insertion (the algorithm of Section 4.2.1) ----------
+    bool changed = false;
+    std::vector<BlockId> succs;
+    for (size_t b = 0; b < numBlocks; ++b) {
+        if (!reachable[b])
+            continue;
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool inTry = bb.tryRegion() != 0;
+        BitSet inner = motion.in[b];
+        BitSet flow = copyStates.in[b];
+        std::vector<Instruction> rebuilt;
+        rebuilt.reserve(bb.insts().size());
+
+        auto materialize = [&](size_t fact) {
+            rebuilt.push_back(
+                makeExplicitNullCheck(func, universe.valueOf(fact)));
+            ++stats_.keptExplicit;
+            changed = true;
+        };
+
+        for (size_t i = 0; i < bb.insts().size(); ++i) {
+            Instruction inst = bb.insts()[i];
+            const bool isTerm = (i + 1 == bb.insts().size());
+
+            if (isTerm) {
+                // Materialize every pending check that does not continue
+                // into all normal successors (and everything at an exit).
+                if (inst.op == Opcode::Return || inst.op == Opcode::Throw) {
+                    inner.forEach(materialize);
+                } else {
+                    normalSuccs(inst, succs);
+                    BitSet continuing = inner;
+                    inner.forEach([&](size_t fact) {
+                        for (BlockId s : succs) {
+                            if (!motion.in[s].test(fact)) {
+                                continuing.reset(fact);
+                                break;
+                            }
+                        }
+                    });
+                    BitSet dying = inner;
+                    dying.subtract(continuing);
+                    dying.forEach(materialize);
+                }
+                rebuilt.push_back(std::move(inst));
+                break;
+            }
+
+            if (inst.op == Opcode::NullCheck) {
+                // Absorb the original check into the pending set; it is
+                // rematerialized at its latest legal point.
+                inner.set(static_cast<size_t>(universe.factOf(inst.a)));
+                changed = true;
+                domain.transfer(inst, flow);
+                continue;
+            }
+
+            ValueId checked = inst.checkedRef();
+            if (checked != kNoValue) {
+                // A pending check of a copy is consumed here.  If the
+                // copy provably equals the checked variable (must-copy)
+                // and the access traps, the trap carries the copy's
+                // check implicitly; otherwise it must become an explicit
+                // check of its own variable (a may-alias only).
+                for (ValueId alias : aliases.aliasesOf(checked)) {
+                    if (alias == checked)
+                        continue;
+                    size_t afact =
+                        static_cast<size_t>(universe.factOf(alias));
+                    if (!inner.test(afact))
+                        continue;
+                    if (ctx.target.trapCovers(inst) &&
+                        domain.mustEqual(flow, alias, checked)) {
+                        rebuilt.push_back(
+                            makeImplicitNullCheck(func, alias));
+                        inst.exceptionSite = true;
+                        ++stats_.convertedToImplicit;
+                    } else {
+                        rebuilt.push_back(
+                            makeExplicitNullCheck(func, alias));
+                        ++stats_.keptExplicit;
+                    }
+                    inner.reset(afact);
+                    changed = true;
+                }
+                size_t fact =
+                    static_cast<size_t>(universe.factOf(checked));
+                if (inner.test(fact)) {
+                    if (ctx.target.trapCovers(inst)) {
+                        rebuilt.push_back(
+                            makeImplicitNullCheck(func, checked));
+                        inst.exceptionSite = true;
+                        ++stats_.convertedToImplicit;
+                    } else {
+                        rebuilt.push_back(
+                            makeExplicitNullCheck(func, checked));
+                        ++stats_.keptExplicit;
+                    }
+                    inner.reset(fact);
+                    changed = true;
+                }
+            }
+
+            if (isMotionBarrier(func, inst, inTry)) {
+                inner.forEach(materialize);
+                inner.clearAll();
+            } else if (inst.hasDst()) {
+                int fact = universe.factOf(inst.dst);
+                if (fact >= 0 && inner.test(static_cast<size_t>(fact))) {
+                    materialize(static_cast<size_t>(fact));
+                    inner.reset(static_cast<size_t>(fact));
+                }
+            }
+
+            domain.transfer(inst, flow);
+            rebuilt.push_back(std::move(inst));
+        }
+        bb.insts() = std::move(rebuilt);
+    }
+
+    // ---- 4.2.2: substitutable elimination -------------------------------
+    DataflowSpec bwd;
+    bwd.direction = DataflowSpec::Direction::Backward;
+    bwd.confluence = DataflowSpec::Confluence::Intersect;
+    bwd.numFacts = numFacts;
+    bwd.gen.assign(numBlocks, BitSet(numFacts));
+    bwd.kill.assign(numBlocks, BitSet(numFacts));
+    for (size_t b = 0; b < numBlocks; ++b) {
+        const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool inTry = bb.tryRegion() != 0;
+        BitSet &gen = bwd.gen[b];
+        BitSet &kill = bwd.kill[b];
+        BitSet killedSoFar(numFacts);
+        for (const Instruction &inst : bb.insts()) {
+            // A fact is generated at block entry if the check/trap occurs
+            // before anything kills it on the way down.
+            if (inst.op == Opcode::NullCheck) {
+                size_t fact =
+                    static_cast<size_t>(universe.factOf(inst.a));
+                if (!killedSoFar.test(fact))
+                    gen.set(fact);
+                continue;
+            }
+            ValueId checked = inst.checkedRef();
+            if (checked != kNoValue) {
+                if (inst.exceptionSite && ctx.target.trapCovers(inst)) {
+                    size_t fact =
+                        static_cast<size_t>(universe.factOf(checked));
+                    if (!killedSoFar.test(fact))
+                        gen.set(fact);
+                }
+                // Any access requiring the variable (or a may-alias
+                // copy) consumes the guard duty: a check above it may
+                // not be substituted by a check *below* it, or the
+                // access would execute unguarded.
+                for (ValueId alias : aliases.aliasesOf(checked)) {
+                    size_t fact =
+                        static_cast<size_t>(universe.factOf(alias));
+                    killedSoFar.set(fact);
+                    kill.set(fact);
+                }
+            }
+            if (isMotionBarrier(func, inst, inTry)) {
+                killedSoFar.setAll();
+                kill.setAll();
+            }
+            if (inst.hasDst()) {
+                int fact = universe.factOf(inst.dst);
+                if (fact >= 0) {
+                    killedSoFar.set(static_cast<size_t>(fact));
+                    kill.set(static_cast<size_t>(fact));
+                }
+            }
+        }
+    }
+    addTryBoundaryKills(func, bwd);
+    DataflowResult subst = solveDataflow(func, bwd);
+
+    for (size_t b = 0; b < numBlocks; ++b) {
+        if (!reachable[b])
+            continue;
+        BasicBlock &bb = func.block(static_cast<BlockId>(b));
+        const bool inTry = bb.tryRegion() != 0;
+        BitSet after = subst.out[b];
+        std::vector<size_t> doomed;
+        auto &insts = bb.insts();
+        for (size_t ri = insts.size(); ri-- > 0;) {
+            const Instruction &inst = insts[ri];
+            if (inst.op == Opcode::NullCheck &&
+                inst.flavor == CheckFlavor::Explicit) {
+                size_t fact =
+                    static_cast<size_t>(universe.factOf(inst.a));
+                if (after.test(fact)) {
+                    doomed.push_back(ri);
+                    ++stats_.substitutableEliminated;
+                }
+            }
+            // Transfer to the state before this instruction.
+            if (isMotionBarrier(func, inst, inTry))
+                after.clearAll();
+            if (inst.hasDst()) {
+                int fact = universe.factOf(inst.dst);
+                if (fact >= 0)
+                    after.reset(static_cast<size_t>(fact));
+            }
+            if (inst.op == Opcode::NullCheck) {
+                after.set(static_cast<size_t>(universe.factOf(inst.a)));
+            } else if (inst.checkedRef() != kNoValue) {
+                for (ValueId alias : aliases.aliasesOf(inst.checkedRef()))
+                    after.reset(static_cast<size_t>(
+                        universe.factOf(alias)));
+                if (inst.exceptionSite && ctx.target.trapCovers(inst)) {
+                    after.set(static_cast<size_t>(
+                        universe.factOf(inst.checkedRef())));
+                }
+            }
+        }
+        for (size_t idx : doomed)
+            insts.erase(insts.begin() + static_cast<long>(idx));
+        changed |= !doomed.empty();
+    }
+
+    return changed;
+}
+
+} // namespace trapjit

@@ -1,0 +1,61 @@
+#ifndef TRAPJIT_OPT_NULLCHECK_PHASE2_H_
+#define TRAPJIT_OPT_NULLCHECK_PHASE2_H_
+
+/**
+ * @file
+ * Architecture dependent null check optimization (paper Section 4.2).
+ *
+ * The pass runs the PRE machinery in the opposite direction of phase 1:
+ * checks move *forward* to the latest points they can reach, so that as
+ * many as possible land directly on a memory access that hardware-traps
+ * on null — there they become *implicit* (the access is marked as the
+ * exception site and no check code is emitted).  Checks that reach a
+ * point where no trap-covered access consumes them (a devirtualized call
+ * that skips the receiver's slots, Figure 1; a field whose offset exceeds
+ * the protected page, Figure 5; a read on a target whose OS only traps
+ * writes) are rematerialized as explicit checks.  A final backward
+ * "substitutable" analysis (4.2.2) deletes explicit checks that are
+ * always re-checked (by a check or a trapping marked access) before any
+ * side effect.
+ *
+ * Two deliberate deviations from the paper's pseudocode, both on the
+ * sound side (documented in DESIGN.md):
+ *  - a check may not float past *any* access that requires its variable,
+ *    even a non-trapping one (the paper's Kill only lists trapping
+ *    accesses, which would let a check float below a big-offset read);
+ *  - at a block exit a pending check is materialized as soon as *some*
+ *    successor does not continue it (the paper materializes only when no
+ *    successor does, which can drop an obligation on a partially-
+ *    anticipated edge).
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Phase 2 of the paper's two-phase null check optimization. */
+class NullCheckPhase2 : public Pass
+{
+  public:
+    const char *name() const override { return "nullcheck-phase2"; }
+    bool isNullCheckPass() const override { return true; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+
+    /** Telemetry of the last runOnFunction call. */
+    struct Stats
+    {
+        size_t convertedToImplicit = 0;
+        size_t keptExplicit = 0;
+        size_t substitutableEliminated = 0;
+    };
+
+    const Stats &lastStats() const { return stats_; }
+
+  private:
+    Stats stats_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_NULLCHECK_PHASE2_H_

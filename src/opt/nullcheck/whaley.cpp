@@ -1,0 +1,24 @@
+#include "opt/nullcheck/whaley.h"
+
+#include "opt/nullcheck/facts.h"
+
+namespace trapjit
+{
+
+bool
+WhaleyNullCheckElimination::runOnFunction(Function &func, PassContext &ctx)
+{
+    eliminated_ = 0;
+    NullCheckUniverse universe(func);
+    if (universe.numFacts() == 0)
+        return false;
+
+    NonNullDomain domain(func, universe, &ctx.target);
+    NonNullStates nonnull =
+        solveNonNullStates(func, domain, universe, nullptr);
+    eliminated_ =
+        eliminateCoveredChecks(func, universe, domain, nonnull.in);
+    return eliminated_ > 0;
+}
+
+} // namespace trapjit

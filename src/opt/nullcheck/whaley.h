@@ -1,0 +1,38 @@
+#ifndef TRAPJIT_OPT_NULLCHECK_WHALEY_H_
+#define TRAPJIT_OPT_NULLCHECK_WHALEY_H_
+
+/**
+ * @file
+ * The previously known best algorithm, used as the paper's baseline
+ * ("Old Null Check"): Whaley's forward dataflow null check elimination
+ * [reference 14 in the paper].
+ *
+ * It deletes a null check when the variable is already known non-null on
+ * every incoming path — i.e. the same forward analysis phase 1 ends with,
+ * but with *no code motion*: a loop-invariant check whose first
+ * occurrence is inside the loop stays inside the loop, which is exactly
+ * the drawback (Section 2.2) the paper's phase 1 removes.
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Whaley-style forward-only null check elimination. */
+class WhaleyNullCheckElimination : public Pass
+{
+  public:
+    const char *name() const override { return "nullcheck-whaley"; }
+    bool isNullCheckPass() const override { return true; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+
+    size_t lastEliminated() const { return eliminated_; }
+
+  private:
+    size_t eliminated_ = 0;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_NULLCHECK_WHALEY_H_

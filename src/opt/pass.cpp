@@ -1,0 +1,8 @@
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+// Pass is an interface; this translation unit anchors its vtable.
+
+} // namespace trapjit

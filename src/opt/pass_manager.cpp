@@ -1,0 +1,33 @@
+#include "opt/pass_manager.h"
+
+#include <chrono>
+
+namespace trapjit
+{
+
+void
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+bool
+PassManager::run(Function &func, PassContext &ctx)
+{
+    using Clock = std::chrono::steady_clock;
+    bool changed = false;
+    for (auto &pass : passes_) {
+        auto start = Clock::now();
+        changed |= pass->runOnFunction(func, ctx);
+        double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        timings_.perPass[pass->name()] += seconds;
+        if (pass->isNullCheckPass())
+            timings_.nullCheckSeconds += seconds;
+        else
+            timings_.otherSeconds += seconds;
+    }
+    return changed;
+}
+
+} // namespace trapjit

@@ -1,0 +1,56 @@
+#ifndef TRAPJIT_OPT_PASS_MANAGER_H_
+#define TRAPJIT_OPT_PASS_MANAGER_H_
+
+/**
+ * @file
+ * Ordered pass list with per-pass wall-clock accounting.
+ *
+ * The timing split (null check optimization vs everything else) is what
+ * regenerates the paper's compile-time breakdown (Table 4 / Figure 13):
+ * each pass declares which budget it belongs to via
+ * Pass::isNullCheckPass().
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Accumulated wall-clock time per pass. */
+struct PassTimings
+{
+    /** name -> accumulated seconds. */
+    std::map<std::string, double> perPass;
+    double nullCheckSeconds = 0.0;
+    double otherSeconds = 0.0;
+
+    double total() const { return nullCheckSeconds + otherSeconds; }
+    void clear() { *this = PassTimings{}; }
+};
+
+/** Runs an ordered list of passes over functions, accumulating timings. */
+class PassManager
+{
+  public:
+    /** Append a pass; runs in insertion order. */
+    void add(std::unique_ptr<Pass> pass);
+
+    /** Run all passes once, in order, over @p func. */
+    bool run(Function &func, PassContext &ctx);
+
+    const PassTimings &timings() const { return timings_; }
+    void clearTimings() { timings_.clear(); }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    PassTimings timings_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_PASS_MANAGER_H_

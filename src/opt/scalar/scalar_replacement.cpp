@@ -1,0 +1,514 @@
+#include "opt/scalar/scalar_replacement.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "analysis/rpo.h"
+#include "ir/layout.h"
+#include "opt/bounds/bounds_facts.h"
+#include "opt/nullcheck/facts.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Kind of promoted location. */
+enum class LocKind : uint8_t { Field, Length, Element };
+
+/** One candidate group: a loop-invariant heap location. */
+struct Group
+{
+    LocKind kind = LocKind::Field;
+    ValueId base = kNoValue;
+    int64_t offset = 0;    ///< Field only
+    ValueId idx = kNoValue; ///< Element only
+    Type type = Type::I32;  ///< loaded value type
+    bool hasRead = false;
+    bool hasWrite = false;
+    bool speculative = false;
+    bool invalid = false;
+    ValueId tmp = kNoValue; ///< assigned at apply time
+};
+
+using GroupKey = std::tuple<uint8_t, ValueId, int64_t, ValueId>;
+
+GroupKey
+keyOf(LocKind kind, ValueId base, int64_t offset, ValueId idx)
+{
+    return GroupKey{static_cast<uint8_t>(kind), base, offset, idx};
+}
+
+/**
+ * Must-availability of "length value l is arraylength(base)" bindings,
+ * used to connect a bounds fact (idx, l) to the array it protects.
+ */
+class LengthBindingAvailability
+{
+  public:
+    explicit LengthBindingAvailability(const Function &func)
+    {
+        for (size_t b = 0; b < func.numBlocks(); ++b) {
+            for (const Instruction &inst :
+                 func.block(static_cast<BlockId>(b)).insts()) {
+                if (inst.op != Opcode::ArrayLength)
+                    continue;
+                auto key = std::make_pair(inst.dst, inst.a);
+                if (factOf_.emplace(key, pairs_.size()).second)
+                    pairs_.push_back(key);
+            }
+        }
+        byValue_.resize(func.numValues());
+        for (size_t f = 0; f < pairs_.size(); ++f) {
+            byValue_[pairs_[f].first].push_back(f);
+            if (pairs_[f].second != pairs_[f].first)
+                byValue_[pairs_[f].second].push_back(f);
+        }
+
+        const size_t numFacts = pairs_.size();
+        const size_t numBlocks = func.numBlocks();
+        DataflowSpec fwd;
+        fwd.direction = DataflowSpec::Direction::Forward;
+        fwd.confluence = DataflowSpec::Confluence::Intersect;
+        fwd.numFacts = numFacts;
+        fwd.gen.assign(numBlocks, BitSet(numFacts));
+        fwd.kill.assign(numBlocks, BitSet(numFacts));
+        for (size_t b = 0; b < numBlocks; ++b) {
+            const BasicBlock &bb = func.block(static_cast<BlockId>(b));
+            BitSet &gen = fwd.gen[b];
+            BitSet &kill = fwd.kill[b];
+            for (const Instruction &inst : bb.insts()) {
+                if (inst.hasDst()) {
+                    for (size_t fact : byValue_[inst.dst]) {
+                        gen.reset(fact);
+                        kill.set(fact);
+                    }
+                }
+                if (inst.op == Opcode::ArrayLength) {
+                    int fact = factIdx(inst.dst, inst.a);
+                    gen.set(static_cast<size_t>(fact));
+                    kill.reset(static_cast<size_t>(fact));
+                }
+            }
+        }
+        addExceptionEdgeKills(func, fwd);
+        fwd.boundary.resize(numFacts);
+        result_ = solveDataflow(func, fwd);
+    }
+
+    /** Length values bound to @p base and available at @p block entry. */
+    std::vector<ValueId>
+    lengthsOf(ValueId base, BlockId block) const
+    {
+        std::vector<ValueId> out;
+        for (size_t fact : byValue_[base]) {
+            if (pairs_[fact].second == base &&
+                result_.in[block].test(fact)) {
+                out.push_back(pairs_[fact].first);
+            }
+        }
+        return out;
+    }
+
+  private:
+    int
+    factIdx(ValueId len, ValueId base) const
+    {
+        return static_cast<int>(factOf_.at(std::make_pair(len, base)));
+    }
+
+    std::vector<std::pair<ValueId, ValueId>> pairs_; // (len, base)
+    std::map<std::pair<ValueId, ValueId>, size_t> factOf_;
+    std::vector<std::vector<size_t>> byValue_;
+    DataflowResult result_;
+};
+
+/** Everything known about one loop's candidates. */
+struct LoopPlan
+{
+    const Loop *loop = nullptr;
+    std::vector<Group> groups;
+};
+
+/**
+ * Collect and validate the promotion candidates of @p loop.
+ */
+LoopPlan
+analyzeLoop(Function &func, PassContext &ctx, const Loop &loop,
+            const NonNullDomain &domain,
+            const std::vector<BitSet> &nonnull_entry,
+            const BoundsUniverse &bu, const DataflowResult *bavail,
+            const LengthBindingAvailability &lengths)
+{
+    LoopPlan plan;
+    plan.loop = &loop;
+
+    std::vector<bool> defined(func.numValues(), false);
+    bool hasCall = false;
+    for (BlockId b : loop.blocks) {
+        for (const Instruction &inst : func.block(b).insts()) {
+            if (inst.hasDst())
+                defined[inst.dst] = true;
+            if (inst.op == Opcode::Call)
+                hasCall = true;
+        }
+    }
+
+    std::map<GroupKey, Group> groups;
+    // Writes that invalidate: (offset) of field writes through a variant
+    // or foreign base; element stores through variant operands.
+    std::vector<std::pair<ValueId, int64_t>> fieldWrites; // (base, offset)
+    struct ElemWrite
+    {
+        ValueId base;
+        ValueId idx;
+        Type elemType;
+        bool variant;
+    };
+    std::vector<ElemWrite> elemWrites;
+
+    auto touch = [&](LocKind kind, ValueId base, int64_t offset,
+                     ValueId idx, Type type, bool write) -> Group & {
+        auto key = keyOf(kind, base, offset, idx);
+        auto [it, fresh] = groups.emplace(key, Group{});
+        Group &g = it->second;
+        if (fresh) {
+            g.kind = kind;
+            g.base = base;
+            g.offset = offset;
+            g.idx = idx;
+            g.type = type;
+        } else if (g.type != type) {
+            g.invalid = true; // mixed-type access, refuse
+        }
+        (write ? g.hasWrite : g.hasRead) = true;
+        return g;
+    };
+
+    for (BlockId b : loop.blocks) {
+        for (const Instruction &inst : func.block(b).insts()) {
+            switch (inst.op) {
+              case Opcode::GetField:
+                if (!defined[inst.a] && !inst.exceptionSite &&
+                    !inst.speculative) {
+                    touch(LocKind::Field, inst.a, inst.imm, kNoValue,
+                          func.value(inst.dst).type, false);
+                }
+                break;
+              case Opcode::PutField:
+                fieldWrites.emplace_back(
+                    defined[inst.a] ? kNoValue : inst.a, inst.imm);
+                if (!defined[inst.a] && !inst.exceptionSite) {
+                    touch(LocKind::Field, inst.a, inst.imm, kNoValue,
+                          func.value(inst.b).type, true);
+                }
+                break;
+              case Opcode::ArrayLength:
+                if (!defined[inst.a] && !inst.exceptionSite &&
+                    !inst.speculative) {
+                    touch(LocKind::Length, inst.a, 0, kNoValue,
+                          Type::I32, false);
+                }
+                break;
+              case Opcode::ArrayLoad:
+                if (!defined[inst.a] && !defined[inst.b] &&
+                    !inst.exceptionSite && !inst.speculative) {
+                    touch(LocKind::Element, inst.a, 0, inst.b,
+                          inst.elemType, false);
+                }
+                break;
+              case Opcode::ArrayStore: {
+                bool variant = defined[inst.a] || defined[inst.b];
+                elemWrites.push_back(ElemWrite{
+                    variant ? kNoValue : inst.a,
+                    variant ? kNoValue : inst.b, inst.elemType, variant});
+                if (!variant && !inst.exceptionSite) {
+                    touch(LocKind::Element, inst.a, 0, inst.b,
+                          inst.elemType, true);
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    const BlockId header = loop.header;
+    for (auto &[key, g] : groups) {
+        (void)key;
+        if (g.invalid)
+            continue;
+        // Promoting a write-only location gains nothing and would
+        // re-trigger every round; only promote locations that are read.
+        if (!g.hasRead)
+            continue;
+
+        // Aliasing.
+        if (g.kind == LocKind::Field) {
+            if (hasCall) {
+                g.invalid = true;
+                continue;
+            }
+            for (const auto &[wbase, woffset] : fieldWrites) {
+                if (woffset == g.offset && wbase != g.base) {
+                    g.invalid = true;
+                    break;
+                }
+            }
+        } else if (g.kind == LocKind::Element) {
+            if (hasCall) {
+                g.invalid = true;
+                continue;
+            }
+            for (const ElemWrite &w : elemWrites) {
+                if (w.elemType != g.type)
+                    continue;
+                if (w.variant || w.base != g.base || w.idx != g.idx) {
+                    g.invalid = true;
+                    break;
+                }
+            }
+        }
+        if (g.invalid)
+            continue;
+
+        // Null safety of the preheader load.
+        bool isNonNull =
+            domain.tracked(g.base) &&
+            nonnull_entry[header].test(domain.nonnullBit(g.base));
+        if (!isNonNull) {
+            int64_t off = g.kind == LocKind::Field ? g.offset
+                          : g.kind == LocKind::Length ? kArrayLengthOffset
+                                                      : -1;
+            if (ctx.enableSpeculation &&
+                ctx.target.readIsSpeculationSafe(off)) {
+                g.speculative = true;
+            } else {
+                g.invalid = true;
+                continue;
+            }
+        }
+
+        // Bounds safety of a hoisted element load: some available length
+        // binding of the base must have an available bounds fact with the
+        // group's index.
+        if (g.kind == LocKind::Element) {
+            bool inBounds = false;
+            if (bavail) {
+                for (ValueId len : lengths.lengthsOf(g.base, header)) {
+                    int bfact = bu.factOf(g.idx, len);
+                    if (bfact >= 0 &&
+                        bavail->in[header].test(
+                            static_cast<size_t>(bfact))) {
+                        inBounds = true;
+                        break;
+                    }
+                }
+            }
+            if (!inBounds) {
+                g.invalid = true;
+                continue;
+            }
+        }
+
+        plan.groups.push_back(g);
+    }
+    return plan;
+}
+
+/** Materialize the plan: preheader loads, in-loop moves. */
+void
+applyPlan(Function &func, LoopPlan &plan, BlockId preheader,
+          ScalarReplacement::Stats &stats)
+{
+    for (Group &g : plan.groups) {
+        g.tmp = func.addTemp(g.type);
+        Instruction load;
+        switch (g.kind) {
+          case LocKind::Field:
+            load.op = Opcode::GetField;
+            load.dst = g.tmp;
+            load.a = g.base;
+            load.imm = g.offset;
+            ++stats.promotedFields;
+            break;
+          case LocKind::Length:
+            load.op = Opcode::ArrayLength;
+            load.dst = g.tmp;
+            load.a = g.base;
+            ++stats.promotedLengths;
+            break;
+          case LocKind::Element:
+            load.op = Opcode::ArrayLoad;
+            load.dst = g.tmp;
+            load.a = g.base;
+            load.b = g.idx;
+            load.elemType = g.type;
+            ++stats.promotedElements;
+            break;
+        }
+        load.speculative = g.speculative;
+        if (g.speculative)
+            ++stats.speculativeLoads;
+        load.site = func.takeSiteId();
+        func.block(preheader).insertBeforeTerminator(std::move(load));
+    }
+
+    auto findGroup = [&](LocKind kind, ValueId base, int64_t offset,
+                         ValueId idx, Type type) -> Group * {
+        for (Group &g : plan.groups) {
+            if (g.kind == kind && g.base == base && g.offset == offset &&
+                g.idx == idx && g.type == type) {
+                return &g;
+            }
+        }
+        return nullptr;
+    };
+
+    for (BlockId b : plan.loop->blocks) {
+        BasicBlock &bb = func.block(b);
+        std::vector<Instruction> rebuilt;
+        rebuilt.reserve(bb.insts().size());
+        for (Instruction inst : bb.insts()) {
+            Group *g = nullptr;
+            ValueId stored = kNoValue;
+            switch (inst.op) {
+              case Opcode::GetField:
+                if (!inst.exceptionSite && !inst.speculative) {
+                    g = findGroup(LocKind::Field, inst.a, inst.imm,
+                                  kNoValue, func.value(inst.dst).type);
+                }
+                if (g) {
+                    Instruction move;
+                    move.op = Opcode::Move;
+                    move.dst = inst.dst;
+                    move.a = g->tmp;
+                    move.site = inst.site;
+                    rebuilt.push_back(move);
+                    continue;
+                }
+                break;
+              case Opcode::ArrayLength:
+                if (!inst.exceptionSite && !inst.speculative) {
+                    g = findGroup(LocKind::Length, inst.a, 0, kNoValue,
+                                  Type::I32);
+                }
+                if (g) {
+                    Instruction move;
+                    move.op = Opcode::Move;
+                    move.dst = inst.dst;
+                    move.a = g->tmp;
+                    move.site = inst.site;
+                    rebuilt.push_back(move);
+                    continue;
+                }
+                break;
+              case Opcode::ArrayLoad:
+                if (!inst.exceptionSite && !inst.speculative) {
+                    g = findGroup(LocKind::Element, inst.a, 0, inst.b,
+                                  inst.elemType);
+                }
+                if (g) {
+                    Instruction move;
+                    move.op = Opcode::Move;
+                    move.dst = inst.dst;
+                    move.a = g->tmp;
+                    move.site = inst.site;
+                    rebuilt.push_back(move);
+                    continue;
+                }
+                break;
+              case Opcode::PutField:
+                g = findGroup(LocKind::Field, inst.a, inst.imm, kNoValue,
+                              func.value(inst.b).type);
+                stored = inst.b;
+                break;
+              case Opcode::ArrayStore:
+                g = findGroup(LocKind::Element, inst.a, 0, inst.b,
+                              inst.elemType);
+                stored = inst.c;
+                break;
+              default:
+                break;
+            }
+            rebuilt.push_back(inst);
+            if (g && stored != kNoValue) {
+                // Keep the store (observable) and track it in the temp.
+                Instruction move;
+                move.op = Opcode::Move;
+                move.dst = g->tmp;
+                move.a = stored;
+                move.site = func.takeSiteId();
+                rebuilt.push_back(move);
+            }
+        }
+        bb.insts() = std::move(rebuilt);
+    }
+}
+
+} // namespace
+
+bool
+ScalarReplacement::runOnFunction(Function &func, PassContext &ctx)
+{
+    stats_ = Stats{};
+    bool changedAny = false;
+
+    // Transform one loop per iteration and re-derive all analyses; loop
+    // counts are small, clarity wins.
+    for (int round = 0; round < 64; ++round) {
+        func.recomputeCFG();
+        DominatorTree dom(func);
+        LoopForest forest(func, dom);
+        if (forest.loops().empty())
+            break;
+
+        NullCheckUniverse ncu(func);
+        NonNullDomain domain(func, ncu, &ctx.target);
+        NonNullStates nonnull =
+            solveNonNullStates(func, domain, ncu, nullptr);
+        BoundsUniverse bu(func);
+        DataflowResult bavail;
+        bool haveBounds = bu.numFacts() > 0;
+        if (haveBounds)
+            bavail = solveBoundsAvailability(func, bu, nullptr);
+        LengthBindingAvailability lengths(func);
+
+        // Innermost loops first.
+        std::vector<const Loop *> order;
+        for (const Loop &loop : forest.loops())
+            order.push_back(&loop);
+        std::sort(order.begin(), order.end(),
+                  [](const Loop *a, const Loop *b) {
+                      return a->depth > b->depth;
+                  });
+
+        bool changed = false;
+        for (const Loop *loop : order) {
+            if (loop->header == 0)
+                continue;
+            LoopPlan plan = analyzeLoop(func, ctx, *loop, domain,
+                                        nonnull.in, bu,
+                                        haveBounds ? &bavail : nullptr,
+                                        lengths);
+            if (plan.groups.empty())
+                continue;
+            BlockId preheader = ensurePreheader(func, *loop);
+            applyPlan(func, plan, preheader, stats_);
+            changed = true;
+            changedAny = true;
+            break; // analyses are stale; restart
+        }
+        if (!changed)
+            break;
+    }
+    return changedAny;
+}
+
+} // namespace trapjit

@@ -1,0 +1,61 @@
+#ifndef TRAPJIT_OPT_SCALAR_SCALAR_REPLACEMENT_H_
+#define TRAPJIT_OPT_SCALAR_SCALAR_REPLACEMENT_H_
+
+/**
+ * @file
+ * Scalar replacement of loop-invariant memory accesses (Figures 4 and 6).
+ *
+ * For each natural loop, accesses whose address is loop-invariant —
+ * `obj.field`, `arraylength arr`, `arr[idx]` with invariant operands —
+ * are promoted to a temporary: one load in the preheader, `move`s inside
+ * the loop, and (for written locations) a temp update after each store.
+ * Stores themselves always stay in place, so the heap image at any
+ * exception point is unchanged (precise exceptions are free); loads are
+ * unobservable and may move.
+ *
+ * Hoisting the preheader load must not introduce a fault:
+ *  - the base must be known non-null at the loop header (which is what
+ *    phase 1's check hoisting establishes — the two passes assist each
+ *    other exactly as Figure 4 shows), OR, on targets whose OS does not
+ *    trap reads of the null page, the load may be issued *speculatively*
+ *    (Section 5.4) and is tagged as such;
+ *  - an element access additionally needs an available bounds fact
+ *    `boundcheck(idx, len)` with `len` bound to `arraylength(base)` at
+ *    the header (established by the bounds pass of the iterated
+ *    pipeline).
+ *
+ * A loop containing a call is skipped for field/element promotion (the
+ * callee may write anything) — this is why the non-intrinsified Math.exp
+ * call limits Neural Net on the PowerPC model.  `arraylength` promotion
+ * survives calls: lengths are immutable.
+ */
+
+#include "opt/pass.h"
+
+namespace trapjit
+{
+
+/** Loop-level scalar replacement with optional read speculation. */
+class ScalarReplacement : public Pass
+{
+  public:
+    const char *name() const override { return "scalar-replacement"; }
+    bool runOnFunction(Function &func, PassContext &ctx) override;
+
+    struct Stats
+    {
+        size_t promotedFields = 0;
+        size_t promotedLengths = 0;
+        size_t promotedElements = 0;
+        size_t speculativeLoads = 0;
+    };
+
+    const Stats &lastStats() const { return stats_; }
+
+  private:
+    Stats stats_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_SCALAR_SCALAR_REPLACEMENT_H_

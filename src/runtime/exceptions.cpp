@@ -1,0 +1,9 @@
+#include "runtime/exceptions.h"
+
+namespace trapjit
+{
+
+// ThrownExc and HardFault are header-only; this translation unit anchors
+// the component.
+
+} // namespace trapjit

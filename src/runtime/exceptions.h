@@ -1,0 +1,50 @@
+#ifndef TRAPJIT_RUNTIME_EXCEPTIONS_H_
+#define TRAPJIT_RUNTIME_EXCEPTIONS_H_
+
+/**
+ * @file
+ * Runtime failure modes.
+ *
+ * Two very different things can go wrong while executing IR:
+ *
+ *  - a *Java-level exception* (NullPointerException & friends), which is
+ *    part of the program's defined semantics and is dispatched to try
+ *    handlers — represented as a plain value (ThrownExc), never as a C++
+ *    exception;
+ *
+ *  - a *miscompilation* (HardFault): the optimizer emitted code whose
+ *    execution dereferenced an unprotected null offset, stored out of an
+ *    array's bounds without a preceding check, etc.  On real hardware
+ *    this would be a crash or silent corruption.  The interpreter throws
+ *    HardFault so that the test suite fails loudly.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+/** A pending Java-level exception. */
+struct ThrownExc
+{
+    ExcKind kind = ExcKind::None;
+    SiteId site = 0; ///< the instruction site that raised it (debug aid)
+
+    bool pending() const { return kind != ExcKind::None; }
+};
+
+/** A miscompilation detected at execution time. */
+class HardFault : public std::runtime_error
+{
+  public:
+    explicit HardFault(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_RUNTIME_EXCEPTIONS_H_

@@ -1,0 +1,139 @@
+#include "runtime/heap.h"
+
+#include <cstring>
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+Heap::Heap(size_t capacity_bytes)
+    : arena_(capacity_bytes, 0), limit_(kHeapBase + capacity_bytes)
+{}
+
+Address
+Heap::allocateObject(ClassId cls, int64_t size)
+{
+    TRAPJIT_ASSERT(size >= kFieldBaseOffset, "undersized allocation");
+    int64_t rounded = (size + 7) & ~int64_t(7);
+    if (next_ + rounded > limit_)
+        return 0;
+    Address ref = next_;
+    next_ += rounded;
+    std::memset(plot(ref), 0, static_cast<size_t>(rounded));
+    writeI32(ref + kHeaderOffset, static_cast<int32_t>(cls));
+    return ref;
+}
+
+Address
+Heap::allocateArray(Type elem_type, int32_t length)
+{
+    TRAPJIT_ASSERT(length >= 0, "negative array length reached the heap");
+    int64_t size =
+        kArrayDataOffset + int64_t(length) * typeSize(elem_type);
+    int64_t rounded = (size + 7) & ~int64_t(7);
+    if (next_ + rounded > limit_)
+        return 0;
+    Address ref = next_;
+    next_ += rounded;
+    std::memset(plot(ref), 0, static_cast<size_t>(rounded));
+    writeI32(ref + kArrayLengthOffset, length);
+    return ref;
+}
+
+bool
+Heap::inBounds(Address addr, int64_t size) const
+{
+    return addr >= kHeapBase && addr + size <= next_;
+}
+
+int32_t
+Heap::readI32(Address addr) const
+{
+    int32_t v;
+    std::memcpy(&v, plot(addr), sizeof(v));
+    return v;
+}
+
+int64_t
+Heap::readI64(Address addr) const
+{
+    int64_t v;
+    std::memcpy(&v, plot(addr), sizeof(v));
+    return v;
+}
+
+double
+Heap::readF64(Address addr) const
+{
+    double v;
+    std::memcpy(&v, plot(addr), sizeof(v));
+    return v;
+}
+
+Address
+Heap::readRef(Address addr) const
+{
+    Address v;
+    std::memcpy(&v, plot(addr), sizeof(v));
+    return v;
+}
+
+void
+Heap::writeI32(Address addr, int32_t value)
+{
+    std::memcpy(plot(addr), &value, sizeof(value));
+}
+
+void
+Heap::writeI64(Address addr, int64_t value)
+{
+    std::memcpy(plot(addr), &value, sizeof(value));
+}
+
+void
+Heap::writeF64(Address addr, double value)
+{
+    std::memcpy(plot(addr), &value, sizeof(value));
+}
+
+void
+Heap::writeRef(Address addr, Address value)
+{
+    std::memcpy(plot(addr), &value, sizeof(value));
+}
+
+ClassId
+Heap::classOf(Address ref) const
+{
+    return static_cast<ClassId>(readI32(ref + kHeaderOffset));
+}
+
+int32_t
+Heap::arrayLength(Address ref) const
+{
+    return readI32(ref + kArrayLengthOffset);
+}
+
+uint64_t
+Heap::digest() const
+{
+    uint64_t hash = 1469598103934665603ull;
+    size_t used = static_cast<size_t>(next_ - kHeapBase);
+    const uint8_t *data = arena_.data();
+    for (size_t i = 0; i < used; ++i) {
+        hash ^= data[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+void
+Heap::reset()
+{
+    size_t used = static_cast<size_t>(next_ - kHeapBase);
+    std::memset(arena_.data(), 0, used);
+    next_ = kHeapBase;
+}
+
+} // namespace trapjit

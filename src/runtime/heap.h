@@ -1,0 +1,99 @@
+#ifndef TRAPJIT_RUNTIME_HEAP_H_
+#define TRAPJIT_RUNTIME_HEAP_H_
+
+/**
+ * @file
+ * Simulated Java heap.
+ *
+ * References are plain 64-bit addresses into a flat arena; the null
+ * reference is address 0.  The arena deliberately leaves the low
+ * `kHeapBase` bytes unmapped — like the OS page protection the paper
+ * relies on — so any access that lands there is either a simulated
+ * hardware trap (handled by the interpreter according to the Target's
+ * trap model) or a wild access (a miscompilation, reported as HardFault).
+ *
+ * Object layout (see ir/layout.h): 4-byte class-id header at offset 0;
+ * arrays keep their length at offset 4 and elements from offset 8;
+ * object fields start at offset 8.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/layout.h"
+#include "ir/type.h"
+#include "ir/value.h"
+
+namespace trapjit
+{
+
+/** Runtime address (a simulated reference). */
+using Address = uint64_t;
+
+/** First allocatable address: above any legal field offset from null. */
+constexpr Address kHeapBase = 0x100000; // 1 MiB > kMaxFieldOffset
+
+/** Bump-pointer arena with typed accessors. */
+class Heap
+{
+  public:
+    /** @param capacity_bytes arena size available for allocation. */
+    explicit Heap(size_t capacity_bytes = 32u << 20);
+
+    /**
+     * Allocate @p size zeroed bytes tagged with @p cls in the header.
+     * Returns 0 (null) when the arena is exhausted — the caller turns
+     * that into an OutOfMemoryError.
+     */
+    Address allocateObject(ClassId cls, int64_t size);
+
+    /**
+     * Allocate an array of @p length elements of @p elem_type; writes the
+     * length word.  Returns 0 when exhausted.  @p length must be >= 0.
+     */
+    Address allocateArray(Type elem_type, int32_t length);
+
+    /** Bytes currently allocated (excludes the unmapped low region). */
+    size_t bytesAllocated() const { return next_ - kHeapBase; }
+
+    /** True if [addr, addr+size) is inside the allocated arena. */
+    bool inBounds(Address addr, int64_t size) const;
+
+    // Typed accessors; addresses must be in bounds (callers check).
+    int32_t readI32(Address addr) const;
+    int64_t readI64(Address addr) const;
+    double readF64(Address addr) const;
+    Address readRef(Address addr) const;
+    void writeI32(Address addr, int32_t value);
+    void writeI64(Address addr, int64_t value);
+    void writeF64(Address addr, double value);
+    void writeRef(Address addr, Address value);
+
+    /** Class id stored in the header of the object at @p ref. */
+    ClassId classOf(Address ref) const;
+
+    /** Length word of the array at @p ref. */
+    int32_t arrayLength(Address ref) const;
+
+    /** FNV-1a digest of the allocated region (for equivalence tests). */
+    uint64_t digest() const;
+
+    /** Release everything (arena is reused). */
+    void reset();
+
+  private:
+    uint8_t *plot(Address addr) { return arena_.data() + (addr - kHeapBase); }
+    const uint8_t *
+    plot(Address addr) const
+    {
+        return arena_.data() + (addr - kHeapBase);
+    }
+
+    std::vector<uint8_t> arena_;
+    Address next_ = kHeapBase;
+    Address limit_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_RUNTIME_HEAP_H_

@@ -1,0 +1,117 @@
+#include "runtime/trap_runtime.h"
+
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+// Single-threaded trap state.  `volatile sig_atomic_t` flags what the
+// handler may touch; the jump buffer carries control out of the handler.
+sigjmp_buf g_trapJmp;
+volatile sig_atomic_t g_trapArmed = 0;
+uintptr_t g_guardLo = 0;
+uintptr_t g_guardHi = 0;
+struct sigaction g_prevAction;
+
+void
+segvHandler(int signo, siginfo_t *info, void *context)
+{
+    uintptr_t fault = reinterpret_cast<uintptr_t>(info->si_addr);
+    if (g_trapArmed && fault >= g_guardLo && fault < g_guardHi) {
+        // A null-reference access inside the protected page: unwind back
+        // to the guarded accessor, which reports "NPE".
+        g_trapArmed = 0;
+        siglongjmp(g_trapJmp, 1);
+    }
+    // Not ours: chain to the previous handler (or die by default).
+    if (g_prevAction.sa_flags & SA_SIGINFO) {
+        if (g_prevAction.sa_sigaction)
+            g_prevAction.sa_sigaction(signo, info, context);
+        return;
+    }
+    if (g_prevAction.sa_handler == SIG_IGN)
+        return;
+    if (g_prevAction.sa_handler != SIG_DFL) {
+        g_prevAction.sa_handler(signo);
+        return;
+    }
+    signal(signo, SIG_DFL);
+    raise(signo);
+}
+
+} // namespace
+
+TrapRuntime::TrapRuntime()
+{
+    pageSize_ = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    void *page = mmap(nullptr, pageSize_, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (page == MAP_FAILED)
+        TRAPJIT_FATAL("mmap of the protected page failed");
+    pageBase_ = reinterpret_cast<uintptr_t>(page);
+    g_guardLo = pageBase_;
+    g_guardHi = pageBase_ + pageSize_;
+
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = segvHandler;
+    action.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&action.sa_mask);
+    if (sigaction(SIGSEGV, &action, &g_prevAction) != 0)
+        TRAPJIT_FATAL("sigaction(SIGSEGV) failed");
+    handlerInstalled_ = true;
+}
+
+TrapRuntime::~TrapRuntime()
+{
+    if (handlerInstalled_)
+        sigaction(SIGSEGV, &g_prevAction, nullptr);
+    if (pageBase_ != 0)
+        munmap(reinterpret_cast<void *>(pageBase_), pageSize_);
+    g_guardLo = g_guardHi = 0;
+}
+
+std::optional<int32_t>
+TrapRuntime::guardedReadI32(uintptr_t addr)
+{
+    if (sigsetjmp(g_trapJmp, 1) != 0) {
+        // We arrive here from the handler: the access trapped.
+        ++trapsTaken_;
+        return std::nullopt;
+    }
+    g_trapArmed = 1;
+    int32_t value = *reinterpret_cast<volatile int32_t *>(addr);
+    g_trapArmed = 0;
+    return value;
+}
+
+bool
+TrapRuntime::guardedWriteI32(uintptr_t addr, int32_t value)
+{
+    if (sigsetjmp(g_trapJmp, 1) != 0) {
+        ++trapsTaken_;
+        return false;
+    }
+    g_trapArmed = 1;
+    *reinterpret_cast<volatile int32_t *>(addr) = value;
+    g_trapArmed = 0;
+    return true;
+}
+
+bool
+TrapRuntime::trapCoversAddress(uintptr_t addr) const
+{
+    return addr >= pageBase_ && addr < pageBase_ + pageSize_;
+}
+
+} // namespace trapjit

@@ -1,0 +1,140 @@
+#include "support/bitset.h"
+
+#include <sstream>
+
+namespace trapjit
+{
+
+void
+BitSet::resize(size_t size)
+{
+    numBits_ = size;
+    words_.resize((size + kWordBits - 1) / kWordBits, 0);
+    trimTail();
+}
+
+void
+BitSet::setAll()
+{
+    for (auto &w : words_)
+        w = ~Word(0);
+    trimTail();
+}
+
+void
+BitSet::clearAll()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+bool
+BitSet::empty() const
+{
+    for (auto w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+size_t
+BitSet::count() const
+{
+    size_t n = 0;
+    for (auto w : words_)
+        n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+}
+
+bool
+BitSet::unionWith(const BitSet &other)
+{
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        Word next = words_[i] | other.words_[i];
+        changed |= (next != words_[i]);
+        words_[i] = next;
+    }
+    return changed;
+}
+
+bool
+BitSet::intersectWith(const BitSet &other)
+{
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        Word next = words_[i] & other.words_[i];
+        changed |= (next != words_[i]);
+        words_[i] = next;
+    }
+    return changed;
+}
+
+bool
+BitSet::subtract(const BitSet &other)
+{
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        Word next = words_[i] & ~other.words_[i];
+        changed |= (next != words_[i]);
+        words_[i] = next;
+    }
+    return changed;
+}
+
+void
+BitSet::assign(const BitSet &other)
+{
+    numBits_ = other.numBits_;
+    words_ = other.words_;
+}
+
+bool
+BitSet::isSubsetOf(const BitSet &other) const
+{
+    for (size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & ~other.words_[i])
+            return false;
+    return true;
+}
+
+bool
+BitSet::intersects(const BitSet &other) const
+{
+    for (size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & other.words_[i])
+            return true;
+    return false;
+}
+
+bool
+BitSet::operator==(const BitSet &other) const
+{
+    return numBits_ == other.numBits_ && words_ == other.words_;
+}
+
+std::string
+BitSet::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    forEach([&](size_t idx) {
+        if (!first)
+            os << ", ";
+        os << idx;
+        first = false;
+    });
+    os << "}";
+    return os.str();
+}
+
+void
+BitSet::trimTail()
+{
+    size_t used = numBits_ % kWordBits;
+    if (used != 0 && !words_.empty())
+        words_.back() &= (Word(1) << used) - 1;
+}
+
+} // namespace trapjit

@@ -1,0 +1,136 @@
+#ifndef TRAPJIT_SUPPORT_BITSET_H_
+#define TRAPJIT_SUPPORT_BITSET_H_
+
+/**
+ * @file
+ * Dense fixed-universe bit set used by every dataflow analysis.
+ *
+ * All null-check and bounds-check analyses in this library operate on a
+ * small dense universe of facts (one bit per tracked variable or per
+ * tracked check expression), so a flat word-array bit set with whole-set
+ * algebra (union / intersection / subtraction) is the natural
+ * representation.  The solver iterates these operations to a fixed point,
+ * so they are kept allocation-free.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trapjit
+{
+
+/**
+ * A dense bit set over a fixed universe [0, size).
+ *
+ * Unlike std::vector<bool>, this type exposes the whole-set operations
+ * (unionWith, intersectWith, subtract) that dataflow equations are written
+ * in, reports whether an operation changed the set (the fixed-point
+ * termination test), and can iterate set members cheaply.
+ */
+class BitSet
+{
+  public:
+    BitSet() = default;
+
+    /** Construct an empty set over a universe of @p size bits. */
+    explicit BitSet(size_t size)
+        : numBits_(size), words_((size + kWordBits - 1) / kWordBits, 0)
+    {}
+
+    /** Number of bits in the universe (not the population count). */
+    size_t size() const { return numBits_; }
+
+    /** Grow or shrink the universe; new bits start cleared. */
+    void resize(size_t size);
+
+    /** Set bit @p idx. */
+    void
+    set(size_t idx)
+    {
+        words_[idx / kWordBits] |= (Word(1) << (idx % kWordBits));
+    }
+
+    /** Clear bit @p idx. */
+    void
+    reset(size_t idx)
+    {
+        words_[idx / kWordBits] &= ~(Word(1) << (idx % kWordBits));
+    }
+
+    /** Test bit @p idx. */
+    bool
+    test(size_t idx) const
+    {
+        return (words_[idx / kWordBits] >> (idx % kWordBits)) & 1;
+    }
+
+    /** Set every bit in the universe. */
+    void setAll();
+
+    /** Clear every bit. */
+    void clearAll();
+
+    /** True if no bit is set. */
+    bool empty() const;
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** this |= other.  @return true if this changed. */
+    bool unionWith(const BitSet &other);
+
+    /** this &= other.  @return true if this changed. */
+    bool intersectWith(const BitSet &other);
+
+    /** this -= other (clear bits set in other).  @return true if changed. */
+    bool subtract(const BitSet &other);
+
+    /** this = other, sizes must match (or this is empty). */
+    void assign(const BitSet &other);
+
+    /** True if every bit of this is also set in other. */
+    bool isSubsetOf(const BitSet &other) const;
+
+    /** True if this and other share at least one set bit. */
+    bool intersects(const BitSet &other) const;
+
+    bool operator==(const BitSet &other) const;
+    bool operator!=(const BitSet &other) const { return !(*this == other); }
+
+    /**
+     * Invoke @p fn for every set bit, in increasing index order.
+     * @p fn receives the bit index as size_t.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            Word word = words_[w];
+            while (word) {
+                size_t bit = static_cast<size_t>(__builtin_ctzll(word));
+                fn(w * kWordBits + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+    /** Debug rendering, e.g. "{1, 5, 9}". */
+    std::string toString() const;
+
+  private:
+    using Word = uint64_t;
+    static constexpr size_t kWordBits = 64;
+
+    /** Clear any garbage bits above numBits_ in the last word. */
+    void trimTail();
+
+    size_t numBits_ = 0;
+    std::vector<Word> words_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_SUPPORT_BITSET_H_

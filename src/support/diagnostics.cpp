@@ -1,0 +1,33 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace trapjit
+{
+
+namespace
+{
+
+std::string
+decorate(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " at " << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    throw InternalError(decorate("panic", file, line, msg));
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw UsageError(decorate("fatal", file, line, msg));
+}
+
+} // namespace trapjit

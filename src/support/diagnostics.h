@@ -1,0 +1,82 @@
+#ifndef TRAPJIT_SUPPORT_DIAGNOSTICS_H_
+#define TRAPJIT_SUPPORT_DIAGNOSTICS_H_
+
+/**
+ * @file
+ * Error reporting helpers shared across the library.
+ *
+ * Two failure classes, following the gem5 convention:
+ *  - panic():  an internal invariant was violated (a trapjit bug).
+ *  - fatal():  the caller handed us something unusable (a usage error).
+ *
+ * Both throw C++ exceptions rather than aborting so that unit tests can
+ * assert on failure paths.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace trapjit
+{
+
+/** Thrown by panic(): an internal trapjit invariant was violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Thrown by fatal(): the library was used incorrectly. */
+class UsageError : public std::runtime_error
+{
+  public:
+    explicit UsageError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+namespace detail
+{
+
+/** Build a message from a stream expression. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace trapjit
+
+/** Report an internal bug (throws trapjit::InternalError). */
+#define TRAPJIT_PANIC(...)                                                   \
+    ::trapjit::panicImpl(__FILE__, __LINE__,                                 \
+                         ::trapjit::detail::formatMessage(__VA_ARGS__))
+
+/** Report a usage error (throws trapjit::UsageError). */
+#define TRAPJIT_FATAL(...)                                                   \
+    ::trapjit::fatalImpl(__FILE__, __LINE__,                                 \
+                         ::trapjit::detail::formatMessage(__VA_ARGS__))
+
+/** Cheap always-on invariant check; panics with the condition text. */
+#define TRAPJIT_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            TRAPJIT_PANIC("assertion failed: " #cond " ",                    \
+                          ::trapjit::detail::formatMessage(__VA_ARGS__));    \
+        }                                                                    \
+    } while (0)
+
+#endif // TRAPJIT_SUPPORT_DIAGNOSTICS_H_

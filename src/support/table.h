@@ -1,0 +1,47 @@
+#ifndef TRAPJIT_SUPPORT_TABLE_H_
+#define TRAPJIT_SUPPORT_TABLE_H_
+
+/**
+ * @file
+ * Minimal aligned-column table printer used by the benchmark harnesses to
+ * render the paper's tables (Table 1 .. Table 7) on stdout.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace trapjit
+{
+
+/**
+ * A simple text table: a header row plus data rows, printed with columns
+ * padded to the widest cell.  Cells are free-form strings; helpers format
+ * numbers with a fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to @p os with aligned columns and a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double value, int precision = 2);
+
+    /** Format a percentage, e.g. pct(12.3) == "12.3%". */
+    static std::string pct(double value, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_SUPPORT_TABLE_H_

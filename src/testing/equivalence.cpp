@@ -1,0 +1,131 @@
+#include "testing/equivalence.h"
+
+#include <sstream>
+
+#include "interp/interpreter.h"
+#include "ir/verifier.h"
+#include "runtime/exceptions.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+struct Observation
+{
+    bool hardFault = false;
+    std::string fault;
+    ExecResult result;
+    std::vector<Event> events;
+    uint64_t heapDigest = 0;
+};
+
+Observation
+observe(Module &mod, const Target &runtime_target)
+{
+    Observation obs;
+    FunctionId entry = mod.findFunction("main");
+    TRAPJIT_ASSERT(entry != kNoFunction, "module has no main");
+    InterpOptions options;
+    options.recordTrace = true;
+    Interpreter interp(mod, runtime_target, options);
+    try {
+        obs.result = interp.run(entry, {});
+    } catch (const HardFault &fault) {
+        obs.hardFault = true;
+        obs.fault = fault.what();
+        return obs;
+    }
+    obs.events = interp.trace().events();
+    obs.heapDigest = interp.heap().digest();
+    return obs;
+}
+
+} // namespace
+
+EquivalenceReport
+compareWithReference(
+    const std::function<std::unique_ptr<Module>()> &build,
+    const Compiler &compiler, const Target &runtime_target)
+{
+    EquivalenceReport report;
+
+    std::unique_ptr<Module> reference = build();
+    Observation ref = observe(*reference, runtime_target);
+    if (ref.hardFault) {
+        report.message = "reference run hard-faulted: " + ref.fault;
+        return report;
+    }
+
+    std::unique_ptr<Module> optimized = build();
+    compiler.compile(*optimized);
+    VerifyResult verify = verifyModule(*optimized);
+    if (!verify.ok()) {
+        report.message = "optimized module fails verification:\n" +
+                         verify.message();
+        return report;
+    }
+    Observation opt = observe(*optimized, runtime_target);
+    if (opt.hardFault) {
+        report.message = "optimized run hard-faulted (miscompile): " +
+                         opt.fault;
+        return report;
+    }
+
+    std::ostringstream os;
+    if (ref.result.outcome != opt.result.outcome) {
+        os << "outcome differs: reference "
+           << (ref.result.outcome == ExecResult::Outcome::Returned
+                   ? "returned"
+                   : "threw")
+           << ", optimized "
+           << (opt.result.outcome == ExecResult::Outcome::Returned
+                   ? "returned"
+                   : "threw");
+        report.message = os.str();
+        return report;
+    }
+    if (ref.result.exception != opt.result.exception) {
+        os << "exception differs: reference "
+           << excName(ref.result.exception) << ", optimized "
+           << excName(opt.result.exception);
+        report.message = os.str();
+        return report;
+    }
+    if (ref.result.outcome == ExecResult::Outcome::Returned &&
+        ref.result.value.i != opt.result.value.i) {
+        os << "return value differs: reference " << ref.result.value.i
+           << ", optimized " << opt.result.value.i;
+        report.message = os.str();
+        return report;
+    }
+
+    size_t n = std::min(ref.events.size(), opt.events.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (!(ref.events[i] == opt.events[i])) {
+            os << "event " << i << " differs: reference "
+               << ref.events[i].toString() << ", optimized "
+               << opt.events[i].toString();
+            report.message = os.str();
+            return report;
+        }
+    }
+    if (ref.events.size() != opt.events.size()) {
+        os << "event count differs: reference " << ref.events.size()
+           << ", optimized " << opt.events.size();
+        report.message = os.str();
+        return report;
+    }
+    if (ref.heapDigest != opt.heapDigest) {
+        os << "final heap digest differs";
+        report.message = os.str();
+        return report;
+    }
+
+    report.equivalent = true;
+    return report;
+}
+
+} // namespace trapjit

@@ -1,0 +1,50 @@
+#ifndef TRAPJIT_TESTING_EQUIVALENCE_H_
+#define TRAPJIT_TESTING_EQUIVALENCE_H_
+
+/**
+ * @file
+ * Observable-equivalence oracle.
+ *
+ * Runs a module twice — once exactly as built (the *reference*: every
+ * check explicit, nothing optimized) and once compiled under a pipeline
+ * configuration — and compares everything Java semantics makes
+ * observable: outcome (return vs exception), the exception class, the
+ * returned value, the ordered heap-write/allocation event trace, and a
+ * final heap digest.  Reads are free to differ (speculation).  A
+ * HardFault in the optimized run (wild access, missing check) is
+ * reported as a miscompilation.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arch/target.h"
+#include "ir/module.h"
+#include "jit/compiler.h"
+
+namespace trapjit
+{
+
+/** Result of an equivalence comparison. */
+struct EquivalenceReport
+{
+    bool equivalent = false;
+    std::string message; ///< first difference / fault, for diagnostics
+};
+
+/**
+ * Compare the reference execution of a freshly built module against the
+ * execution of a copy compiled by @p compiler, both run on
+ * @p runtime_target.
+ *
+ * @param build  builds a fresh identical module on each call (the
+ *               generator with a fixed seed, or a workload builder)
+ */
+EquivalenceReport compareWithReference(
+    const std::function<std::unique_ptr<Module>()> &build,
+    const Compiler &compiler, const Target &runtime_target);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_TESTING_EQUIVALENCE_H_

@@ -1,0 +1,527 @@
+#include "testing/random_program.h"
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/layout.h"
+#include "workloads/kernel_util.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** splitmix64: deterministic, seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed * 2685821657736338717ull + 1)
+    {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, n). */
+    uint32_t range(uint32_t n) { return static_cast<uint32_t>(next() % n); }
+
+    /** True with probability pct/100. */
+    bool chance(uint32_t pct) { return range(100) < pct; }
+
+  private:
+    uint64_t state_;
+};
+
+/** Shared layout of the generated world. */
+struct World
+{
+    ClassId objCls = kUnknownClass;
+    ClassId subCls = kUnknownClass;
+    int64_t offIval = 0;
+    int64_t offFval = 0;
+    int64_t offNext = 0;
+    int64_t offBig = 0; ///< beyond the protected page (Figure 5)
+    int64_t objSize = 0;
+    uint32_t slotMono = 0; ///< devirtualizable accessor (Figure 1)
+    uint32_t slotPoly = 0; ///< genuinely polymorphic method
+    std::vector<FunctionId> funcs; ///< generated callees, acyclic order
+};
+
+/** Generates one function body. */
+class FuncGen
+{
+  public:
+    FuncGen(Module &mod, Function &fn, World &world, Rng &rng,
+            const GeneratorOptions &opts, size_t func_index)
+        : mod_(mod), fn_(fn), world_(world), rng_(rng), opts_(opts),
+          funcIndex_(func_index), b_(fn)
+    {}
+
+    void
+    generate()
+    {
+        // Parameters: (Obj o, i32[] arr, int x).
+        ValueId o = fn_.addParam(Type::Ref, "o", world_.objCls);
+        arr_ = fn_.addParam(Type::Ref, "arr");
+        ValueId x = fn_.addParam(Type::I32, "x");
+
+        b_.startBlock();
+        // A small pool of locals, pre-initialized.
+        for (int i = 0; i < 3; ++i) {
+            ValueId v = fn_.addLocal(Type::I32);
+            ValueId c = b_.constInt(static_cast<int64_t>(rng_.range(40)));
+            b_.move(v, c);
+            intLocals_.push_back(v);
+        }
+        intLocals_.push_back(x);
+        for (int i = 0; i < 2; ++i) {
+            ValueId v = fn_.addLocal(Type::F64);
+            ValueId c = b_.constFloat(rng_.range(16) * 0.25);
+            b_.move(v, c);
+            floatLocals_.push_back(v);
+        }
+        refLocals_.push_back(o);
+        {
+            ValueId fresh = fn_.addLocal(Type::Ref, "", world_.objCls);
+            ValueId obj = b_.newObject(world_.objCls, world_.objSize);
+            b_.move(fresh, obj);
+            refLocals_.push_back(fresh);
+        }
+        {
+            ValueId nil = fn_.addLocal(Type::Ref, "", world_.objCls);
+            ValueId c = b_.constNull(world_.objCls);
+            b_.move(nil, c);
+            refLocals_.push_back(nil);
+        }
+
+        genStatements(opts_.statementsPerFunction, 0);
+
+        ValueId r = b_.binop(Opcode::IXor, intLocals_[0], intLocals_[1]);
+        ValueId r2 = b_.binop(Opcode::IAdd, r, intLocals_[2]);
+        b_.ret(r2);
+    }
+
+  private:
+    ValueId pickInt() { return intLocals_[rng_.range(intLocals_.size())]; }
+    ValueId pickRef() { return refLocals_[rng_.range(refLocals_.size())]; }
+    ValueId
+    pickFloat()
+    {
+        return floatLocals_[rng_.range(floatLocals_.size())];
+    }
+
+    /** An int expression from locals and constants. */
+    ValueId
+    intExpr()
+    {
+        ValueId a = pickInt();
+        if (rng_.chance(30))
+            return a;
+        ValueId c = rng_.chance(50)
+                        ? b_.constInt(static_cast<int64_t>(rng_.range(32)))
+                        : pickInt();
+        static const Opcode ops[] = {Opcode::IAdd, Opcode::ISub,
+                                     Opcode::IMul, Opcode::IAnd,
+                                     Opcode::IOr, Opcode::IXor};
+        return b_.binop(ops[rng_.range(6)], a, c);
+    }
+
+    void
+    genStatements(int count, int depth)
+    {
+        for (int i = 0; i < count; ++i)
+            genStatement(depth);
+    }
+
+    void
+    genStatement(int depth)
+    {
+        const bool canNest = depth < opts_.maxDepth;
+        switch (rng_.range(canNest ? 14 : 9)) {
+          case 0: { // int arithmetic
+            ValueId v = intLocals_[rng_.range(3)];
+            ValueId e = intExpr();
+            b_.move(v, e);
+            break;
+          }
+          case 1: { // field read
+            ValueId r = pickRef();
+            if (rng_.chance(10)) {
+                ValueId t = b_.getField(r, world_.offBig, Type::I32);
+                b_.move(intLocals_[rng_.range(3)], t);
+            } else if (rng_.chance(70)) {
+                ValueId t = b_.getField(r, world_.offIval, Type::I32);
+                b_.move(intLocals_[rng_.range(3)], t);
+            } else {
+                ValueId t = b_.getField(r, world_.offFval, Type::F64);
+                b_.move(floatLocals_[rng_.range(2)], t);
+            }
+            break;
+          }
+          case 2: { // field write
+            ValueId r = pickRef();
+            if (rng_.chance(15)) {
+                b_.putField(r, world_.offBig, intExpr());
+            } else if (rng_.chance(70)) {
+                b_.putField(r, world_.offIval, intExpr());
+            } else {
+                ValueId f = b_.binop(Opcode::FAdd, pickFloat(),
+                                     pickFloat());
+                b_.putField(r, world_.offFval, f);
+            }
+            break;
+          }
+          case 3: { // ref assignment
+            ValueId dst = refLocals_[rng_.range(refLocals_.size())];
+            switch (rng_.range(4)) {
+              case 0:
+                b_.move(dst, pickRef());
+                break;
+              case 1: {
+                ClassId cls = rng_.chance(50) ? world_.objCls
+                                              : world_.subCls;
+                ValueId obj = b_.newObject(cls, world_.objSize);
+                b_.move(dst, obj);
+                break;
+              }
+              case 2: {
+                ValueId c = b_.constNull(world_.objCls);
+                b_.move(dst, c);
+                break;
+              }
+              default: {
+                ValueId src = pickRef();
+                ValueId nxt = b_.getField(src, world_.offNext,
+                                          Type::Ref);
+                b_.move(dst, nxt);
+                break;
+              }
+            }
+            break;
+          }
+          case 4: { // array read (index may be out of range -> AIOOBE)
+            ValueId idxRaw = intExpr();
+            ValueId mask = b_.constInt(15);
+            ValueId idx = b_.binop(Opcode::IAnd, idxRaw, mask);
+            ValueId t = b_.arrayLoad(arr_, idx, Type::I32);
+            b_.move(intLocals_[rng_.range(3)], t);
+            break;
+          }
+          case 5: { // array write
+            ValueId idxRaw = intExpr();
+            ValueId mask = b_.constInt(15);
+            ValueId idx = b_.binop(Opcode::IAnd, idxRaw, mask);
+            b_.arrayStore(arr_, idx, intExpr(), Type::I32);
+            break;
+          }
+          case 6: { // division (ArithmeticException source)
+            ValueId v = intLocals_[rng_.range(3)];
+            ValueId d = b_.binop(rng_.chance(50) ? Opcode::IDiv
+                                                 : Opcode::IRem,
+                                 intExpr(), pickInt());
+            b_.move(v, d);
+            break;
+          }
+          case 7: { // float arithmetic
+            ValueId v = floatLocals_[rng_.range(2)];
+            static const Opcode ops[] = {Opcode::FAdd, Opcode::FSub,
+                                         Opcode::FMul};
+            ValueId e = b_.binop(ops[rng_.range(3)], pickFloat(),
+                                 pickFloat());
+            b_.move(v, e);
+            break;
+          }
+          case 8: { // virtual call through a possibly-null receiver
+            if (opts_.useVirtualCalls) {
+                uint32_t slot = rng_.chance(50) ? world_.slotMono
+                                                : world_.slotPoly;
+                ValueId got =
+                    b_.callVirtual(slot, {pickRef()}, Type::I32);
+                b_.move(intLocals_[rng_.range(3)], got);
+                break;
+            }
+            [[fallthrough]];
+          }
+          case 13: { // call a later generated function (acyclic)
+            if (funcIndex_ + 1 < world_.funcs.size()) {
+                size_t callee = funcIndex_ + 1 +
+                                rng_.range(static_cast<uint32_t>(
+                                    world_.funcs.size() - funcIndex_ -
+                                    1));
+                ValueId got = b_.callStatic(
+                    world_.funcs[callee], {pickRef(), arr_, intExpr()},
+                    Type::I32);
+                b_.move(intLocals_[rng_.range(3)], got);
+            } else {
+                ValueId v = intLocals_[rng_.range(3)];
+                b_.move(v, intExpr());
+            }
+            break;
+          }
+          case 9: { // if/else on an int comparison
+            ValueId cond = b_.cmp(Opcode::ICmp,
+                                  rng_.chance(50) ? CmpPred::LT
+                                                  : CmpPred::EQ,
+                                  pickInt(), intExpr());
+            TryRegionId region = b_.currentBlock().tryRegion();
+            BasicBlock &thenB = fn_.newBlock(region);
+            BasicBlock &elseB = fn_.newBlock(region);
+            BasicBlock &join = fn_.newBlock(region);
+            b_.branch(cond, thenB, elseB);
+            b_.atEnd(thenB);
+            genStatements(1 + rng_.range(2), depth + 1);
+            b_.jump(join);
+            b_.atEnd(elseB);
+            genStatements(1 + rng_.range(2), depth + 1);
+            b_.jump(join);
+            b_.atEnd(join);
+            break;
+          }
+          case 10: { // ifnull branch
+            ValueId r = pickRef();
+            TryRegionId region = b_.currentBlock().tryRegion();
+            BasicBlock &nullB = fn_.newBlock(region);
+            BasicBlock &okB = fn_.newBlock(region);
+            BasicBlock &join = fn_.newBlock(region);
+            b_.ifNull(r, nullB, okB);
+            b_.atEnd(nullB);
+            genStatements(1, depth + 1);
+            b_.jump(join);
+            b_.atEnd(okB);
+            // On the non-null edge a dereference is safe: exercise the
+            // Edge(m, n) fact of Section 4.1.2.
+            ValueId t = b_.getField(r, world_.offIval, Type::I32);
+            b_.move(intLocals_[rng_.range(3)], t);
+            genStatements(1, depth + 1);
+            b_.jump(join);
+            b_.atEnd(join);
+            break;
+          }
+          case 11: { // counted do-while loop
+            ValueId counter = fn_.addLocal(Type::I32);
+            ValueId start = b_.constInt(0);
+            ValueId limit =
+                b_.constInt(static_cast<int64_t>(2 + rng_.range(4)));
+            CountedLoop loop(b_, counter, start, limit);
+            genStatements(1 + rng_.range(3), depth + 1);
+            loop.close();
+            break;
+          }
+          default: { // try/catch, possibly nested in the current region
+            if (!opts_.useTryRegions) {
+                genStatement(depth); // pick something else
+                break;
+            }
+            static const ExcKind kinds[] = {
+                ExcKind::NullPointer, ExcKind::ArrayIndexOutOfBounds,
+                ExcKind::Arithmetic, ExcKind::CatchAll};
+            ExcKind caught = kinds[rng_.range(4)];
+            TryRegionId enclosing = b_.currentBlock().tryRegion();
+            // Handler and join live in the enclosing region: an
+            // exception thrown inside the handler propagates outward.
+            BasicBlock &handler = fn_.newBlock(enclosing);
+            TryRegionId region =
+                fn_.addTryRegion(handler.id(), caught, enclosing);
+            BasicBlock &body = fn_.newBlock(region);
+            BasicBlock &join = fn_.newBlock(enclosing);
+            b_.jump(body);
+            b_.atEnd(body);
+            genStatements(1 + rng_.range(3), depth + 1);
+            b_.jump(join);
+            b_.atEnd(handler);
+            ValueId mark =
+                b_.constInt(static_cast<int64_t>(1000 + rng_.range(9)));
+            b_.move(intLocals_[rng_.range(3)], mark);
+            b_.jump(join);
+            b_.atEnd(join);
+            break;
+          }
+        }
+    }
+
+    Module &mod_;
+    Function &fn_;
+    World &world_;
+    Rng &rng_;
+    const GeneratorOptions &opts_;
+    size_t funcIndex_;
+    IRBuilder b_;
+    ValueId arr_ = kNoValue;
+    std::vector<ValueId> intLocals_;
+    std::vector<ValueId> refLocals_;
+    std::vector<ValueId> floatLocals_;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+generateRandomModule(const GeneratorOptions &opts)
+{
+    auto mod = std::make_unique<Module>();
+    Rng rng(opts.seed);
+
+    World world;
+    world.objCls = mod->addClass("Obj");
+    world.offIval = mod->addField(world.objCls, "ival", Type::I32);
+    world.offFval = mod->addField(world.objCls, "fval", Type::F64);
+    world.offNext = mod->addField(world.objCls, "next", Type::Ref);
+    // Beyond the 4 KiB protected page: the Figure 5 "BigOffset" field.
+    world.offBig =
+        mod->addFieldAt(world.objCls, "big", Type::I32, 8192);
+    world.objSize = mod->cls(world.objCls).instanceSize;
+
+    // Virtual methods.  `describe` is monomorphic with an early-out
+    // branch before any slot access — after devirtualization + inlining
+    // this is exactly the Figure 1 shape.  `combine` is polymorphic and
+    // stays a true dispatch (a header read that traps on null).
+    {
+        Function &describe =
+            mod->addFunction("Obj.describe", Type::I32, true);
+        ValueId self = describe.addParam(Type::Ref, "this", world.objCls);
+        IRBuilder b(describe);
+        BasicBlock &entry = b.startBlock();
+        BasicBlock &neg = describe.newBlock();
+        BasicBlock &pos = describe.newBlock();
+        b.atEnd(entry);
+        ValueId v = b.getField(self, world.offIval, Type::I32);
+        ValueId zero = b.constInt(0);
+        ValueId isNeg = b.cmp(Opcode::ICmp, CmpPred::LT, v, zero);
+        b.branch(isNeg, neg, pos);
+        b.atEnd(neg);
+        ValueId minusOne = b.constInt(-1);
+        b.ret(minusOne);
+        b.atEnd(pos);
+        ValueId three = b.constInt(3);
+        ValueId scaled = b.binop(Opcode::IMul, v, three);
+        b.ret(scaled);
+        world.slotMono = mod->addVirtualMethod(world.objCls,
+                                               describe.id());
+    }
+    {
+        Function &combineA =
+            mod->addFunction("Obj.combine", Type::I32, true);
+        ValueId self = combineA.addParam(Type::Ref, "this", world.objCls);
+        IRBuilder b(combineA);
+        b.startBlock();
+        ValueId v = b.getField(self, world.offIval, Type::I32);
+        ValueId one = b.constInt(1);
+        ValueId r = b.binop(Opcode::IAdd, v, one);
+        b.ret(r);
+        world.slotPoly = mod->addVirtualMethod(world.objCls,
+                                               combineA.id());
+    }
+    world.subCls = mod->addClass("SubObj", world.objCls);
+    {
+        Function &combineB =
+            mod->addFunction("SubObj.combine", Type::I32, true);
+        ValueId self = combineB.addParam(Type::Ref, "this", world.subCls);
+        IRBuilder b(combineB);
+        b.startBlock();
+        ValueId v = b.getField(self, world.offIval, Type::I32);
+        ValueId five = b.constInt(5);
+        ValueId r = b.binop(Opcode::IXor, v, five);
+        b.ret(r);
+        mod->overrideMethod(world.subCls, world.slotPoly, combineB.id());
+    }
+
+    // Reserve ids for the callees so calls can reference later ones.
+    std::vector<Function *> callees;
+    for (int i = 0; i < opts.numFunctions; ++i) {
+        Function &fn = mod->addFunction("gen" + std::to_string(i),
+                                        Type::I32);
+        world.funcs.push_back(fn.id());
+        callees.push_back(&fn);
+    }
+    for (int i = 0; i < opts.numFunctions; ++i) {
+        FuncGen gen(*mod, *callees[i], world, rng, opts,
+                    static_cast<size_t>(i));
+        gen.generate();
+    }
+
+    // main: build an object chain and an array, call gen0 a few times.
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId o1 = fn.addLocal(Type::Ref, "o1", world.objCls);
+    ValueId o2 = fn.addLocal(Type::Ref, "o2", world.objCls);
+    {
+        ValueId a = b.newObject(world.objCls, world.objSize);
+        b.move(o1, a);
+        ValueId c = b.newObject(world.subCls, world.objSize);
+        b.move(o2, c);
+        b.putField(o1, world.offNext, o2);
+        ValueId seven = b.constInt(7);
+        b.putField(o2, world.offIval, seven);
+        // o2.next stays null.
+    }
+    ValueId len = b.constInt(10);
+    ValueId arr = fn.addLocal(Type::Ref, "arr");
+    {
+        ValueId a = b.newArray(len, Type::I32);
+        b.move(arr, a);
+        ValueId i = fn.addLocal(Type::I32);
+        ValueId zero = b.constInt(0);
+        CountedLoop fill(b, i, zero, len);
+        ValueId v = b.binop(Opcode::IMul, i, b.constInt(3));
+        b.arrayStore(arr, i, v, Type::I32);
+        fill.close();
+    }
+
+    ValueId nullObj = fn.addLocal(Type::Ref, "nil", world.objCls);
+    {
+        ValueId c = b.constNull(world.objCls);
+        b.move(nullObj, c);
+    }
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(0));
+    const int calls = 3;
+    for (int c = 0; c < calls; ++c) {
+        ValueId refArg = o1;
+        if (opts.allowNullArguments && rng.chance(25))
+            refArg = nullObj;
+        else if (rng.chance(40))
+            refArg = o2;
+        ValueId arrArg = arr;
+        if (opts.allowNullArguments && rng.chance(10))
+            arrArg = nullObj;
+        ValueId x = b.constInt(static_cast<int64_t>(rng.range(64)));
+
+        if (opts.useTryRegions && rng.chance(60)) {
+            BasicBlock &handler = fn.newBlock(0);
+            TryRegionId region =
+                fn.addTryRegion(handler.id(), ExcKind::CatchAll);
+            BasicBlock &body = fn.newBlock(region);
+            BasicBlock &join = fn.newBlock(0);
+            b.jump(body);
+            b.atEnd(body);
+            ValueId got = b.callStatic(world.funcs[0],
+                                       {refArg, arrArg, x}, Type::I32);
+            ValueId merged = b.binop(Opcode::IXor, chk, got);
+            b.move(chk, merged);
+            b.jump(join);
+            b.atEnd(handler);
+            ValueId mark = b.constInt(0x5ca1ab1e);
+            ValueId merged2 = b.binop(Opcode::IAdd, chk, mark);
+            b.move(chk, merged2);
+            b.jump(join);
+            b.atEnd(join);
+        } else {
+            ValueId got = b.callStatic(world.funcs[0],
+                                       {refArg, arrArg, x}, Type::I32);
+            ValueId merged = b.binop(Opcode::IXor, chk, got);
+            b.move(chk, merged);
+        }
+    }
+    b.ret(chk);
+    return mod;
+}
+
+} // namespace trapjit

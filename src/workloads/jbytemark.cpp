@@ -1,0 +1,1094 @@
+/**
+ * @file
+ * The ten jBYTEmark v0.9-like kernels (Table 1 / Figures 8, 10, 14).
+ *
+ * Structure matters as much as instruction mix: each kernel's hot code
+ * lives in its own *method* that receives its data as parameters, the
+ * way real benchmark methods do.  Inside such a method nothing is known
+ * about the parameters, so the front end's per-access null checks are
+ * genuinely live at the loop headers — which is exactly the situation
+ * the paper's optimizations differ on:
+ *
+ *  - forward-only elimination (Whaley) removes the second and later
+ *    checks of an iteration but must keep one per variable per
+ *    iteration, and those in-loop checks block scalar replacement and
+ *    bounds hoisting (Section 2.2);
+ *  - phase 1 hoists the checks in front of the loop, unlocking the
+ *    iterated bounds + scalar replacement pipeline (Figures 2 and 4);
+ *  - phase 2 / the lowering peephole decide how the remaining checks
+ *    are implemented (Section 3.3).
+ *
+ * The hot methods are marked never-inline: they stand in for real
+ * benchmark methods far beyond any inline budget.
+ */
+
+#include "workloads/workload.h"
+
+#include "workloads/kernel_util.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** for i in [0, n): arr[i] = lcg(seed); seed must be an I32 local. */
+void
+emitFillI32(IRBuilder &b, Function &fn, ValueId arr, ValueId n,
+            ValueId seed)
+{
+    ValueId i = fn.addLocal(Type::I32);
+    ValueId zero = b.constInt(0);
+    CountedLoop loop(b, i, zero, n);
+    ValueId next = emitLcgStep(b, seed);
+    b.move(seed, next);
+    b.arrayStore(arr, i, seed, Type::I32);
+    loop.close();
+}
+
+/** for i in [0, n): arr[i] = (f64)lcg(seed) * scale. */
+void
+emitFillF64(IRBuilder &b, Function &fn, ValueId arr, ValueId n,
+            ValueId seed, double scale)
+{
+    ValueId i = fn.addLocal(Type::I32);
+    ValueId zero = b.constInt(0);
+    ValueId scaleC = b.constFloat(scale);
+    CountedLoop loop(b, i, zero, n);
+    ValueId next = emitLcgStep(b, seed);
+    b.move(seed, next);
+    ValueId f = b.unop(Opcode::I2F, seed, Type::F64);
+    ValueId v = b.binop(Opcode::FMul, f, scaleC);
+    b.arrayStore(arr, i, v, Type::F64);
+    loop.close();
+}
+
+/** chk = (chk * 31 + v) & 0x7fffffff, chk an I32 local. */
+void
+emitMix(IRBuilder &b, ValueId chk, ValueId v)
+{
+    ValueId c31 = b.constInt(31);
+    ValueId mask = b.constInt(0x7fffffff);
+    ValueId t1 = b.binop(Opcode::IMul, chk, c31);
+    ValueId t2 = b.binop(Opcode::IAdd, t1, v);
+    ValueId t3 = b.binop(Opcode::IAnd, t2, mask);
+    b.move(chk, t3);
+}
+
+/** Probe checksum: mix arr[k] for k = 0, step, 2*step, ... < n. */
+void
+emitProbeI32(IRBuilder &b, Function &fn, ValueId chk, ValueId arr,
+             ValueId n, int64_t step)
+{
+    ValueId k = fn.addLocal(Type::I32);
+    ValueId zero = b.constInt(0);
+    CountedLoop probe(b, k, zero, n, step);
+    ValueId v = b.arrayLoad(arr, k, Type::I32);
+    emitMix(b, chk, v);
+    probe.close();
+}
+
+// ---------------------------------------------------------------------
+// Numeric Sort
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildNumericSort()
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t N = 140;
+
+    // void ns_sort(int[] arr): insertion sort.
+    Function &sort = mod->addFunction("ns_sort", Type::Void);
+    sort.setNeverInline(true);
+    {
+        ValueId arr = sort.addParam(Type::Ref, "arr");
+        ValueId n = sort.addParam(Type::I32, "n");
+        IRBuilder b(sort);
+        b.startBlock();
+        ValueId one = b.constInt(1);
+        ValueId i = sort.addLocal(Type::I32, "i");
+        CountedLoop outer(b, i, one, n);
+        {
+            ValueId v = sort.addLocal(Type::I32, "v");
+            ValueId j = sort.addLocal(Type::I32, "j");
+            ValueId cur = b.arrayLoad(arr, i, Type::I32);
+            b.move(v, cur);
+            ValueId jInit = b.binop(Opcode::ISub, i, one);
+            b.move(j, jInit);
+
+            BasicBlock &test = sort.newBlock();
+            BasicBlock &load = sort.newBlock();
+            BasicBlock &body = sort.newBlock();
+            BasicBlock &done = sort.newBlock();
+            b.jump(test);
+
+            b.atEnd(test);
+            ValueId zero = b.constInt(0);
+            ValueId geZero = b.cmp(Opcode::ICmp, CmpPred::GE, j, zero);
+            b.branch(geZero, load, done);
+
+            b.atEnd(load);
+            ValueId aj = b.arrayLoad(arr, j, Type::I32);
+            ValueId gt = b.cmp(Opcode::ICmp, CmpPred::GT, aj, v);
+            b.branch(gt, body, done);
+
+            b.atEnd(body);
+            ValueId aj2 = b.arrayLoad(arr, j, Type::I32);
+            ValueId j1 = b.binop(Opcode::IAdd, j, b.constInt(1));
+            b.arrayStore(arr, j1, aj2, Type::I32);
+            ValueId jm = b.binop(Opcode::ISub, j, b.constInt(1));
+            b.move(j, jm);
+            b.jump(test);
+
+            b.atEnd(done);
+            ValueId slot = b.binop(Opcode::IAdd, j, b.constInt(1));
+            b.arrayStore(arr, slot, v, Type::I32);
+        }
+        outer.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId n = b.constInt(N);
+    ValueId arr = b.newArray(n, Type::I32);
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(12345));
+    emitFillI32(b, fn, arr, n, seed);
+    b.callStatic(sort.id(), {arr, n}, Type::Void);
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(7));
+    emitProbeI32(b, fn, chk, arr, n, 13);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// String Sort
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildStringSort()
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t N = 40; // strings
+    const int64_t W = 8;  // width
+
+    // void ss_sort(int[] offsets, int[] chars): bubble sort of strings.
+    Function &sortFn = mod->addFunction("ss_sort", Type::Void);
+    sortFn.setNeverInline(true);
+    {
+        ValueId offsets = sortFn.addParam(Type::Ref, "offsets");
+        ValueId chars = sortFn.addParam(Type::Ref, "chars");
+        ValueId n = sortFn.addParam(Type::I32, "n");
+        IRBuilder b(sortFn);
+        b.startBlock();
+        ValueId one = b.constInt(1);
+        ValueId nm1 = b.binop(Opcode::ISub, n, one);
+        ValueId pass = sortFn.addLocal(Type::I32, "pass");
+        CountedLoop passes(b, pass, b.constInt(0), nm1);
+        {
+            ValueId k = sortFn.addLocal(Type::I32, "k");
+            CountedLoop inner(b, k, b.constInt(0), nm1);
+            {
+                ValueId k1 = b.binop(Opcode::IAdd, k, b.constInt(1));
+                ValueId o1 = b.arrayLoad(offsets, k, Type::I32);
+                ValueId o2 = b.arrayLoad(offsets, k1, Type::I32);
+
+                ValueId diff = sortFn.addLocal(Type::I32, "diff");
+                b.move(diff, b.constInt(0));
+                ValueId j = sortFn.addLocal(Type::I32, "j");
+                CountedLoop cmp(b, j, b.constInt(0), b.constInt(W));
+                {
+                    ValueId p1 = b.binop(Opcode::IAdd, o1, j);
+                    ValueId p2 = b.binop(Opcode::IAdd, o2, j);
+                    ValueId c1 = b.arrayLoad(chars, p1, Type::I32);
+                    ValueId c2 = b.arrayLoad(chars, p2, Type::I32);
+                    ValueId d = b.binop(Opcode::ISub, c1, c2);
+                    BasicBlock &setIt = sortFn.newBlock();
+                    BasicBlock &skip = sortFn.newBlock();
+                    ValueId isZero = b.cmp(Opcode::ICmp, CmpPred::EQ,
+                                           diff, b.constInt(0));
+                    b.branch(isZero, setIt, skip);
+                    b.atEnd(setIt);
+                    b.move(diff, d);
+                    b.jump(skip);
+                    b.atEnd(skip);
+                }
+                cmp.close();
+
+                BasicBlock &swap = sortFn.newBlock();
+                BasicBlock &noswap = sortFn.newBlock();
+                ValueId gt = b.cmp(Opcode::ICmp, CmpPred::GT, diff,
+                                   b.constInt(0));
+                b.branch(gt, swap, noswap);
+                b.atEnd(swap);
+                b.arrayStore(offsets, k, o2, Type::I32);
+                b.arrayStore(offsets, k1, o1, Type::I32);
+                b.jump(noswap);
+                b.atEnd(noswap);
+            }
+            inner.close();
+        }
+        passes.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId n = b.constInt(N);
+    ValueId total = b.constInt(N * W);
+    ValueId chars = b.newArray(total, Type::I32);
+    ValueId offsets = b.newArray(n, Type::I32);
+
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(99));
+    {
+        ValueId i = fn.addLocal(Type::I32);
+        ValueId letters = b.constInt(25);
+        CountedLoop loop(b, i, b.constInt(0), total);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId letter = b.binop(Opcode::IRem, seed, letters);
+        b.arrayStore(chars, i, letter, Type::I32);
+        loop.close();
+    }
+    {
+        ValueId k = fn.addLocal(Type::I32);
+        ValueId prime = b.constInt(7919);
+        ValueId w = b.constInt(W);
+        CountedLoop loop(b, k, b.constInt(0), n);
+        ValueId kp = b.binop(Opcode::IMul, k, prime);
+        ValueId perm = b.binop(Opcode::IRem, kp, n);
+        ValueId off = b.binop(Opcode::IMul, perm, w);
+        b.arrayStore(offsets, k, off, Type::I32);
+        loop.close();
+    }
+    b.callStatic(sortFn.id(), {offsets, chars, n}, Type::Void);
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(3));
+    emitProbeI32(b, fn, chk, offsets, n, 5);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// Bitfield
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildBitfield()
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t WORDS = 64;
+    const int64_t OPS = 6000;
+
+    // void bf_ops(long[] arr, int ops): random bit toggles.
+    Function &opsFn = mod->addFunction("bf_ops", Type::Void);
+    opsFn.setNeverInline(true);
+    {
+        ValueId arr = opsFn.addParam(Type::Ref, "arr");
+        ValueId ops = opsFn.addParam(Type::I32, "ops");
+        ValueId words = opsFn.addParam(Type::I32, "words");
+        IRBuilder b(opsFn);
+        b.startBlock();
+        ValueId seed = opsFn.addLocal(Type::I32, "seed");
+        b.move(seed, b.constInt(4242));
+        ValueId six = b.constInt(6);
+        ValueId totalBits = b.binop(Opcode::IShl, words, six);
+        ValueId bits63 = b.constInt(63);
+        ValueId oneL = b.constInt(1, Type::I64);
+
+        ValueId i = opsFn.addLocal(Type::I32, "i");
+        CountedLoop loop(b, i, b.constInt(0), ops);
+        {
+            ValueId next = emitLcgStep(b, seed);
+            b.move(seed, next);
+            ValueId pos = b.binop(Opcode::IRem, seed, totalBits);
+            ValueId word = b.binop(Opcode::IShr, pos, six);
+            ValueId bitI = b.binop(Opcode::IAnd, pos, bits63);
+            ValueId bitL = b.unop(Opcode::I2L, bitI, Type::I64);
+            ValueId mask = b.binop(Opcode::IShl, oneL, bitL);
+            ValueId old = b.arrayLoad(arr, word, Type::I64);
+            ValueId mixed = b.binop(Opcode::IXor, old, mask);
+            b.arrayStore(arr, word, mixed, Type::I64);
+        }
+        loop.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId words = b.constInt(WORDS);
+    ValueId arr = b.newArray(words, Type::I64);
+    ValueId opsC = b.constInt(OPS);
+    b.callStatic(opsFn.id(), {arr, opsC, words}, Type::Void);
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(1));
+    ValueId k = fn.addLocal(Type::I32);
+    CountedLoop probe(b, k, b.constInt(0), words);
+    ValueId w = b.arrayLoad(arr, k, Type::I64);
+    ValueId lo = b.unop(Opcode::L2I, w, Type::I32);
+    emitMix(b, chk, lo);
+    probe.close();
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// FP Emulation
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildFPEmulation()
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t N = 120;
+    const int64_t ROUNDS = 25;
+
+    // void fp_round(double[] af, double[] bf, int[] mant).
+    Function &roundFn = mod->addFunction("fp_round", Type::Void);
+    roundFn.setNeverInline(true);
+    {
+        ValueId af = roundFn.addParam(Type::Ref, "af");
+        ValueId bf = roundFn.addParam(Type::Ref, "bf");
+        ValueId mant = roundFn.addParam(Type::Ref, "mant");
+        ValueId n = roundFn.addParam(Type::I32, "n");
+        IRBuilder b(roundFn);
+        b.startBlock();
+        ValueId scale = b.constFloat(4096.0);
+        ValueId i = roundFn.addLocal(Type::I32, "i");
+        CountedLoop loop(b, i, b.constInt(0), n);
+        {
+            ValueId x = b.arrayLoad(af, i, Type::F64);
+            ValueId y = b.arrayLoad(bf, i, Type::F64);
+            ValueId prod = b.binop(Opcode::FMul, x, y);
+            ValueId sum = b.binop(Opcode::FAdd, prod, x);
+            b.arrayStore(af, i, sum, Type::F64);
+            ValueId scaled = b.binop(Opcode::FMul, sum, scale);
+            ValueId m = b.unop(Opcode::F2I, scaled, Type::I32);
+            ValueId mOld = b.arrayLoad(mant, i, Type::I32);
+            ValueId mNew = b.binop(Opcode::IXor, mOld, m);
+            b.arrayStore(mant, i, mNew, Type::I32);
+        }
+        loop.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId n = b.constInt(N);
+    ValueId af = b.newArray(n, Type::F64);
+    ValueId bf = b.newArray(n, Type::F64);
+    ValueId mant = b.newArray(n, Type::I32);
+
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(777));
+    emitFillF64(b, fn, af, n, seed, 1.0 / (1 << 30));
+    emitFillF64(b, fn, bf, n, seed, 1.0 / (1 << 28));
+
+    ValueId r = fn.addLocal(Type::I32, "r");
+    CountedLoop rounds(b, r, b.constInt(0), b.constInt(ROUNDS));
+    b.callStatic(roundFn.id(), {af, bf, mant, n}, Type::Void);
+    rounds.close();
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(11));
+    emitProbeI32(b, fn, chk, mant, n, 7);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// Fourier: coefficients by numeric integration — Math.sin/cos bound,
+// with enough surrounding arithmetic that the math share matches the
+// benchmark's profile.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildFourier(void)
+{
+    auto mod = std::make_unique<Module>();
+    MathFunctions math = addMathFunctions(*mod);
+    const int64_t K = 24;
+    const int64_t STEPS = 40;
+
+    // double four_coeff(int k, double[] scratch).
+    Function &coeff = mod->addFunction("four_coeff", Type::F64);
+    coeff.setNeverInline(true);
+    {
+        ValueId k = coeff.addParam(Type::I32, "k");
+        ValueId scratch = coeff.addParam(Type::Ref, "scratch");
+        IRBuilder b(coeff);
+        b.startBlock();
+        ValueId acc = coeff.addLocal(Type::F64, "acc");
+        b.move(acc, b.constFloat(0.0));
+        ValueId kf = b.unop(Opcode::I2F, k, Type::F64);
+        ValueId step = b.constFloat(2.0 / STEPS);
+        ValueId half = b.constFloat(0.5);
+
+        ValueId s = coeff.addLocal(Type::I32, "s");
+        CountedLoop inner(b, s, b.constInt(0), b.constInt(STEPS));
+        {
+            ValueId sf = b.unop(Opcode::I2F, s, Type::F64);
+            ValueId x0 = b.binop(Opcode::FMul, sf, step);
+            ValueId xm = b.binop(Opcode::FMul, step, half);
+            ValueId x = b.binop(Opcode::FAdd, x0, xm);
+            ValueId kx = b.binop(Opcode::FMul, kf, x);
+            ValueId c = b.callStatic(math.cos, {kx}, Type::F64);
+            ValueId sn = b.callStatic(math.sin, {kx}, Type::F64);
+            ValueId term = b.binop(Opcode::FMul, c, sn);
+            ValueId wide = b.binop(Opcode::FMul, term, step);
+            // Extra non-math work per step (trapezoid bookkeeping).
+            ValueId prev = b.arrayLoad(scratch, s, Type::F64);
+            ValueId mix = b.binop(Opcode::FAdd, prev, wide);
+            b.arrayStore(scratch, s, mix, Type::F64);
+            ValueId a2 = b.binop(Opcode::FAdd, acc, mix);
+            b.move(acc, a2);
+        }
+        inner.close();
+        b.ret(acc);
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId coeffs = b.newArray(b.constInt(K), Type::F64);
+    ValueId scratch = b.newArray(b.constInt(STEPS), Type::F64);
+
+    ValueId k = fn.addLocal(Type::I32, "k");
+    CountedLoop outer(b, k, b.constInt(1), b.constInt(K));
+    ValueId v = b.callStatic(coeff.id(), {k, scratch}, Type::F64);
+    b.arrayStore(coeffs, k, v, Type::F64);
+    outer.close();
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(5));
+    ValueId p = fn.addLocal(Type::I32);
+    ValueId thousand = b.constFloat(1000.0);
+    CountedLoop probe(b, p, b.constInt(1), b.constInt(K), 3);
+    ValueId cv = b.arrayLoad(coeffs, p, Type::F64);
+    ValueId scaled = b.binop(Opcode::FMul, cv, thousand);
+    ValueId iv = b.unop(Opcode::F2I, scaled, Type::I32);
+    emitMix(b, chk, iv);
+    probe.close();
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// Assignment: cost-matrix reduction over a 2-D int matrix; row and
+// column reductions live in their own methods taking the matrix.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildAssignment(void)
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t N = 36;
+    const int64_t ROUNDS = 3;
+
+    // void as_rows(int[][] matrix): subtract each row's minimum.
+    Function &rowsFn = mod->addFunction("as_rows", Type::Void);
+    rowsFn.setNeverInline(true);
+    {
+        ValueId matrix = rowsFn.addParam(Type::Ref, "matrix");
+        ValueId n = rowsFn.addParam(Type::I32, "n");
+        IRBuilder b(rowsFn);
+        b.startBlock();
+        ValueId i = rowsFn.addLocal(Type::I32, "i");
+        CountedLoop rows(b, i, b.constInt(0), n);
+        {
+            ValueId row = rowsFn.addLocal(Type::Ref, "row");
+            ValueId rv = b.arrayLoad(matrix, i, Type::Ref);
+            b.move(row, rv);
+
+            ValueId minv = rowsFn.addLocal(Type::I32, "minv");
+            b.move(minv, b.constInt(0x7fffffff));
+            ValueId j = rowsFn.addLocal(Type::I32, "j");
+            CountedLoop scan(b, j, b.constInt(0), n);
+            {
+                ValueId v = b.arrayLoad(row, j, Type::I32);
+                BasicBlock &lower = rowsFn.newBlock();
+                BasicBlock &keep = rowsFn.newBlock();
+                ValueId lt = b.cmp(Opcode::ICmp, CmpPred::LT, v, minv);
+                b.branch(lt, lower, keep);
+                b.atEnd(lower);
+                b.move(minv, v);
+                b.jump(keep);
+                b.atEnd(keep);
+            }
+            scan.close();
+
+            ValueId j2 = rowsFn.addLocal(Type::I32, "j2");
+            CountedLoop sub(b, j2, b.constInt(0), n);
+            {
+                ValueId v = b.arrayLoad(row, j2, Type::I32);
+                ValueId nv = b.binop(Opcode::ISub, v, minv);
+                b.arrayStore(row, j2, nv, Type::I32);
+            }
+            sub.close();
+        }
+        rows.close();
+        b.ret();
+    }
+
+    // void as_cols(int[][] matrix): subtract each column's minimum.
+    Function &colsFn = mod->addFunction("as_cols", Type::Void);
+    colsFn.setNeverInline(true);
+    {
+        ValueId matrix = colsFn.addParam(Type::Ref, "matrix");
+        ValueId n = colsFn.addParam(Type::I32, "n");
+        IRBuilder b(colsFn);
+        b.startBlock();
+        ValueId c = colsFn.addLocal(Type::I32, "c");
+        CountedLoop cols(b, c, b.constInt(0), n);
+        {
+            ValueId minv = colsFn.addLocal(Type::I32, "cmin");
+            b.move(minv, b.constInt(0x7fffffff));
+            ValueId j = colsFn.addLocal(Type::I32, "j");
+            CountedLoop scan(b, j, b.constInt(0), n);
+            {
+                ValueId row = b.arrayLoad(matrix, j, Type::Ref);
+                ValueId v = b.arrayLoad(row, c, Type::I32);
+                BasicBlock &lower = colsFn.newBlock();
+                BasicBlock &keep = colsFn.newBlock();
+                ValueId lt = b.cmp(Opcode::ICmp, CmpPred::LT, v, minv);
+                b.branch(lt, lower, keep);
+                b.atEnd(lower);
+                b.move(minv, v);
+                b.jump(keep);
+                b.atEnd(keep);
+            }
+            scan.close();
+
+            ValueId j2 = colsFn.addLocal(Type::I32, "jc");
+            CountedLoop sub(b, j2, b.constInt(0), n);
+            {
+                ValueId row = b.arrayLoad(matrix, j2, Type::Ref);
+                ValueId v = b.arrayLoad(row, c, Type::I32);
+                ValueId nv = b.binop(Opcode::ISub, v, minv);
+                b.arrayStore(row, c, nv, Type::I32);
+            }
+            sub.close();
+        }
+        cols.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId n = b.constInt(N);
+    ValueId matrix = b.newArray(n, Type::Ref);
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(31415));
+    {
+        ValueId i = fn.addLocal(Type::I32, "i");
+        CountedLoop rows(b, i, b.constInt(0), n);
+        ValueId row = b.newArray(n, Type::I32);
+        b.arrayStore(matrix, i, row, Type::Ref);
+        ValueId j = fn.addLocal(Type::I32, "j");
+        CountedLoop cols(b, j, b.constInt(0), n);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId cost = b.binop(Opcode::IRem, seed, b.constInt(1000));
+        b.arrayStore(row, j, cost, Type::I32);
+        cols.close();
+        rows.close();
+    }
+
+    ValueId r = fn.addLocal(Type::I32, "r");
+    CountedLoop rounds(b, r, b.constInt(0), b.constInt(ROUNDS));
+    b.callStatic(rowsFn.id(), {matrix, n}, Type::Void);
+    b.callStatic(colsFn.id(), {matrix, n}, Type::Void);
+    rounds.close();
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(17));
+    ValueId k = fn.addLocal(Type::I32);
+    CountedLoop probe(b, k, b.constInt(0), n, 5);
+    ValueId row = b.arrayLoad(matrix, k, Type::Ref);
+    ValueId v = b.arrayLoad(row, k, Type::I32);
+    emitMix(b, chk, v);
+    probe.close();
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// IDEA encryption: tight arithmetic with constant-index key accesses.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildIdea(void)
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t KEYS = 16;
+    const int64_t N = 512;
+    const int64_t ROUNDS = 4;
+
+    // void idea_round(int[] keys, int[] data).
+    Function &roundFn = mod->addFunction("idea_round", Type::Void);
+    roundFn.setNeverInline(true);
+    {
+        ValueId keys = roundFn.addParam(Type::Ref, "keys");
+        ValueId data = roundFn.addParam(Type::Ref, "data");
+        ValueId n = roundFn.addParam(Type::I32, "n");
+        IRBuilder b(roundFn);
+        b.startBlock();
+        ValueId k0 = b.constInt(0);
+        ValueId k1 = b.constInt(1);
+        ValueId k2 = b.constInt(2);
+        ValueId k3 = b.constInt(3);
+        ValueId mask16 = b.constInt(0xffff);
+
+        ValueId i = roundFn.addLocal(Type::I32, "i");
+        CountedLoop loop(b, i, b.constInt(0), n);
+        {
+            ValueId x = b.arrayLoad(data, i, Type::I32);
+            ValueId ka = b.arrayLoad(keys, k0, Type::I32);
+            ValueId kb = b.arrayLoad(keys, k1, Type::I32);
+            ValueId kc = b.arrayLoad(keys, k2, Type::I32);
+            ValueId kd = b.arrayLoad(keys, k3, Type::I32);
+            ValueId t1 = b.binop(Opcode::IMul, x, ka);
+            ValueId t2 = b.binop(Opcode::IAdd, t1, kb);
+            ValueId t3 = b.binop(Opcode::IXor, t2, kc);
+            ValueId t4 = b.binop(Opcode::IAdd, t3, kd);
+            ValueId t5 = b.binop(Opcode::IAnd, t4, mask16);
+            b.arrayStore(data, i, t5, Type::I32);
+        }
+        loop.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId keys = b.newArray(b.constInt(KEYS), Type::I32);
+    ValueId data = b.newArray(b.constInt(N), Type::I32);
+
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(1001));
+    emitFillI32(b, fn, keys, b.constInt(KEYS), seed);
+    emitFillI32(b, fn, data, b.constInt(N), seed);
+
+    ValueId r = fn.addLocal(Type::I32, "r");
+    CountedLoop rounds(b, r, b.constInt(0), b.constInt(ROUNDS));
+    ValueId nData = b.constInt(N);
+    b.callStatic(roundFn.id(), {keys, data, nData}, Type::Void);
+    rounds.close();
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(23));
+    emitProbeI32(b, fn, chk, data, b.constInt(N), 37);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// Huffman: pointer-chasing through a binary tree of nodes.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildHuffman(void)
+{
+    auto mod = std::make_unique<Module>();
+    ClassId nodeCls = mod->addClass("Node");
+    int64_t offLeft = mod->addField(nodeCls, "left", Type::Ref);
+    int64_t offRight = mod->addField(nodeCls, "right", Type::Ref);
+    int64_t offSym = mod->addField(nodeCls, "sym", Type::I32);
+    int64_t nodeSize = mod->cls(nodeCls).instanceSize;
+    const int64_t DEPTH = 6;
+    const int64_t LEAVES = 1 << DEPTH;
+    const int64_t WALKS = 1200;
+
+    // int huff_walks(Node root, int walks): decode random bit strings.
+    Function &walkFn = mod->addFunction("huff_walks", Type::I32);
+    walkFn.setNeverInline(true);
+    {
+        ValueId root = walkFn.addParam(Type::Ref, "root", nodeCls);
+        ValueId walks = walkFn.addParam(Type::I32, "walks");
+        IRBuilder b(walkFn);
+        b.startBlock();
+        ValueId seed = walkFn.addLocal(Type::I32, "seed");
+        b.move(seed, b.constInt(555));
+        ValueId chk = walkFn.addLocal(Type::I32, "chk");
+        b.move(chk, b.constInt(29));
+
+        ValueId w = walkFn.addLocal(Type::I32, "w");
+        CountedLoop loop(b, w, b.constInt(0), walks);
+        {
+            ValueId node = walkFn.addLocal(Type::Ref, "node", nodeCls);
+            b.move(node, root);
+            ValueId next = emitLcgStep(b, seed);
+            b.move(seed, next);
+
+            ValueId step = walkFn.addLocal(Type::I32, "step");
+            CountedLoop descend(b, step, b.constInt(0),
+                                b.constInt(DEPTH));
+            {
+                ValueId bit = b.binop(Opcode::IShr, seed, step);
+                ValueId one = b.binop(Opcode::IAnd, bit, b.constInt(1));
+                BasicBlock &goLeft = walkFn.newBlock();
+                BasicBlock &goRight = walkFn.newBlock();
+                BasicBlock &merge = walkFn.newBlock();
+                ValueId isOne = b.cmp(Opcode::ICmp, CmpPred::NE, one,
+                                      b.constInt(0));
+                b.branch(isOne, goRight, goLeft);
+                b.atEnd(goLeft);
+                ValueId l = b.getField(node, offLeft, Type::Ref);
+                b.move(node, l);
+                b.jump(merge);
+                b.atEnd(goRight);
+                ValueId rr = b.getField(node, offRight, Type::Ref);
+                b.move(node, rr);
+                b.jump(merge);
+                b.atEnd(merge);
+            }
+            descend.close();
+            ValueId sym = b.getField(node, offSym, Type::I32);
+            emitMix(b, chk, sym);
+        }
+        loop.close();
+        b.ret(chk);
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId level = b.newArray(b.constInt(LEAVES), Type::Ref);
+    ValueId root = fn.addLocal(Type::Ref, "root", nodeCls);
+    {
+        ValueId i = fn.addLocal(Type::I32, "i");
+        CountedLoop leaves(b, i, b.constInt(0), b.constInt(LEAVES));
+        ValueId leaf = b.newObject(nodeCls, nodeSize);
+        b.putField(leaf, offSym, i);
+        b.arrayStore(level, i, leaf, Type::Ref);
+        leaves.close();
+
+        ValueId width = fn.addLocal(Type::I32, "width");
+        b.move(width, b.constInt(LEAVES));
+        ValueId d = fn.addLocal(Type::I32, "d");
+        CountedLoop depth(b, d, b.constInt(0), b.constInt(DEPTH));
+        {
+            ValueId half = b.binop(Opcode::IShr, width, b.constInt(1));
+            ValueId j = fn.addLocal(Type::I32, "j");
+            CountedLoop pair(b, j, b.constInt(0), half);
+            {
+                ValueId j2 = b.binop(Opcode::IMul, j, b.constInt(2));
+                ValueId j21 = b.binop(Opcode::IAdd, j2, b.constInt(1));
+                ValueId l = b.arrayLoad(level, j2, Type::Ref);
+                ValueId rr = b.arrayLoad(level, j21, Type::Ref);
+                ValueId parent = b.newObject(nodeCls, nodeSize);
+                b.putField(parent, offLeft, l);
+                b.putField(parent, offRight, rr);
+                ValueId negOne = b.constInt(-1);
+                b.putField(parent, offSym, negOne);
+                b.arrayStore(level, j, parent, Type::Ref);
+            }
+            pair.close();
+            b.move(width, half);
+        }
+        depth.close();
+        ValueId top = b.arrayLoad(level, b.constInt(0), Type::Ref);
+        b.move(root, top);
+    }
+
+    ValueId walks = b.constInt(WALKS);
+    ValueId chk = b.callStatic(walkFn.id(), {root, walks}, Type::I32);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// Neural Net: 2-D weights, sigmoid via Math.exp, and a Figure 6-shaped
+// accumulation loop (a store first, then array reads).
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildNeuralNet(void)
+{
+    auto mod = std::make_unique<Module>();
+    MathFunctions math = addMathFunctions(*mod);
+    const int64_t IN = 16;
+    const int64_t HID = 12;
+    const int64_t EPOCHS = 10;
+
+    // void nn_epoch(double[][] w, double[] in, double[] hid).
+    Function &epochFn = mod->addFunction("nn_epoch", Type::Void);
+    epochFn.setNeverInline(true);
+    {
+        ValueId weights = epochFn.addParam(Type::Ref, "w");
+        ValueId input = epochFn.addParam(Type::Ref, "in");
+        ValueId hidden = epochFn.addParam(Type::Ref, "hid");
+        ValueId nHid = epochFn.addParam(Type::I32, "nHid");
+        ValueId nIn = epochFn.addParam(Type::I32, "nIn");
+        IRBuilder b(epochFn);
+        b.startBlock();
+
+        // Forward pass; the store to hidden[] comes FIRST in the inner
+        // body (Figure 6): on a write-only-trap target the checks for
+        // `row`/`input` are stuck in the loop and only speculation can
+        // hoist the loads above them.
+        ValueId h = epochFn.addLocal(Type::I32, "h");
+        CountedLoop rows(b, h, b.constInt(0), nHid);
+        {
+            ValueId acc = epochFn.addLocal(Type::F64, "acc");
+            b.move(acc, b.constFloat(0.0));
+            ValueId row = epochFn.addLocal(Type::Ref, "row");
+            ValueId rv = b.arrayLoad(weights, h, Type::Ref);
+            b.move(row, rv);
+
+            ValueId i = epochFn.addLocal(Type::I32, "i");
+            CountedLoop sum(b, i, b.constInt(0), nIn);
+            {
+                b.arrayStore(hidden, h, acc, Type::F64);
+                ValueId wv = b.arrayLoad(row, i, Type::F64);
+                ValueId xv = b.arrayLoad(input, i, Type::F64);
+                ValueId prod = b.binop(Opcode::FMul, wv, xv);
+                ValueId a2 = b.binop(Opcode::FAdd, acc, prod);
+                b.move(acc, a2);
+            }
+            sum.close();
+
+            ValueId neg = b.unop(Opcode::FNeg, acc, Type::F64);
+            ValueId ex = b.callStatic(math.exp, {neg}, Type::F64);
+            ValueId one = b.constFloat(1.0);
+            ValueId denom = b.binop(Opcode::FAdd, one, ex);
+            ValueId sig = b.binop(Opcode::FDiv, one, denom);
+            b.arrayStore(hidden, h, sig, Type::F64);
+        }
+        rows.close();
+
+        // Weight update: w[h][i] += 0.01 * hidden[h] * input[i].
+        ValueId h2 = epochFn.addLocal(Type::I32, "h2");
+        CountedLoop upd(b, h2, b.constInt(0), nHid);
+        {
+            ValueId row = epochFn.addLocal(Type::Ref, "urow");
+            ValueId rv = b.arrayLoad(weights, h2, Type::Ref);
+            b.move(row, rv);
+            ValueId hv = b.arrayLoad(hidden, h2, Type::F64);
+            ValueId rate = b.constFloat(0.01);
+            ValueId delta = b.binop(Opcode::FMul, hv, rate);
+            ValueId i = epochFn.addLocal(Type::I32, "ui");
+            CountedLoop cols(b, i, b.constInt(0), nIn);
+            {
+                ValueId xv = b.arrayLoad(input, i, Type::F64);
+                ValueId dw = b.binop(Opcode::FMul, delta, xv);
+                ValueId wv = b.arrayLoad(row, i, Type::F64);
+                ValueId nw = b.binop(Opcode::FAdd, wv, dw);
+                b.arrayStore(row, i, nw, Type::F64);
+            }
+            cols.close();
+        }
+        upd.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId nIn = b.constInt(IN);
+    ValueId nHid = b.constInt(HID);
+    ValueId weights = b.newArray(nHid, Type::Ref);
+    ValueId input = b.newArray(nIn, Type::F64);
+    ValueId hidden = b.newArray(nHid, Type::F64);
+
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(20000));
+    {
+        ValueId h = fn.addLocal(Type::I32, "h");
+        CountedLoop rows(b, h, b.constInt(0), nHid);
+        ValueId row = b.newArray(nIn, Type::F64);
+        b.arrayStore(weights, h, row, Type::Ref);
+        ValueId i = fn.addLocal(Type::I32, "i");
+        ValueId scale = b.constFloat(1.0 / (1 << 30));
+        CountedLoop cols(b, i, b.constInt(0), nIn);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId f = b.unop(Opcode::I2F, seed, Type::F64);
+        ValueId v = b.binop(Opcode::FMul, f, scale);
+        b.arrayStore(row, i, v, Type::F64);
+        cols.close();
+        rows.close();
+    }
+    emitFillF64(b, fn, input, nIn, seed, 1.0 / (1 << 29));
+
+    ValueId e = fn.addLocal(Type::I32, "e");
+    CountedLoop epochs(b, e, b.constInt(0), b.constInt(EPOCHS));
+    b.callStatic(epochFn.id(), {weights, input, hidden, nHid, nIn},
+                 Type::Void);
+    epochs.close();
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(41));
+    ValueId k = fn.addLocal(Type::I32);
+    ValueId thousand = b.constFloat(1000.0);
+    CountedLoop probe(b, k, b.constInt(0), nHid);
+    ValueId hv = b.arrayLoad(hidden, k, Type::F64);
+    ValueId scaled = b.binop(Opcode::FMul, hv, thousand);
+    ValueId iv = b.unop(Opcode::F2I, scaled, Type::I32);
+    emitMix(b, chk, iv);
+    probe.close();
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// LU Decomposition: in-place factorization, triple loop over row arrays.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildLU(void)
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t N = 20;
+
+    // void lu_row(double[] row, double[] pivotRow, double f, int k1,
+    //             int n): the O(n) inner update of the factorization.
+    Function &rowFn = mod->addFunction("lu_row", Type::Void);
+    rowFn.setNeverInline(true);
+    {
+        ValueId row = rowFn.addParam(Type::Ref, "row");
+        ValueId pivotRow = rowFn.addParam(Type::Ref, "pivotRow");
+        ValueId f = rowFn.addParam(Type::F64, "f");
+        ValueId k1 = rowFn.addParam(Type::I32, "k1");
+        ValueId n = rowFn.addParam(Type::I32, "n");
+        IRBuilder b(rowFn);
+        b.startBlock();
+        ValueId j = rowFn.addLocal(Type::I32, "j");
+        CountedLoop inner(b, j, k1, n);
+        {
+            ValueId pv = b.arrayLoad(pivotRow, j, Type::F64);
+            ValueId term = b.binop(Opcode::FMul, f, pv);
+            ValueId cur = b.arrayLoad(row, j, Type::F64);
+            ValueId nv = b.binop(Opcode::FSub, cur, term);
+            b.arrayStore(row, j, nv, Type::F64);
+        }
+        inner.close();
+        b.ret();
+    }
+
+    // void lu_factor(double[][] a).
+    Function &factor = mod->addFunction("lu_factor", Type::Void);
+    factor.setNeverInline(true);
+    {
+        ValueId a = factor.addParam(Type::Ref, "a");
+        ValueId n = factor.addParam(Type::I32, "n");
+        IRBuilder b(factor);
+        b.startBlock();
+        ValueId one = b.constInt(1);
+        ValueId nm1 = b.binop(Opcode::ISub, n, one);
+        ValueId k = factor.addLocal(Type::I32, "k");
+        CountedLoop outer(b, k, b.constInt(0), nm1);
+        {
+            ValueId pivotRow = factor.addLocal(Type::Ref, "pivotRow");
+            ValueId pr = b.arrayLoad(a, k, Type::Ref);
+            b.move(pivotRow, pr);
+            ValueId pivot = b.arrayLoad(pivotRow, k, Type::F64);
+
+            ValueId i = factor.addLocal(Type::I32, "li");
+            ValueId k1 = b.binop(Opcode::IAdd, k, one);
+            CountedLoop middle(b, i, k1, n);
+            {
+                ValueId row = factor.addLocal(Type::Ref, "lrow");
+                ValueId rv = b.arrayLoad(a, i, Type::Ref);
+                b.move(row, rv);
+                ValueId lead = b.arrayLoad(row, k, Type::F64);
+                ValueId f = b.binop(Opcode::FDiv, lead, pivot);
+                b.arrayStore(row, k, f, Type::F64);
+
+                b.callStatic(rowFn.id(), {row, pivotRow, f, k1, n},
+                             Type::Void);
+            }
+            middle.close();
+        }
+        outer.close();
+        b.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId n = b.constInt(N);
+    ValueId a = b.newArray(n, Type::Ref);
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(616));
+    {
+        ValueId i = fn.addLocal(Type::I32, "i");
+        CountedLoop rows(b, i, b.constInt(0), n);
+        ValueId row = b.newArray(n, Type::F64);
+        b.arrayStore(a, i, row, Type::Ref);
+        ValueId j = fn.addLocal(Type::I32, "j");
+        ValueId scale = b.constFloat(1.0 / (1 << 22));
+        ValueId bump = b.constFloat(64.0);
+        CountedLoop cols(b, j, b.constInt(0), n);
+        {
+            ValueId next = emitLcgStep(b, seed);
+            b.move(seed, next);
+            ValueId f = b.unop(Opcode::I2F, seed, Type::F64);
+            ValueId v = b.binop(Opcode::FMul, f, scale);
+            BasicBlock &diag = fn.newBlock();
+            BasicBlock &store = fn.newBlock();
+            ValueId vd = fn.addLocal(Type::F64, "vd");
+            b.move(vd, v);
+            ValueId isDiag = b.cmp(Opcode::ICmp, CmpPred::EQ, i, j);
+            b.branch(isDiag, diag, store);
+            b.atEnd(diag);
+            ValueId vBig = b.binop(Opcode::FAdd, v, bump);
+            b.move(vd, vBig);
+            b.jump(store);
+            b.atEnd(store);
+            b.arrayStore(row, j, vd, Type::F64);
+        }
+        cols.close();
+        rows.close();
+    }
+    b.callStatic(factor.id(), {a, n}, Type::Void);
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(47));
+    ValueId p = fn.addLocal(Type::I32);
+    ValueId thousand = b.constFloat(1000.0);
+    CountedLoop probe(b, p, b.constInt(0), n, 3);
+    ValueId row = b.arrayLoad(a, p, Type::Ref);
+    ValueId v = b.arrayLoad(row, p, Type::F64);
+    ValueId scaled = b.binop(Opcode::FMul, v, thousand);
+    ValueId iv = b.unop(Opcode::F2I, scaled, Type::I32);
+    emitMix(b, chk, iv);
+    probe.close();
+    b.ret(chk);
+    return mod;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+jbytemarkWorkloads()
+{
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> list;
+        auto add = [&list](const char *name, auto builder,
+                           double scale) {
+            Workload w;
+            w.name = name;
+            w.suite = "jbytemark";
+            w.build = builder;
+            w.indexScale = scale;
+            list.push_back(std::move(w));
+        };
+        add("Numeric Sort", buildNumericSort, 1.1e9);
+        add("String Sort", buildStringSort, 0.35e9);
+        add("Bitfield", buildBitfield, 1.3e9);
+        add("FP Emulation", buildFPEmulation, 1.2e9);
+        add("Fourier", buildFourier, 0.45e9);
+        add("Assignment", buildAssignment, 1.2e9);
+        add("IDEA encryption", buildIdea, 0.5e9);
+        add("Huffman Compression", buildHuffman, 0.8e9);
+        add("Neural Net", buildNeuralNet, 1.1e9);
+        add("LU Decomposition", buildLU, 1.1e9);
+        return list;
+    }();
+    return workloads;
+}
+
+} // namespace trapjit

@@ -1,0 +1,224 @@
+#include "workloads/kernel_util.h"
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+CountedLoop::CountedLoop(IRBuilder &b, ValueId i, ValueId start,
+                         ValueId limit, int64_t step)
+    : b_(b), i_(i), limit_(limit), step_(step)
+{
+    TryRegionId region = b.currentBlock().tryRegion();
+    b.move(i, start);
+    body_ = &b.function().newBlock(region);
+    b.jump(*body_);
+    b.atEnd(*body_);
+}
+
+void
+CountedLoop::close()
+{
+    TRAPJIT_ASSERT(!closed_, "loop closed twice");
+    closed_ = true;
+    TryRegionId region = b_.currentBlock().tryRegion();
+    ValueId stepVal = b_.constInt(step_);
+    ValueId next = b_.binop(Opcode::IAdd, i_, stepVal);
+    b_.move(i_, next);
+    ValueId cond = b_.cmp(Opcode::ICmp, CmpPred::LT, i_, limit_);
+    exit_ = &b_.function().newBlock(region);
+    b_.branch(cond, *body_, *exit_);
+    b_.atEnd(*exit_);
+}
+
+namespace
+{
+
+/** exp(x) = (taylor(x/16))^16 with a 12-term series. */
+FunctionId
+buildExp(Module &mod)
+{
+    Function &fn = mod.addFunction("Math.exp", Type::F64);
+    fn.setIntrinsic(Intrinsic::Exp);
+    ValueId x = fn.addParam(Type::F64, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId sixteenth = b.constFloat(1.0 / 16.0);
+    ValueId y = b.binop(Opcode::FMul, x, sixteenth);
+
+    ValueId sum = fn.addLocal(Type::F64, "sum");
+    ValueId term = fn.addLocal(Type::F64, "term");
+    ValueId one = b.constFloat(1.0);
+    b.move(sum, one);
+    b.move(term, one);
+
+    ValueId k = fn.addLocal(Type::I32, "k");
+    ValueId kStart = b.constInt(1);
+    ValueId kLimit = b.constInt(13);
+    CountedLoop loop(b, k, kStart, kLimit);
+    {
+        ValueId kf = b.unop(Opcode::I2F, k, Type::F64);
+        ValueId ty = b.binop(Opcode::FMul, term, y);
+        ValueId t2 = b.binop(Opcode::FDiv, ty, kf);
+        b.move(term, t2);
+        ValueId s2 = b.binop(Opcode::FAdd, sum, term);
+        b.move(sum, s2);
+    }
+    loop.close();
+
+    // sum^16 by four squarings.
+    for (int i = 0; i < 4; ++i) {
+        ValueId sq = b.binop(Opcode::FMul, sum, sum);
+        b.move(sum, sq);
+    }
+    b.ret(sum);
+    return fn.id();
+}
+
+/** 9-term alternating Taylor series (adequate on the kernels' ranges). */
+FunctionId
+buildSinCos(Module &mod, bool is_sin)
+{
+    Function &fn =
+        mod.addFunction(is_sin ? "Math.sin" : "Math.cos", Type::F64);
+    fn.setIntrinsic(is_sin ? Intrinsic::Sin : Intrinsic::Cos);
+    ValueId x = fn.addParam(Type::F64, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId x2 = b.binop(Opcode::FMul, x, x);
+    ValueId sum = fn.addLocal(Type::F64, "sum");
+    ValueId term = fn.addLocal(Type::F64, "term");
+    ValueId init = is_sin ? x : b.constFloat(1.0);
+    b.move(sum, init);
+    b.move(term, init);
+
+    ValueId k = fn.addLocal(Type::I32, "k");
+    ValueId kStart = b.constInt(1);
+    ValueId kLimit = b.constInt(10);
+    CountedLoop loop(b, k, kStart, kLimit);
+    {
+        // term *= -x^2 / ((2k + c - 1) * (2k + c)), c = 0 for cos, 1 sin.
+        ValueId two = b.constInt(2);
+        ValueId twoK = b.binop(Opcode::IMul, k, two);
+        ValueId cAdj = b.constInt(is_sin ? 1 : 0);
+        ValueId hi = b.binop(Opcode::IAdd, twoK, cAdj);
+        ValueId oneC = b.constInt(1);
+        ValueId lo = b.binop(Opcode::ISub, hi, oneC);
+        ValueId denomI = b.binop(Opcode::IMul, hi, lo);
+        ValueId denom = b.unop(Opcode::I2F, denomI, Type::F64);
+        ValueId tx = b.binop(Opcode::FMul, term, x2);
+        ValueId td = b.binop(Opcode::FDiv, tx, denom);
+        ValueId tn = b.unop(Opcode::FNeg, td, Type::F64);
+        b.move(term, tn);
+        ValueId s2 = b.binop(Opcode::FAdd, sum, term);
+        b.move(sum, s2);
+    }
+    loop.close();
+    b.ret(sum);
+    return fn.id();
+}
+
+/** log(x) via atanh series: log(x) = 2 * sum t^(2k+1)/(2k+1). */
+FunctionId
+buildLog(Module &mod)
+{
+    Function &fn = mod.addFunction("Math.log", Type::F64);
+    fn.setIntrinsic(Intrinsic::Log);
+    ValueId x = fn.addParam(Type::F64, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId one = b.constFloat(1.0);
+    ValueId num = b.binop(Opcode::FSub, x, one);
+    ValueId den = b.binop(Opcode::FAdd, x, one);
+    ValueId t = b.binop(Opcode::FDiv, num, den);
+    ValueId t2 = b.binop(Opcode::FMul, t, t);
+
+    ValueId sum = fn.addLocal(Type::F64, "sum");
+    ValueId pow = fn.addLocal(Type::F64, "pow");
+    b.move(sum, t);
+    b.move(pow, t);
+
+    ValueId k = fn.addLocal(Type::I32, "k");
+    ValueId kStart = b.constInt(1);
+    ValueId kLimit = b.constInt(12);
+    CountedLoop loop(b, k, kStart, kLimit);
+    {
+        ValueId p2 = b.binop(Opcode::FMul, pow, t2);
+        b.move(pow, p2);
+        ValueId two = b.constInt(2);
+        ValueId twoK = b.binop(Opcode::IMul, k, two);
+        ValueId oneC = b.constInt(1);
+        ValueId denomI = b.binop(Opcode::IAdd, twoK, oneC);
+        ValueId denomF = b.unop(Opcode::I2F, denomI, Type::F64);
+        ValueId frac = b.binop(Opcode::FDiv, pow, denomF);
+        ValueId s2 = b.binop(Opcode::FAdd, sum, frac);
+        b.move(sum, s2);
+    }
+    loop.close();
+
+    ValueId twoF = b.constFloat(2.0);
+    ValueId result = b.binop(Opcode::FMul, sum, twoF);
+    b.ret(result);
+    return fn.id();
+}
+
+/** sqrt(x) by six Newton iterations (never used: FSqrt is universal). */
+FunctionId
+buildSqrt(Module &mod)
+{
+    Function &fn = mod.addFunction("Math.sqrt", Type::F64);
+    fn.setIntrinsic(Intrinsic::Sqrt);
+    ValueId x = fn.addParam(Type::F64, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId g = fn.addLocal(Type::F64, "g");
+    ValueId half = b.constFloat(0.5);
+    ValueId one = b.constFloat(1.0);
+    ValueId init = b.binop(Opcode::FMul,
+                           b.binop(Opcode::FAdd, x, one), half);
+    b.move(g, init);
+    ValueId k = fn.addLocal(Type::I32, "k");
+    ValueId kStart = b.constInt(0);
+    ValueId kLimit = b.constInt(6);
+    CountedLoop loop(b, k, kStart, kLimit);
+    {
+        ValueId q = b.binop(Opcode::FDiv, x, g);
+        ValueId s = b.binop(Opcode::FAdd, g, q);
+        ValueId g2 = b.binop(Opcode::FMul, s, half);
+        b.move(g, g2);
+    }
+    loop.close();
+    b.ret(g);
+    return fn.id();
+}
+
+} // namespace
+
+MathFunctions
+addMathFunctions(Module &mod)
+{
+    MathFunctions fns;
+    fns.exp = buildExp(mod);
+    fns.sin = buildSinCos(mod, true);
+    fns.cos = buildSinCos(mod, false);
+    fns.log = buildLog(mod);
+    fns.sqrt = buildSqrt(mod);
+    return fns;
+}
+
+ValueId
+emitLcgStep(IRBuilder &b, ValueId seed)
+{
+    ValueId mul = b.constInt(1103515245);
+    ValueId add = b.constInt(12345);
+    ValueId mask = b.constInt(0x3fffffff);
+    ValueId t1 = b.binop(Opcode::IMul, seed, mul);
+    ValueId t2 = b.binop(Opcode::IAdd, t1, add);
+    return b.binop(Opcode::IAnd, t2, mask);
+}
+
+} // namespace trapjit

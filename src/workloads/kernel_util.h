@@ -1,0 +1,88 @@
+#ifndef TRAPJIT_WORKLOADS_KERNEL_UTIL_H_
+#define TRAPJIT_WORKLOADS_KERNEL_UTIL_H_
+
+/**
+ * @file
+ * Shared building blocks for the synthetic kernels.
+ *
+ * CountedLoop emits the do-while shape (`body; i++; if (i<n) goto body`)
+ * that hot benchmark loops compile to — the body executes at least once
+ * per entry, which is exactly the anticipation property the backward
+ * motion analyses need to hoist checks in front of the loop.
+ *
+ * addMathFunctions defines java.lang.Math-like functions as real IR
+ * (argument-reduced Taylor series): on targets with the native
+ * instruction the inliner replaces calls with FExp/FSin/...; on others
+ * the call stays opaque and acts as an optimization barrier, the
+ * Section 5.4 PowerPC situation.
+ */
+
+#include "ir/builder.h"
+#include "ir/module.h"
+
+namespace trapjit
+{
+
+/**
+ * A do-while counted loop: `i = start; do { ...body... i += step; }
+ * while (i < limit);`.
+ *
+ * Usage:
+ *     CountedLoop loop(b, i, start, limit);   // opens the body block
+ *     ... emit the body with b ...
+ *     loop.close();                           // b is now at the exit
+ */
+class CountedLoop
+{
+  public:
+    /**
+     * @param b       builder, positioned in the block before the loop
+     * @param i       I32 local used as the counter (assigned start)
+     * @param start   initial counter value
+     * @param limit   loop continues while i < limit
+     */
+    CountedLoop(IRBuilder &b, ValueId i, ValueId start, ValueId limit,
+                int64_t step = 1);
+
+    /** The body block (the loop header). */
+    BasicBlock &body() { return *body_; }
+
+    /** Emit the increment and back edge; positions the builder at exit. */
+    void close();
+
+  private:
+    IRBuilder &b_;
+    ValueId i_;
+    ValueId limit_;
+    int64_t step_;
+    BasicBlock *body_ = nullptr;
+    BasicBlock *exit_ = nullptr;
+    bool closed_ = false;
+};
+
+/** Handles to the runtime math functions of a module. */
+struct MathFunctions
+{
+    FunctionId exp = kNoFunction;
+    FunctionId sin = kNoFunction;
+    FunctionId cos = kNoFunction;
+    FunctionId log = kNoFunction;
+    FunctionId sqrt = kNoFunction;
+};
+
+/**
+ * Add Math.exp/sin/cos/log/sqrt as IR functions tagged with their
+ * intrinsic identity.
+ */
+MathFunctions addMathFunctions(Module &mod);
+
+/**
+ * Emit `dst = (seed * 1103515245 + 12345) & 0x3fffffff` — the classic
+ * LCG step used to fill arrays deterministically.  Returns the new seed
+ * temp.
+ */
+ValueId emitLcgStep(IRBuilder &b, ValueId seed);
+
+} // namespace trapjit
+
+#endif // TRAPJIT_WORKLOADS_KERNEL_UTIL_H_

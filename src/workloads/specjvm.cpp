@@ -1,0 +1,926 @@
+/**
+ * @file
+ * The seven SPECjvm98-like programs (Table 2 / Figures 9, 11, 15).
+ *
+ * Shapes follow the paper's per-benchmark analysis:
+ *  - mtrt: tiny accessor methods with early-out branches, called in the
+ *    hot loop; after devirtualization + inlining they leave the
+ *    Figure 1 explicit checks that only phase 2 can push onto traps;
+ *  - jess/javac: polymorphic object graphs (CHA cannot devirtualize),
+ *    many small methods — javac is deliberately the largest module so
+ *    it dominates compile time as in Table 3;
+ *  - compress: tight hash-loop whose indices change every iteration
+ *    (nothing to hoist; the trap conversion is the whole win);
+ *  - db: dominated by a polymorphic comparison call per record;
+ *  - mpegaudio: windowed FIR filters over f64 arrays;
+ *  - jack: token scanning with per-token allocation (allocation is a
+ *    side-effect barrier, limiting motion).
+ */
+
+#include "workloads/workload.h"
+
+#include "workloads/kernel_util.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+void
+emitMix(IRBuilder &b, ValueId chk, ValueId v)
+{
+    ValueId c31 = b.constInt(31);
+    ValueId mask = b.constInt(0x7fffffff);
+    ValueId t1 = b.binop(Opcode::IMul, chk, c31);
+    ValueId t2 = b.binop(Opcode::IAdd, t1, v);
+    ValueId t3 = b.binop(Opcode::IAnd, t2, mask);
+    b.move(chk, t3);
+}
+
+// ---------------------------------------------------------------------
+// mtrt: ray/sphere intersection with accessor methods.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildMtrt()
+{
+    auto mod = std::make_unique<Module>();
+
+    ClassId sphereCls = mod->addClass("Sphere");
+    int64_t offX = mod->addField(sphereCls, "x", Type::F64);
+    int64_t offY = mod->addField(sphereCls, "y", Type::F64);
+    int64_t offR2 = mod->addField(sphereCls, "r2", Type::F64);
+    int64_t offHits = mod->addField(sphereCls, "hits", Type::I32);
+    int64_t sphereSize = mod->cls(sphereCls).instanceSize;
+
+    // double Sphere.centerX(): monomorphic accessor.
+    Function &getX = mod->addFunction("Sphere.centerX", Type::F64, true);
+    {
+        ValueId self = getX.addParam(Type::Ref, "this", sphereCls);
+        IRBuilder gb(getX);
+        gb.startBlock();
+        ValueId v = gb.getField(self, offX, Type::F64);
+        gb.ret(v);
+    }
+    Function &getY = mod->addFunction("Sphere.centerY", Type::F64, true);
+    {
+        ValueId self = getY.addParam(Type::Ref, "this", sphereCls);
+        IRBuilder gb(getY);
+        gb.startBlock();
+        ValueId v = gb.getField(self, offY, Type::F64);
+        gb.ret(v);
+    }
+
+    // int Sphere.hit(px, py): the Figure 1 shape — a branch before the
+    // receiver's slots are touched, so the devirtualized call needs an
+    // explicit check that only phase 2 can optimize.
+    Function &hit = mod->addFunction("Sphere.hit", Type::I32, true);
+    {
+        ValueId self = hit.addParam(Type::Ref, "this", sphereCls);
+        ValueId px = hit.addParam(Type::F64, "px");
+        ValueId py = hit.addParam(Type::F64, "py");
+        IRBuilder hb(hit);
+        hb.startBlock();
+        // Early out on a pure-argument test: no slot of `this` touched.
+        BasicBlock &fastOut = hit.newBlock();
+        BasicBlock &test = hit.newBlock();
+        ValueId zero = hb.constFloat(0.0);
+        ValueId neg = hb.cmp(Opcode::FCmp, CmpPred::LT, px, zero);
+        hb.branch(neg, fastOut, test);
+
+        hb.atEnd(fastOut);
+        ValueId zeroI = hb.constInt(0);
+        hb.ret(zeroI);
+
+        hb.atEnd(test);
+        ValueId cx = hb.callVirtual(0, {self}, Type::F64); // centerX
+        ValueId cy = hb.callVirtual(1, {self}, Type::F64); // centerY
+        ValueId dx = hb.binop(Opcode::FSub, px, cx);
+        ValueId dy = hb.binop(Opcode::FSub, py, cy);
+        ValueId dx2 = hb.binop(Opcode::FMul, dx, dx);
+        ValueId dy2 = hb.binop(Opcode::FMul, dy, dy);
+        ValueId d2 = hb.binop(Opcode::FAdd, dx2, dy2);
+        ValueId r2 = hb.getField(self, offR2, Type::F64);
+        BasicBlock &isHit = hit.newBlock();
+        BasicBlock &isMiss = hit.newBlock();
+        ValueId inside = hb.cmp(Opcode::FCmp, CmpPred::LE, d2, r2);
+        hb.branch(inside, isHit, isMiss);
+        hb.atEnd(isHit);
+        ValueId hits = hb.getField(self, offHits, Type::I32);
+        ValueId oneI = hb.constInt(1);
+        ValueId hits1 = hb.binop(Opcode::IAdd, hits, oneI);
+        hb.putField(self, offHits, hits1);
+        hb.ret(oneI);
+        hb.atEnd(isMiss);
+        ValueId zeroI2 = hb.constInt(0);
+        hb.ret(zeroI2);
+    }
+
+    uint32_t slotX = mod->addVirtualMethod(sphereCls, getX.id());
+    uint32_t slotY = mod->addVirtualMethod(sphereCls, getY.id());
+    uint32_t slotHit = mod->addVirtualMethod(sphereCls, hit.id());
+    (void)slotX;
+    (void)slotY;
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    const int64_t SPHERES = 12;
+    const int64_t RAYS = 250;
+    ValueId nSph = b.constInt(SPHERES);
+    ValueId scene = b.newArray(nSph, Type::Ref, sphereCls);
+
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(321));
+    {
+        ValueId i = fn.addLocal(Type::I32, "i");
+        ValueId scale = b.constFloat(1.0 / (1 << 26));
+        CountedLoop setup(b, i, b.constInt(0), nSph);
+        ValueId s = b.newObject(sphereCls, sphereSize);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId f = b.unop(Opcode::I2F, next, Type::F64);
+        ValueId x = b.binop(Opcode::FMul, f, scale);
+        b.putField(s, offX, x);
+        ValueId next2 = emitLcgStep(b, seed);
+        b.move(seed, next2);
+        ValueId f2 = b.unop(Opcode::I2F, next2, Type::F64);
+        ValueId y = b.binop(Opcode::FMul, f2, scale);
+        b.putField(s, offY, y);
+        ValueId r2c = b.constFloat(36.0);
+        b.putField(s, offR2, r2c);
+        b.arrayStore(scene, i, s, Type::Ref);
+        setup.close();
+    }
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(53));
+    ValueId ray = fn.addLocal(Type::I32, "ray");
+    CountedLoop rays(b, ray, b.constInt(0), b.constInt(RAYS));
+    {
+        ValueId rf = b.unop(Opcode::I2F, ray, Type::F64);
+        ValueId step = b.constFloat(0.05);
+        ValueId px = b.binop(Opcode::FMul, rf, step);
+        ValueId off = b.constFloat(1.5);
+        ValueId py = b.binop(Opcode::FSub, px, off);
+
+        ValueId s = fn.addLocal(Type::I32, "s");
+        CountedLoop spheres(b, s, b.constInt(0), nSph);
+        {
+            ValueId sph = fn.addLocal(Type::Ref, "sph", sphereCls);
+            ValueId sv = b.arrayLoad(scene, s, Type::Ref);
+            b.move(sph, sv);
+            ValueId got = b.callVirtual(slotHit, {sph, px, py}, Type::I32);
+            emitMix(b, chk, got);
+        }
+        spheres.close();
+    }
+    rays.close();
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// jess: polymorphic rule nodes walked as a linked list.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildJess()
+{
+    auto mod = std::make_unique<Module>();
+    ClassId baseCls = mod->addClass("RuleNode");
+    int64_t offVal = mod->addField(baseCls, "val", Type::I32);
+    int64_t offNext = mod->addField(baseCls, "next", Type::Ref);
+    int64_t baseSize = mod->cls(baseCls).instanceSize;
+
+    // Two overriding eval() implementations -> not devirtualizable.
+    Function &evalA = mod->addFunction("AlphaNode.eval", Type::I32, true);
+    {
+        ValueId self = evalA.addParam(Type::Ref, "this", baseCls);
+        ValueId x = evalA.addParam(Type::I32, "x");
+        IRBuilder eb(evalA);
+        eb.startBlock();
+        ValueId v = eb.getField(self, offVal, Type::I32);
+        ValueId sum = eb.binop(Opcode::IAdd, v, x);
+        ValueId c = eb.constInt(3);
+        ValueId r = eb.binop(Opcode::IMul, sum, c);
+        eb.ret(r);
+    }
+    Function &evalB = mod->addFunction("BetaNode.eval", Type::I32, true);
+    {
+        ValueId self = evalB.addParam(Type::Ref, "this", baseCls);
+        ValueId x = evalB.addParam(Type::I32, "x");
+        IRBuilder eb(evalB);
+        eb.startBlock();
+        ValueId v = eb.getField(self, offVal, Type::I32);
+        ValueId r = eb.binop(Opcode::IXor, v, x);
+        eb.ret(r);
+    }
+
+    uint32_t slotEval = mod->addVirtualMethod(baseCls, kNoFunction);
+    ClassId alphaCls = mod->addClass("AlphaNode", baseCls);
+    ClassId betaCls = mod->addClass("BetaNode", baseCls);
+    mod->overrideMethod(alphaCls, slotEval, evalA.id());
+    mod->overrideMethod(betaCls, slotEval, evalB.id());
+
+    // int jess_run(RuleNode head, int rounds, int chk): walk the list
+    // `rounds` times, dispatching eval() through the vtable.
+    Function &runFn = mod->addFunction("jess_run", Type::I32);
+    runFn.setNeverInline(true);
+    {
+        ValueId head = runFn.addParam(Type::Ref, "head", baseCls);
+        ValueId rounds = runFn.addParam(Type::I32, "rounds");
+        ValueId chk0 = runFn.addParam(Type::I32, "chk0");
+        IRBuilder rb(runFn);
+        rb.startBlock();
+        ValueId chk = runFn.addLocal(Type::I32, "chk");
+        rb.move(chk, chk0);
+        ValueId r = runFn.addLocal(Type::I32, "r");
+        CountedLoop loop(rb, r, rb.constInt(0), rounds);
+        {
+            ValueId cur = runFn.addLocal(Type::Ref, "cur", baseCls);
+            rb.move(cur, head);
+            BasicBlock &test = runFn.newBlock();
+            BasicBlock &body = runFn.newBlock();
+            BasicBlock &done = runFn.newBlock();
+            rb.jump(test);
+            rb.atEnd(test);
+            rb.ifNull(cur, done, body);
+            rb.atEnd(body);
+            ValueId got = rb.callVirtual(slotEval, {cur, chk}, Type::I32);
+            ValueId mask = rb.constInt(0x7fffffff);
+            ValueId masked = rb.binop(Opcode::IAnd, got, mask);
+            rb.move(chk, masked);
+            ValueId nxt = rb.getField(cur, offNext, Type::Ref);
+            rb.move(cur, nxt);
+            rb.jump(test);
+            rb.atEnd(done);
+        }
+        loop.close();
+        rb.ret(chk);
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    const int64_t NODES = 48;
+    const int64_t ROUNDS = 120;
+
+    // Build the list back to front, alternating classes.
+    ValueId head = fn.addLocal(Type::Ref, "head", baseCls);
+    ValueId nullRef = b.constNull(baseCls);
+    b.move(head, nullRef);
+    {
+        ValueId i = fn.addLocal(Type::I32, "i");
+        CountedLoop setup(b, i, b.constInt(0), b.constInt(NODES));
+        ValueId parity = b.binop(Opcode::IAnd, i, b.constInt(1));
+        BasicBlock &mkAlpha = fn.newBlock();
+        BasicBlock &mkBeta = fn.newBlock();
+        BasicBlock &link = fn.newBlock();
+        ValueId node = fn.addLocal(Type::Ref, "node", baseCls);
+        ValueId isOdd =
+            b.cmp(Opcode::ICmp, CmpPred::NE, parity, b.constInt(0));
+        b.branch(isOdd, mkBeta, mkAlpha);
+        b.atEnd(mkAlpha);
+        ValueId na = b.newObject(alphaCls, baseSize);
+        b.move(node, na);
+        b.jump(link);
+        b.atEnd(mkBeta);
+        ValueId nb = b.newObject(betaCls, baseSize);
+        b.move(node, nb);
+        b.jump(link);
+        b.atEnd(link);
+        b.putField(node, offVal, i);
+        b.putField(node, offNext, head);
+        b.move(head, node);
+        setup.close();
+    }
+
+    ValueId rounds = b.constInt(ROUNDS);
+    ValueId chk0 = b.constInt(59);
+    ValueId chk = b.callStatic(runFn.id(), {head, rounds, chk0},
+                               Type::I32);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// compress: LZW-flavored hash loop; indices change every iteration.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildCompress()
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t N = 2400;
+    const int64_t H = 512;
+
+    // int comp_run(int[] input, int[] table, int[] output, int chk0).
+    Function &runFn = mod->addFunction("comp_run", Type::I32);
+    runFn.setNeverInline(true);
+    {
+        ValueId input = runFn.addParam(Type::Ref, "input");
+        ValueId table = runFn.addParam(Type::Ref, "table");
+        ValueId output = runFn.addParam(Type::Ref, "output");
+        ValueId chk0 = runFn.addParam(Type::I32, "chk0");
+        ValueId n = runFn.addParam(Type::I32, "n");
+        IRBuilder rb(runFn);
+        rb.startBlock();
+        ValueId chk = runFn.addLocal(Type::I32, "chk");
+        rb.move(chk, chk0);
+        ValueId prev = runFn.addLocal(Type::I32, "prev");
+        rb.move(prev, rb.constInt(0));
+        ValueId count = runFn.addLocal(Type::I32, "count");
+        rb.move(count, rb.constInt(0));
+        ValueId hMask = rb.constInt(H - 1);
+        ValueId c31 = rb.constInt(31);
+
+        ValueId i = runFn.addLocal(Type::I32, "i");
+        CountedLoop loop(rb, i, rb.constInt(0), n);
+        {
+            ValueId x = rb.arrayLoad(input, i, Type::I32);
+            ValueId t1 = rb.binop(Opcode::IMul, prev, c31);
+            ValueId t2 = rb.binop(Opcode::IAdd, t1, x);
+            ValueId h = rb.binop(Opcode::IAnd, t2, hMask);
+            ValueId entry = rb.arrayLoad(table, h, Type::I32);
+
+            BasicBlock &hitB = runFn.newBlock();
+            BasicBlock &missB = runFn.newBlock();
+            BasicBlock &join = runFn.newBlock();
+            ValueId same = rb.cmp(Opcode::ICmp, CmpPred::EQ, entry, x);
+            rb.branch(same, hitB, missB);
+            rb.atEnd(hitB);
+            emitMix(rb, chk, h);
+            rb.jump(join);
+            rb.atEnd(missB);
+            rb.arrayStore(table, h, x, Type::I32);
+            rb.arrayStore(output, count, x, Type::I32);
+            ValueId c1 = rb.binop(Opcode::IAdd, count, rb.constInt(1));
+            rb.move(count, c1);
+            rb.jump(join);
+            rb.atEnd(join);
+            rb.move(prev, x);
+        }
+        loop.close();
+        emitMix(rb, chk, count);
+        rb.ret(chk);
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId n = b.constInt(N);
+    ValueId input = b.newArray(n, Type::I32);
+    ValueId table = b.newArray(b.constInt(H), Type::I32);
+    ValueId output = b.newArray(n, Type::I32);
+
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(888));
+    {
+        ValueId i = fn.addLocal(Type::I32);
+        ValueId byteMask = b.constInt(255);
+        CountedLoop fill(b, i, b.constInt(0), n);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId byteV = b.binop(Opcode::IAnd, next, byteMask);
+        b.arrayStore(input, i, byteV, Type::I32);
+        fill.close();
+    }
+
+    ValueId chk0 = b.constInt(61);
+    ValueId chk = b.callStatic(runFn.id(), {input, table, output, chk0, n},
+                               Type::I32);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// db: record scans dominated by a polymorphic comparison method.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildDb()
+{
+    auto mod = std::make_unique<Module>();
+    ClassId recCls = mod->addClass("Record");
+    int64_t offKey = mod->addField(recCls, "key", Type::I32);
+    int64_t offVal = mod->addField(recCls, "val", Type::I32);
+    int64_t recSize = mod->cls(recCls).instanceSize;
+
+    // Two comparator classes: polymorphic, never inlined.
+    ClassId cmpBase = mod->addClass("Comparator");
+    int64_t cmpSize = mod->cls(cmpBase).instanceSize;
+    Function &cmpAsc = mod->addFunction("Asc.compare", Type::I32, true);
+    {
+        ValueId self = cmpAsc.addParam(Type::Ref, "this", cmpBase);
+        (void)self;
+        ValueId a = cmpAsc.addParam(Type::I32, "a");
+        ValueId c = cmpAsc.addParam(Type::I32, "c");
+        IRBuilder cb(cmpAsc);
+        cb.startBlock();
+        ValueId d = cb.binop(Opcode::ISub, a, c);
+        cb.ret(d);
+    }
+    Function &cmpDesc = mod->addFunction("Desc.compare", Type::I32, true);
+    {
+        ValueId self = cmpDesc.addParam(Type::Ref, "this", cmpBase);
+        (void)self;
+        ValueId a = cmpDesc.addParam(Type::I32, "a");
+        ValueId c = cmpDesc.addParam(Type::I32, "c");
+        IRBuilder cb(cmpDesc);
+        cb.startBlock();
+        ValueId d = cb.binop(Opcode::ISub, c, a);
+        cb.ret(d);
+    }
+    uint32_t slotCmp = mod->addVirtualMethod(cmpBase, kNoFunction);
+    ClassId ascCls = mod->addClass("Asc", cmpBase);
+    ClassId descCls = mod->addClass("Desc", cmpBase);
+    mod->overrideMethod(ascCls, slotCmp, cmpAsc.id());
+    mod->overrideMethod(descCls, slotCmp, cmpDesc.id());
+
+    // int db_scan(Record[] recs, Comparator cmp, int target): best val.
+    Function &scanFn = mod->addFunction("db_scan", Type::I32);
+    scanFn.setNeverInline(true);
+    {
+        ValueId recs = scanFn.addParam(Type::Ref, "recs");
+        ValueId cmp = scanFn.addParam(Type::Ref, "cmp", cmpBase);
+        ValueId target = scanFn.addParam(Type::I32, "target");
+        ValueId n = scanFn.addParam(Type::I32, "n");
+        IRBuilder rb(scanFn);
+        rb.startBlock();
+        ValueId best = scanFn.addLocal(Type::I32, "best");
+        rb.move(best, rb.constInt(-1));
+        ValueId i = scanFn.addLocal(Type::I32, "i");
+        CountedLoop scan(rb, i, rb.constInt(0), n);
+        {
+            ValueId rec = rb.arrayLoad(recs, i, Type::Ref);
+            ValueId key = rb.getField(rec, offKey, Type::I32);
+            ValueId d = rb.callVirtual(slotCmp, {cmp, key, target},
+                                       Type::I32);
+            BasicBlock &better = scanFn.newBlock();
+            BasicBlock &keep = scanFn.newBlock();
+            ValueId lt = rb.cmp(Opcode::ICmp, CmpPred::LT, d,
+                                rb.constInt(0));
+            rb.branch(lt, better, keep);
+            rb.atEnd(better);
+            ValueId val = rb.getField(rec, offVal, Type::I32);
+            rb.move(best, val);
+            rb.jump(keep);
+            rb.atEnd(keep);
+        }
+        scan.close();
+        rb.ret(best);
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    const int64_t RECORDS = 96;
+    const int64_t QUERIES = 120;
+    ValueId nRec = b.constInt(RECORDS);
+    ValueId recs = b.newArray(nRec, Type::Ref, recCls);
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(2718));
+    {
+        ValueId i = fn.addLocal(Type::I32);
+        CountedLoop setup(b, i, b.constInt(0), nRec);
+        ValueId rec = b.newObject(recCls, recSize);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId key = b.binop(Opcode::IRem, next, b.constInt(4096));
+        b.putField(rec, offKey, key);
+        b.putField(rec, offVal, i);
+        b.arrayStore(recs, i, rec, Type::Ref);
+        setup.close();
+    }
+    ValueId asc = b.newObject(ascCls, cmpSize);
+    ValueId desc = b.newObject(descCls, cmpSize);
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(67));
+    ValueId q = fn.addLocal(Type::I32, "q");
+    CountedLoop queries(b, q, b.constInt(0), b.constInt(QUERIES));
+    {
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId target = b.binop(Opcode::IRem, next, b.constInt(4096));
+        ValueId parity = b.binop(Opcode::IAnd, q, b.constInt(1));
+
+        ValueId cmp = fn.addLocal(Type::Ref, "cmp", cmpBase);
+        BasicBlock &useAsc = fn.newBlock();
+        BasicBlock &useDesc = fn.newBlock();
+        BasicBlock &scanB = fn.newBlock();
+        ValueId odd =
+            b.cmp(Opcode::ICmp, CmpPred::NE, parity, b.constInt(0));
+        b.branch(odd, useDesc, useAsc);
+        b.atEnd(useAsc);
+        b.move(cmp, asc);
+        b.jump(scanB);
+        b.atEnd(useDesc);
+        b.move(cmp, desc);
+        b.jump(scanB);
+        b.atEnd(scanB);
+
+        ValueId best = b.callStatic(scanFn.id(),
+                                    {recs, cmp, target, nRec},
+                                    Type::I32);
+        emitMix(b, chk, best);
+    }
+    queries.close();
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// mpegaudio: windowed FIR filters over f64 arrays.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildMpegaudio()
+{
+    auto mod = std::make_unique<Module>();
+    const int64_t N = 768;
+    const int64_t W = 24;
+
+    // void mp_fir(double[] data, double[] window, double[] out).
+    Function &firFn = mod->addFunction("mp_fir", Type::Void);
+    firFn.setNeverInline(true);
+    {
+        ValueId data = firFn.addParam(Type::Ref, "data");
+        ValueId window = firFn.addParam(Type::Ref, "window");
+        ValueId out = firFn.addParam(Type::Ref, "out");
+        ValueId n = firFn.addParam(Type::I32, "n");
+        ValueId w = firFn.addParam(Type::I32, "w");
+        IRBuilder rb(firFn);
+        rb.startBlock();
+        ValueId limit = rb.binop(Opcode::ISub, n, w);
+        ValueId i = firFn.addLocal(Type::I32, "i");
+        CountedLoop outer(rb, i, rb.constInt(0), limit);
+        {
+            ValueId acc = firFn.addLocal(Type::F64, "acc");
+            rb.move(acc, rb.constFloat(0.0));
+            ValueId j = firFn.addLocal(Type::I32, "j");
+            CountedLoop inner(rb, j, rb.constInt(0), w);
+            {
+                ValueId wj = rb.arrayLoad(window, j, Type::F64);
+                ValueId idx = rb.binop(Opcode::IAdd, i, j);
+                ValueId dv = rb.arrayLoad(data, idx, Type::F64);
+                ValueId prod = rb.binop(Opcode::FMul, wj, dv);
+                ValueId a2 = rb.binop(Opcode::FAdd, acc, prod);
+                rb.move(acc, a2);
+            }
+            inner.close();
+            rb.arrayStore(out, i, acc, Type::F64);
+        }
+        outer.close();
+        rb.ret();
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId n = b.constInt(N);
+    ValueId w = b.constInt(W);
+    ValueId data = b.newArray(n, Type::F64);
+    ValueId window = b.newArray(w, Type::F64);
+    ValueId out = b.newArray(n, Type::F64);
+
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(606));
+    {
+        ValueId i = fn.addLocal(Type::I32);
+        ValueId scale = b.constFloat(1.0 / (1 << 30));
+        CountedLoop fill(b, i, b.constInt(0), n);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId f = b.unop(Opcode::I2F, next, Type::F64);
+        ValueId v = b.binop(Opcode::FMul, f, scale);
+        b.arrayStore(data, i, v, Type::F64);
+        fill.close();
+    }
+    {
+        ValueId i = fn.addLocal(Type::I32);
+        ValueId scale = b.constFloat(1.0 / W);
+        CountedLoop fill(b, i, b.constInt(0), w);
+        ValueId f = b.unop(Opcode::I2F, i, Type::F64);
+        ValueId v = b.binop(Opcode::FMul, f, scale);
+        b.arrayStore(window, i, v, Type::F64);
+        fill.close();
+    }
+
+    ValueId limit = b.binop(Opcode::ISub, n, w);
+    b.callStatic(firFn.id(), {data, window, out, n, w}, Type::Void);
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(71));
+    ValueId k = fn.addLocal(Type::I32);
+    ValueId thousand = b.constFloat(1000.0);
+    CountedLoop probe(b, k, b.constInt(0), limit, 41);
+    ValueId ov = b.arrayLoad(out, k, Type::F64);
+    ValueId scaled = b.binop(Opcode::FMul, ov, thousand);
+    ValueId iv = b.unop(Opcode::F2I, scaled, Type::I32);
+    emitMix(b, chk, iv);
+    probe.close();
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// jack: token scanning with per-token object allocation.
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildJack()
+{
+    auto mod = std::make_unique<Module>();
+    ClassId tokCls = mod->addClass("Token");
+    int64_t offKind = mod->addField(tokCls, "kind", Type::I32);
+    int64_t offLen = mod->addField(tokCls, "len", Type::I32);
+    int64_t tokSize = mod->cls(tokCls).instanceSize;
+
+    const int64_t N = 1600;
+
+    // int jack_tokenize(int[] input, int chk0): scan runs, allocating a
+    // Token per run (allocation in the loop = a motion barrier).
+    Function &tokFn = mod->addFunction("jack_tokenize", Type::I32);
+    tokFn.setNeverInline(true);
+    {
+        ValueId input = tokFn.addParam(Type::Ref, "input");
+        ValueId chk0 = tokFn.addParam(Type::I32, "chk0");
+        ValueId n = tokFn.addParam(Type::I32, "n");
+        IRBuilder rb(tokFn);
+        rb.startBlock();
+        ValueId chk = tokFn.addLocal(Type::I32, "chk");
+        rb.move(chk, chk0);
+        ValueId pos = tokFn.addLocal(Type::I32, "pos");
+        rb.move(pos, rb.constInt(0));
+
+        BasicBlock &test = tokFn.newBlock();
+        BasicBlock &body = tokFn.newBlock();
+        BasicBlock &done = tokFn.newBlock();
+        rb.jump(test);
+        rb.atEnd(test);
+        ValueId more = rb.cmp(Opcode::ICmp, CmpPred::LT, pos, n);
+        rb.branch(more, body, done);
+
+        rb.atEnd(body);
+        {
+            ValueId first = rb.arrayLoad(input, pos, Type::I32);
+            ValueId len = tokFn.addLocal(Type::I32, "len");
+            rb.move(len, rb.constInt(1));
+
+            BasicBlock &scanTest = tokFn.newBlock();
+            BasicBlock &scanMore = tokFn.newBlock();
+            BasicBlock &scanBody = tokFn.newBlock();
+            BasicBlock &scanDone = tokFn.newBlock();
+            rb.jump(scanTest);
+            rb.atEnd(scanTest);
+            ValueId nxtIdx = rb.binop(Opcode::IAdd, pos, len);
+            ValueId inRange = rb.cmp(Opcode::ICmp, CmpPred::LT, nxtIdx, n);
+            rb.branch(inRange, scanMore, scanDone);
+            rb.atEnd(scanMore);
+            ValueId c = rb.arrayLoad(input, nxtIdx, Type::I32);
+            ValueId same = rb.cmp(Opcode::ICmp, CmpPred::EQ, c, first);
+            rb.branch(same, scanBody, scanDone);
+            rb.atEnd(scanBody);
+            ValueId l1 = rb.binop(Opcode::IAdd, len, rb.constInt(1));
+            rb.move(len, l1);
+            rb.jump(scanTest);
+            rb.atEnd(scanDone);
+
+            ValueId tok = rb.newObject(tokCls, tokSize);
+            rb.putField(tok, offKind, first);
+            rb.putField(tok, offLen, len);
+            ValueId kind = rb.getField(tok, offKind, Type::I32);
+            ValueId tl = rb.getField(tok, offLen, Type::I32);
+            emitMix(rb, chk, kind);
+            emitMix(rb, chk, tl);
+            ValueId p1 = rb.binop(Opcode::IAdd, pos, len);
+            rb.move(pos, p1);
+            rb.jump(test);
+        }
+        rb.atEnd(done);
+        rb.ret(chk);
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId n = b.constInt(N);
+    ValueId input = b.newArray(n, Type::I32);
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(505));
+    {
+        ValueId i = fn.addLocal(Type::I32);
+        ValueId mask = b.constInt(15);
+        CountedLoop fill(b, i, b.constInt(0), n);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        ValueId cls = b.binop(Opcode::IAnd, next, mask);
+        b.arrayStore(input, i, cls, Type::I32);
+        fill.close();
+    }
+
+    ValueId chk0 = b.constInt(73);
+    ValueId chk = b.callStatic(tokFn.id(), {input, chk0, n}, Type::I32);
+    b.ret(chk);
+    return mod;
+}
+
+// ---------------------------------------------------------------------
+// javac: many small methods over a little expression tree — by far the
+// biggest module, so it dominates compile time (Table 3).
+// ---------------------------------------------------------------------
+std::unique_ptr<Module>
+buildJavac()
+{
+    auto mod = std::make_unique<Module>();
+    ClassId nodeCls = mod->addClass("AstNode");
+    int64_t offOp = mod->addField(nodeCls, "op", Type::I32);
+    int64_t offLhs = mod->addField(nodeCls, "lhs", Type::Ref);
+    int64_t offRhs = mod->addField(nodeCls, "rhs", Type::Ref);
+    int64_t offLit = mod->addField(nodeCls, "lit", Type::I32);
+    int64_t nodeSize = mod->cls(nodeCls).instanceSize;
+
+    // A pile of small helper functions, most of them only there to make
+    // the compile-time workload realistic; some are hot.
+    auto addBinHelper = [&](const char *name, Opcode op) {
+        Function &h = mod->addFunction(name, Type::I32);
+        ValueId a = h.addParam(Type::I32, "a");
+        ValueId c = h.addParam(Type::I32, "c");
+        IRBuilder hb(h);
+        hb.startBlock();
+        ValueId r = hb.binop(op, a, c);
+        ValueId mask = hb.constInt(0xffffff);
+        ValueId m = hb.binop(Opcode::IAnd, r, mask);
+        hb.ret(m);
+        return h.id();
+    };
+    FunctionId foldAdd = addBinHelper("fold.add", Opcode::IAdd);
+    FunctionId foldSub = addBinHelper("fold.sub", Opcode::ISub);
+    FunctionId foldMul = addBinHelper("fold.mul", Opcode::IMul);
+    FunctionId foldXor = addBinHelper("fold.xor", Opcode::IXor);
+    FunctionId foldAnd = addBinHelper("fold.and", Opcode::IAnd);
+    FunctionId foldOr = addBinHelper("fold.or", Opcode::IOr);
+
+    // int eval(AstNode n): recursive interpreter over the tree.
+    Function &eval = mod->addFunction("eval", Type::I32);
+    {
+        ValueId node = eval.addParam(Type::Ref, "n", nodeCls);
+        IRBuilder eb(eval);
+        eb.startBlock();
+        ValueId op = eb.getField(node, offOp, Type::I32);
+        BasicBlock &leaf = eval.newBlock();
+        BasicBlock &binop = eval.newBlock();
+        ValueId isLeaf =
+            eb.cmp(Opcode::ICmp, CmpPred::EQ, op, eb.constInt(0));
+        eb.branch(isLeaf, leaf, binop);
+
+        eb.atEnd(leaf);
+        ValueId lit = eb.getField(node, offLit, Type::I32);
+        eb.ret(lit);
+
+        eb.atEnd(binop);
+        ValueId lhs = eb.getField(node, offLhs, Type::Ref);
+        ValueId rhs = eb.getField(node, offRhs, Type::Ref);
+        ValueId lv = eb.callStatic(eval.id(), {lhs}, Type::I32);
+        ValueId rv = eb.callStatic(eval.id(), {rhs}, Type::I32);
+        BasicBlock &doAdd = eval.newBlock();
+        BasicBlock &other = eval.newBlock();
+        ValueId isAdd =
+            eb.cmp(Opcode::ICmp, CmpPred::EQ, op, eb.constInt(1));
+        eb.branch(isAdd, doAdd, other);
+        eb.atEnd(doAdd);
+        ValueId s = eb.callStatic(foldAdd, {lv, rv}, Type::I32);
+        eb.ret(s);
+        eb.atEnd(other);
+        BasicBlock &doMul = eval.newBlock();
+        BasicBlock &doXor = eval.newBlock();
+        ValueId isMul =
+            eb.cmp(Opcode::ICmp, CmpPred::EQ, op, eb.constInt(2));
+        eb.branch(isMul, doMul, doXor);
+        eb.atEnd(doMul);
+        ValueId m = eb.callStatic(foldMul, {lv, rv}, Type::I32);
+        eb.ret(m);
+        eb.atEnd(doXor);
+        ValueId x = eb.callStatic(foldXor, {lv, rv}, Type::I32);
+        eb.ret(x);
+    }
+
+    // Padding: more never-hot utility functions to inflate compile time
+    // realistically (javac has hundreds of methods).
+    for (int pad = 0; pad < 10; ++pad) {
+        Function &p = mod->addFunction("util" + std::to_string(pad),
+                                       Type::I32);
+        ValueId a = p.addParam(Type::I32, "a");
+        IRBuilder pb(p);
+        pb.startBlock();
+        ValueId acc = p.addLocal(Type::I32, "acc");
+        pb.move(acc, a);
+        ValueId i = p.addLocal(Type::I32, "i");
+        CountedLoop loop(pb, i, pb.constInt(0), pb.constInt(8));
+        ValueId c1 = pb.callStatic(pad % 2 ? foldSub : foldAnd,
+                                   {acc, i}, Type::I32);
+        ValueId c2 = pb.callStatic(pad % 3 ? foldOr : foldXor,
+                                   {c1, a}, Type::I32);
+        pb.move(acc, c2);
+        loop.close();
+        pb.ret(acc);
+    }
+
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    // Build a random binary tree of depth 6 in an array-backed pool,
+    // then evaluate it repeatedly.
+    const int64_t POOL = 127;
+    const int64_t ROUNDS = 60;
+    ValueId pool = b.newArray(b.constInt(POOL), Type::Ref, nodeCls);
+    ValueId seed = fn.addLocal(Type::I32, "seed");
+    b.move(seed, b.constInt(9090));
+    {
+        // Leaves at indices [63, 127), internal nodes below.
+        ValueId i = fn.addLocal(Type::I32, "i");
+        CountedLoop mk(b, i, b.constInt(0), b.constInt(POOL));
+        ValueId node = b.newObject(nodeCls, nodeSize);
+        b.arrayStore(pool, i, node, Type::Ref);
+        ValueId next = emitLcgStep(b, seed);
+        b.move(seed, next);
+        BasicBlock &isLeafB = fn.newBlock();
+        BasicBlock &isOpB = fn.newBlock();
+        BasicBlock &after = fn.newBlock();
+        ValueId c63 = b.constInt(63);
+        ValueId leafP = b.cmp(Opcode::ICmp, CmpPred::GE, i, c63);
+        b.branch(leafP, isLeafB, isOpB);
+        b.atEnd(isLeafB);
+        ValueId zero = b.constInt(0);
+        b.putField(node, offOp, zero);
+        ValueId lit = b.binop(Opcode::IRem, next, b.constInt(100));
+        b.putField(node, offLit, lit);
+        b.jump(after);
+        b.atEnd(isOpB);
+        ValueId op3 = b.binop(Opcode::IRem, next, b.constInt(3));
+        ValueId op = b.binop(Opcode::IAdd, op3, b.constInt(1));
+        b.putField(node, offOp, op);
+        b.jump(after);
+        b.atEnd(after);
+        mk.close();
+
+        // Wire children: node[i].lhs = node[2i+1], rhs = node[2i+2].
+        ValueId j = fn.addLocal(Type::I32, "j");
+        CountedLoop wire(b, j, b.constInt(0), b.constInt(63));
+        ValueId j2 = b.binop(Opcode::IMul, j, b.constInt(2));
+        ValueId li = b.binop(Opcode::IAdd, j2, b.constInt(1));
+        ValueId ri = b.binop(Opcode::IAdd, j2, b.constInt(2));
+        ValueId parent = b.arrayLoad(pool, j, Type::Ref);
+        ValueId lc = b.arrayLoad(pool, li, Type::Ref);
+        ValueId rc = b.arrayLoad(pool, ri, Type::Ref);
+        b.putField(parent, offLhs, lc);
+        b.putField(parent, offRhs, rc);
+        wire.close();
+    }
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(79));
+    ValueId root = b.arrayLoad(pool, b.constInt(0), Type::Ref);
+    ValueId r = fn.addLocal(Type::I32, "r");
+    CountedLoop rounds(b, r, b.constInt(0), b.constInt(ROUNDS));
+    ValueId v = b.callStatic(eval.id(), {root}, Type::I32);
+    emitMix(b, chk, v);
+    rounds.close();
+    b.ret(chk);
+    return mod;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+specjvmWorkloads()
+{
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> list;
+        auto add = [&list](const char *name, auto builder) {
+            Workload w;
+            w.name = name;
+            w.suite = "specjvm98";
+            w.build = builder;
+            // SPECjvm98 reports seconds; cycles / (600 MHz) with a
+            // per-benchmark repetition factor folded into indexScale.
+            w.indexScale = 600.0e6;
+            list.push_back(std::move(w));
+        };
+        add("mtrt", buildMtrt);
+        add("jess", buildJess);
+        add("compress", buildCompress);
+        add("db", buildDb);
+        add("mpegaudio", buildMpegaudio);
+        add("jack", buildJack);
+        add("javac", buildJavac);
+        return list;
+    }();
+    return workloads;
+}
+
+} // namespace trapjit

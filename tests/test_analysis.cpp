@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests of the analyses: orderings, dominators, loops, preheader
+ * creation, the generic dataflow solver, and liveness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/dataflow.h"
+#include "analysis/dominators.h"
+#include "analysis/liveness.h"
+#include "analysis/loops.h"
+#include "analysis/rpo.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+
+namespace trapjit
+{
+namespace
+{
+
+/** Build a diamond: 0 -> {1, 2} -> 3. */
+std::unique_ptr<Module>
+makeDiamond(Function **out)
+{
+    auto mod = std::make_unique<Module>();
+    Function &fn = mod->addFunction("diamond", Type::Void);
+    ValueId cond = fn.addParam(Type::I32, "c");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &left = fn.newBlock();
+    BasicBlock &right = fn.newBlock();
+    BasicBlock &join = fn.newBlock();
+    b.atEnd(entry);
+    b.branch(cond, left, right);
+    b.atEnd(left);
+    b.jump(join);
+    b.atEnd(right);
+    b.jump(join);
+    b.atEnd(join);
+    b.ret();
+    fn.recomputeCFG();
+    *out = &fn;
+    return mod;
+}
+
+/** Build a do-while loop: 0 -> 1 (body) -> {1, 2}. */
+std::unique_ptr<Module>
+makeLoop(Function **out)
+{
+    auto mod = std::make_unique<Module>();
+    Function &fn = mod->addFunction("loop", Type::Void);
+    ValueId n = fn.addParam(Type::I32, "n");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &body = fn.newBlock();
+    BasicBlock &exit = fn.newBlock();
+    b.atEnd(entry);
+    b.jump(body);
+    b.atEnd(body);
+    ValueId zero = b.constInt(0);
+    ValueId more = b.cmp(Opcode::ICmp, CmpPred::GT, n, zero);
+    b.branch(more, body, exit);
+    b.atEnd(exit);
+    b.ret();
+    fn.recomputeCFG();
+    *out = &fn;
+    return mod;
+}
+
+TEST(Rpo, DiamondOrder)
+{
+    Function *fn;
+    auto mod = makeDiamond(&fn);
+    std::vector<BlockId> rpo = reversePostorder(*fn);
+    ASSERT_EQ(4u, rpo.size());
+    EXPECT_EQ(0u, rpo.front());
+    EXPECT_EQ(3u, rpo.back());
+}
+
+TEST(Rpo, UnreachableBlocksExcluded)
+{
+    Function *fn;
+    auto mod = makeDiamond(&fn);
+    // Append an unreachable block.
+    IRBuilder b(*fn);
+    BasicBlock &orphan = fn->newBlock();
+    b.atEnd(orphan);
+    b.ret();
+    fn->recomputeCFG();
+    std::vector<bool> reach = reachableBlocks(*fn);
+    EXPECT_FALSE(reach[orphan.id()]);
+    auto rpo = reversePostorder(*fn);
+    EXPECT_EQ(rpo.end(), std::find(rpo.begin(), rpo.end(), orphan.id()));
+}
+
+TEST(Dominators, Diamond)
+{
+    Function *fn;
+    auto mod = makeDiamond(&fn);
+    DominatorTree dom(*fn);
+    EXPECT_TRUE(dom.dominates(0, 1));
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3)) << "join has two paths";
+    EXPECT_EQ(0u, dom.idom(3));
+    EXPECT_TRUE(dom.dominates(2, 2)) << "reflexive";
+}
+
+TEST(Loops, DetectsDoWhile)
+{
+    Function *fn;
+    auto mod = makeLoop(&fn);
+    DominatorTree dom(*fn);
+    LoopForest forest(*fn, dom);
+    ASSERT_EQ(1u, forest.loops().size());
+    const Loop &loop = forest.loops()[0];
+    EXPECT_EQ(1u, loop.header);
+    EXPECT_TRUE(loop.contains(1));
+    EXPECT_FALSE(loop.contains(0));
+    EXPECT_FALSE(loop.contains(2));
+    EXPECT_EQ(1, loop.depth);
+    EXPECT_EQ(0, forest.innermostLoopOf(1));
+    EXPECT_EQ(-1, forest.innermostLoopOf(0));
+}
+
+TEST(Loops, NestedDepths)
+{
+    Module mod;
+    Function &fn = mod.addFunction("nested", Type::Void);
+    ValueId n = fn.addParam(Type::I32, "n");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &outer = fn.newBlock();
+    BasicBlock &inner = fn.newBlock();
+    BasicBlock &latch = fn.newBlock();
+    BasicBlock &exit = fn.newBlock();
+    b.atEnd(entry);
+    b.jump(outer);
+    b.atEnd(outer);
+    b.jump(inner);
+    b.atEnd(inner);
+    ValueId zero = b.constInt(0);
+    ValueId c1 = b.cmp(Opcode::ICmp, CmpPred::GT, n, zero);
+    b.branch(c1, inner, latch);
+    b.atEnd(latch);
+    ValueId c2 = b.cmp(Opcode::ICmp, CmpPred::LT, n, zero);
+    b.branch(c2, outer, exit);
+    b.atEnd(exit);
+    b.ret();
+    fn.recomputeCFG();
+
+    DominatorTree dom(fn);
+    LoopForest forest(fn, dom);
+    ASSERT_EQ(2u, forest.loops().size());
+    int innerIdx = forest.innermostLoopOf(inner.id());
+    ASSERT_GE(innerIdx, 0);
+    EXPECT_EQ(2, forest.loops()[innerIdx].depth);
+}
+
+TEST(Loops, EnsurePreheaderCreatesOne)
+{
+    Function *fn;
+    auto mod = makeLoop(&fn);
+    DominatorTree dom(*fn);
+    LoopForest forest(*fn, dom);
+    const Loop loop = forest.loops()[0];
+
+    // The entry block ends in a plain jump, so it already qualifies.
+    BlockId pre1 = ensurePreheader(*fn, loop);
+    EXPECT_EQ(0u, pre1);
+
+    // Retarget the entry to branch into the loop from two places so a
+    // new preheader must be created.
+    Function &f = *fn;
+    IRBuilder b(f);
+    BasicBlock &alt = f.newBlock();
+    b.atEnd(alt);
+    b.jump(f.block(loop.header));
+    Instruction &term = f.entry().terminator();
+    term.op = Opcode::Branch;
+    term.a = 0; // param n
+    term.imm = loop.header;
+    term.imm2 = alt.id();
+    f.recomputeCFG();
+
+    DominatorTree dom2(f);
+    LoopForest forest2(f, dom2);
+    const Loop loop2 = forest2.loops()[0];
+    size_t before = f.numBlocks();
+    BlockId pre2 = ensurePreheader(f, loop2);
+    EXPECT_EQ(before, static_cast<size_t>(pre2));
+    EXPECT_EQ(before + 1, f.numBlocks());
+    // All outside preds now reach the header through the preheader.
+    for (BlockId pred : f.block(loop2.header).preds()) {
+        bool inLoop = loop2.contains(pred);
+        EXPECT_TRUE(inLoop || pred == pre2);
+    }
+}
+
+TEST(Dataflow, ForwardIntersectReachesFixpointOnLoop)
+{
+    Function *fn;
+    auto mod = makeLoop(&fn);
+    // A fact gen'd in the entry and never killed must hold everywhere.
+    DataflowSpec spec;
+    spec.direction = DataflowSpec::Direction::Forward;
+    spec.confluence = DataflowSpec::Confluence::Intersect;
+    spec.numFacts = 1;
+    spec.gen.assign(fn->numBlocks(), BitSet(1));
+    spec.kill.assign(fn->numBlocks(), BitSet(1));
+    spec.gen[0].set(0);
+    DataflowResult result = solveDataflow(*fn, spec);
+    EXPECT_TRUE(result.in[1].test(0));
+    EXPECT_TRUE(result.in[2].test(0));
+}
+
+TEST(Dataflow, EdgeKillStopsPropagation)
+{
+    Function *fn;
+    auto mod = makeDiamond(&fn);
+    DataflowSpec spec;
+    spec.direction = DataflowSpec::Direction::Forward;
+    spec.confluence = DataflowSpec::Confluence::Intersect;
+    spec.numFacts = 1;
+    spec.gen.assign(fn->numBlocks(), BitSet(1));
+    spec.kill.assign(fn->numBlocks(), BitSet(1));
+    spec.gen[0].set(0);
+    BitSet all(1);
+    all.setAll();
+    spec.edgeKill[DataflowSpec::edgeKey(0, 1)] = all;
+    DataflowResult result = solveDataflow(*fn, spec);
+    EXPECT_FALSE(result.in[1].test(0)) << "killed on the edge";
+    EXPECT_TRUE(result.in[2].test(0));
+    EXPECT_FALSE(result.in[3].test(0)) << "intersection at the join";
+}
+
+TEST(Dataflow, EdgeAddInjectsFacts)
+{
+    Function *fn;
+    auto mod = makeDiamond(&fn);
+    DataflowSpec spec;
+    spec.direction = DataflowSpec::Direction::Forward;
+    spec.confluence = DataflowSpec::Confluence::Intersect;
+    spec.numFacts = 1;
+    spec.gen.assign(fn->numBlocks(), BitSet(1));
+    spec.kill.assign(fn->numBlocks(), BitSet(1));
+    BitSet one(1);
+    one.set(0);
+    spec.edgeAdd[DataflowSpec::edgeKey(0, 1)] = one;
+    spec.edgeAdd[DataflowSpec::edgeKey(0, 2)] = one;
+    DataflowResult result = solveDataflow(*fn, spec);
+    EXPECT_TRUE(result.in[1].test(0));
+    EXPECT_TRUE(result.in[2].test(0));
+    EXPECT_TRUE(result.in[3].test(0)) << "present on both join inputs";
+}
+
+TEST(Liveness, UseKeepsValueLiveAcrossBlocks)
+{
+    Module mod;
+    Function &fn = mod.addFunction("l", Type::I32);
+    ValueId p = fn.addParam(Type::I32, "p");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &next = fn.newBlock();
+    b.atEnd(entry);
+    ValueId t = b.binop(Opcode::IAdd, p, p);
+    b.jump(next);
+    b.atEnd(next);
+    ValueId u = b.binop(Opcode::IAdd, t, t);
+    b.ret(u);
+    fn.recomputeCFG();
+
+    DataflowResult live = solveLiveness(fn);
+    EXPECT_TRUE(live.out[entry.id()].test(t));
+    EXPECT_FALSE(live.in[entry.id()].test(t))
+        << "defined before first use";
+    EXPECT_TRUE(live.in[entry.id()].test(p));
+}
+
+} // namespace
+} // namespace trapjit

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests of the dense bit set, the workhorse of every dataflow
+ * analysis in the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitset.h"
+
+namespace trapjit
+{
+namespace
+{
+
+TEST(BitSet, StartsEmpty)
+{
+    BitSet set(100);
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(0u, set.count());
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(set.test(i));
+}
+
+TEST(BitSet, SetResetTest)
+{
+    BitSet set(130);
+    set.set(0);
+    set.set(64);
+    set.set(129);
+    EXPECT_TRUE(set.test(0));
+    EXPECT_TRUE(set.test(64));
+    EXPECT_TRUE(set.test(129));
+    EXPECT_FALSE(set.test(1));
+    EXPECT_EQ(3u, set.count());
+    set.reset(64);
+    EXPECT_FALSE(set.test(64));
+    EXPECT_EQ(2u, set.count());
+}
+
+TEST(BitSet, SetAllRespectsUniverseSize)
+{
+    BitSet set(70);
+    set.setAll();
+    EXPECT_EQ(70u, set.count());
+    set.clearAll();
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(BitSet, UnionReportsChange)
+{
+    BitSet a(64), b(64);
+    b.set(3);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b)); // already a superset
+    EXPECT_TRUE(a.test(3));
+}
+
+TEST(BitSet, IntersectReportsChange)
+{
+    BitSet a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    EXPECT_TRUE(a.intersectWith(b));
+    EXPECT_FALSE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+    EXPECT_FALSE(a.intersectWith(b));
+}
+
+TEST(BitSet, SubtractClearsOnlyListedBits)
+{
+    BitSet a(10), b(10);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    EXPECT_TRUE(a.subtract(b));
+    EXPECT_TRUE(a.test(1));
+    EXPECT_FALSE(a.test(2));
+    EXPECT_FALSE(a.subtract(b));
+}
+
+TEST(BitSet, SubsetAndIntersects)
+{
+    BitSet a(10), b(10);
+    a.set(4);
+    b.set(4);
+    b.set(7);
+    EXPECT_TRUE(a.isSubsetOf(b));
+    EXPECT_FALSE(b.isSubsetOf(a));
+    EXPECT_TRUE(a.intersects(b));
+    a.reset(4);
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_TRUE(a.isSubsetOf(b)); // empty set is a subset of anything
+}
+
+TEST(BitSet, ForEachVisitsInOrder)
+{
+    BitSet set(200);
+    set.set(5);
+    set.set(63);
+    set.set(64);
+    set.set(199);
+    std::vector<size_t> seen;
+    set.forEach([&](size_t idx) { seen.push_back(idx); });
+    EXPECT_EQ((std::vector<size_t>{5, 63, 64, 199}), seen);
+}
+
+TEST(BitSet, EqualityIncludesUniverseSize)
+{
+    BitSet a(10), b(10), c(11);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    a.set(3);
+    EXPECT_NE(a, b);
+    b.set(3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitSet, ResizeKeepsLowBitsAndClearsTail)
+{
+    BitSet set(64);
+    set.setAll();
+    set.resize(32);
+    EXPECT_EQ(32u, set.count());
+    set.resize(64);
+    EXPECT_EQ(32u, set.count()) << "grown bits must start cleared";
+}
+
+TEST(BitSet, ToStringFormat)
+{
+    BitSet set(8);
+    set.set(1);
+    set.set(5);
+    EXPECT_EQ("{1, 5}", set.toString());
+    BitSet empty(8);
+    EXPECT_EQ("{}", empty.toString());
+}
+
+} // namespace
+} // namespace trapjit

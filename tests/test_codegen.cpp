@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests of the back end: the exception-site-respecting scheduler,
+ * the linear-scan register allocator (non-overlapping assignments,
+ * spill behavior under pressure), and the emitter (explicit checks cost
+ * bytes, implicit ones are free).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/emitter.h"
+#include "codegen/linear_scan.h"
+#include "codegen/scheduler.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+
+namespace trapjit
+{
+namespace
+{
+
+Target ia32 = makeIA32WindowsTarget();
+
+bool
+runScheduler(Function &fn)
+{
+    static Module dummy;
+    fn.recomputeCFG();
+    PassContext ctx{dummy, ia32, false};
+    LocalScheduler pass;
+    return pass.runOnFunction(fn, ctx);
+}
+
+TEST(Scheduler, PreservesDataDependences)
+{
+    Module mod;
+    Function &fn = mod.addFunction("s", Type::I32);
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId a = b.binop(Opcode::IAdd, x, x);
+    ValueId c = b.binop(Opcode::IMul, a, a); // depends on a
+    ValueId d = b.binop(Opcode::ISub, c, x); // depends on c
+    b.ret(d);
+
+    runScheduler(fn);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+
+    // Defs must still precede uses.
+    std::vector<int> position(fn.numValues(), -1);
+    const auto &insts = fn.entry().insts();
+    for (size_t i = 0; i < insts.size(); ++i)
+        if (insts[i].hasDst())
+            position[insts[i].dst] = static_cast<int>(i);
+    for (size_t i = 0; i < insts.size(); ++i) {
+        std::vector<ValueId> uses;
+        insts[i].forEachUse(uses);
+        for (ValueId u : uses)
+            if (position[u] >= 0)
+                EXPECT_LT(position[u], static_cast<int>(i));
+    }
+
+    // Behavior unchanged.
+    Interpreter interp(mod, ia32);
+    ExecResult r = interp.run(fn.id(), {RuntimeValue::ofInt(3)});
+    EXPECT_EQ((3 + 3) * (3 + 3) - 3, r.value.i);
+}
+
+TEST(Scheduler, NeverReordersObservableOperations)
+{
+    Module mod;
+    Function &fn = mod.addFunction("s", Type::Void);
+    ValueId o = fn.addParam(Type::Ref, "o");
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.putField(o, 8, x);
+    ValueId y = b.binop(Opcode::IAdd, x, x);
+    b.putField(o, 16, y);
+    b.putField(o, 8, y);
+    b.ret();
+
+    runScheduler(fn);
+    // Stores keep their program order.
+    std::vector<int64_t> storeOffsets;
+    for (const Instruction &inst : fn.entry().insts())
+        if (inst.op == Opcode::PutField)
+            storeOffsets.push_back(inst.imm);
+    EXPECT_EQ((std::vector<int64_t>{8, 16, 8}), storeOffsets);
+}
+
+TEST(Scheduler, ExceptionSiteStaysBehindItsGuard)
+{
+    // An implicit-check access must not move relative to checks or other
+    // observable operations (the Section 3.3.2 marking rule).
+    Module mod;
+    Function &fn = mod.addFunction("s", Type::I32);
+    ValueId o = fn.addParam(Type::Ref, "o");
+    IRBuilder b(fn);
+    b.startBlock();
+    Instruction check;
+    check.op = Opcode::NullCheck;
+    check.flavor = CheckFlavor::Implicit;
+    check.a = o;
+    b.emit(check);
+    Instruction gf;
+    gf.op = Opcode::GetField;
+    gf.dst = fn.addTemp(Type::I32);
+    gf.a = o;
+    gf.imm = 8;
+    gf.exceptionSite = true;
+    b.emit(gf);
+    ValueId pad = b.binop(Opcode::IAdd, gf.dst, gf.dst);
+    b.ret(pad);
+
+    runScheduler(fn);
+    const auto &insts = fn.entry().insts();
+    size_t checkPos = 0, sitePos = 0;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].op == Opcode::NullCheck)
+            checkPos = i;
+        if (insts[i].exceptionSite)
+            sitePos = i;
+    }
+    EXPECT_LT(checkPos, sitePos);
+}
+
+TEST(LinearScan, AssignsDisjointRegistersToOverlappingIntervals)
+{
+    Module mod;
+    Function &fn = mod.addFunction("ra", Type::I32);
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId a = b.binop(Opcode::IAdd, x, x);
+    ValueId c = b.binop(Opcode::IAdd, a, x);
+    ValueId d = b.binop(Opcode::IAdd, a, c); // a, c overlap here
+    b.ret(d);
+    fn.recomputeCFG();
+
+    RegAllocation alloc = allocateRegisters(fn);
+    EXPECT_EQ(0u, alloc.spilledValues);
+    ASSERT_GE(alloc.assignment[a], 0);
+    ASSERT_GE(alloc.assignment[c], 0);
+    EXPECT_NE(alloc.assignment[a], alloc.assignment[c])
+        << "overlapping live ranges need distinct registers";
+
+    // Generic overlap validation over all pairs.
+    for (ValueId v = 0; v < fn.numValues(); ++v) {
+        for (ValueId w = v + 1; w < fn.numValues(); ++w) {
+            if (alloc.assignment[v] < 0 || alloc.assignment[w] < 0)
+                continue;
+            if (alloc.assignment[v] != alloc.assignment[w])
+                continue;
+            if (fn.value(v).type == Type::F64 ||
+                fn.value(w).type == Type::F64)
+                continue;
+            bool overlap = alloc.intervalStart[v] <= alloc.intervalEnd[w] &&
+                           alloc.intervalStart[w] <= alloc.intervalEnd[v];
+            EXPECT_FALSE(overlap)
+                << fn.value(v).name << " and " << fn.value(w).name
+                << " share a register while overlapping";
+        }
+    }
+}
+
+TEST(LinearScan, SpillsUnderPressure)
+{
+    Module mod;
+    Function &fn = mod.addFunction("ra", Type::I32);
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    // Create 20 simultaneously-live values, far more than 4 registers.
+    std::vector<ValueId> vals;
+    for (int i = 0; i < 20; ++i)
+        vals.push_back(b.binop(Opcode::IAdd, x, b.constInt(i)));
+    ValueId acc = vals[0];
+    for (int i = 1; i < 20; ++i)
+        acc = b.binop(Opcode::IAdd, acc, vals[i]);
+    b.ret(acc);
+    fn.recomputeCFG();
+
+    RegAllocation alloc = allocateRegisters(fn, /*int_regs=*/4);
+    EXPECT_GT(alloc.spilledValues, 0u);
+    EXPECT_GT(alloc.spillOps, 0u);
+    EXPECT_LE(alloc.maxIntPressure, 4u);
+}
+
+TEST(LinearScan, FloatAndIntPoolsAreSeparate)
+{
+    Module mod;
+    Function &fn = mod.addFunction("ra", Type::F64);
+    ValueId x = fn.addParam(Type::I32, "x");
+    ValueId f = fn.addParam(Type::F64, "f");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId i2 = b.binop(Opcode::IAdd, x, x);
+    ValueId f2 = b.binop(Opcode::FAdd, f, f);
+    ValueId f3 = b.binop(Opcode::FMul, f2, f2);
+    (void)i2;
+    b.ret(f3);
+    fn.recomputeCFG();
+
+    RegAllocation alloc = allocateRegisters(fn, 2, 2);
+    EXPECT_EQ(0u, alloc.spilledValues)
+        << "two tiny pools suffice when classes are separate";
+}
+
+TEST(Emitter, ImplicitChecksEmitNoBytes)
+{
+    auto build = [](CheckFlavor flavor) {
+        auto mod = std::make_unique<Module>();
+        Function &fn = mod->addFunction("e", Type::I32);
+        ValueId o = fn.addParam(Type::Ref, "o");
+        IRBuilder b(fn);
+        b.startBlock();
+        Instruction check;
+        check.op = Opcode::NullCheck;
+        check.flavor = flavor;
+        check.a = o;
+        b.emit(check);
+        Instruction gf;
+        gf.op = Opcode::GetField;
+        gf.dst = fn.addTemp(Type::I32);
+        gf.a = o;
+        gf.imm = 8;
+        gf.exceptionSite = flavor == CheckFlavor::Implicit;
+        b.emit(gf);
+        b.ret(gf.dst);
+        fn.recomputeCFG();
+        return mod;
+    };
+
+    auto explicitMod = build(CheckFlavor::Explicit);
+    auto implicitMod = build(CheckFlavor::Implicit);
+    EmittedCode explicitCode =
+        emitFunction(explicitMod->function(0), ia32);
+    EmittedCode implicitCode =
+        emitFunction(implicitMod->function(0), ia32);
+
+    EXPECT_GT(explicitCode.explicitNullCheckBytes, 0u);
+    EXPECT_EQ(0u, implicitCode.explicitNullCheckBytes);
+    EXPECT_LT(implicitCode.bytes.size(), explicitCode.bytes.size())
+        << "implicit checks shrink the code";
+}
+
+TEST(Emitter, BranchFixupsPointAtBlockStarts)
+{
+    Module mod;
+    Function &fn = mod.addFunction("e", Type::I32);
+    ValueId c = fn.addParam(Type::I32, "c");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &t = fn.newBlock();
+    BasicBlock &f = fn.newBlock();
+    b.atEnd(entry);
+    b.branch(c, t, f);
+    b.atEnd(t);
+    b.ret(b.constInt(1));
+    b.atEnd(f);
+    b.ret(b.constInt(0));
+    fn.recomputeCFG();
+
+    EmittedCode code = emitFunction(fn, ia32);
+    EXPECT_GT(code.bytes.size(), 0u);
+    EXPECT_EQ(fn.instructionCount(), code.instructionsEmitted);
+}
+
+} // namespace
+} // namespace trapjit

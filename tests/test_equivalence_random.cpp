@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The central property test: for randomly generated programs, every
+ * pipeline configuration preserves observable behavior on every legal
+ * (compile target == runtime target) machine model — same heap-write
+ * sequence, same escaping exception class, same return value, same
+ * final heap.  This is precisely Java's precise-exception contract the
+ * paper's motion rules are built around.
+ */
+
+#include <gtest/gtest.h>
+
+#include "testing/equivalence.h"
+#include "ir/verifier.h"
+#include "opt/nullcheck/check_coverage.h"
+#include "testing/random_program.h"
+
+namespace trapjit
+{
+namespace
+{
+
+struct Arm
+{
+    const char *targetName;
+    Target (*makeTarget)();
+    PipelineConfig (*makeConfig)();
+};
+
+// Every legal (target, pipeline) pair.  The deliberately *illegal*
+// Illegal Implicit arm is exercised separately in test_phase2.cpp.
+const Arm kArms[] = {
+    {"ia32", makeIA32WindowsTarget, makeNoOptNoTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeNoOptTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeOldNullCheckConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewPhase1OnlyConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewFullConfig},
+    {"ia32", makeIA32WindowsTarget, makeAltVMConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoOptConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoSpeculationConfig},
+    {"aix", makePPCAIXTarget, makeAIXSpeculationConfig},
+    {"sparc", makeSPARCTarget, makeNewFullConfig},
+    {"s390", makeS390Target, makeNewFullConfig},
+};
+
+using SeedAndArm = std::tuple<uint64_t, size_t>;
+
+class RandomEquivalence : public ::testing::TestWithParam<SeedAndArm>
+{
+};
+
+TEST_P(RandomEquivalence, ObservablyEquivalent)
+{
+    const auto [seed, armIdx] = GetParam();
+    const Arm &arm = kArms[armIdx];
+
+    GeneratorOptions opts;
+    opts.seed = seed;
+    auto build = [&opts] { return generateRandomModule(opts); };
+
+    Target target = arm.makeTarget();
+    Compiler compiler(target, arm.makeConfig());
+    EquivalenceReport report =
+        compareWithReference(build, compiler, target);
+    EXPECT_TRUE(report.equivalent)
+        << "seed " << seed << " on " << arm.targetName << " / "
+        << compiler.config().name << ": " << report.message;
+}
+
+std::string
+armName(const ::testing::TestParamInfo<SeedAndArm> &info)
+{
+    const auto [seed, armIdx] = info.param;
+    std::string cfg = kArms[armIdx].makeConfig().name;
+    for (char &c : cfg)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return "seed" + std::to_string(seed) + "_" +
+           kArms[armIdx].targetName + "_" + cfg;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomEquivalence,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 41),
+                       ::testing::Range<size_t>(0, std::size(kArms))),
+    armName);
+
+// -- Generator self-checks and per-program static coverage -------------
+
+TEST(Generator, IsDeterministic)
+{
+    GeneratorOptions opts;
+    opts.seed = 7;
+    auto a = generateRandomModule(opts);
+    auto c = generateRandomModule(opts);
+    ASSERT_EQ(a->numFunctions(), c->numFunctions());
+    for (FunctionId f = 0; f < a->numFunctions(); ++f) {
+        EXPECT_EQ(a->function(f).instructionCount(),
+                  c->function(f).instructionCount());
+    }
+}
+
+TEST(Generator, ProducesVerifiableModules)
+{
+    for (uint64_t seed = 1; seed <= 60; ++seed) {
+        GeneratorOptions opts;
+        opts.seed = seed;
+        auto mod = generateRandomModule(opts);
+        VerifyResult result = verifyModule(*mod);
+        EXPECT_TRUE(result.ok()) << "seed " << seed << "\n"
+                                 << result.message();
+    }
+}
+
+class RandomCoverage : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomCoverage, AllPipelinesKeepEveryAccessGuarded)
+{
+    const uint64_t seed = GetParam();
+    GeneratorOptions opts;
+    opts.seed = seed;
+    for (const Arm &arm : kArms) {
+        auto mod = generateRandomModule(opts);
+        Target target = arm.makeTarget();
+        Compiler compiler(target, arm.makeConfig());
+        compiler.compile(*mod);
+        for (FunctionId f = 0; f < mod->numFunctions(); ++f) {
+            auto violations =
+                checkNullGuardCoverage(mod->function(f), target);
+            for (const auto &v : violations)
+                ADD_FAILURE() << "seed " << seed << " under "
+                              << compiler.config().name << ": "
+                              << v.description;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomCoverage,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace
+} // namespace trapjit

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests of the IR substrate: values, instructions, builder
+ * expansion, the class table, the verifier, and the printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/layout.h"
+#include "ir/module.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+namespace
+{
+
+TEST(Instruction, ClassificationQueries)
+{
+    Instruction getfield;
+    getfield.op = Opcode::GetField;
+    getfield.a = 1;
+    getfield.imm = 16;
+    EXPECT_EQ(1u, getfield.checkedRef());
+    EXPECT_EQ(SlotAccess::Read, getfield.slotAccess());
+    EXPECT_EQ(16, getfield.slotOffset());
+    EXPECT_FALSE(getfield.isSideEffecting());
+
+    Instruction putfield;
+    putfield.op = Opcode::PutField;
+    putfield.a = 1;
+    putfield.b = 2;
+    putfield.imm = 8;
+    EXPECT_EQ(SlotAccess::Write, putfield.slotAccess());
+    EXPECT_TRUE(putfield.writesMemory());
+    EXPECT_TRUE(putfield.isSideEffecting());
+
+    Instruction idiv;
+    idiv.op = Opcode::IDiv;
+    EXPECT_TRUE(idiv.mayThrowOtherThanNull());
+    EXPECT_FALSE(idiv.writesMemory());
+
+    Instruction alength;
+    alength.op = Opcode::ArrayLength;
+    alength.a = 3;
+    EXPECT_EQ(kArrayLengthOffset, alength.slotOffset());
+
+    Instruction aload;
+    aload.op = Opcode::ArrayLoad;
+    aload.a = 3;
+    aload.b = 4;
+    EXPECT_EQ(-1, aload.slotOffset()) << "element offset is dynamic";
+}
+
+TEST(Instruction, CallReceiverRules)
+{
+    Instruction call;
+    call.op = Opcode::Call;
+    call.args = {7, 8};
+
+    call.callKind = CallKind::Virtual;
+    EXPECT_EQ(7u, call.checkedRef());
+    EXPECT_EQ(SlotAccess::Read, call.slotAccess()) << "vtable load";
+    EXPECT_EQ(kHeaderOffset, call.slotOffset());
+
+    call.callKind = CallKind::Special;
+    EXPECT_EQ(7u, call.checkedRef());
+    EXPECT_EQ(SlotAccess::None, call.slotAccess())
+        << "a devirtualized call no longer touches the receiver "
+           "(Figure 1)";
+
+    call.callKind = CallKind::Static;
+    EXPECT_EQ(kNoValue, call.checkedRef());
+}
+
+TEST(Builder, CheckedFieldAccessExpansion)
+{
+    Module mod;
+    Function &fn = mod.addFunction("f", Type::I32);
+    ValueId obj = fn.addParam(Type::Ref, "obj");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(obj, 8, Type::I32);
+    b.ret(v);
+
+    const auto &insts = fn.entry().insts();
+    ASSERT_EQ(3u, insts.size());
+    EXPECT_EQ(Opcode::NullCheck, insts[0].op);
+    EXPECT_EQ(CheckFlavor::Explicit, insts[0].flavor);
+    EXPECT_EQ(obj, insts[0].a);
+    EXPECT_EQ(Opcode::GetField, insts[1].op);
+    EXPECT_EQ(Opcode::Return, insts[2].op);
+}
+
+TEST(Builder, CheckedArrayAccessExpansion)
+{
+    Module mod;
+    Function &fn = mod.addFunction("f", Type::I32);
+    ValueId arr = fn.addParam(Type::Ref, "arr");
+    ValueId idx = fn.addParam(Type::I32, "idx");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.arrayLoad(arr, idx, Type::I32);
+    b.ret(v);
+
+    // nullcheck, arraylength, boundcheck, aload, return.
+    const auto &insts = fn.entry().insts();
+    ASSERT_EQ(5u, insts.size());
+    EXPECT_EQ(Opcode::NullCheck, insts[0].op);
+    EXPECT_EQ(Opcode::ArrayLength, insts[1].op);
+    EXPECT_EQ(Opcode::BoundCheck, insts[2].op);
+    EXPECT_EQ(Opcode::ArrayLoad, insts[3].op);
+    (void)v;
+}
+
+TEST(Module, FieldLayoutIsAlignedAndInherited)
+{
+    Module mod;
+    ClassId base = mod.addClass("Base");
+    int64_t f1 = mod.addField(base, "i", Type::I32);
+    int64_t f2 = mod.addField(base, "d", Type::F64);
+    EXPECT_EQ(kFieldBaseOffset, f1);
+    EXPECT_EQ(0, f2 % 8) << "f64 fields naturally aligned";
+
+    ClassId sub = mod.addClass("Sub", base);
+    int64_t f3 = mod.addField(sub, "j", Type::I32);
+    EXPECT_GT(f3, f2);
+    EXPECT_EQ(f1, mod.fieldOffset(sub, "i")) << "inherited lookup";
+    EXPECT_TRUE(mod.isSubclassOf(sub, base));
+    EXPECT_FALSE(mod.isSubclassOf(base, sub));
+}
+
+TEST(Module, BigOffsetFieldWithinJvmLimit)
+{
+    Module mod;
+    ClassId cls = mod.addClass("Big");
+    int64_t off = mod.addFieldAt(cls, "far", Type::I32, 8192);
+    EXPECT_EQ(8192, off);
+    EXPECT_GE(mod.cls(cls).instanceSize, 8196);
+    EXPECT_THROW(mod.addFieldAt(cls, "tooFar", Type::I32,
+                                kMaxFieldOffset + 8),
+                 InternalError);
+}
+
+TEST(Module, VtableInheritanceAndOverride)
+{
+    Module mod;
+    Function &fa = mod.addFunction("A.m", Type::I32, true);
+    Function &fb = mod.addFunction("B.m", Type::I32, true);
+    ClassId a = mod.addClass("A");
+    uint32_t slot = mod.addVirtualMethod(a, fa.id());
+    ClassId b = mod.addClass("B", a);
+    EXPECT_EQ(fa.id(), mod.cls(b).vtable[slot]) << "inherited";
+    mod.overrideMethod(b, slot, fb.id());
+    EXPECT_EQ(fb.id(), mod.cls(b).vtable[slot]);
+    EXPECT_EQ(fa.id(), mod.cls(a).vtable[slot]) << "base unchanged";
+}
+
+TEST(Verifier, AcceptsWellFormedFunction)
+{
+    Module mod;
+    Function &fn = mod.addFunction("ok", Type::I32);
+    ValueId p = fn.addParam(Type::I32, "p");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId c = b.constInt(1);
+    ValueId sum = b.binop(Opcode::IAdd, p, c);
+    b.ret(sum);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+}
+
+TEST(Verifier, RejectsUnterminatedBlock)
+{
+    Module mod;
+    Function &fn = mod.addFunction("bad", Type::Void);
+    IRBuilder b(fn);
+    b.startBlock();
+    b.constInt(1); // no terminator
+    VerifyResult result = verifyFunction(fn);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(std::string::npos,
+              result.message().find("not terminated"));
+}
+
+TEST(Verifier, RejectsTypeMismatch)
+{
+    Module mod;
+    Function &fn = mod.addFunction("bad", Type::Void);
+    ValueId f = fn.addParam(Type::F64, "f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Instruction check;
+    check.op = Opcode::NullCheck;
+    check.a = f; // nullcheck of a float
+    b.emit(check);
+    b.ret();
+    EXPECT_FALSE(verifyFunction(fn).ok());
+}
+
+TEST(Verifier, RejectsBranchToInvalidBlock)
+{
+    Module mod;
+    Function &fn = mod.addFunction("bad", Type::Void);
+    IRBuilder b(fn);
+    b.startBlock();
+    Instruction jump;
+    jump.op = Opcode::Jump;
+    jump.imm = 99;
+    fn.entry().insts().push_back(jump);
+    EXPECT_FALSE(verifyFunction(fn).ok());
+}
+
+TEST(Verifier, RejectsBigOffsetBeyondJvmLimit)
+{
+    Module mod;
+    Function &fn = mod.addFunction("bad", Type::I32);
+    ValueId obj = fn.addParam(Type::Ref, "o");
+    IRBuilder b(fn);
+    b.startBlock();
+    Instruction gf;
+    gf.op = Opcode::GetField;
+    gf.dst = fn.addTemp(Type::I32);
+    gf.a = obj;
+    gf.imm = kMaxFieldOffset + 64;
+    fn.entry().insts().push_back(gf);
+    b.ret(gf.dst);
+    EXPECT_FALSE(verifyFunction(fn).ok());
+}
+
+TEST(Printer, RendersChecksWithFlavor)
+{
+    Module mod;
+    Function &fn = mod.addFunction("p", Type::Void);
+    ValueId obj = fn.addParam(Type::Ref, "obj");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(obj);
+    b.ret();
+    fn.recomputeCFG();
+    std::string text = toString(fn);
+    EXPECT_NE(std::string::npos, text.find("nullcheck obj"));
+    EXPECT_NE(std::string::npos, text.find("explicit"));
+}
+
+TEST(Function, RecomputeCFGBuildsFactoredExceptionEdges)
+{
+    Module mod;
+    Function &fn = mod.addFunction("t", Type::Void);
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &handler = fn.newBlock();
+    TryRegionId region = fn.addTryRegion(handler.id(), ExcKind::CatchAll);
+    BasicBlock &body = fn.newBlock(region);
+    BasicBlock &exit = fn.newBlock();
+    b.atEnd(entry);
+    b.jump(body);
+    b.atEnd(body);
+    b.jump(exit);
+    b.atEnd(handler);
+    b.jump(exit);
+    b.atEnd(exit);
+    b.ret();
+    fn.recomputeCFG();
+
+    // The try-region block has the handler as an extra successor.
+    auto &succs = fn.block(body.id()).succs();
+    EXPECT_NE(succs.end(),
+              std::find(succs.begin(), succs.end(), handler.id()));
+    auto &preds = fn.block(handler.id()).preds();
+    EXPECT_NE(preds.end(),
+              std::find(preds.begin(), preds.end(), body.id()));
+}
+
+} // namespace
+} // namespace trapjit

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Unit tests of the architecture dependent phase (Section 4.2):
+ *  - Figure 7: the one-sided-access diamond — implicit on the accessing
+ *    path, explicit at the latest point of the other;
+ *  - trap coverage rules: big-offset fields and write-only-trap targets
+ *    keep explicit checks;
+ *  - substitutable elimination (4.2.2);
+ *  - must-equal copies carry checks implicitly (the inlined-receiver
+ *    shape of Figure 1);
+ *  - overwrites force materialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+#include "opt/nullcheck/check_coverage.h"
+#include "opt/nullcheck/phase2.h"
+
+namespace trapjit
+{
+namespace
+{
+
+Target ia32 = makeIA32WindowsTarget();
+Target aixLying = makeIllegalImplicitAIXTarget();
+
+struct Counts
+{
+    size_t explicitChecks = 0;
+    size_t implicitChecks = 0;
+    size_t markedSites = 0;
+};
+
+Counts
+countAll(const Function &fn)
+{
+    Counts counts;
+    for (size_t b = 0; b < fn.numBlocks(); ++b) {
+        for (const Instruction &inst :
+             fn.block(static_cast<BlockId>(b)).insts()) {
+            if (inst.op == Opcode::NullCheck) {
+                if (inst.flavor == CheckFlavor::Explicit)
+                    ++counts.explicitChecks;
+                else
+                    ++counts.implicitChecks;
+            }
+            if (inst.exceptionSite)
+                ++counts.markedSites;
+        }
+    }
+    return counts;
+}
+
+bool
+runPhase2(Function &fn, const Target &target)
+{
+    static Module dummy;
+    fn.recomputeCFG();
+    PassContext ctx{dummy, target, false};
+    NullCheckPhase2 pass;
+    return pass.runOnFunction(fn, ctx);
+}
+
+/** The trivial case: check directly before a trapping access. */
+TEST(Phase2, AdjacentCheckBecomesImplicit)
+{
+    Module mod;
+    Function &fn = mod.addFunction("adj", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(a, 8, Type::I32);
+    b.ret(v);
+
+    runPhase2(fn, ia32);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+    Counts counts = countAll(fn);
+    EXPECT_EQ(0u, counts.explicitChecks);
+    EXPECT_EQ(1u, counts.implicitChecks);
+    EXPECT_EQ(1u, counts.markedSites);
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+/**
+ * Figure 7: `nullcheck a` before a branch; only the left path accesses
+ * a slot of `a`.  The check moves down: implicit at the left access,
+ * explicit at the right path's latest point.
+ */
+TEST(Phase2, Figure7OneSidedAccess)
+{
+    Module mod;
+    Function &fn = mod.addFunction("fig7", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId i = fn.addParam(Type::I32, "i");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &left = fn.newBlock();
+    BasicBlock &right = fn.newBlock();
+    BasicBlock &merge = fn.newBlock();
+    ValueId result = fn.addLocal(Type::I32, "result");
+
+    b.atEnd(entry);
+    b.nullCheck(a); // the Figure 1 / Figure 7 inlining check
+    ValueId zero = b.constInt(0);
+    ValueId neg = b.cmp(Opcode::ICmp, CmpPred::LT, i, zero);
+    b.branch(neg, right, left);
+
+    b.atEnd(left);
+    Instruction gf; // raw access: the check above guards it
+    gf.op = Opcode::GetField;
+    gf.dst = fn.addTemp(Type::I32);
+    gf.a = a;
+    gf.imm = 8;
+    b.emit(gf);
+    b.move(result, gf.dst);
+    b.jump(merge);
+
+    b.atEnd(right);
+    b.move(result, i); // no slot of a touched
+    b.jump(merge);
+
+    b.atEnd(merge);
+    b.ret(result);
+
+    runPhase2(fn, ia32);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+
+    // Left: implicit (marked access).  Right: explicit at its end.
+    bool leftMarked = false;
+    for (const Instruction &inst : fn.block(left.id()).insts())
+        if (inst.op == Opcode::GetField && inst.exceptionSite)
+            leftMarked = true;
+    EXPECT_TRUE(leftMarked);
+
+    size_t rightExplicit = 0;
+    for (const Instruction &inst : fn.block(right.id()).insts())
+        if (inst.op == Opcode::NullCheck &&
+            inst.flavor == CheckFlavor::Explicit)
+            ++rightExplicit;
+    EXPECT_EQ(1u, rightExplicit)
+        << "the non-accessing path keeps an explicit check at its "
+           "latest point";
+
+    for (const Instruction &inst : fn.block(entry.id()).insts())
+        EXPECT_NE(Opcode::NullCheck, inst.op)
+            << "the original check moved out of the entry";
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+/** A big-offset field access cannot carry an implicit check. */
+TEST(Phase2, BigOffsetStaysExplicit)
+{
+    Module mod;
+    Function &fn = mod.addFunction("big", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(a, 8192, Type::I32); // beyond the 4 KiB page
+    b.ret(v);
+
+    runPhase2(fn, ia32);
+    Counts counts = countAll(fn);
+    EXPECT_EQ(1u, counts.explicitChecks)
+        << "Figure 5: the offset is outside the protected area";
+    EXPECT_EQ(0u, counts.markedSites);
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+/** On a write-only-trap target, reads keep explicit checks. */
+TEST(Phase2, ReadsStayExplicitWhenOnlyWritesTrap)
+{
+    // Compile against the honest AIX model (phase 2 would normally be
+    // skipped there; running it must still be conservative).
+    Target aix = makePPCAIXTarget();
+    Module mod;
+    Function &fn = mod.addFunction("aixread", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(a, 8, Type::I32);
+    b.ret(v);
+
+    runPhase2(fn, aix);
+    Counts counts = countAll(fn);
+    EXPECT_EQ(1u, counts.explicitChecks);
+    EXPECT_EQ(0u, counts.markedSites);
+}
+
+/** ... but writes do trap there. */
+TEST(Phase2, WritesBecomeImplicitOnAIX)
+{
+    Target aix = makePPCAIXTarget();
+    Module mod;
+    Function &fn = mod.addFunction("aixwrite", Type::Void);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.putField(a, 8, x);
+    b.ret();
+
+    runPhase2(fn, aix);
+    Counts counts = countAll(fn);
+    EXPECT_EQ(0u, counts.explicitChecks);
+    EXPECT_EQ(1u, counts.markedSites);
+}
+
+/** The lying Illegal Implicit target marks reads too. */
+TEST(Phase2, IllegalImplicitTargetMarksReads)
+{
+    Module mod;
+    Function &fn = mod.addFunction("illegal", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(a, 8, Type::I32);
+    b.ret(v);
+
+    runPhase2(fn, aixLying);
+    Counts counts = countAll(fn);
+    EXPECT_EQ(0u, counts.explicitChecks);
+    EXPECT_EQ(1u, counts.markedSites)
+        << "the compiler believes reads trap";
+}
+
+/**
+ * 4.2.2: an explicit check materialized at a block exit (because the
+ * pending fact dies on one outgoing edge) is substitutable — and thus
+ * deleted — when every successor path re-checks the variable through a
+ * trapping access before any side effect.
+ */
+TEST(Phase2, SubstitutableEliminatedByLaterCoverage)
+{
+    Module mod;
+    Function &fn = mod.addFunction("subst", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId cond = fn.addParam(Type::I32, "cond");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &bPath = fn.newBlock();
+    BasicBlock &cPath = fn.newBlock();
+    b.atEnd(entry);
+    b.nullCheck(a);
+    b.branch(cond, bPath, cPath);
+    // B has two predecessors (entry and C), so the pending fact dies on
+    // the entry->B edge and would materialize at entry's exit — unless
+    // 4.2.2 proves it substitutable by the accesses below.
+    b.atEnd(cPath);
+    ValueId v1 = b.getField(a, 8, Type::I32);
+    (void)v1;
+    b.jump(bPath);
+    b.atEnd(bPath);
+    ValueId v2 = b.getField(a, 8, Type::I32);
+    b.ret(v2);
+
+    runPhase2(fn, ia32);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+    Counts counts = countAll(fn);
+    EXPECT_EQ(0u, counts.explicitChecks)
+        << "every path re-checks through a trap, so the materialized "
+           "explicit check is substitutable";
+    EXPECT_EQ(2u, counts.markedSites);
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+/**
+ * The dual guard: a check may NOT be substituted by a later check when
+ * a non-trapping access of the variable sits in between — the access
+ * would execute unguarded.
+ */
+TEST(Phase2, SubstitutionBlockedByInterveningAccess)
+{
+    Module mod;
+    Function &fn = mod.addFunction("nosubst", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v1 = b.getField(a, 8192, Type::I32); // big offset: explicit
+    ValueId v2 = b.getField(a, 8200, Type::I32); // big offset: explicit
+    ValueId sum = b.binop(Opcode::IAdd, v1, v2);
+    b.ret(sum);
+
+    runPhase2(fn, ia32);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+    Counts counts = countAll(fn);
+    // Phase 2 alone performs no forward redundancy elimination (that is
+    // phase 1 / Whaley), so both accesses keep their explicit guards.
+    EXPECT_EQ(2u, counts.explicitChecks);
+    EXPECT_EQ(0u, counts.markedSites);
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+/** A must-equal copy's trapping access carries the original's check. */
+TEST(Phase2, MustEqualCopyCarriesCheckImplicitly)
+{
+    Module mod;
+    Function &fn = mod.addFunction("copy", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(a); // call-site check (Figure 1)
+    ValueId r = fn.addLocal(Type::Ref, "r");
+    b.move(r, a); // inlined receiver copy
+    Instruction gf;
+    gf.op = Opcode::GetField;
+    gf.dst = fn.addTemp(Type::I32);
+    gf.a = r;
+    gf.imm = 8;
+    b.emit(gf);
+    b.ret(gf.dst);
+
+    runPhase2(fn, ia32);
+    Counts counts = countAll(fn);
+    EXPECT_EQ(0u, counts.explicitChecks)
+        << "the copy's access traps iff the original is null";
+    EXPECT_EQ(1u, counts.markedSites);
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+/** An overwrite of the checked variable forces materialization. */
+TEST(Phase2, OverwriteForcesExplicitMaterialization)
+{
+    Module mod;
+    Function &fn = mod.addFunction("ovw", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId c = fn.addParam(Type::Ref, "c");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId r = fn.addLocal(Type::Ref, "r");
+    b.move(r, a);
+    b.nullCheck(r);
+    b.move(r, c); // r redefined: the pending check must fire before
+    ValueId v = b.getField(r, 8, Type::I32);
+    b.ret(v);
+
+    runPhase2(fn, ia32);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+    // The check of the OLD r materializes explicitly before the move;
+    // the new r's access carries its own implicit check.
+    const auto &insts = fn.entry().insts();
+    bool sawExplicitBeforeMove = false;
+    for (size_t i = 0; i + 1 < insts.size(); ++i) {
+        if (insts[i].op == Opcode::NullCheck &&
+            insts[i].flavor == CheckFlavor::Explicit &&
+            insts[i + 1].op == Opcode::Move) {
+            sawExplicitBeforeMove = true;
+        }
+    }
+    EXPECT_TRUE(sawExplicitBeforeMove);
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+/** Checks do not move forward across a side effect. */
+TEST(Phase2, SideEffectStopsForwardMotion)
+{
+    Module mod;
+    Function &fn = mod.addFunction("se", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId w = fn.addParam(Type::Ref, "w");
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(a);
+    b.putField(w, 8, x); // a memory write: the NPE must precede it
+    ValueId v = b.getField(a, 8, Type::I32);
+    b.ret(v);
+
+    runPhase2(fn, ia32);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+    // The check of `a` must still execute before the putfield; the
+    // getfield of `a` afterwards may carry its own implicit check, but
+    // an explicit nullcheck of a must appear before the store.
+    const auto &insts = fn.entry().insts();
+    bool checkBeforeStore = false;
+    for (const Instruction &inst : insts) {
+        if (inst.op == Opcode::NullCheck && inst.a == a &&
+            inst.flavor == CheckFlavor::Explicit) {
+            checkBeforeStore = true;
+        }
+        if (inst.op == Opcode::PutField)
+            break;
+    }
+    EXPECT_TRUE(checkBeforeStore);
+    EXPECT_TRUE(checkNullGuardCoverage(fn, ia32).empty());
+}
+
+} // namespace
+} // namespace trapjit

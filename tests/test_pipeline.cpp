@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the JIT driver layer: configuration presets, compile-time
+ * accounting, the coverage guarantee across every preset, and the heap
+ * and workload registries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jit/compiler.h"
+#include "opt/nullcheck/check_coverage.h"
+#include "runtime/heap.h"
+#include "workloads/workload.h"
+
+namespace trapjit
+{
+namespace
+{
+
+TEST(Pipeline, PresetsHaveExpectedKnobs)
+{
+    EXPECT_FALSE(makeNoOptNoTrapConfig().useLocalLowering);
+    EXPECT_TRUE(makeNoOptTrapConfig().useLocalLowering);
+    EXPECT_TRUE(makeOldNullCheckConfig().useWhaley);
+    EXPECT_FALSE(makeOldNullCheckConfig().usePhase1);
+    EXPECT_TRUE(makeNewPhase1OnlyConfig().usePhase1);
+    EXPECT_FALSE(makeNewPhase1OnlyConfig().usePhase2);
+    EXPECT_TRUE(makeNewFullConfig().usePhase2);
+
+    // Section 5.4: phase 2 is skipped on AIX; speculation is the knob.
+    EXPECT_FALSE(makeAIXSpeculationConfig().usePhase2);
+    EXPECT_TRUE(makeAIXSpeculationConfig().enableSpeculation);
+    EXPECT_FALSE(makeAIXNoSpeculationConfig().enableSpeculation);
+    EXPECT_TRUE(makeAIXIllegalImplicitConfig().usePhase2);
+
+    EXPECT_FALSE(makeAltVMConfig().enableIntrinsics);
+}
+
+TEST(Pipeline, CompileReportSplitsNullCheckTime)
+{
+    Target ia32 = makeIA32WindowsTarget();
+    const Workload *w = findWorkload("javac");
+    ASSERT_NE(nullptr, w);
+
+    auto mod = w->build();
+    Compiler newJit(ia32, makeNewFullConfig());
+    CompileReport report = newJit.compile(*mod);
+    EXPECT_GT(report.timings.nullCheckSeconds, 0.0);
+    EXPECT_GT(report.timings.otherSeconds, 0.0);
+    EXPECT_EQ(mod->numFunctions(), report.functionsCompiled);
+
+    // The old algorithm spends less time on null checks (Table 4).
+    auto mod2 = w->build();
+    Compiler oldJit(ia32, makeOldNullCheckConfig());
+    CompileReport oldReport = oldJit.compile(*mod2);
+    EXPECT_LT(oldReport.timings.nullCheckSeconds,
+              report.timings.nullCheckSeconds);
+}
+
+TEST(Pipeline, EveryPresetKeepsWorkloadsCovered)
+{
+    Target ia32 = makeIA32WindowsTarget();
+    Target aix = makePPCAIXTarget();
+    Target lying = makeIllegalImplicitAIXTarget();
+
+    struct Case
+    {
+        const Target *target;
+        PipelineConfig config;
+    };
+    std::vector<Case> cases = {
+        {&ia32, makeAltVMConfig()},
+        {&aix, makeAIXSpeculationConfig()},
+        {&aix, makeAIXNoSpeculationConfig()},
+        {&lying, makeAIXIllegalImplicitConfig()},
+    };
+    const Workload *w = findWorkload("mtrt");
+    ASSERT_NE(nullptr, w);
+    for (const Case &c : cases) {
+        auto mod = w->build();
+        Compiler compiler(*c.target, c.config);
+        compiler.compile(*mod);
+        for (FunctionId f = 0; f < mod->numFunctions(); ++f) {
+            // Coverage is judged against the *compile* target (the
+            // lying target believes reads trap; that is the point of
+            // the Illegal Implicit experiment).
+            auto violations = checkNullGuardCoverage(
+                mod->function(f), compiler.target());
+            for (const auto &v : violations)
+                ADD_FAILURE()
+                    << c.config.name << ": " << v.description;
+        }
+    }
+}
+
+TEST(Workloads, RegistryIsComplete)
+{
+    EXPECT_EQ(10u, jbytemarkWorkloads().size());
+    EXPECT_EQ(7u, specjvmWorkloads().size());
+    EXPECT_NE(nullptr, findWorkload("Neural Net"));
+    EXPECT_NE(nullptr, findWorkload("javac"));
+    EXPECT_EQ(nullptr, findWorkload("no such benchmark"));
+}
+
+TEST(Heap, AllocationLayoutAndDigest)
+{
+    Heap heap(1 << 20);
+    Address obj = heap.allocateObject(3, 24);
+    ASSERT_NE(0u, obj);
+    EXPECT_GE(obj, kHeapBase);
+    EXPECT_EQ(3u, heap.classOf(obj));
+
+    Address arr = heap.allocateArray(Type::I32, 10);
+    ASSERT_NE(0u, arr);
+    EXPECT_EQ(10, heap.arrayLength(arr));
+    EXPECT_GT(arr, obj);
+
+    uint64_t before = heap.digest();
+    heap.writeI32(arr + kArrayDataOffset, 42);
+    EXPECT_NE(before, heap.digest());
+
+    heap.reset();
+    EXPECT_EQ(0u, heap.bytesAllocated());
+}
+
+TEST(Heap, ExhaustionReturnsNull)
+{
+    Heap heap(4096);
+    Address a = heap.allocateArray(Type::I64, 100); // 808 bytes
+    EXPECT_NE(0u, a);
+    Address b = heap.allocateArray(Type::I64, 10000); // too big
+    EXPECT_EQ(0u, b);
+}
+
+TEST(Heap, AllocationsAreDeterministic)
+{
+    // Observable-equivalence comparisons rely on identical allocation
+    // addresses across runs.
+    Heap h1(1 << 16), h2(1 << 16);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(h1.allocateObject(1, 16 + 8 * i),
+                  h2.allocateObject(1, 16 + 8 * i));
+}
+
+} // namespace
+} // namespace trapjit

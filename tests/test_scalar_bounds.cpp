@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit tests of scalar replacement (Figures 4 and 6, including read
+ * speculation on write-only-trap targets) and the bounds check
+ * optimization that iterates with it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+#include "opt/bounds/bounds_check_elimination.h"
+#include "opt/copy_propagation.h"
+#include "opt/dead_code.h"
+#include "opt/local_cse.h"
+#include "opt/nullcheck/phase1.h"
+#include "opt/scalar/scalar_replacement.h"
+#include "workloads/kernel_util.h"
+
+namespace trapjit
+{
+namespace
+{
+
+Target ia32 = makeIA32WindowsTarget();
+Target aix = makePPCAIXTarget();
+
+template <typename PassT>
+bool
+runPass(Function &fn, const Target &target, bool speculation = false)
+{
+    static Module dummy;
+    fn.recomputeCFG();
+    PassContext ctx{dummy, target, speculation};
+    PassT pass;
+    return pass.runOnFunction(fn, ctx);
+}
+
+size_t
+countInBlock(const Function &fn, BlockId block, Opcode op)
+{
+    size_t n = 0;
+    for (const Instruction &inst : fn.block(block).insts())
+        if (inst.op == op)
+            ++n;
+    return n;
+}
+
+/**
+ * Figure 4 end state: with the check hoisted (phase 1), scalar
+ * replacement promotes the loop-invariant field to a temp — the loop
+ * body keeps the store but loses the load.
+ */
+TEST(ScalarReplacement, PromotesInvariantFieldAfterPhase1)
+{
+    Module mod;
+    Function &fn = mod.addFunction("fig4", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId n = fn.addParam(Type::I32, "n");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &body = fn.newBlock();
+    BasicBlock &exit = fn.newBlock();
+    ValueId i = fn.addLocal(Type::I32, "i");
+    b.atEnd(entry);
+    b.move(i, b.constInt(0));
+    b.jump(body);
+    b.atEnd(body);
+    // i = a.f * 2; a.f = i  (read + write of the same invariant field)
+    ValueId v = b.getField(a, 8, Type::I32);
+    ValueId two = b.constInt(2);
+    ValueId doubled = b.binop(Opcode::IMul, v, two);
+    b.putField(a, 8, doubled);
+    ValueId i2 = b.binop(Opcode::IAdd, i, b.constInt(1));
+    b.move(i, i2);
+    ValueId more = b.cmp(Opcode::ICmp, CmpPred::LT, i, n);
+    b.branch(more, body, exit);
+    b.atEnd(exit);
+    b.ret(i);
+
+    runPass<NullCheckPhase1>(fn, ia32); // hoists the checks
+    EXPECT_TRUE(runPass<ScalarReplacement>(fn, ia32));
+    EXPECT_TRUE(verifyFunction(fn).ok());
+
+    EXPECT_EQ(0u, countInBlock(fn, body.id(), Opcode::GetField))
+        << "the in-loop load is replaced by the temp";
+    EXPECT_EQ(1u, countInBlock(fn, body.id(), Opcode::PutField))
+        << "the store stays (precise exceptions)";
+}
+
+/** Without a hoisted check, promotion is blocked on read-trap targets. */
+TEST(ScalarReplacement, BlockedWithoutGuardOnReadTrapTarget)
+{
+    Module mod;
+    Function &fn = mod.addFunction("blocked", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId n = fn.addParam(Type::I32, "n");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &body = fn.newBlock();
+    BasicBlock &exit = fn.newBlock();
+    ValueId i = fn.addLocal(Type::I32, "i");
+    b.atEnd(entry);
+    b.move(i, b.constInt(0));
+    b.jump(body);
+    b.atEnd(body);
+    ValueId v = b.getField(a, 8, Type::I32);
+    ValueId i2 = b.binop(Opcode::IAdd, i, v);
+    b.move(i, i2);
+    ValueId more = b.cmp(Opcode::ICmp, CmpPred::LT, i, n);
+    b.branch(more, body, exit);
+    b.atEnd(exit);
+    b.ret(i);
+
+    // No phase 1: the check stays in the loop, so hoisting the load
+    // would be speculation — illegal when reads trap.
+    EXPECT_FALSE(runPass<ScalarReplacement>(fn, ia32));
+    EXPECT_EQ(1u, countInBlock(fn, body.id(), Opcode::GetField));
+}
+
+/**
+ * Figure 6: on AIX the store at the loop top pins the checks inside
+ * the loop, but read *speculation* may hoist the loads anyway.
+ */
+TEST(ScalarReplacement, SpeculationHoistsReadsOnAIX)
+{
+    auto build = [](Module &mod) -> Function & {
+        Function &fn = mod.addFunction("fig6", Type::I32);
+        ValueId a = fn.addParam(Type::Ref, "a");
+        ValueId out = fn.addParam(Type::Ref, "out"); // int array
+        ValueId n = fn.addParam(Type::I32, "n");
+        IRBuilder b(fn);
+        BasicBlock &entry = b.startBlock();
+        BasicBlock &body = fn.newBlock();
+        BasicBlock &exit = fn.newBlock();
+        ValueId i = fn.addLocal(Type::I32, "i");
+        ValueId acc = fn.addLocal(Type::I32, "acc");
+        b.atEnd(entry);
+        b.move(i, b.constInt(0));
+        b.move(acc, b.constInt(0));
+        b.jump(body);
+        b.atEnd(body);
+        // Store first (out[0] = acc): barriers that pin the checks in
+        // the loop.  An int element store cannot alias a.f (type-based
+        // disambiguation), so only the null safety of `a` is at stake.
+        ValueId zero = b.constInt(0);
+        b.arrayStore(out, zero, acc, Type::I32);
+        ValueId v = b.getField(a, 8, Type::I32); // invariant read
+        ValueId acc2 = b.binop(Opcode::IAdd, acc, v);
+        b.move(acc, acc2);
+        ValueId i2 = b.binop(Opcode::IAdd, i, b.constInt(1));
+        b.move(i, i2);
+        ValueId more = b.cmp(Opcode::ICmp, CmpPred::LT, i, n);
+        b.branch(more, body, exit);
+        b.atEnd(exit);
+        b.ret(acc);
+        return fn;
+    };
+
+    auto countGetFields = [](const Function &fn) {
+        size_t n = 0;
+        // Body blocks are the ones inside the loop (id 1 in this IR).
+        for (const Instruction &inst : fn.block(1).insts())
+            if (inst.op == Opcode::GetField)
+                ++n;
+        return n;
+    };
+    auto countSpeculative = [](const Function &fn) {
+        size_t n = 0;
+        for (size_t blk = 0; blk < fn.numBlocks(); ++blk)
+            for (const Instruction &inst :
+                 fn.block(static_cast<BlockId>(blk)).insts())
+                if (inst.speculative)
+                    ++n;
+        return n;
+    };
+
+    // Phase 1 cannot hoist the check of `a` (the store barrier precedes
+    // it in every iteration), so without speculation the field load
+    // stays in the loop.
+    {
+        Module mod;
+        Function &fn = build(mod);
+        runPass<NullCheckPhase1>(fn, aix);
+        runPass<ScalarReplacement>(fn, aix, /*speculation=*/false);
+        EXPECT_EQ(1u, countGetFields(fn));
+        EXPECT_EQ(0u, countSpeculative(fn));
+    }
+    // With speculation the read hoists and is tagged speculative.
+    {
+        Module mod;
+        Function &fn = build(mod);
+        runPass<NullCheckPhase1>(fn, aix);
+        runPass<ScalarReplacement>(fn, aix, /*speculation=*/true);
+        EXPECT_EQ(0u, countGetFields(fn))
+            << "the read moved above its stuck check";
+        EXPECT_EQ(1u, countSpeculative(fn));
+        EXPECT_TRUE(verifyFunction(fn).ok());
+    }
+    // Speculation is refused where reads trap.
+    {
+        Module mod;
+        Function &fn = build(mod);
+        runPass<NullCheckPhase1>(fn, ia32);
+        runPass<ScalarReplacement>(fn, ia32, /*speculation=*/true);
+        EXPECT_EQ(1u, countGetFields(fn));
+        EXPECT_EQ(0u, countSpeculative(fn));
+    }
+}
+
+/** A call inside the loop blocks field promotion (Section 5.4). */
+TEST(ScalarReplacement, CallInLoopBlocksPromotion)
+{
+    Module mod;
+    Function &callee = mod.addFunction("callee", Type::Void);
+    {
+        IRBuilder cb(callee);
+        cb.startBlock();
+        cb.ret();
+    }
+    Function &fn = mod.addFunction("call", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId n = fn.addParam(Type::I32, "n");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &body = fn.newBlock();
+    BasicBlock &exit = fn.newBlock();
+    ValueId i = fn.addLocal(Type::I32, "i");
+    b.atEnd(entry);
+    b.move(i, b.constInt(0));
+    b.jump(body);
+    b.atEnd(body);
+    ValueId v = b.getField(a, 8, Type::I32);
+    b.callStatic(callee.id(), {}, Type::Void); // clobbers everything
+    ValueId i2 = b.binop(Opcode::IAdd, i, v);
+    b.move(i, i2);
+    ValueId more = b.cmp(Opcode::ICmp, CmpPred::LT, i, n);
+    b.branch(more, body, exit);
+    b.atEnd(exit);
+    b.ret(i);
+
+    runPass<NullCheckPhase1>(fn, ia32);
+    runPass<ScalarReplacement>(fn, ia32);
+    EXPECT_EQ(1u, countInBlock(fn, body.id(), Opcode::GetField))
+        << "the callee may write the field";
+}
+
+/** Bounds pass: the b[i] read-modify-write duplicate check dies. */
+TEST(BoundsCheck, ReadModifyWriteDeduped)
+{
+    Module mod;
+    Function &fn = mod.addFunction("rmw", Type::Void);
+    ValueId arr = fn.addParam(Type::Ref, "arr");
+    ValueId i = fn.addParam(Type::I32, "i");
+    IRBuilder b(fn);
+    b.startBlock();
+    // b[i] = b[i] + 1, fully expanded by hand with a shared length.
+    ValueId len = b.arrayLength(arr);
+    b.boundCheck(i, len);
+    Instruction ld;
+    ld.op = Opcode::ArrayLoad;
+    ld.dst = fn.addTemp(Type::I32);
+    ld.a = arr;
+    ld.b = i;
+    ld.elemType = Type::I32;
+    b.emit(ld);
+    ValueId one = b.constInt(1);
+    ValueId inc = b.binop(Opcode::IAdd, ld.dst, one);
+    b.boundCheck(i, len); // redundant
+    Instruction st;
+    st.op = Opcode::ArrayStore;
+    st.a = arr;
+    st.b = i;
+    st.c = inc;
+    st.elemType = Type::I32;
+    b.emit(st);
+    b.ret();
+
+    EXPECT_TRUE(runPass<BoundsCheckElimination>(fn, ia32));
+    size_t checks = 0;
+    for (const Instruction &inst : fn.entry().insts())
+        if (inst.op == Opcode::BoundCheck)
+            ++checks;
+    EXPECT_EQ(1u, checks);
+}
+
+/** Redefining the index kills the bounds fact. */
+TEST(BoundsCheck, IndexRedefinitionBlocksElimination)
+{
+    Module mod;
+    Function &fn = mod.addFunction("redef", Type::Void);
+    ValueId arr = fn.addParam(Type::Ref, "arr");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId len = b.arrayLength(arr);
+    ValueId i = fn.addLocal(Type::I32, "i");
+    b.move(i, b.constInt(1));
+    b.boundCheck(i, len);
+    ValueId i2 = b.binop(Opcode::IAdd, i, b.constInt(1));
+    b.move(i, i2);
+    b.boundCheck(i, len); // different value of i: must stay
+    b.ret();
+
+    runPass<BoundsCheckElimination>(fn, ia32);
+    size_t checks = 0;
+    for (const Instruction &inst : fn.entry().insts())
+        if (inst.op == Opcode::BoundCheck)
+            ++checks;
+    EXPECT_EQ(2u, checks);
+}
+
+/**
+ * The Figure 2 iteration end-to-end: after phase 1 + bounds + scalar
+ * (run twice), a multidimensional row access has its row pointer,
+ * length and bounds check hoisted out of the inner loop.
+ */
+TEST(Iteration, RowAccessFullyHoistedAfterTwoRounds)
+{
+    Module mod;
+    Function &fn = mod.addFunction("rows", Type::I32);
+    ValueId matrix = fn.addParam(Type::Ref, "m");
+    ValueId row = fn.addParam(Type::I32, "r");
+    ValueId n = fn.addParam(Type::I32, "n");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    ValueId acc = fn.addLocal(Type::I32, "acc");
+    ValueId j = fn.addLocal(Type::I32, "j");
+    b.atEnd(entry);
+    b.move(acc, b.constInt(0));
+    CountedLoop loop(b, j, b.constInt(0), n);
+    // acc += m[r][j]: the row fetch m[r] is inner-loop invariant.
+    ValueId rowRef = b.arrayLoad(matrix, row, Type::Ref);
+    ValueId v = b.arrayLoad(rowRef, j, Type::I32);
+    ValueId acc2 = b.binop(Opcode::IAdd, acc, v);
+    b.move(acc, acc2);
+    loop.close();
+    b.ret(acc);
+
+    static Module dummy;
+    PassContext ctx{dummy, ia32, false};
+    for (int round = 0; round < 2; ++round) {
+        fn.recomputeCFG();
+        LocalCSE cse;
+        cse.runOnFunction(fn, ctx);
+        CopyPropagation cp;
+        cp.runOnFunction(fn, ctx);
+        NullCheckPhase1 p1;
+        p1.runOnFunction(fn, ctx);
+        BoundsCheckElimination bce;
+        bce.runOnFunction(fn, ctx);
+        ScalarReplacement sr;
+        sr.runOnFunction(fn, ctx);
+        DeadCodeElimination dce;
+        dce.runOnFunction(fn, ctx);
+    }
+    EXPECT_TRUE(verifyFunction(fn).ok());
+
+    // Find the inner loop body (the block with the IAdd into acc) and
+    // assert it no longer fetches the row.
+    size_t bodyRowLoads = 0;
+    for (size_t blk = 0; blk < fn.numBlocks(); ++blk) {
+        const BasicBlock &bb = fn.block(static_cast<BlockId>(blk));
+        bool isBody = false;
+        for (const Instruction &inst : bb.insts())
+            if (inst.op == Opcode::IAdd && inst.a == acc)
+                isBody = true;
+        if (!isBody)
+            continue;
+        for (const Instruction &inst : bb.insts())
+            if (inst.op == Opcode::ArrayLoad &&
+                inst.elemType == Type::Ref)
+                ++bodyRowLoads;
+    }
+    EXPECT_EQ(0u, bodyRowLoads)
+        << "the row pointer load must leave the inner loop";
+}
+
+} // namespace
+} // namespace trapjit

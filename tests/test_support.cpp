@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests of the support layer: the table printer, diagnostics,
+ * the event trace, the cost model, and the target factory properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/target.h"
+#include "interp/cost_model.h"
+#include "interp/event_trace.h"
+#include "support/diagnostics.h"
+#include "support/table.h"
+
+namespace trapjit
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumnsAndFormatsNumbers)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", TextTable::num(1.5, 2)});
+    table.addRow({"longer", TextTable::pct(12.345)});
+    std::ostringstream os;
+    table.print(os);
+    std::string text = os.str();
+    EXPECT_NE(std::string::npos, text.find("| name"));
+    EXPECT_NE(std::string::npos, text.find("1.50"));
+    EXPECT_NE(std::string::npos, text.find("12.3%"));
+    // Header separator present.
+    EXPECT_NE(std::string::npos, text.find("|-"));
+}
+
+TEST(TextTable, RejectsWrongArity)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only one"}), InternalError);
+}
+
+TEST(Diagnostics, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(TRAPJIT_PANIC("internal ", 42), InternalError);
+    EXPECT_THROW(TRAPJIT_FATAL("usage ", 7), UsageError);
+    try {
+        TRAPJIT_PANIC("with context ", 1);
+    } catch (const InternalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(std::string::npos, what.find("with context 1"));
+        EXPECT_NE(std::string::npos, what.find("test_support.cpp"));
+    }
+}
+
+TEST(EventTrace, FirstDifferenceFindsDivergence)
+{
+    EventTrace a, b;
+    a.recordWrite(100, 1, 4);
+    b.recordWrite(100, 1, 4);
+    EXPECT_EQ(-1, EventTrace::firstDifference(a, b));
+    a.recordWrite(104, 2, 4);
+    b.recordWrite(104, 3, 4);
+    EXPECT_EQ(1, EventTrace::firstDifference(a, b));
+}
+
+TEST(EventTrace, LengthMismatchIsDifference)
+{
+    EventTrace a, b;
+    a.recordAllocation(0x1000, 16);
+    EXPECT_EQ(0, EventTrace::firstDifference(a, b));
+    EXPECT_EQ(0, EventTrace::firstDifference(b, a));
+}
+
+TEST(EventTrace, DisabledTraceRecordsNothing)
+{
+    EventTrace trace;
+    trace.setEnabled(false);
+    trace.recordWrite(1, 2, 4);
+    trace.recordEscapedException(ExcKind::NullPointer);
+    EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(CostModel, ChecksCostWhatTheTargetSays)
+{
+    Target ia32 = makeIA32WindowsTarget();
+    Target ppc = makePPCAIXTarget();
+
+    Instruction check;
+    check.op = Opcode::NullCheck;
+    check.flavor = CheckFlavor::Explicit;
+    EXPECT_DOUBLE_EQ(2.0, instructionCost(check, ia32))
+        << "test+branch on IA32";
+    EXPECT_DOUBLE_EQ(1.0, instructionCost(check, ppc))
+        << "one-cycle conditional trap on PowerPC";
+
+    check.flavor = CheckFlavor::Implicit;
+    EXPECT_DOUBLE_EQ(0.0, instructionCost(check, ia32))
+        << "an implicit check emits nothing";
+
+    Instruction nop;
+    nop.op = Opcode::Nop;
+    EXPECT_DOUBLE_EQ(0.0, instructionCost(nop, ia32));
+}
+
+TEST(Targets, TrapModelsMatchThePaper)
+{
+    Target ia32 = makeIA32WindowsTarget();
+    EXPECT_TRUE(ia32.trapsOnRead);
+    EXPECT_TRUE(ia32.trapsOnWrite);
+    EXPECT_FALSE(ia32.allowsReadSpeculation());
+    EXPECT_TRUE(ia32.hasExpInstruction);
+
+    Target aix = makePPCAIXTarget();
+    EXPECT_FALSE(aix.trapsOnRead) << "AIX reads of page zero succeed";
+    EXPECT_TRUE(aix.trapsOnWrite);
+    EXPECT_TRUE(aix.allowsReadSpeculation());
+    EXPECT_FALSE(aix.hasExpInstruction);
+
+    Target lying = makeIllegalImplicitAIXTarget();
+    EXPECT_TRUE(lying.trapsOnRead) << "the lie of Section 5.4";
+    EXPECT_TRUE(lying.readOfNullPageYieldsZero)
+        << "the honest runtime behavior is preserved";
+
+    Target sparc = makeSPARCTarget();
+    EXPECT_TRUE(sparc.trapsOnRead && sparc.trapsOnWrite)
+        << "LaTTe assumes all accesses trap";
+}
+
+TEST(Targets, TrapCoverageQueries)
+{
+    Target ia32 = makeIA32WindowsTarget();
+    Target aix = makePPCAIXTarget();
+
+    Instruction read;
+    read.op = Opcode::GetField;
+    read.a = 0;
+    read.imm = 16;
+    EXPECT_TRUE(ia32.trapCovers(read));
+    EXPECT_FALSE(aix.trapCovers(read)) << "reads do not trap on AIX";
+
+    Instruction write;
+    write.op = Opcode::PutField;
+    write.a = 0;
+    write.b = 1;
+    write.imm = 16;
+    EXPECT_TRUE(ia32.trapCovers(write));
+    EXPECT_TRUE(aix.trapCovers(write));
+
+    read.imm = 1 << 20; // far beyond any protected page
+    EXPECT_FALSE(ia32.trapCovers(read)) << "Figure 5 big offset";
+
+    Instruction aload;
+    aload.op = Opcode::ArrayLoad;
+    aload.a = 0;
+    aload.b = 1;
+    EXPECT_FALSE(ia32.trapCovers(aload))
+        << "element offsets are dynamic, never trap-covered";
+
+    Instruction vcall;
+    vcall.op = Opcode::Call;
+    vcall.callKind = CallKind::Virtual;
+    vcall.args = {0};
+    EXPECT_TRUE(ia32.trapCovers(vcall)) << "vtable load at the header";
+    vcall.callKind = CallKind::Special;
+    EXPECT_FALSE(ia32.trapCovers(vcall))
+        << "a devirtualized call touches no slot (Figure 1)";
+}
+
+TEST(Targets, SpeculationSafetyIsOffsetBounded)
+{
+    Target aix = makePPCAIXTarget();
+    EXPECT_TRUE(aix.readIsSpeculationSafe(0));
+    EXPECT_TRUE(aix.readIsSpeculationSafe(aix.trapAreaBytes - 4));
+    EXPECT_FALSE(aix.readIsSpeculationSafe(aix.trapAreaBytes))
+        << "beyond the first page, AIX reads DO fault";
+    EXPECT_FALSE(aix.readIsSpeculationSafe(-1));
+}
+
+} // namespace
+} // namespace trapjit

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests of the real hardware-trap runtime: a PROT_NONE page plus a
+ * SIGSEGV handler implementing null checks with zero hot-path cost —
+ * the actual mechanism the paper's JIT uses on Windows and AIX.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/trap_runtime.h"
+
+namespace trapjit
+{
+namespace
+{
+
+TEST(TrapRuntime, ReadOfProtectedPageTrapsToNull)
+{
+    TrapRuntime runtime;
+    uintptr_t simNull = runtime.simNull();
+
+    // A "field read at offset 8" through the null reference.
+    auto result = runtime.guardedReadI32(simNull + 8);
+    EXPECT_FALSE(result.has_value()) << "the access must trap";
+    EXPECT_EQ(1u, runtime.trapsTaken());
+}
+
+TEST(TrapRuntime, ReadOfRealMemorySucceeds)
+{
+    TrapRuntime runtime;
+    int32_t cell = 12345;
+    auto result =
+        runtime.guardedReadI32(reinterpret_cast<uintptr_t>(&cell));
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(12345, *result);
+    EXPECT_EQ(0u, runtime.trapsTaken());
+}
+
+TEST(TrapRuntime, WriteTrapsAndRecovers)
+{
+    TrapRuntime runtime;
+    EXPECT_FALSE(runtime.guardedWriteI32(runtime.simNull() + 16, 7));
+    int32_t cell = 0;
+    EXPECT_TRUE(runtime.guardedWriteI32(
+        reinterpret_cast<uintptr_t>(&cell), 7));
+    EXPECT_EQ(7, cell);
+    EXPECT_EQ(1u, runtime.trapsTaken());
+}
+
+TEST(TrapRuntime, RepeatedTrapsAllRecover)
+{
+    TrapRuntime runtime;
+    for (int i = 0; i < 50; ++i) {
+        auto result = runtime.guardedReadI32(runtime.simNull() + 4 * i);
+        EXPECT_FALSE(result.has_value());
+    }
+    EXPECT_EQ(50u, runtime.trapsTaken());
+}
+
+TEST(TrapRuntime, TrapCoverageMatchesPageBounds)
+{
+    TrapRuntime runtime;
+    // In-page offsets are trap-covered; beyond the page they are not —
+    // the Figure 5 "BigOffset requires an explicit check" rule.
+    EXPECT_TRUE(runtime.trapCoversAddress(runtime.simNull()));
+    EXPECT_TRUE(runtime.trapCoversAddress(runtime.simNull() +
+                                          runtime.trapAreaBytes() - 1));
+    EXPECT_FALSE(runtime.trapCoversAddress(runtime.simNull() +
+                                           runtime.trapAreaBytes()));
+}
+
+} // namespace
+} // namespace trapjit

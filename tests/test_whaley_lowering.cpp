@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests of the baseline machinery: Whaley's forward-only
+ * elimination (the "Old Null Check" algorithm) and the naive
+ * hardware-trap peephole used by the non-phase-2 configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "opt/nullcheck/local_trap_lowering.h"
+#include "opt/nullcheck/whaley.h"
+
+namespace trapjit
+{
+namespace
+{
+
+Target ia32 = makeIA32WindowsTarget();
+
+size_t
+countChecks(const Function &fn, CheckFlavor flavor)
+{
+    size_t n = 0;
+    for (size_t b = 0; b < fn.numBlocks(); ++b)
+        for (const Instruction &inst :
+             fn.block(static_cast<BlockId>(b)).insts())
+            if (inst.op == Opcode::NullCheck && inst.flavor == flavor)
+                ++n;
+    return n;
+}
+
+template <typename PassT>
+bool
+runPass(Function &fn, const Target &target)
+{
+    static Module dummy;
+    fn.recomputeCFG();
+    PassContext ctx{dummy, target, false};
+    PassT pass;
+    return pass.runOnFunction(fn, ctx);
+}
+
+TEST(Whaley, EliminatesStraightLineRedundancy)
+{
+    Module mod;
+    Function &fn = mod.addFunction("w", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v1 = b.getField(a, 8, Type::I32);
+    ValueId v2 = b.getField(a, 16, Type::I32); // redundant check
+    ValueId sum = b.binop(Opcode::IAdd, v1, v2);
+    b.ret(sum);
+
+    EXPECT_TRUE(runPass<WhaleyNullCheckElimination>(fn, ia32));
+    EXPECT_EQ(1u, countChecks(fn, CheckFlavor::Explicit));
+}
+
+TEST(Whaley, CannotRemoveLoopInvariantCheck)
+{
+    // The Section 2.2 drawback: the first in-loop check survives
+    // because the loop-entry path has no prior check.
+    Module mod;
+    Function &fn = mod.addFunction("w", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId n = fn.addParam(Type::I32, "n");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &body = fn.newBlock();
+    BasicBlock &exit = fn.newBlock();
+    ValueId i = fn.addLocal(Type::I32, "i");
+    b.atEnd(entry);
+    b.move(i, b.constInt(0));
+    b.jump(body);
+    b.atEnd(body);
+    ValueId v = b.getField(a, 8, Type::I32);
+    ValueId i2 = b.binop(Opcode::IAdd, i, v);
+    b.move(i, i2);
+    ValueId more = b.cmp(Opcode::ICmp, CmpPred::LT, i, n);
+    b.branch(more, body, exit);
+    b.atEnd(exit);
+    b.ret(i);
+
+    runPass<WhaleyNullCheckElimination>(fn, ia32);
+    size_t inLoop = 0;
+    for (const Instruction &inst : fn.block(body.id()).insts())
+        if (inst.op == Opcode::NullCheck)
+            ++inLoop;
+    EXPECT_EQ(1u, inLoop)
+        << "forward-only analysis must keep the in-loop check";
+}
+
+TEST(Whaley, MergeRequiresBothPaths)
+{
+    Module mod;
+    Function &fn = mod.addFunction("w", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId cond = fn.addParam(Type::I32, "c");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &left = fn.newBlock();
+    BasicBlock &right = fn.newBlock();
+    BasicBlock &merge = fn.newBlock();
+    b.atEnd(entry);
+    b.branch(cond, left, right);
+    b.atEnd(left);
+    ValueId v1 = b.getField(a, 8, Type::I32);
+    (void)v1;
+    b.jump(merge);
+    b.atEnd(right);
+    b.jump(merge);
+    b.atEnd(merge);
+    ValueId v2 = b.getField(a, 8, Type::I32);
+    b.ret(v2);
+
+    runPass<WhaleyNullCheckElimination>(fn, ia32);
+    size_t inMerge = 0;
+    for (const Instruction &inst : fn.block(merge.id()).insts())
+        if (inst.op == Opcode::NullCheck)
+            ++inMerge;
+    EXPECT_EQ(1u, inMerge)
+        << "one path lacks a check, so the merge check must stay "
+           "(Figure 3's motivation)";
+}
+
+TEST(Lowering, AdjacentTrappingAccessConverts)
+{
+    Module mod;
+    Function &fn = mod.addFunction("l", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(a, 8, Type::I32);
+    b.ret(v);
+
+    EXPECT_TRUE(runPass<LocalTrapLowering>(fn, ia32));
+    EXPECT_EQ(0u, countChecks(fn, CheckFlavor::Explicit));
+    EXPECT_EQ(1u, countChecks(fn, CheckFlavor::Implicit));
+}
+
+TEST(Lowering, BigOffsetDoesNotConvert)
+{
+    Module mod;
+    Function &fn = mod.addFunction("l", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(a, 8192, Type::I32);
+    b.ret(v);
+
+    runPass<LocalTrapLowering>(fn, ia32);
+    EXPECT_EQ(1u, countChecks(fn, CheckFlavor::Explicit));
+}
+
+TEST(Lowering, StopsAtSideEffect)
+{
+    Module mod;
+    Function &fn = mod.addFunction("l", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId w = fn.addParam(Type::Ref, "w");
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(a);
+    b.putField(w, 8, x); // barrier between check and access
+    Instruction gf;
+    gf.op = Opcode::GetField;
+    gf.dst = fn.addTemp(Type::I32);
+    gf.a = a;
+    gf.imm = 8;
+    b.emit(gf);
+    b.ret(gf.dst);
+
+    runPass<LocalTrapLowering>(fn, ia32);
+    // The check of a must stay explicit (the NPE must precede the
+    // store); w's own check may convert onto the putfield.
+    size_t explicitOfA = 0;
+    for (const Instruction &inst : fn.entry().insts())
+        if (inst.op == Opcode::NullCheck && inst.a == a &&
+            inst.flavor == CheckFlavor::Explicit)
+            ++explicitOfA;
+    EXPECT_EQ(1u, explicitOfA);
+}
+
+TEST(Lowering, StopsAtAccessOfMayAliasCopy)
+{
+    Module mod;
+    Function &fn = mod.addFunction("l", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId r = fn.addLocal(Type::Ref, "r");
+    b.move(r, a);
+    b.nullCheck(a);
+    // The copy's access would dereference the same reference before the
+    // deferred trap; the scan must stop.
+    Instruction gf1;
+    gf1.op = Opcode::GetField;
+    gf1.dst = fn.addTemp(Type::I32);
+    gf1.a = r;
+    gf1.imm = 8;
+    b.emit(gf1);
+    Instruction gf2;
+    gf2.op = Opcode::GetField;
+    gf2.dst = fn.addTemp(Type::I32);
+    gf2.a = a;
+    gf2.imm = 8;
+    b.emit(gf2);
+    ValueId sum = b.binop(Opcode::IAdd, gf1.dst, gf2.dst);
+    b.ret(sum);
+
+    runPass<LocalTrapLowering>(fn, ia32);
+    EXPECT_EQ(1u, countChecks(fn, CheckFlavor::Explicit))
+        << "deferring past the copy's access would leave it unguarded";
+}
+
+TEST(Lowering, WriteOnlyTrapTargetConvertsOnlyWrites)
+{
+    Target aix = makePPCAIXTarget();
+    Module mod;
+    Function &fn = mod.addFunction("l", Type::I32);
+    ValueId a = fn.addParam(Type::Ref, "a");
+    ValueId w = fn.addParam(Type::Ref, "w");
+    ValueId x = fn.addParam(Type::I32, "x");
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId v = b.getField(a, 8, Type::I32); // read: stays explicit
+    b.putField(w, 8, x);                     // write: converts
+    b.ret(v);
+
+    runPass<LocalTrapLowering>(fn, aix);
+    size_t explicitChecks = countChecks(fn, CheckFlavor::Explicit);
+    size_t implicitChecks = countChecks(fn, CheckFlavor::Implicit);
+    EXPECT_EQ(1u, explicitChecks);
+    EXPECT_EQ(1u, implicitChecks);
+}
+
+} // namespace
+} // namespace trapjit
