@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codesize.dir/bench_ablation_codesize.cpp.o"
+  "CMakeFiles/bench_ablation_codesize.dir/bench_ablation_codesize.cpp.o.d"
+  "bench_ablation_codesize"
+  "bench_ablation_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

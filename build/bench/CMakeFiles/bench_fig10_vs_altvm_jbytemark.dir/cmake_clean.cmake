@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vs_altvm_jbytemark.dir/bench_fig10_vs_altvm_jbytemark.cpp.o"
+  "CMakeFiles/bench_fig10_vs_altvm_jbytemark.dir/bench_fig10_vs_altvm_jbytemark.cpp.o.d"
+  "bench_fig10_vs_altvm_jbytemark"
+  "bench_fig10_vs_altvm_jbytemark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vs_altvm_jbytemark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

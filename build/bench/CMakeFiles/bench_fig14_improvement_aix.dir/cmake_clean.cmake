@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_improvement_aix.dir/bench_fig14_improvement_aix.cpp.o"
+  "CMakeFiles/bench_fig14_improvement_aix.dir/bench_fig14_improvement_aix.cpp.o.d"
+  "bench_fig14_improvement_aix"
+  "bench_fig14_improvement_aix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_improvement_aix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_improvement_jbytemark.dir/bench_fig8_improvement_jbytemark.cpp.o"
+  "CMakeFiles/bench_fig8_improvement_jbytemark.dir/bench_fig8_improvement_jbytemark.cpp.o.d"
+  "bench_fig8_improvement_jbytemark"
+  "bench_fig8_improvement_jbytemark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_improvement_jbytemark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

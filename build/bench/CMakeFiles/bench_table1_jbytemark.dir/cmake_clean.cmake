@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_jbytemark.dir/bench_table1_jbytemark.cpp.o"
+  "CMakeFiles/bench_table1_jbytemark.dir/bench_table1_jbytemark.cpp.o.d"
+  "bench_table1_jbytemark"
+  "bench_table1_jbytemark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_jbytemark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_specjvm98.dir/bench_table2_specjvm98.cpp.o"
+  "CMakeFiles/bench_table2_specjvm98.dir/bench_table2_specjvm98.cpp.o.d"
+  "bench_table2_specjvm98"
+  "bench_table2_specjvm98.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_specjvm98.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_compile_increase.dir/bench_table5_compile_increase.cpp.o"
+  "CMakeFiles/bench_table5_compile_increase.dir/bench_table5_compile_increase.cpp.o.d"
+  "bench_table5_compile_increase"
+  "bench_table5_compile_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_compile_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

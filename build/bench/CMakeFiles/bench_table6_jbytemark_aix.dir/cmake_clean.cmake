@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_jbytemark_aix.dir/bench_table6_jbytemark_aix.cpp.o"
+  "CMakeFiles/bench_table6_jbytemark_aix.dir/bench_table6_jbytemark_aix.cpp.o.d"
+  "bench_table6_jbytemark_aix"
+  "bench_table6_jbytemark_aix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_jbytemark_aix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

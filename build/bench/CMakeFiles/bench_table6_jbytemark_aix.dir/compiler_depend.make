@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table6_jbytemark_aix.
+# This may be replaced when dependencies are built.

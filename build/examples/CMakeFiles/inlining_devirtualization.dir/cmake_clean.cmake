@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlining_devirtualization.dir/inlining_devirtualization.cpp.o"
+  "CMakeFiles/inlining_devirtualization.dir/inlining_devirtualization.cpp.o.d"
+  "inlining_devirtualization"
+  "inlining_devirtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlining_devirtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

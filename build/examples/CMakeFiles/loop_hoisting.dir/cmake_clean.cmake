@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_hoisting.dir/loop_hoisting.cpp.o"
+  "CMakeFiles/loop_hoisting.dir/loop_hoisting.cpp.o.d"
+  "loop_hoisting"
+  "loop_hoisting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_hoisting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_demo.dir/trap_demo.cpp.o"
+  "CMakeFiles/trap_demo.dir/trap_demo.cpp.o.d"
+  "trap_demo"
+  "trap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

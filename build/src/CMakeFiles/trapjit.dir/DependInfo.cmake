@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dataflow.cpp" "src/CMakeFiles/trapjit.dir/analysis/dataflow.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/analysis/dataflow.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/CMakeFiles/trapjit.dir/analysis/dominators.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/analysis/dominators.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/CMakeFiles/trapjit.dir/analysis/liveness.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/analysis/liveness.cpp.o.d"
+  "/root/repo/src/analysis/loops.cpp" "src/CMakeFiles/trapjit.dir/analysis/loops.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/analysis/loops.cpp.o.d"
+  "/root/repo/src/analysis/rpo.cpp" "src/CMakeFiles/trapjit.dir/analysis/rpo.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/analysis/rpo.cpp.o.d"
+  "/root/repo/src/arch/target.cpp" "src/CMakeFiles/trapjit.dir/arch/target.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/arch/target.cpp.o.d"
+  "/root/repo/src/codegen/codegen_pass.cpp" "src/CMakeFiles/trapjit.dir/codegen/codegen_pass.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/codegen/codegen_pass.cpp.o.d"
+  "/root/repo/src/codegen/emitter.cpp" "src/CMakeFiles/trapjit.dir/codegen/emitter.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/codegen/emitter.cpp.o.d"
+  "/root/repo/src/codegen/linear_scan.cpp" "src/CMakeFiles/trapjit.dir/codegen/linear_scan.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/codegen/linear_scan.cpp.o.d"
+  "/root/repo/src/codegen/scheduler.cpp" "src/CMakeFiles/trapjit.dir/codegen/scheduler.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/codegen/scheduler.cpp.o.d"
+  "/root/repo/src/interp/cost_model.cpp" "src/CMakeFiles/trapjit.dir/interp/cost_model.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/interp/cost_model.cpp.o.d"
+  "/root/repo/src/interp/event_trace.cpp" "src/CMakeFiles/trapjit.dir/interp/event_trace.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/interp/event_trace.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "src/CMakeFiles/trapjit.dir/interp/interpreter.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/interp/interpreter.cpp.o.d"
+  "/root/repo/src/ir/basic_block.cpp" "src/CMakeFiles/trapjit.dir/ir/basic_block.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/basic_block.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/trapjit.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/trapjit.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/CMakeFiles/trapjit.dir/ir/instruction.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/instruction.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/CMakeFiles/trapjit.dir/ir/module.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/module.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/trapjit.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/serializer.cpp" "src/CMakeFiles/trapjit.dir/ir/serializer.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/serializer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/trapjit.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/value.cpp" "src/CMakeFiles/trapjit.dir/ir/value.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/value.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/trapjit.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/jit/compiler.cpp" "src/CMakeFiles/trapjit.dir/jit/compiler.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/jit/compiler.cpp.o.d"
+  "/root/repo/src/jit/pipeline.cpp" "src/CMakeFiles/trapjit.dir/jit/pipeline.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/jit/pipeline.cpp.o.d"
+  "/root/repo/src/jit/stats.cpp" "src/CMakeFiles/trapjit.dir/jit/stats.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/jit/stats.cpp.o.d"
+  "/root/repo/src/jit/timing.cpp" "src/CMakeFiles/trapjit.dir/jit/timing.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/jit/timing.cpp.o.d"
+  "/root/repo/src/opt/bounds/bounds_check_elimination.cpp" "src/CMakeFiles/trapjit.dir/opt/bounds/bounds_check_elimination.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/bounds/bounds_check_elimination.cpp.o.d"
+  "/root/repo/src/opt/bounds/bounds_facts.cpp" "src/CMakeFiles/trapjit.dir/opt/bounds/bounds_facts.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/bounds/bounds_facts.cpp.o.d"
+  "/root/repo/src/opt/copy_propagation.cpp" "src/CMakeFiles/trapjit.dir/opt/copy_propagation.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/copy_propagation.cpp.o.d"
+  "/root/repo/src/opt/dead_code.cpp" "src/CMakeFiles/trapjit.dir/opt/dead_code.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/dead_code.cpp.o.d"
+  "/root/repo/src/opt/inliner/class_hierarchy.cpp" "src/CMakeFiles/trapjit.dir/opt/inliner/class_hierarchy.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/inliner/class_hierarchy.cpp.o.d"
+  "/root/repo/src/opt/inliner/inliner.cpp" "src/CMakeFiles/trapjit.dir/opt/inliner/inliner.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/inliner/inliner.cpp.o.d"
+  "/root/repo/src/opt/local_cse.cpp" "src/CMakeFiles/trapjit.dir/opt/local_cse.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/local_cse.cpp.o.d"
+  "/root/repo/src/opt/nullcheck/check_coverage.cpp" "src/CMakeFiles/trapjit.dir/opt/nullcheck/check_coverage.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/nullcheck/check_coverage.cpp.o.d"
+  "/root/repo/src/opt/nullcheck/facts.cpp" "src/CMakeFiles/trapjit.dir/opt/nullcheck/facts.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/nullcheck/facts.cpp.o.d"
+  "/root/repo/src/opt/nullcheck/local_trap_lowering.cpp" "src/CMakeFiles/trapjit.dir/opt/nullcheck/local_trap_lowering.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/nullcheck/local_trap_lowering.cpp.o.d"
+  "/root/repo/src/opt/nullcheck/phase1.cpp" "src/CMakeFiles/trapjit.dir/opt/nullcheck/phase1.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/nullcheck/phase1.cpp.o.d"
+  "/root/repo/src/opt/nullcheck/phase2.cpp" "src/CMakeFiles/trapjit.dir/opt/nullcheck/phase2.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/nullcheck/phase2.cpp.o.d"
+  "/root/repo/src/opt/nullcheck/whaley.cpp" "src/CMakeFiles/trapjit.dir/opt/nullcheck/whaley.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/nullcheck/whaley.cpp.o.d"
+  "/root/repo/src/opt/pass.cpp" "src/CMakeFiles/trapjit.dir/opt/pass.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/pass.cpp.o.d"
+  "/root/repo/src/opt/pass_manager.cpp" "src/CMakeFiles/trapjit.dir/opt/pass_manager.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/pass_manager.cpp.o.d"
+  "/root/repo/src/opt/scalar/scalar_replacement.cpp" "src/CMakeFiles/trapjit.dir/opt/scalar/scalar_replacement.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/opt/scalar/scalar_replacement.cpp.o.d"
+  "/root/repo/src/runtime/exceptions.cpp" "src/CMakeFiles/trapjit.dir/runtime/exceptions.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/runtime/exceptions.cpp.o.d"
+  "/root/repo/src/runtime/heap.cpp" "src/CMakeFiles/trapjit.dir/runtime/heap.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/runtime/heap.cpp.o.d"
+  "/root/repo/src/runtime/trap_runtime.cpp" "src/CMakeFiles/trapjit.dir/runtime/trap_runtime.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/runtime/trap_runtime.cpp.o.d"
+  "/root/repo/src/support/bitset.cpp" "src/CMakeFiles/trapjit.dir/support/bitset.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/support/bitset.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/trapjit.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/trapjit.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/support/table.cpp.o.d"
+  "/root/repo/src/testing/equivalence.cpp" "src/CMakeFiles/trapjit.dir/testing/equivalence.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/testing/equivalence.cpp.o.d"
+  "/root/repo/src/testing/random_program.cpp" "src/CMakeFiles/trapjit.dir/testing/random_program.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/testing/random_program.cpp.o.d"
+  "/root/repo/src/workloads/jbytemark.cpp" "src/CMakeFiles/trapjit.dir/workloads/jbytemark.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/workloads/jbytemark.cpp.o.d"
+  "/root/repo/src/workloads/kernel_util.cpp" "src/CMakeFiles/trapjit.dir/workloads/kernel_util.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/workloads/kernel_util.cpp.o.d"
+  "/root/repo/src/workloads/specjvm.cpp" "src/CMakeFiles/trapjit.dir/workloads/specjvm.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/workloads/specjvm.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/trapjit.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/trapjit.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cleanup.dir/test_cleanup.cpp.o"
+  "CMakeFiles/test_cleanup.dir/test_cleanup.cpp.o.d"
+  "test_cleanup"
+  "test_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

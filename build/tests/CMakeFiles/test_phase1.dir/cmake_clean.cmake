@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase1.dir/test_phase1.cpp.o"
+  "CMakeFiles/test_phase1.dir/test_phase1.cpp.o.d"
+  "test_phase1"
+  "test_phase1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

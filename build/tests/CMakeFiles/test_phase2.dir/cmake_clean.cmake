@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase2.dir/test_phase2.cpp.o"
+  "CMakeFiles/test_phase2.dir/test_phase2.cpp.o.d"
+  "test_phase2"
+  "test_phase2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalar_bounds.dir/test_scalar_bounds.cpp.o"
+  "CMakeFiles/test_scalar_bounds.dir/test_scalar_bounds.cpp.o.d"
+  "test_scalar_bounds"
+  "test_scalar_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalar_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trap_runtime.dir/test_trap_runtime.cpp.o"
+  "CMakeFiles/test_trap_runtime.dir/test_trap_runtime.cpp.o.d"
+  "test_trap_runtime"
+  "test_trap_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trap_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
