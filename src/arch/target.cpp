@@ -1,7 +1,44 @@
 #include "arch/target.h"
 
+#include <sstream>
+
 namespace trapjit
 {
+
+std::string
+targetFingerprint(const Target &target)
+{
+    std::ostringstream os;
+    os << "name=" << target.name
+       << ";traparea=" << target.trapAreaBytes
+       << ";rdtrap=" << target.trapsOnRead
+       << ";wrtrap=" << target.trapsOnWrite
+       << ";nullzero=" << target.readOfNullPageYieldsZero
+       << ";exp=" << target.hasExpInstruction
+       << ";c.nullchk=" << target.explicitNullCheckCycles
+       << ";c.boundchk=" << target.boundCheckCycles
+       << ";c.move=" << target.moveCycles
+       << ";c.const=" << target.constCycles
+       << ";c.alu=" << target.intAluCycles
+       << ";c.imul=" << target.intMulCycles
+       << ";c.idiv=" << target.intDivCycles
+       << ";c.falu=" << target.floatAluCycles
+       << ";c.fmul=" << target.floatMulCycles
+       << ";c.fdiv=" << target.floatDivCycles
+       << ";c.math=" << target.mathIntrinsicCycles
+       << ";c.load=" << target.loadCycles
+       << ";c.store=" << target.storeCycles
+       << ";c.array=" << target.arrayAccessExtraCycles
+       << ";c.branch=" << target.branchCycles
+       << ";c.jump=" << target.jumpCycles
+       << ";c.call=" << target.callOverheadCycles
+       << ";c.virt=" << target.virtualDispatchExtraCycles
+       << ";c.alloc=" << target.allocBaseCycles
+       << ";c.allocb=" << target.allocPerByteCycles
+       << ";c.throw=" << target.throwCycles
+       << ";c.trap=" << target.trapDispatchCycles;
+    return os.str();
+}
 
 bool
 Target::trapCovers(const Instruction &inst) const

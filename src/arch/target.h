@@ -106,6 +106,14 @@ struct Target
     }
 };
 
+/**
+ * Stable fingerprint of every field of @p target (trap model and cycle
+ * costs; the name is included too since it identifies the model).
+ * Part of the compile-cache key: pipelines over targets with equal
+ * fingerprints generate identical code.
+ */
+std::string targetFingerprint(const Target &target);
+
 /** Pentium III / Windows NT: reads and writes trap; no trap instruction. */
 Target makeIA32WindowsTarget();
 

@@ -95,6 +95,16 @@ Module::addFunction(std::string name, Type return_type, bool is_instance)
     return *functions_.back();
 }
 
+void
+Module::replaceFunction(FunctionId id, std::unique_ptr<Function> fn)
+{
+    TRAPJIT_ASSERT(id < functions_.size(), "replaceFunction: bad id ", id);
+    TRAPJIT_ASSERT(fn && fn->id() == id,
+                   "replaceFunction: replacement carries id ",
+                   fn ? fn->id() : kNoFunction, ", slot is ", id);
+    functions_[id] = std::move(fn);
+}
+
 FunctionId
 Module::findFunction(const std::string &name) const
 {

@@ -106,6 +106,15 @@ class Module
     /** Find a function by name; kNoFunction if absent. */
     FunctionId findFunction(const std::string &name) const;
 
+    /**
+     * Swap in a replacement body for function @p id (which must equal
+     * @p fn's own id).  Used by the compile service to install a
+     * compiled function produced outside the module (a cache hit or a
+     * worker's private copy).  Replacing distinct ids is safe from
+     * distinct threads: the function table itself is not resized.
+     */
+    void replaceFunction(FunctionId id, std::unique_ptr<Function> fn);
+
   private:
     std::vector<ClassInfo> classes_;
     std::vector<std::unique_ptr<Function>> functions_;

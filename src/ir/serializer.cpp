@@ -215,13 +215,139 @@ bitsToDouble(uint64_t bits)
     return value;
 }
 
+/** Reads logical records: skips blank lines and '#' comments. */
+class LineReader
+{
+  public:
+    explicit LineReader(std::istream &is) : is_(is) {}
+
+    bool
+    next(std::string &line)
+    {
+        while (std::getline(is_, line)) {
+            ++lineNo_;
+            size_t start = line.find_first_not_of(" \t");
+            if (start == std::string::npos)
+                continue;
+            line = line.substr(start);
+            if (line[0] == '#')
+                continue;
+            return true;
+        }
+        return false;
+    }
+
+    int lineNo() const { return lineNo_; }
+
+  private:
+    std::istream &is_;
+    int lineNo_ = 0;
+};
+
+/** Parse state inside one `func ... end` record group. */
+struct FunctionParse
+{
+    Function *fn = nullptr;
+    BasicBlock *bb = nullptr;
+    uint32_t paramTarget = 0;
+};
+
+/**
+ * Apply one record *inside* a function (value/region/block/inst/end) to
+ * @p parse.  Returns false if the record kind is not a function-body
+ * record.  An `end` record finalizes the function (recomputeCFG) and
+ * clears parse.fn.
+ */
+bool
+applyFunctionRecord(FunctionParse &parse, const Fields &fields)
+{
+    const std::string &kind = fields.kind();
+    Function *fn = parse.fn;
+
+    if (kind == "value") {
+        TRAPJIT_ASSERT(fn, "value outside func");
+        bool isLocal = fields.get("kind") == "local";
+        Type type = typeFromName(fields.get("type"));
+        ClassId cls = fields.getId("class");
+        std::string name = fields.get("name");
+        // Parameters come first and are re-created as such.
+        if (fn->numValues() < parse.paramTarget) {
+            fn->addParam(type, std::move(name), cls);
+        } else if (isLocal) {
+            fn->addLocal(type, std::move(name), cls);
+        } else {
+            ValueId id = fn->addTemp(type, cls);
+            fn->value(id).name = name;
+        }
+    } else if (kind == "region") {
+        TRAPJIT_ASSERT(fn, "region outside func");
+        fn->addTryRegion(
+            static_cast<BlockId>(fields.getInt("handler")),
+            excFromName(fields.get("catches")),
+            static_cast<TryRegionId>(fields.getInt("parent")));
+    } else if (kind == "block") {
+        TRAPJIT_ASSERT(fn, "block outside func");
+        parse.bb = &fn->newBlock(
+            static_cast<TryRegionId>(fields.getInt("region")));
+    } else if (kind == "inst") {
+        TRAPJIT_ASSERT(parse.bb, "inst outside block");
+        Instruction inst;
+        inst.op = opcodeFromName(fields.get("op"));
+        inst.dst = fields.getId("dst");
+        inst.a = fields.getId("a");
+        inst.b = fields.getId("b");
+        inst.c = fields.getId("c");
+        inst.imm = fields.getInt("imm");
+        inst.imm2 = fields.getInt("imm2");
+        inst.fimm = bitsToDouble(std::stoull(fields.get("fimm")));
+        inst.elemType = typeFromName(fields.get("elem"));
+        inst.pred = predFromName(fields.get("pred"));
+        inst.flavor = fields.get("flavor") == "implicit"
+                          ? CheckFlavor::Implicit
+                          : CheckFlavor::Explicit;
+        std::string callKind = fields.get("kind");
+        inst.callKind = callKind == "virtual"   ? CallKind::Virtual
+                        : callKind == "special" ? CallKind::Special
+                                                : CallKind::Static;
+        inst.site = static_cast<SiteId>(fields.getInt("site"));
+        inst.exceptionSite = fields.hasFlag("excsite");
+        inst.speculative = fields.hasFlag("spec");
+        std::string args = fields.getOr("args", "");
+        size_t pos = 0;
+        while (pos < args.size()) {
+            size_t comma = args.find(',', pos);
+            if (comma == std::string::npos)
+                comma = args.size();
+            inst.args.push_back(static_cast<ValueId>(
+                std::stoul(args.substr(pos, comma - pos))));
+            pos = comma + 1;
+        }
+        parse.bb->insts().push_back(std::move(inst));
+    } else if (kind == "end") {
+        TRAPJIT_ASSERT(fn, "end outside func");
+        fn->recomputeCFG();
+        parse.fn = nullptr;
+        parse.bb = nullptr;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 void
 serializeModule(std::ostream &os, const Module &mod)
 {
     os << "trapjit-module v1\n";
+    serializeClassTable(os, mod);
+    for (FunctionId f = 0; f < mod.numFunctions(); ++f)
+        serializeFunction(os, mod.function(f));
+}
 
+void
+serializeClassTable(std::ostream &os, const Module &mod)
+{
     for (ClassId c = 0; c < mod.numClasses(); ++c) {
         const ClassInfo &cls = mod.cls(c);
         checkName(cls.name);
@@ -239,66 +365,67 @@ serializeModule(std::ostream &os, const Module &mod)
                << " fn=" << idToken(cls.vtable[slot]) << "\n";
         }
     }
+}
 
-    for (FunctionId f = 0; f < mod.numFunctions(); ++f) {
-        const Function &fn = mod.function(f);
-        checkName(fn.name());
-        os << "func name=" << fn.name()
-           << " ret=" << typeToken(fn.returnType())
-           << " params=" << fn.numParams()
-           << " instance=" << (fn.isInstanceMethod() ? 1 : 0)
-           << " neverinline=" << (fn.neverInline() ? 1 : 0)
-           << " intrinsic=" << intrinsicToken(fn.intrinsic()) << "\n";
+void
+serializeFunction(std::ostream &os, const Function &fn)
+{
+    checkName(fn.name());
+    os << "func name=" << fn.name()
+       << " ret=" << typeToken(fn.returnType())
+       << " params=" << fn.numParams()
+       << " instance=" << (fn.isInstanceMethod() ? 1 : 0)
+       << " neverinline=" << (fn.neverInline() ? 1 : 0)
+       << " intrinsic=" << intrinsicToken(fn.intrinsic()) << "\n";
 
-        for (ValueId v = 0; v < fn.numValues(); ++v) {
-            const Value &value = fn.value(v);
-            checkName(value.name);
-            os << "  value kind="
-               << (value.kind == Value::Kind::Local ? "local" : "temp")
-               << " type=" << typeToken(value.type)
-               << " class=" << idToken(value.classId)
-               << " name=" << value.name << "\n";
-        }
-        for (TryRegionId r = 1; r < fn.numTryRegions(); ++r) {
-            const TryRegion &region = fn.tryRegion(r);
-            os << "  region handler=" << region.handlerBlock
-               << " catches=" << excName(region.catches)
-               << " parent=" << region.parent << "\n";
-        }
-        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
-            const BasicBlock &bb = fn.block(b);
-            os << "  block region=" << bb.tryRegion() << "\n";
-            for (const Instruction &inst : bb.insts()) {
-                os << "    inst op=" << opcodeName(inst.op)
-                   << " dst=" << idToken(inst.dst)
-                   << " a=" << idToken(inst.a)
-                   << " b=" << idToken(inst.b)
-                   << " c=" << idToken(inst.c) << " imm=" << inst.imm
-                   << " imm2=" << inst.imm2
-                   << " fimm=" << doubleToBits(inst.fimm)
-                   << " elem=" << typeToken(inst.elemType)
-                   << " pred=" << predName(inst.pred) << " flavor="
-                   << (inst.flavor == CheckFlavor::Explicit ? "explicit"
-                                                            : "implicit")
-                   << " kind="
-                   << (inst.callKind == CallKind::Static    ? "static"
-                       : inst.callKind == CallKind::Special ? "special"
-                                                            : "virtual")
-                   << " site=" << inst.site;
-                if (inst.exceptionSite)
-                    os << " excsite";
-                if (inst.speculative)
-                    os << " spec";
-                if (!inst.args.empty()) {
-                    os << " args=";
-                    for (size_t i = 0; i < inst.args.size(); ++i)
-                        os << (i ? "," : "") << inst.args[i];
-                }
-                os << "\n";
-            }
-        }
-        os << "end\n";
+    for (ValueId v = 0; v < fn.numValues(); ++v) {
+        const Value &value = fn.value(v);
+        checkName(value.name);
+        os << "  value kind="
+           << (value.kind == Value::Kind::Local ? "local" : "temp")
+           << " type=" << typeToken(value.type)
+           << " class=" << idToken(value.classId)
+           << " name=" << value.name << "\n";
     }
+    for (TryRegionId r = 1; r < fn.numTryRegions(); ++r) {
+        const TryRegion &region = fn.tryRegion(r);
+        os << "  region handler=" << region.handlerBlock
+           << " catches=" << excName(region.catches)
+           << " parent=" << region.parent << "\n";
+    }
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock &bb = fn.block(b);
+        os << "  block region=" << bb.tryRegion() << "\n";
+        for (const Instruction &inst : bb.insts()) {
+            os << "    inst op=" << opcodeName(inst.op)
+               << " dst=" << idToken(inst.dst)
+               << " a=" << idToken(inst.a)
+               << " b=" << idToken(inst.b)
+               << " c=" << idToken(inst.c) << " imm=" << inst.imm
+               << " imm2=" << inst.imm2
+               << " fimm=" << doubleToBits(inst.fimm)
+               << " elem=" << typeToken(inst.elemType)
+               << " pred=" << predName(inst.pred) << " flavor="
+               << (inst.flavor == CheckFlavor::Explicit ? "explicit"
+                                                        : "implicit")
+               << " kind="
+               << (inst.callKind == CallKind::Static    ? "static"
+                   : inst.callKind == CallKind::Special ? "special"
+                                                        : "virtual")
+               << " site=" << inst.site;
+            if (inst.exceptionSite)
+                os << " excsite";
+            if (inst.speculative)
+                os << " spec";
+            if (!inst.args.empty()) {
+                os << " args=";
+                for (size_t i = 0; i < inst.args.size(); ++i)
+                    os << (i ? "," : "") << inst.args[i];
+            }
+            os << "\n";
+        }
+    }
+    os << "end\n";
 }
 
 std::string
@@ -309,38 +436,37 @@ serializeModuleToString(const Module &mod)
     return os.str();
 }
 
+std::string
+serializeClassTableToString(const Module &mod)
+{
+    std::ostringstream os;
+    serializeClassTable(os, mod);
+    return os.str();
+}
+
+std::string
+serializeFunctionToString(const Function &fn)
+{
+    std::ostringstream os;
+    serializeFunction(os, fn);
+    return os.str();
+}
+
 std::unique_ptr<Module>
 deserializeModule(std::istream &is)
 {
     auto mod = std::make_unique<Module>();
+    LineReader reader(is);
     std::string line;
-    int lineNo = 0;
 
-    auto nextLine = [&]() -> bool {
-        while (std::getline(is, line)) {
-            ++lineNo;
-            // Strip leading whitespace; skip blanks and comments.
-            size_t start = line.find_first_not_of(" \t");
-            if (start == std::string::npos)
-                continue;
-            line = line.substr(start);
-            if (line[0] == '#')
-                continue;
-            return true;
-        }
-        return false;
-    };
+    if (!reader.next(line) || line.rfind("trapjit-module", 0) != 0)
+        TRAPJIT_FATAL("line ", reader.lineNo(), ": missing module header");
 
-    if (!nextLine() || line.rfind("trapjit-module", 0) != 0)
-        TRAPJIT_FATAL("line ", lineNo, ": missing module header");
-
-    Function *fn = nullptr;
-    BasicBlock *bb = nullptr;
+    FunctionParse parse;
     ClassId curClass = kUnknownClass;
-    uint32_t paramTarget = 0;
 
-    while (nextLine()) {
-        Fields fields(line, lineNo);
+    while (reader.next(line)) {
+        Fields fields(line, reader.lineNo());
         const std::string &kind = fields.kind();
 
         if (kind == "class") {
@@ -363,80 +489,18 @@ deserializeModule(std::istream &is)
                 vtable.resize(index + 1, kNoFunction);
             vtable[index] = fields.getId("fn");
         } else if (kind == "func") {
-            fn = &mod->addFunction(fields.get("name"),
-                                   typeFromName(fields.get("ret")),
-                                   fields.getInt("instance") != 0);
-            fn->setNeverInline(fields.getInt("neverinline") != 0);
-            fn->setIntrinsic(intrinsicFromName(fields.get("intrinsic")));
-            paramTarget = static_cast<uint32_t>(fields.getInt("params"));
-            bb = nullptr;
-        } else if (kind == "value") {
-            TRAPJIT_ASSERT(fn, "value outside func");
-            bool isLocal = fields.get("kind") == "local";
-            Type type = typeFromName(fields.get("type"));
-            ClassId cls = fields.getId("class");
-            std::string name = fields.get("name");
-            // Parameters come first and are re-created as such.
-            if (fn->numValues() < paramTarget) {
-                fn->addParam(type, std::move(name), cls);
-            } else if (isLocal) {
-                fn->addLocal(type, std::move(name), cls);
-            } else {
-                ValueId id = fn->addTemp(type, cls);
-                fn->value(id).name = name;
-            }
-        } else if (kind == "region") {
-            TRAPJIT_ASSERT(fn, "region outside func");
-            fn->addTryRegion(
-                static_cast<BlockId>(fields.getInt("handler")),
-                excFromName(fields.get("catches")),
-                static_cast<TryRegionId>(fields.getInt("parent")));
-        } else if (kind == "block") {
-            TRAPJIT_ASSERT(fn, "block outside func");
-            bb = &fn->newBlock(
-                static_cast<TryRegionId>(fields.getInt("region")));
-        } else if (kind == "inst") {
-            TRAPJIT_ASSERT(bb, "inst outside block");
-            Instruction inst;
-            inst.op = opcodeFromName(fields.get("op"));
-            inst.dst = fields.getId("dst");
-            inst.a = fields.getId("a");
-            inst.b = fields.getId("b");
-            inst.c = fields.getId("c");
-            inst.imm = fields.getInt("imm");
-            inst.imm2 = fields.getInt("imm2");
-            inst.fimm = bitsToDouble(
-                std::stoull(fields.get("fimm")));
-            inst.elemType = typeFromName(fields.get("elem"));
-            inst.pred = predFromName(fields.get("pred"));
-            inst.flavor = fields.get("flavor") == "implicit"
-                              ? CheckFlavor::Implicit
-                              : CheckFlavor::Explicit;
-            std::string callKind = fields.get("kind");
-            inst.callKind = callKind == "virtual"  ? CallKind::Virtual
-                            : callKind == "special" ? CallKind::Special
-                                                     : CallKind::Static;
-            inst.site = static_cast<SiteId>(fields.getInt("site"));
-            inst.exceptionSite = fields.hasFlag("excsite");
-            inst.speculative = fields.hasFlag("spec");
-            std::string args = fields.getOr("args", "");
-            size_t pos = 0;
-            while (pos < args.size()) {
-                size_t comma = args.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = args.size();
-                inst.args.push_back(static_cast<ValueId>(
-                    std::stoul(args.substr(pos, comma - pos))));
-                pos = comma + 1;
-            }
-            bb->insts().push_back(std::move(inst));
-        } else if (kind == "end") {
-            TRAPJIT_ASSERT(fn, "end outside func");
-            fn->recomputeCFG();
-            fn = nullptr;
-        } else {
-            TRAPJIT_FATAL("line ", lineNo, ": unknown record '", kind,
-                          "'");
+            parse.fn = &mod->addFunction(fields.get("name"),
+                                         typeFromName(fields.get("ret")),
+                                         fields.getInt("instance") != 0);
+            parse.fn->setNeverInline(fields.getInt("neverinline") != 0);
+            parse.fn->setIntrinsic(
+                intrinsicFromName(fields.get("intrinsic")));
+            parse.paramTarget =
+                static_cast<uint32_t>(fields.getInt("params"));
+            parse.bb = nullptr;
+        } else if (!applyFunctionRecord(parse, fields)) {
+            TRAPJIT_FATAL("line ", reader.lineNo(), ": unknown record '",
+                          kind, "'");
         }
     }
     return mod;
@@ -447,6 +511,41 @@ deserializeModuleFromString(const std::string &text)
 {
     std::istringstream is(text);
     return deserializeModule(is);
+}
+
+std::unique_ptr<Function>
+deserializeFunctionFromString(const std::string &text, FunctionId id)
+{
+    std::istringstream is(text);
+    LineReader reader(is);
+    std::string line;
+
+    if (!reader.next(line))
+        TRAPJIT_FATAL("empty function record");
+    Fields header(line, reader.lineNo());
+    if (header.kind() != "func")
+        TRAPJIT_FATAL("line ", reader.lineNo(),
+                      ": expected 'func' record, got '", header.kind(),
+                      "'");
+
+    auto fn = std::make_unique<Function>(
+        id, header.get("name"), typeFromName(header.get("ret")),
+        header.getInt("instance") != 0);
+    fn->setNeverInline(header.getInt("neverinline") != 0);
+    fn->setIntrinsic(intrinsicFromName(header.get("intrinsic")));
+
+    FunctionParse parse;
+    parse.fn = fn.get();
+    parse.paramTarget = static_cast<uint32_t>(header.getInt("params"));
+
+    while (parse.fn && reader.next(line)) {
+        Fields fields(line, reader.lineNo());
+        if (!applyFunctionRecord(parse, fields))
+            TRAPJIT_FATAL("line ", reader.lineNo(), ": unexpected '",
+                          fields.kind(), "' record in function text");
+    }
+    TRAPJIT_ASSERT(!parse.fn, "function record group missing 'end'");
+    return fn;
 }
 
 } // namespace trapjit

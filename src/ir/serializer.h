@@ -43,6 +43,22 @@ void serializeModule(std::ostream &os, const Module &mod);
 std::string serializeModuleToString(const Module &mod);
 
 /**
+ * Write only the class-table records of @p mod (no module header, no
+ * functions).  Together with serializeFunction this decomposes
+ * serializeModule; the compile cache hashes the pieces separately.
+ */
+void serializeClassTable(std::ostream &os, const Module &mod);
+
+/** Convenience: class table to a string. */
+std::string serializeClassTableToString(const Module &mod);
+
+/** Write one function (its `func ... end` record group). */
+void serializeFunction(std::ostream &os, const Function &fn);
+
+/** Convenience: one function to a string. */
+std::string serializeFunctionToString(const Function &fn);
+
+/**
  * Parse a module from @p is.  Throws UsageError with a line number on
  * malformed input.
  */
@@ -51,6 +67,18 @@ std::unique_ptr<Module> deserializeModule(std::istream &is);
 /** Convenience: parse from a string. */
 std::unique_ptr<Module> deserializeModuleFromString(
     const std::string &text);
+
+/**
+ * Parse one `func ... end` record group (as written by
+ * serializeFunction) into a standalone Function carrying id @p id.
+ * The function is not registered in any module; value class ids,
+ * callee ids and vtable slots refer to whatever module the text was
+ * serialized from, so the caller must only install the result into a
+ * module with a compatible class/function table
+ * (Module::replaceFunction).
+ */
+std::unique_ptr<Function> deserializeFunctionFromString(
+    const std::string &text, FunctionId id);
 
 } // namespace trapjit
 

@@ -1,0 +1,8 @@
+#include "jit/compile_cache.h"
+
+namespace trapjit
+{
+
+// Header-only component; this translation unit anchors it.
+
+} // namespace trapjit

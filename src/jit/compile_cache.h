@@ -1,0 +1,93 @@
+#ifndef TRAPJIT_JIT_COMPILE_CACHE_H_
+#define TRAPJIT_JIT_COMPILE_CACHE_H_
+
+/**
+ * @file
+ * Function-level compile cache.
+ *
+ * The cache maps a content address of a compile job to the serialized
+ * IR of its compiled function.  The key must cover *everything* the
+ * pipeline reads while compiling a function (see
+ * CompileService::jobKey in jit/compile_service.cpp):
+ *
+ *   - the target fingerprint (arch/target.h),
+ *   - the config fingerprint (jit/pipeline.h),
+ *   - the class table (devirtualization reads vtables and layouts),
+ *   - the serialized pristine function itself, and
+ *   - the serialized bodies of every function the inliner could read
+ *     while compiling it (its call closure, widened by all vtable
+ *     implementations when the closure contains a virtual call).
+ *
+ * Key equality therefore implies bit-identical compile output, which is
+ * what makes cache hits safe regardless of worker count or scheduling
+ * order — the determinism tests in tests/test_compile_service.cpp
+ * enforce exactly that.
+ *
+ * Values are shared immutable strings: lookups hand out
+ * shared_ptr<const string> so a hit never copies the IR text and an
+ * insert racing a lookup is benign.
+ */
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "support/hash.h"
+
+namespace trapjit
+{
+
+/** Thread-safe content-addressed store of compiled-function IR. */
+class CompileCache
+{
+  public:
+    using Value = std::shared_ptr<const std::string>;
+
+    /** The compiled IR for @p key, or nullptr on a miss. */
+    Value
+    lookup(const Hash128 &key) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        return it == entries_.end() ? nullptr : it->second;
+    }
+
+    /**
+     * Publish a compile result.  First writer wins: if @p key is
+     * already present the stored value is returned unchanged, so every
+     * caller ends up holding the same bytes even when two workers
+     * compiled the same key concurrently.
+     */
+    Value
+    insert(const Hash128 &key, std::string compiled_ir)
+    {
+        auto value =
+            std::make_shared<const std::string>(std::move(compiled_ir));
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = entries_.emplace(key, std::move(value));
+        return it->second;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<Hash128, Value, Hash128Hasher> entries_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_JIT_COMPILE_CACHE_H_

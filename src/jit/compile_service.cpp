@@ -1,0 +1,248 @@
+#include "jit/compile_service.h"
+
+#include <exception>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "ir/module.h"
+#include "ir/serializer.h"
+#include "jit/timing.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+size_t
+resolveWorkerCount(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/** Immutable per-module snapshot shared by that module's jobs. */
+struct ModuleSnapshot
+{
+    Module *mod = nullptr;
+    std::string classText;
+    std::vector<std::string> funcTexts;
+
+    /**
+     * closures[f]: sorted ids of every function whose body the
+     * pipeline may read while compiling f — f itself, its transitive
+     * direct (Static/Special) callees, widened by every vtable
+     * implementation once any reached function contains a virtual
+     * call (devirtualization may rewrite it to any of them, and the
+     * inliner may then read that body).
+     */
+    std::vector<std::vector<FunctionId>> closures;
+};
+
+ModuleSnapshot
+snapshotModule(Module &mod)
+{
+    ModuleSnapshot snap;
+    snap.mod = &mod;
+    snap.classText = serializeClassTableToString(mod);
+
+    size_t n = mod.numFunctions();
+    snap.funcTexts.reserve(n);
+    std::vector<std::vector<FunctionId>> callees(n);
+    std::vector<bool> hasVirtual(n, false);
+    for (FunctionId f = 0; f < n; ++f) {
+        const Function &fn = mod.function(f);
+        snap.funcTexts.push_back(serializeFunctionToString(fn));
+        for (size_t b = 0; b < fn.numBlocks(); ++b) {
+            for (const Instruction &inst :
+                 fn.block(static_cast<BlockId>(b)).insts()) {
+                if (inst.op != Opcode::Call)
+                    continue;
+                if (inst.callKind == CallKind::Virtual)
+                    hasVirtual[f] = true;
+                else
+                    callees[f].push_back(
+                        static_cast<FunctionId>(inst.imm));
+            }
+        }
+    }
+
+    std::vector<FunctionId> vtableFns;
+    for (ClassId c = 0; c < mod.numClasses(); ++c)
+        for (FunctionId impl : mod.cls(c).vtable)
+            if (impl != kNoFunction)
+                vtableFns.push_back(impl);
+
+    snap.closures.resize(n);
+    for (FunctionId f = 0; f < n; ++f) {
+        std::set<FunctionId> closure;
+        std::vector<FunctionId> worklist{f};
+        bool virtualExpanded = false;
+        while (!worklist.empty()) {
+            FunctionId cur = worklist.back();
+            worklist.pop_back();
+            if (!closure.insert(cur).second)
+                continue;
+            for (FunctionId callee : callees[cur])
+                worklist.push_back(callee);
+            if (hasVirtual[cur] && !virtualExpanded) {
+                virtualExpanded = true;
+                for (FunctionId impl : vtableFns)
+                    worklist.push_back(impl);
+            }
+        }
+        snap.closures[f].assign(closure.begin(), closure.end());
+    }
+    return snap;
+}
+
+/** Content address of one (function, config, target) compile job. */
+Hash128
+jobKey(const ModuleSnapshot &snap, FunctionId f,
+       const std::string &target_fp, const std::string &config_fp)
+{
+    Hasher hasher;
+    auto feed = [&hasher](const std::string &text) {
+        hasher.update(static_cast<uint64_t>(text.size()));
+        hasher.update(text);
+    };
+    feed(target_fp);
+    feed(config_fp);
+    feed(snap.classText);
+    for (FunctionId id : snap.closures[f]) {
+        hasher.update(static_cast<uint64_t>(id));
+        feed(snap.funcTexts[id]);
+    }
+    return hasher.digest();
+}
+
+} // namespace
+
+CompileService::CompileService(const Target &target,
+                               CompileServiceOptions options)
+    : target_(target),
+      options_(options),
+      cache_(options.cache ? options.cache
+                           : std::make_shared<CompileCache>()),
+      pool_(resolveWorkerCount(options.numWorkers))
+{}
+
+CompileService::~CompileService() = default;
+
+ServiceReport
+CompileService::compileModule(Module &mod, const PipelineConfig &config)
+{
+    std::vector<Module *> mods{&mod};
+    return compileModules(mods, config);
+}
+
+ServiceReport
+CompileService::compileModules(const std::vector<Module *> &mods,
+                               const PipelineConfig &config)
+{
+    Stopwatch wall;
+    ServiceReport report;
+
+    // ---- Snapshot every module before any job may run ------------------
+    std::vector<ModuleSnapshot> snaps;
+    snaps.reserve(mods.size());
+    size_t totalJobs = 0;
+    for (Module *mod : mods) {
+        TRAPJIT_ASSERT(mod != nullptr, "compileModules: null module");
+        snaps.push_back(snapshotModule(*mod));
+        totalJobs += mod->numFunctions();
+    }
+    if (totalJobs == 0) {
+        report.wallSeconds = wall.elapsed();
+        return report;
+    }
+
+    const std::string targetFp = targetFingerprint(target_);
+    const std::string configFp = configFingerprint(config);
+
+    // ---- Shared batch state --------------------------------------------
+    std::vector<std::vector<CompileCache::Value>> results(mods.size());
+    for (size_t m = 0; m < mods.size(); ++m)
+        results[m].resize(mods[m]->numFunctions());
+
+    TimingAggregator timing;
+    std::mutex mergeMutex;
+    std::exception_ptr firstError;
+    CompletionLatch latch(totalJobs);
+
+    // ---- One job per (module, function) --------------------------------
+    for (size_t m = 0; m < snaps.size(); ++m) {
+        for (FunctionId f = 0; f < snaps[m].funcTexts.size(); ++f) {
+            pool_.submit([&, m, f] {
+                Stopwatch jobWatch;
+                ServiceCounters local;
+                local.functionsRequested = 1;
+                PassTimings jobTimings;
+                try {
+                    Hash128 key =
+                        jobKey(snaps[m], f, targetFp, configFp);
+                    CompileCache::Value compiled;
+                    if (options_.enableCache)
+                        compiled = cache_->lookup(key);
+                    if (compiled) {
+                        local.cacheHits = 1;
+                    } else {
+                        // Private function copy, private pipeline; the
+                        // input module is only *read* (callee bodies,
+                        // class table).
+                        std::unique_ptr<Function> fn =
+                            deserializeFunctionFromString(
+                                snaps[m].funcTexts[f], f);
+                        std::unique_ptr<PassManager> pm =
+                            buildPipeline(config);
+                        PassContext ctx{*snaps[m].mod, target_,
+                                        config.enableSpeculation};
+                        pm->run(*fn, ctx);
+                        jobTimings = pm->timings();
+                        std::string text =
+                            serializeFunctionToString(*fn);
+                        compiled =
+                            options_.enableCache
+                                ? cache_->insert(key, std::move(text))
+                                : std::make_shared<const std::string>(
+                                      std::move(text));
+                        local.functionsCompiled = 1;
+                    }
+                    results[m][f] = std::move(compiled);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mergeMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+                // Merge-on-completion: one lock per job, no shared hot
+                // counters while the job runs.
+                timing.merge(jobTimings, jobWatch.elapsed());
+                {
+                    std::lock_guard<std::mutex> lock(mergeMutex);
+                    report.counters += local;
+                }
+                latch.countDown();
+            });
+        }
+    }
+    latch.wait();
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    // ---- Install results (single-threaded, after the barrier) ----------
+    for (size_t m = 0; m < snaps.size(); ++m)
+        for (FunctionId f = 0; f < results[m].size(); ++f)
+            mods[m]->replaceFunction(
+                f, deserializeFunctionFromString(*results[m][f], f));
+
+    report.timings = timing.timings();
+    report.busySeconds = timing.busySeconds();
+    report.wallSeconds = wall.elapsed();
+    return report;
+}
+
+} // namespace trapjit

@@ -1,0 +1,121 @@
+#ifndef TRAPJIT_JIT_COMPILE_SERVICE_H_
+#define TRAPJIT_JIT_COMPILE_SERVICE_H_
+
+/**
+ * @file
+ * Parallel compilation service.
+ *
+ * A CompileService owns a fixed pool of worker threads draining a queue
+ * of (function, PipelineConfig) jobs.  A batch — compileModule() /
+ * compileModules() — enqueues one job per function across every module
+ * handed in, blocks until the pool has drained them, and only then
+ * installs the results; until that point each input module is treated
+ * as an immutable snapshot:
+ *
+ *   1. The batch serializes the class table and every pristine
+ *      function once (ir/serializer.h).
+ *   2. Each job compiles a *private* deserialized copy of its function
+ *      with a *private* PassManager (buildPipeline per job — no shared
+ *      pass state whatsoever), reading callee bodies and the class
+ *      table from the untouched input module.  Since every pass may
+ *      mutate only the function it compiles (the contract documented
+ *      in opt/pass_manager.h), concurrent jobs never race.
+ *   3. Results are published into a function-level CompileCache keyed
+ *      by a content hash covering everything step 2 can read, then
+ *      installed with Module::replaceFunction after the batch barrier.
+ *
+ * Consequences worth spelling out:
+ *
+ *  - Output is bit-deterministic: per-function serialized IR is
+ *    identical at 1 worker and at 8, with the cache hot or cold,
+ *    whatever the queue order.  (Sequential Compiler::compile differs
+ *    slightly: it optimizes in place in function order, so its inliner
+ *    can observe already-optimized callees.  The service's inliner
+ *    always sees pristine callees — equally legal, and deterministic.)
+ *  - Identical jobs compile once.  A warm batch over an identical
+ *    module is pure cache hits.
+ *  - Stats/timings aggregate by merge-on-completion: each job fills
+ *    private counters and a private PassManager timing table, folded
+ *    into the batch report under one mutex when the job finishes
+ *    (jit/stats.h, jit/timing.h).
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "arch/target.h"
+#include "jit/compile_cache.h"
+#include "jit/pipeline.h"
+#include "jit/stats.h"
+#include "opt/pass_manager.h"
+#include "support/job_queue.h"
+
+namespace trapjit
+{
+
+class Module;
+
+/** Construction knobs for a CompileService. */
+struct CompileServiceOptions
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    size_t numWorkers = 0;
+
+    /** Consult/fill the compile cache. */
+    bool enableCache = true;
+
+    /**
+     * Share a cache across services (e.g. across worker-count arms of
+     * a bench).  When null the service creates a private cache.
+     */
+    std::shared_ptr<CompileCache> cache;
+};
+
+/** What one batch did: counters, merged timings, wall clock. */
+struct ServiceReport
+{
+    ServiceCounters counters;
+    PassTimings timings;     ///< merged per-job pass timings
+    double busySeconds = 0.0; ///< sum of per-job compile seconds
+    double wallSeconds = 0.0; ///< batch wall clock
+};
+
+/** Fixed-pool parallel compiler with a function-level compile cache. */
+class CompileService
+{
+  public:
+    explicit CompileService(const Target &target,
+                            CompileServiceOptions options = {});
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /** Compile every function of @p mod under @p config; blocks. */
+    ServiceReport compileModule(Module &mod,
+                                const PipelineConfig &config);
+
+    /**
+     * Compile every function of every module in one batch, so the
+     * queue holds jobs from all of them at once — this is where the
+     * pool actually scales when individual modules have few functions.
+     */
+    ServiceReport compileModules(const std::vector<Module *> &mods,
+                                 const PipelineConfig &config);
+
+    size_t numWorkers() const { return pool_.numWorkers(); }
+    const Target &target() const { return target_; }
+    CompileCache &cache() { return *cache_; }
+    const CompileCache &cache() const { return *cache_; }
+
+  private:
+    Target target_;
+    CompileServiceOptions options_;
+    std::shared_ptr<CompileCache> cache_;
+    WorkerPool pool_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_JIT_COMPILE_SERVICE_H_

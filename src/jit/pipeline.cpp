@@ -1,5 +1,9 @@
 #include "jit/pipeline.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
 #include "codegen/codegen_pass.h"
 #include "codegen/scheduler.h"
 
@@ -17,10 +21,28 @@
 namespace trapjit
 {
 
+namespace
+{
+
+/** TRAPJIT_VERIFY_EACH_PASS=1 forces verification into every pipeline. */
+bool
+envForcesVerification()
+{
+    static const bool forced = [] {
+        const char *value = std::getenv("TRAPJIT_VERIFY_EACH_PASS");
+        return value != nullptr && *value != '\0' &&
+               std::strcmp(value, "0") != 0;
+    }();
+    return forced;
+}
+
+} // namespace
+
 std::unique_ptr<PassManager>
 buildPipeline(const PipelineConfig &config)
 {
-    auto pm = std::make_unique<PassManager>();
+    auto pm = std::make_unique<PassManager>(config.verifyAfterEachPass ||
+                                            envForcesVerification());
 
     if (config.enableInlining)
         pm->add(std::make_unique<Inliner>(config.inlineBudget, 4000,
@@ -62,6 +84,26 @@ buildPipeline(const PipelineConfig &config)
     }
 
     return pm;
+}
+
+std::string
+configFingerprint(const PipelineConfig &config)
+{
+    std::ostringstream os;
+    os << "whaley=" << config.useWhaley
+       << ";phase1=" << config.usePhase1
+       << ";phase2=" << config.usePhase2
+       << ";locallower=" << config.useLocalLowering
+       << ";inline=" << config.enableInlining
+       << ";inlinebudget=" << config.inlineBudget
+       << ";intrinsics=" << config.enableIntrinsics
+       << ";scalar=" << config.enableScalar
+       << ";bounds=" << config.enableBounds
+       << ";speculation=" << config.enableSpeculation
+       << ";rounds=" << config.rounds
+       << ";cleanup=" << config.cleanupRepeat
+       << ";backend=" << config.enableBackend;
+    return os.str();
 }
 
 PipelineConfig

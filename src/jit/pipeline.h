@@ -63,10 +63,27 @@ struct PipelineConfig
 
     /** Run the back end (scheduler + register allocation + emission). */
     bool enableBackend = true;
+
+    /**
+     * Run the IR verifier before the first pass and after every pass,
+     * panicking as soon as a pass breaks the IR.  Also forced on for
+     * every pipeline when the TRAPJIT_VERIFY_EACH_PASS environment
+     * variable is set to a non-zero value (the test suite sets it via
+     * ctest so every arm of every test is verified pass-by-pass).
+     */
+    bool verifyAfterEachPass = false;
 };
 
 /** Build the ordered pass list realizing @p config. */
 std::unique_ptr<PassManager> buildPipeline(const PipelineConfig &config);
+
+/**
+ * Stable fingerprint of every field of @p config that influences
+ * generated code (the name is cosmetic and excluded, as is
+ * verifyAfterEachPass).  Part of the compile-cache key: two configs
+ * with equal fingerprints compile any function identically.
+ */
+std::string configFingerprint(const PipelineConfig &config);
 
 PipelineConfig makeNoOptNoTrapConfig();
 PipelineConfig makeNoOptTrapConfig();

@@ -56,4 +56,23 @@ collectCheckStats(const Module &mod)
     return total;
 }
 
+double
+ServiceCounters::hitRate() const
+{
+    size_t finished = total();
+    return finished == 0
+               ? 0.0
+               : static_cast<double>(cacheHits) /
+                     static_cast<double>(finished);
+}
+
+ServiceCounters &
+ServiceCounters::operator+=(const ServiceCounters &other)
+{
+    functionsRequested += other.functionsRequested;
+    functionsCompiled += other.functionsCompiled;
+    cacheHits += other.cacheHits;
+    return *this;
+}
+
 } // namespace trapjit

@@ -34,6 +34,33 @@ CheckStats collectCheckStats(const Function &func);
 /** Count checks over every function of a module. */
 CheckStats collectCheckStats(const Module &mod);
 
+/**
+ * Per-job compile counters for the parallel compile service.
+ *
+ * Aggregation is merge-on-completion: every compile job fills its own
+ * ServiceCounters without synchronization, and the service folds them
+ * into the batch total under one mutex when the job finishes (see
+ * jit/compile_service.cpp).  Nothing here is atomic on purpose — the
+ * merge points are the only cross-thread edges.
+ */
+struct ServiceCounters
+{
+    size_t functionsRequested = 0; ///< jobs submitted
+    size_t functionsCompiled = 0;  ///< cache misses: pipeline actually ran
+    size_t cacheHits = 0;          ///< jobs satisfied from the cache
+
+    size_t
+    total() const
+    {
+        return cacheHits + functionsCompiled;
+    }
+
+    /** Hits / (hits + misses); 0 when nothing ran. */
+    double hitRate() const;
+
+    ServiceCounters &operator+=(const ServiceCounters &other);
+};
+
 } // namespace trapjit
 
 #endif // TRAPJIT_JIT_STATS_H_

@@ -3,11 +3,15 @@
 
 /**
  * @file
- * Small wall-clock helpers for the benchmark harnesses.
+ * Small wall-clock helpers for the benchmark harnesses, plus the
+ * thread-safe merge point for per-worker pass timings.
  */
 
 #include <chrono>
 #include <cstddef>
+#include <mutex>
+
+#include "opt/pass_manager.h"
 
 namespace trapjit
 {
@@ -52,6 +56,47 @@ measureAverageSeconds(Fn &&fn, double min_seconds = 0.2,
     } while (reps < min_reps || watch.elapsed() < min_seconds);
     return watch.elapsed() / static_cast<double>(reps);
 }
+
+/**
+ * Thread-safe accumulator for per-worker pass timings.
+ *
+ * Compile jobs time themselves with a private PassManager and merge the
+ * result here exactly once, when the job completes — workers never
+ * share a hot counter, so there is no contention on the timing path.
+ */
+class TimingAggregator
+{
+  public:
+    /** Fold one job's timings (and its wall clock) into the total. */
+    void
+    merge(const PassTimings &timings, double busy_seconds)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        total_ += timings;
+        busySeconds_ += busy_seconds;
+    }
+
+    /** Merged totals so far (copy: the aggregator keeps accumulating). */
+    PassTimings
+    timings() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return total_;
+    }
+
+    /** Sum of per-job busy seconds (exceeds wall clock when scaling). */
+    double
+    busySeconds() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return busySeconds_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    PassTimings total_;
+    double busySeconds_ = 0.0;
+};
 
 } // namespace trapjit
 

@@ -2,8 +2,21 @@
 
 #include <chrono>
 
+#include "ir/verifier.h"
+#include "support/diagnostics.h"
+
 namespace trapjit
 {
+
+PassTimings &
+PassTimings::operator+=(const PassTimings &other)
+{
+    for (const auto &[name, seconds] : other.perPass)
+        perPass[name] += seconds;
+    nullCheckSeconds += other.nullCheckSeconds;
+    otherSeconds += other.otherSeconds;
+    return *this;
+}
 
 void
 PassManager::add(std::unique_ptr<Pass> pass)
@@ -15,6 +28,16 @@ bool
 PassManager::run(Function &func, PassContext &ctx)
 {
     using Clock = std::chrono::steady_clock;
+
+    auto verify = [&](const std::string &when) {
+        VerifyResult result = verifyFunction(func);
+        if (!result.ok())
+            TRAPJIT_PANIC("IR verification failed in '", func.name(),
+                          "' ", when, ":\n", result.message());
+    };
+    if (verifyAfterEachPass_)
+        verify("before the first pass");
+
     bool changed = false;
     for (auto &pass : passes_) {
         auto start = Clock::now();
@@ -26,6 +49,8 @@ PassManager::run(Function &func, PassContext &ctx)
             timings_.nullCheckSeconds += seconds;
         else
             timings_.otherSeconds += seconds;
+        if (verifyAfterEachPass_)
+            verify(std::string("after pass '") + pass->name() + "'");
     }
     return changed;
 }

@@ -9,6 +9,23 @@
  * regenerates the paper's compile-time breakdown (Table 4 / Figure 13):
  * each pass declares which budget it belongs to via
  * Pass::isNullCheckPass().
+ *
+ * Thread-safety / re-entrancy contract (relied on by the parallel
+ * compile service, jit/compile_service.h):
+ *
+ *  - A PassManager and the Pass objects it owns are *per-job* state:
+ *    one worker builds its own manager via buildPipeline() and never
+ *    shares it.  Pass member state (e.g. the inliner's Stats) therefore
+ *    needs no synchronization.
+ *  - Passes must not keep mutable static/global state.  The audit of
+ *    src/opt, src/analysis and src/codegen found only immutable
+ *    function-local statics (lookup tables); new passes must keep it
+ *    that way.
+ *  - A pass may mutate only the Function it was handed.  PassContext's
+ *    Module may be *read* (the inliner reads callee bodies and the
+ *    class table) but never written; the service compiles private
+ *    function copies against a module treated as an immutable snapshot
+ *    while any job is in flight.
  */
 
 #include <map>
@@ -31,12 +48,24 @@ struct PassTimings
 
     double total() const { return nullCheckSeconds + otherSeconds; }
     void clear() { *this = PassTimings{}; }
+
+    /** Merge another accounting into this one (per-worker merge). */
+    PassTimings &operator+=(const PassTimings &other);
 };
 
 /** Runs an ordered list of passes over functions, accumulating timings. */
 class PassManager
 {
   public:
+    /**
+     * @param verify_after_each_pass run the IR verifier on the function
+     *        before the first pass and after every pass, panicking on
+     *        the first structural breakage (names the guilty pass).
+     */
+    explicit PassManager(bool verify_after_each_pass = false)
+        : verifyAfterEachPass_(verify_after_each_pass)
+    {}
+
     /** Append a pass; runs in insertion order. */
     void add(std::unique_ptr<Pass> pass);
 
@@ -46,9 +75,12 @@ class PassManager
     const PassTimings &timings() const { return timings_; }
     void clearTimings() { timings_.clear(); }
 
+    bool verifiesAfterEachPass() const { return verifyAfterEachPass_; }
+
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
     PassTimings timings_;
+    bool verifyAfterEachPass_ = false;
 };
 
 } // namespace trapjit

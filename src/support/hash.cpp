@@ -1,0 +1,70 @@
+#include "support/hash.h"
+
+#include <cstdio>
+
+namespace trapjit
+{
+
+namespace
+{
+
+// FNV-1a 128-bit parameters (offset basis and prime), per the FNV spec.
+constexpr uint64_t kOffsetHi = 0x6c62272e07bb0142ULL;
+constexpr uint64_t kOffsetLo = 0x62b821756295c58dULL;
+// prime = 2^88 + 2^8 + 0x3b; as 64-bit halves: hi = 2^24, lo = 0x13b.
+constexpr uint64_t kPrimeHi = 1ULL << 24;
+constexpr uint64_t kPrimeLo = 0x13bULL;
+
+/** 128 x 128 -> low 128 bits multiply on two 64-bit halves. */
+inline void
+mul128(uint64_t &hi, uint64_t &lo)
+{
+    using u128 = unsigned __int128;
+    u128 state = (static_cast<u128>(hi) << 64) | lo;
+    u128 prime = (static_cast<u128>(kPrimeHi) << 64) | kPrimeLo;
+    u128 product = state * prime;
+    hi = static_cast<uint64_t>(product >> 64);
+    lo = static_cast<uint64_t>(product);
+}
+
+} // namespace
+
+Hasher::Hasher() : hi_(kOffsetHi), lo_(kOffsetLo) {}
+
+Hasher &
+Hasher::update(const void *data, size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        lo_ ^= bytes[i];
+        mul128(hi_, lo_);
+    }
+    return *this;
+}
+
+Hasher &
+Hasher::update(uint64_t value)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    return update(bytes, sizeof(bytes));
+}
+
+Hash128
+hashBytes(std::string_view text)
+{
+    return Hasher().update(text).digest();
+}
+
+std::string
+Hash128::toHex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+} // namespace trapjit

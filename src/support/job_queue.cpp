@@ -1,0 +1,34 @@
+#include "support/job_queue.h"
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+WorkerPool::WorkerPool(size_t num_workers)
+{
+    TRAPJIT_ASSERT(num_workers > 0, "worker pool needs >= 1 worker");
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+        workers_.emplace_back([this] {
+            std::function<void()> job;
+            while (queue_.pop(job))
+                job();
+        });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    queue_.close();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> job)
+{
+    queue_.push(std::move(job));
+}
+
+} // namespace trapjit

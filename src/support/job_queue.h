@@ -1,0 +1,134 @@
+#ifndef TRAPJIT_SUPPORT_JOB_QUEUE_H_
+#define TRAPJIT_SUPPORT_JOB_QUEUE_H_
+
+/**
+ * @file
+ * A blocking multi-producer / multi-consumer job queue and the fixed
+ * worker pool built on it.
+ *
+ * The compile service (jit/compile_service.h) submits one closure per
+ * (function, config) job; a fixed set of worker threads drains the
+ * queue.  The pool makes no ordering or affinity promises — anything
+ * submitted through it must be order-independent, which the compile
+ * service guarantees by compiling every function against an immutable
+ * snapshot of its module.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trapjit
+{
+
+/** Unbounded blocking FIFO; pop() blocks until an item or close(). */
+template <typename T>
+class JobQueue
+{
+  public:
+    /** Enqueue one item and wake one waiter. */
+    void
+    push(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+    }
+
+    /**
+     * Dequeue into @p out, blocking while the queue is open and empty.
+     * @return false once the queue is closed and drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /** No more pushes; waiters drain the backlog, then pop() returns
+     *  false. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+/**
+ * Fixed-size pool of worker threads draining a JobQueue of closures.
+ * Destruction closes the queue and joins after the backlog drains.
+ */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(size_t num_workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue @p job; it runs on some worker, some time later. */
+    void submit(std::function<void()> job);
+
+    size_t numWorkers() const { return workers_.size(); }
+
+  private:
+    JobQueue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Countdown latch: wait() blocks until countDown() has been called
+ * @p count times.  Completion signal for one batch of pool jobs.
+ */
+class CompletionLatch
+{
+  public:
+    explicit CompletionLatch(size_t count) : remaining_(count) {}
+
+    void
+    countDown()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (remaining_ > 0 && --remaining_ == 0)
+            done_.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return remaining_ == 0; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable done_;
+    size_t remaining_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_SUPPORT_JOB_QUEUE_H_

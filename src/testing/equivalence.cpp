@@ -50,6 +50,17 @@ compareWithReference(
     const std::function<std::unique_ptr<Module>()> &build,
     const Compiler &compiler, const Target &runtime_target)
 {
+    return compareWithReference(
+        build, [&compiler](Module &mod) { compiler.compile(mod); },
+        runtime_target);
+}
+
+EquivalenceReport
+compareWithReference(
+    const std::function<std::unique_ptr<Module>()> &build,
+    const std::function<void(Module &)> &compile,
+    const Target &runtime_target)
+{
     EquivalenceReport report;
 
     std::unique_ptr<Module> reference = build();
@@ -60,7 +71,7 @@ compareWithReference(
     }
 
     std::unique_ptr<Module> optimized = build();
-    compiler.compile(*optimized);
+    compile(*optimized);
     VerifyResult verify = verifyModule(*optimized);
     if (!verify.ok()) {
         report.message = "optimized module fails verification:\n" +

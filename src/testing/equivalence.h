@@ -45,6 +45,17 @@ EquivalenceReport compareWithReference(
     const std::function<std::unique_ptr<Module>()> &build,
     const Compiler &compiler, const Target &runtime_target);
 
+/**
+ * Same oracle with an arbitrary compilation step: @p compile receives
+ * the freshly built module and optimizes it in place.  Lets the
+ * config-matrix suite drive the parallel CompileService (or any other
+ * entry point) through the identical observable-equivalence check.
+ */
+EquivalenceReport compareWithReference(
+    const std::function<std::unique_ptr<Module>()> &build,
+    const std::function<void(Module &)> &compile,
+    const Target &runtime_target);
+
 } // namespace trapjit
 
 #endif // TRAPJIT_TESTING_EQUIVALENCE_H_

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests of the parallel compilation service (jit/compile_service.h):
+ *
+ *  - bit-determinism: per-function serialized IR from an 8-worker run
+ *    equals the 1-worker run, for every pipeline config arm, with the
+ *    cache cold, warm, and disabled;
+ *  - cache accounting: cold batches miss, warm batches hit, shared
+ *    caches hit across services, disabled caches never hit;
+ *  - stress: many more jobs than workers drain correctly and still
+ *    verify and match the sequential output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ir/serializer.h"
+#include "ir/verifier.h"
+#include "jit/compile_service.h"
+#include "testing/random_program.h"
+
+namespace trapjit
+{
+namespace
+{
+
+struct Arm
+{
+    const char *targetName;
+    Target (*makeTarget)();
+    PipelineConfig (*makeConfig)();
+};
+
+// Every legal (target, pipeline) pair, mirroring the equivalence sweep.
+const Arm kArms[] = {
+    {"ia32", makeIA32WindowsTarget, makeNoOptNoTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeNoOptTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeOldNullCheckConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewPhase1OnlyConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewFullConfig},
+    {"ia32", makeIA32WindowsTarget, makeAltVMConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoOptConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoSpeculationConfig},
+    {"aix", makePPCAIXTarget, makeAIXSpeculationConfig},
+    {"sparc", makeSPARCTarget, makeNewFullConfig},
+    {"s390", makeS390Target, makeNewFullConfig},
+};
+
+std::vector<std::unique_ptr<Module>>
+buildRandomModules(uint64_t first_seed, size_t count)
+{
+    std::vector<std::unique_ptr<Module>> mods;
+    for (size_t i = 0; i < count; ++i) {
+        GeneratorOptions opts;
+        opts.seed = first_seed + i;
+        mods.push_back(generateRandomModule(opts));
+    }
+    return mods;
+}
+
+std::vector<Module *>
+pointers(const std::vector<std::unique_ptr<Module>> &mods)
+{
+    std::vector<Module *> out;
+    for (const auto &mod : mods)
+        out.push_back(mod.get());
+    return out;
+}
+
+/** Serialized IR of every function across every module, in order. */
+std::vector<std::string>
+perFunctionIR(const std::vector<std::unique_ptr<Module>> &mods)
+{
+    std::vector<std::string> out;
+    for (const auto &mod : mods)
+        for (FunctionId f = 0; f < mod->numFunctions(); ++f)
+            out.push_back(serializeFunctionToString(mod->function(f)));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Determinism: 1 worker == 8 workers == cache disabled, for every arm.
+// ---------------------------------------------------------------------
+
+class ServiceDeterminism : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ServiceDeterminism, EightWorkersMatchOneWorkerBitForBit)
+{
+    const Arm &arm = kArms[GetParam()];
+    Target target = arm.makeTarget();
+    PipelineConfig config = arm.makeConfig();
+    constexpr uint64_t kSeed = 100;
+    constexpr size_t kModules = 5;
+
+    CompileServiceOptions one;
+    one.numWorkers = 1;
+    CompileService sequential(target, one);
+    auto seqMods = buildRandomModules(kSeed, kModules);
+    auto seqPtrs = pointers(seqMods);
+    sequential.compileModules(seqPtrs, config);
+    std::vector<std::string> seqIR = perFunctionIR(seqMods);
+
+    CompileServiceOptions eight;
+    eight.numWorkers = 8;
+    CompileService parallel(target, eight);
+    auto parMods = buildRandomModules(kSeed, kModules);
+    auto parPtrs = pointers(parMods);
+    parallel.compileModules(parPtrs, config);
+    std::vector<std::string> parIR = perFunctionIR(parMods);
+
+    ASSERT_EQ(seqIR.size(), parIR.size());
+    for (size_t i = 0; i < seqIR.size(); ++i)
+        EXPECT_EQ(seqIR[i], parIR[i])
+            << "function " << i << " differs between 1 and 8 workers"
+            << " under " << config.name << " on " << arm.targetName;
+
+    // A cacheless run must produce the same bits as the cached runs —
+    // this is what makes cache hits indistinguishable from compiles.
+    CompileServiceOptions uncached;
+    uncached.numWorkers = 8;
+    uncached.enableCache = false;
+    CompileService nocache(target, uncached);
+    auto rawMods = buildRandomModules(kSeed, kModules);
+    auto rawPtrs = pointers(rawMods);
+    nocache.compileModules(rawPtrs, config);
+    std::vector<std::string> rawIR = perFunctionIR(rawMods);
+    ASSERT_EQ(seqIR.size(), rawIR.size());
+    for (size_t i = 0; i < seqIR.size(); ++i)
+        EXPECT_EQ(seqIR[i], rawIR[i])
+            << "function " << i << " differs with the cache disabled"
+            << " under " << config.name << " on " << arm.targetName;
+}
+
+std::string
+armName(const ::testing::TestParamInfo<size_t> &info)
+{
+    std::string cfg = kArms[info.param].makeConfig().name;
+    for (char &c : cfg)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return std::string(kArms[info.param].targetName) + "_" + cfg;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArms, ServiceDeterminism,
+                         ::testing::Range<size_t>(0, std::size(kArms)),
+                         armName);
+
+// ---------------------------------------------------------------------
+// Cache accounting
+// ---------------------------------------------------------------------
+
+TEST(CompileCache, ColdBatchMissesWarmBatchHits)
+{
+    Target target = makeIA32WindowsTarget();
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    CompileService service(target, options);
+    PipelineConfig config = makeNewFullConfig();
+
+    auto cold = buildRandomModules(7, 4);
+    auto coldPtrs = pointers(cold);
+    size_t totalFns = 0;
+    for (Module *mod : coldPtrs)
+        totalFns += mod->numFunctions();
+
+    ServiceReport first = service.compileModules(coldPtrs, config);
+    EXPECT_EQ(first.counters.functionsRequested, totalFns);
+    EXPECT_EQ(first.counters.cacheHits +
+                  first.counters.functionsCompiled,
+              totalFns);
+    EXPECT_GT(first.counters.functionsCompiled, 0u);
+    // Identical functions across modules dedupe to one cache entry
+    // (and may even hit within the cold batch), so the entry count is
+    // bounded by, not equal to, the compile count.
+    EXPECT_GT(service.cache().size(), 0u);
+    EXPECT_LE(service.cache().size(),
+              first.counters.functionsCompiled);
+
+    // Freshly built identical modules: every job is a cache hit.
+    auto warm = buildRandomModules(7, 4);
+    auto warmPtrs = pointers(warm);
+    ServiceReport second = service.compileModules(warmPtrs, config);
+    EXPECT_EQ(second.counters.cacheHits, totalFns);
+    EXPECT_EQ(second.counters.functionsCompiled, 0u);
+    EXPECT_DOUBLE_EQ(second.counters.hitRate(), 1.0);
+
+    // ... and hits return the same bits the misses produced.
+    EXPECT_EQ(perFunctionIR(cold), perFunctionIR(warm));
+
+    // A different config fingerprint must not hit the warm entries.
+    // One module only: within a single module every job key is unique
+    // (it covers the function's own id), so any hit here would have to
+    // come from the other config's entries.
+    auto single = buildRandomModules(7, 1);
+    auto singlePtrs = pointers(single);
+    ServiceReport other =
+        service.compileModules(singlePtrs, makeOldNullCheckConfig());
+    EXPECT_EQ(other.counters.cacheHits, 0u);
+    EXPECT_EQ(other.counters.functionsCompiled,
+              other.counters.functionsRequested);
+}
+
+TEST(CompileCache, SharedCacheHitsAcrossServices)
+{
+    Target target = makeIA32WindowsTarget();
+    auto shared = std::make_shared<CompileCache>();
+
+    CompileServiceOptions a;
+    a.numWorkers = 1;
+    a.cache = shared;
+    CompileService producer(target, a);
+    auto mods = buildRandomModules(21, 3);
+    auto ptrs = pointers(mods);
+    producer.compileModules(ptrs, makeNewFullConfig());
+
+    CompileServiceOptions b;
+    b.numWorkers = 8;
+    b.cache = shared;
+    CompileService consumer(target, b);
+    auto again = buildRandomModules(21, 3);
+    auto againPtrs = pointers(again);
+    ServiceReport report =
+        consumer.compileModules(againPtrs, makeNewFullConfig());
+    EXPECT_EQ(report.counters.functionsCompiled, 0u);
+    EXPECT_EQ(report.counters.cacheHits,
+              report.counters.functionsRequested);
+    EXPECT_EQ(perFunctionIR(mods), perFunctionIR(again));
+}
+
+TEST(CompileCache, DisabledCacheNeverHits)
+{
+    Target target = makeIA32WindowsTarget();
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.enableCache = false;
+    CompileService service(target, options);
+
+    for (int round = 0; round < 2; ++round) {
+        auto mods = buildRandomModules(3, 2);
+        auto ptrs = pointers(mods);
+        ServiceReport report =
+            service.compileModules(ptrs, makeNewFullConfig());
+        EXPECT_EQ(report.counters.cacheHits, 0u);
+        EXPECT_EQ(report.counters.functionsCompiled,
+                  report.counters.functionsRequested);
+    }
+    EXPECT_EQ(service.cache().size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Stress: far more jobs than workers
+// ---------------------------------------------------------------------
+
+TEST(CompileService, DrainsManyMoreJobsThanWorkers)
+{
+    Target target = makeIA32WindowsTarget();
+    PipelineConfig config = makeNewFullConfig();
+
+    constexpr size_t kModules = 24;
+    CompileServiceOptions options;
+    options.numWorkers = 3;
+    CompileService service(target, options);
+
+    auto mods = buildRandomModules(500, kModules);
+    auto ptrs = pointers(mods);
+    size_t totalFns = 0;
+    for (Module *mod : ptrs)
+        totalFns += mod->numFunctions();
+    ASSERT_GT(totalFns, 8 * options.numWorkers)
+        << "stress test wants a deep queue";
+
+    ServiceReport report = service.compileModules(ptrs, config);
+    EXPECT_EQ(report.counters.functionsRequested, totalFns);
+    EXPECT_EQ(report.counters.cacheHits +
+                  report.counters.functionsCompiled,
+              totalFns);
+
+    // Everything that came back must be well-formed ...
+    for (const auto &mod : mods) {
+        VerifyResult verify = verifyModule(*mod);
+        EXPECT_TRUE(verify.ok()) << verify.message();
+    }
+
+    // ... and identical to a 1-worker run of the same batch.
+    CompileServiceOptions one;
+    one.numWorkers = 1;
+    CompileService sequential(target, one);
+    auto seqMods = buildRandomModules(500, kModules);
+    auto seqPtrs = pointers(seqMods);
+    sequential.compileModules(seqPtrs, config);
+    EXPECT_EQ(perFunctionIR(seqMods), perFunctionIR(mods));
+}
+
+// ---------------------------------------------------------------------
+// Report plumbing
+// ---------------------------------------------------------------------
+
+TEST(CompileService, ReportsTimingsAndEmptyBatches)
+{
+    Target target = makeIA32WindowsTarget();
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    CompileService service(target, options);
+
+    std::vector<Module *> none;
+    ServiceReport empty = service.compileModules(none, makeNewFullConfig());
+    EXPECT_EQ(empty.counters.functionsRequested, 0u);
+    EXPECT_EQ(empty.counters.hitRate(), 0.0);
+
+    auto mods = buildRandomModules(11, 2);
+    auto ptrs = pointers(mods);
+    ServiceReport report =
+        service.compileModules(ptrs, makeNewFullConfig());
+    EXPECT_GT(report.timings.total(), 0.0);
+    EXPECT_GT(report.busySeconds, 0.0);
+    EXPECT_GT(report.wallSeconds, 0.0);
+    EXPECT_FALSE(report.timings.perPass.empty());
+}
+
+} // namespace
+} // namespace trapjit

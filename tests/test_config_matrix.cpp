@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Config-matrix differential suite: every pipeline configuration arm —
+ * including the AIX speculation arms — compiled through the *parallel*
+ * CompileService and checked against the unoptimized reference
+ * execution with the observable-equivalence oracle, across ≥32 random
+ * program seeds.  The service runs with verifyAfterEachPass on, so a
+ * pass that corrupts the IR is caught at the pass boundary with its
+ * name, not as a downstream divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "jit/compile_service.h"
+#include "testing/equivalence.h"
+#include "testing/random_program.h"
+
+namespace trapjit
+{
+namespace
+{
+
+struct Arm
+{
+    const char *targetName;
+    Target (*makeTarget)();
+    PipelineConfig (*makeConfig)();
+};
+
+// Every legal (target, pipeline) pair, including both AIX speculation
+// arms — same matrix the sequential equivalence sweep covers.
+const Arm kArms[] = {
+    {"ia32", makeIA32WindowsTarget, makeNoOptNoTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeNoOptTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeOldNullCheckConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewPhase1OnlyConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewFullConfig},
+    {"ia32", makeIA32WindowsTarget, makeAltVMConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoOptConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoSpeculationConfig},
+    {"aix", makePPCAIXTarget, makeAIXSpeculationConfig},
+    {"sparc", makeSPARCTarget, makeNewFullConfig},
+    {"s390", makeS390Target, makeNewFullConfig},
+};
+
+using SeedAndArm = std::tuple<uint64_t, size_t>;
+
+class ConfigMatrix : public ::testing::TestWithParam<SeedAndArm>
+{
+};
+
+TEST_P(ConfigMatrix, ServiceCompiledModuleIsObservablyEquivalent)
+{
+    const auto [seed, armIdx] = GetParam();
+    const Arm &arm = kArms[armIdx];
+
+    GeneratorOptions opts;
+    opts.seed = seed;
+    auto build = [&opts] { return generateRandomModule(opts); };
+
+    Target target = arm.makeTarget();
+    PipelineConfig config = arm.makeConfig();
+    config.verifyAfterEachPass = true;
+
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    CompileService service(target, options);
+
+    EquivalenceReport report = compareWithReference(
+        build,
+        [&service, &config](Module &mod) {
+            service.compileModule(mod, config);
+        },
+        target);
+    EXPECT_TRUE(report.equivalent)
+        << "seed " << seed << " on " << arm.targetName << " / "
+        << config.name << ": " << report.message;
+}
+
+std::string
+armName(const ::testing::TestParamInfo<SeedAndArm> &info)
+{
+    const auto [seed, armIdx] = info.param;
+    std::string cfg = kArms[armIdx].makeConfig().name;
+    for (char &c : cfg)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return "seed" + std::to_string(seed) + "_" +
+           kArms[armIdx].targetName + "_" + cfg;
+}
+
+// Seeds 200..232 (32 seeds) × 11 arms, disjoint from the sequential
+// sweep's seed range so the two suites fuzz different programs.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigMatrix,
+    ::testing::Combine(::testing::Range<uint64_t>(200, 232),
+                       ::testing::Range<size_t>(0, std::size(kArms))),
+    armName);
+
+} // namespace
+} // namespace trapjit

@@ -145,5 +145,27 @@ TEST(Serializer, RejectsMalformedInput)
                  UsageError);
 }
 
+TEST(Serializer, FunctionRoundTripsStandalone)
+{
+    const Workload *w = findWorkload("mtrt");
+    auto mod = w->build();
+    for (FunctionId f = 0; f < mod->numFunctions(); ++f) {
+        std::string once =
+            serializeFunctionToString(mod->function(f));
+        auto parsed = deserializeFunctionFromString(once, f);
+        ASSERT_NE(parsed, nullptr);
+        EXPECT_EQ(parsed->id(), f);
+        EXPECT_EQ(serializeFunctionToString(*parsed), once)
+            << "function " << f << " round-trip not exact";
+    }
+}
+
+TEST(Serializer, FunctionParserRejectsGarbage)
+{
+    EXPECT_THROW(deserializeFunctionFromString("inst op=nop", 0),
+                 UsageError);
+    EXPECT_THROW(deserializeFunctionFromString("", 0), UsageError);
+}
+
 } // namespace
 } // namespace trapjit

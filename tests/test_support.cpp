@@ -8,10 +8,16 @@
 
 #include <sstream>
 
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
 #include "arch/target.h"
 #include "interp/cost_model.h"
 #include "interp/event_trace.h"
 #include "support/diagnostics.h"
+#include "support/hash.h"
+#include "support/job_queue.h"
 #include "support/table.h"
 
 namespace trapjit
@@ -175,6 +181,71 @@ TEST(Targets, SpeculationSafetyIsOffsetBounded)
     EXPECT_FALSE(aix.readIsSpeculationSafe(aix.trapAreaBytes))
         << "beyond the first page, AIX reads DO fault";
     EXPECT_FALSE(aix.readIsSpeculationSafe(-1));
+}
+
+// -- 128-bit FNV-1a hash -----------------------------------------------
+
+TEST(Hash, MatchesKnownFNV1a128Vectors)
+{
+    // The offset basis is the hash of the empty string by definition.
+    EXPECT_EQ(hashBytes("").toHex(),
+              "6c62272e07bb014262b821756295c58d");
+    EXPECT_NE(hashBytes("a"), hashBytes("b"));
+    EXPECT_NE(hashBytes("ab"), hashBytes("ba"));
+}
+
+TEST(Hash, IncrementalEqualsOneShot)
+{
+    Hasher split;
+    split.update(std::string_view("hello "));
+    split.update(std::string_view("world"));
+    EXPECT_EQ(split.digest(), hashBytes("hello world"));
+
+    // Field framing matters: the uint64 update is not a no-op.
+    Hasher framed;
+    framed.update(static_cast<uint64_t>(11));
+    framed.update(std::string_view("hello world"));
+    EXPECT_NE(framed.digest(), hashBytes("hello world"));
+}
+
+TEST(Hash, UsableAsUnorderedMapKey)
+{
+    std::unordered_map<Hash128, int, Hash128Hasher> map;
+    map[hashBytes("x")] = 1;
+    map[hashBytes("y")] = 2;
+    map[hashBytes("x")] = 3;
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map[hashBytes("x")], 3);
+}
+
+// -- Job queue / worker pool -------------------------------------------
+
+TEST(WorkerPool, RunsEverySubmittedJobExactlyOnce)
+{
+    std::atomic<int> counter{0};
+    {
+        WorkerPool pool(4);
+        EXPECT_EQ(pool.numWorkers(), 4u);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { ++counter; });
+        // Destructor drains the queue and joins the workers.
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(WorkerPool, LatchReleasesAfterAllJobs)
+{
+    constexpr int kJobs = 32;
+    std::atomic<int> done{0};
+    CompletionLatch latch(kJobs);
+    WorkerPool pool(2);
+    for (int i = 0; i < kJobs; ++i)
+        pool.submit([&] {
+            ++done;
+            latch.countDown();
+        });
+    latch.wait();
+    EXPECT_EQ(done.load(), kJobs);
 }
 
 } // namespace
