@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/dataflow.h"
+#include "analysis/liveness.h"
 #include "opt/nullcheck/local_trap_lowering.h"
 #include "opt/nullcheck/phase1.h"
 #include "opt/nullcheck/phase2.h"
@@ -78,6 +80,87 @@ BM_Phase1_assignment(benchmark::State &state)
     runPassBenchmark<NullCheckPhase1>(state, "Assignment");
 }
 
+/**
+ * Shared fixture for the solver micro benchmarks: the javac module and
+ * one liveness-shaped DataflowSpec per function (backward/union), plus a
+ * forward/intersect flip of the same gen/kill sets, all built once so
+ * the timed region is pure solving.
+ */
+struct SolverWorkload
+{
+    std::unique_ptr<Module> mod;
+    std::vector<DataflowSpec> backwardUnion;
+    std::vector<DataflowSpec> forwardIntersect;
+};
+
+SolverWorkload &
+solverWorkload()
+{
+    static SolverWorkload *w = [] {
+        auto *out = new SolverWorkload;
+        out->mod = prepare("javac");
+        for (FunctionId f = 0; f < out->mod->numFunctions(); ++f) {
+            DataflowSpec spec;
+            makeLivenessSpec(out->mod->function(f), spec);
+            out->backwardUnion.push_back(spec);
+            spec.direction = DataflowSpec::Direction::Forward;
+            spec.confluence = DataflowSpec::Confluence::Intersect;
+            out->forwardIntersect.push_back(std::move(spec));
+        }
+        return out;
+    }();
+    return *w;
+}
+
+void
+runSolverBenchmark(benchmark::State &state,
+                   const std::vector<DataflowSpec> &specs, bool worklist)
+{
+    SolverWorkload &w = solverWorkload();
+    DataflowSolver solver; // persistent: the arena warms up once
+    for (auto _ : state) {
+        for (FunctionId f = 0; f < w.mod->numFunctions(); ++f) {
+            const Function &fn = w.mod->function(f);
+            if (worklist) {
+                const DataflowResult &r = solver.solve(fn, specs[f]);
+                benchmark::DoNotOptimize(&r);
+            } else {
+                DataflowResult r = solveDataflowReference(fn, specs[f]);
+                benchmark::DoNotOptimize(&r);
+            }
+        }
+        benchmark::ClobberMemory();
+    }
+    if (worklist) {
+        SolverStats stats = solver.takeStats();
+        state.counters["visits_per_solve"] = stats.visitsPerSolve();
+    }
+}
+
+void
+BM_SolveDataflow_Worklist_javac(benchmark::State &state)
+{
+    runSolverBenchmark(state, solverWorkload().backwardUnion, true);
+}
+
+void
+BM_SolveDataflow_Reference_javac(benchmark::State &state)
+{
+    runSolverBenchmark(state, solverWorkload().backwardUnion, false);
+}
+
+void
+BM_SolveDataflow_WorklistFwd_javac(benchmark::State &state)
+{
+    runSolverBenchmark(state, solverWorkload().forwardIntersect, true);
+}
+
+void
+BM_SolveDataflow_ReferenceFwd_javac(benchmark::State &state)
+{
+    runSolverBenchmark(state, solverWorkload().forwardIntersect, false);
+}
+
 void
 BM_FullCompile_javac(benchmark::State &state)
 {
@@ -97,6 +180,10 @@ BENCHMARK(BM_Phase2_javac);
 BENCHMARK(BM_Whaley_javac);
 BENCHMARK(BM_Lowering_javac);
 BENCHMARK(BM_Phase1_assignment);
+BENCHMARK(BM_SolveDataflow_Worklist_javac);
+BENCHMARK(BM_SolveDataflow_Reference_javac);
+BENCHMARK(BM_SolveDataflow_WorklistFwd_javac);
+BENCHMARK(BM_SolveDataflow_ReferenceFwd_javac);
 BENCHMARK(BM_FullCompile_javac);
 
 } // namespace

@@ -39,6 +39,7 @@ averageCompileTimings(const Workload &w, const Compiler &compiler,
         CompileReport report = compiler.compile(*mod);
         sum.nullCheckSeconds += report.timings.nullCheckSeconds;
         sum.otherSeconds += report.timings.otherSeconds;
+        sum.solver += report.timings.solver;
     }
     sum.nullCheckSeconds /= reps;
     sum.otherSeconds /= reps;
@@ -68,6 +69,7 @@ main()
 
     double oursTotal = 0.0;
     double altvmTotal = 0.0;
+    SolverStats oursSolver;
     for (const Workload &w : specjvmWorkloads()) {
         PassTimings oursT = averageCompileTimings(w, ours, reps);
         PassTimings altvmT = averageCompileTimings(w, altvm, reps);
@@ -85,6 +87,7 @@ main()
             (altvmCompileMs * kHostToP3Factor + altvmRunMs);
         oursTotal += oursCompileMs;
         altvmTotal += altvmCompileMs;
+        oursSolver += oursT.solver;
 
         table.addRow({w.name, TextTable::num(oursCompileMs, 3),
                       TextTable::num(oursRunMs, 3),
@@ -101,5 +104,11 @@ main()
               << TextTable::num(altvmTotal / oursTotal, 2)
               << "x ours — the paper reports HotSpot spending several "
                  "times our compile time)\n";
+    std::cout << "Dataflow solver convergence (ours, all reps): "
+              << oursSolver.solves << " solves, "
+              << oursSolver.blockVisits << " block visits ("
+              << TextTable::num(oursSolver.visitsPerSolve(), 2)
+              << " visits/solve), " << oursSolver.edgeFastPathSolves
+              << " edge-map fast-path solves\n";
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "analysis/dataflow.h"
 
+#include <algorithm>
+
 #include "analysis/rpo.h"
 #include "support/diagnostics.h"
 
@@ -25,8 +27,171 @@ flowEdge(const DataflowSpec &spec, BlockId from, BlockId to, BitSet value)
 
 } // namespace
 
+// ---------------------------------------------------------------------
+// WorklistScheduler
+// ---------------------------------------------------------------------
+
+void
+WorklistScheduler::prepare(const Function &func, bool forward)
+{
+    order_ = forward ? reversePostorder(func) : postorder(func);
+    orderIndex_.assign(func.numBlocks(), kNotInOrder);
+    for (uint32_t i = 0; i < order_.size(); ++i)
+        orderIndex_[order_[i]] = i;
+
+    // Seed every reachable block, in priority order.  An ascending run
+    // of priorities is already a valid min-heap.
+    heap_.resize(order_.size());
+    for (uint32_t i = 0; i < heap_.size(); ++i)
+        heap_[i] = i;
+    pending_.assign(order_.size(), 1);
+}
+
+BlockId
+WorklistScheduler::pop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<uint32_t>());
+    uint32_t priority = heap_.back();
+    heap_.pop_back();
+    pending_[priority] = 0;
+    return order_[priority];
+}
+
+void
+WorklistScheduler::push(BlockId block)
+{
+    uint32_t priority = orderIndex_[block];
+    if (priority == kNotInOrder || pending_[priority])
+        return;
+    pending_[priority] = 1;
+    heap_.push_back(priority);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<uint32_t>());
+}
+
+// ---------------------------------------------------------------------
+// DataflowSolver
+// ---------------------------------------------------------------------
+
+const DataflowResult &
+DataflowSolver::solve(const Function &func, const DataflowSpec &spec)
+{
+    const size_t numBlocks = func.numBlocks();
+    TRAPJIT_ASSERT(spec.gen.size() == numBlocks &&
+                       spec.kill.size() == numBlocks,
+                   "gen/kill must have one entry per block");
+
+    const bool forward = spec.direction == DataflowSpec::Direction::Forward;
+    const bool intersect =
+        spec.confluence == DataflowSpec::Confluence::Intersect;
+    const bool hasEdgeEffects =
+        !spec.edgeAdd.empty() || !spec.edgeKill.empty();
+
+    ++stats_.solves;
+    if (!hasEdgeEffects)
+        ++stats_.edgeFastPathSolves;
+
+    identity_.resize(spec.numFacts);
+    if (intersect)
+        identity_.setAll();
+    else
+        identity_.clearAll();
+
+    boundary_.resize(spec.numFacts);
+    boundary_.clearAll();
+    if (spec.boundary.size() == spec.numFacts)
+        boundary_.assignAndReport(spec.boundary);
+    else if (spec.boundary.size() != 0) {
+        BitSet widened = spec.boundary;
+        widened.resize(spec.numFacts);
+        boundary_.assignAndReport(widened);
+    }
+
+    meet_.resize(spec.numFacts);
+    edgeScratch_.resize(spec.numFacts);
+
+    // (Re)initialize the result arrays: every block — including
+    // unreachable ones, which are never visited — starts at the
+    // confluence identity.  The vectors and each element's word storage
+    // persist across solves; only growth allocates.
+    result_.in.resize(numBlocks);
+    result_.out.resize(numBlocks);
+    for (size_t b = 0; b < numBlocks; ++b) {
+        result_.in[b].resize(spec.numFacts);
+        result_.out[b].resize(spec.numFacts);
+        result_.in[b].assignAndReport(identity_);
+        result_.out[b].assignAndReport(identity_);
+    }
+
+    sched_.prepare(func, forward);
+
+    while (!sched_.empty()) {
+        const BlockId block = sched_.pop();
+        ++stats_.blockVisits;
+        const BasicBlock &bb = func.block(block);
+        const auto &inputs = forward ? bb.preds() : bb.succs();
+
+        // Confluence over incoming edges, into the meet_ scratch.
+        if (inputs.empty()) {
+            meet_.assignAndReport(boundary_);
+        } else {
+            meet_.assignAndReport(identity_);
+            for (BlockId other : inputs) {
+                const BitSet &source =
+                    forward ? result_.out[other] : result_.in[other];
+                if (!hasEdgeEffects) {
+                    // Fast path: flow the neighbor's set straight into
+                    // the meet, no copy, no hash lookups.
+                    meet_.meetInto(source, intersect);
+                    continue;
+                }
+                uint64_t key = forward
+                                   ? DataflowSpec::edgeKey(other, block)
+                                   : DataflowSpec::edgeKey(block, other);
+                auto addIt = spec.edgeAdd.find(key);
+                auto killIt = spec.edgeKill.find(key);
+                if (addIt == spec.edgeAdd.end() &&
+                    killIt == spec.edgeKill.end()) {
+                    meet_.meetInto(source, intersect);
+                    continue;
+                }
+                edgeScratch_.assignAndReport(source);
+                if (addIt != spec.edgeAdd.end())
+                    edgeScratch_.unionWith(addIt->second);
+                if (killIt != spec.edgeKill.end())
+                    edgeScratch_.subtract(killIt->second);
+                meet_.meetInto(edgeScratch_, intersect);
+            }
+        }
+
+        BitSet &entrySide =
+            forward ? result_.in[block] : result_.out[block];
+        BitSet &exitSide =
+            forward ? result_.out[block] : result_.in[block];
+        entrySide.assignAndReport(meet_);
+        if (exitSide.assignTransferAndReport(meet_, spec.kill[block],
+                                             spec.gen[block])) {
+            // Only the exit side feeds neighbors; re-examine them.
+            const auto &outputs = forward ? bb.succs() : bb.preds();
+            for (BlockId next : outputs)
+                sched_.push(next);
+        }
+    }
+    return result_;
+}
+
 DataflowResult
 solveDataflow(const Function &func, const DataflowSpec &spec)
+{
+    DataflowSolver solver;
+    return solver.solve(func, spec);
+}
+
+// ---------------------------------------------------------------------
+// Reference solver (differential-testing oracle, benchmark baseline)
+// ---------------------------------------------------------------------
+
+DataflowResult
+solveDataflowReference(const Function &func, const DataflowSpec &spec)
 {
     const size_t numBlocks = func.numBlocks();
     TRAPJIT_ASSERT(spec.gen.size() == numBlocks &&
@@ -100,6 +265,29 @@ solveDataflow(const Function &func, const DataflowSpec &spec)
     return result;
 }
 
+// ---------------------------------------------------------------------
+// Edge kill helpers
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Union @p kills into the spec's kill set for @p key.  A set another
+ * caller already registered is merged into, not clobbered; a set of a
+ * different width is resized to the spec's fact count first.
+ */
+void
+mergeEdgeKill(DataflowSpec &spec, uint64_t key, const BitSet &kills)
+{
+    BitSet &slot = spec.edgeKill[key];
+    if (slot.size() != spec.numFacts)
+        slot.resize(spec.numFacts);
+    slot.unionWith(kills);
+}
+
+} // namespace
+
 void
 addTryBoundaryKills(const Function &func, DataflowSpec &spec)
 {
@@ -109,7 +297,8 @@ addTryBoundaryKills(const Function &func, DataflowSpec &spec)
         const BasicBlock &bb = func.block(static_cast<BlockId>(b));
         for (BlockId succ : bb.succs()) {
             if (func.block(succ).tryRegion() != bb.tryRegion()) {
-                spec.edgeKill[DataflowSpec::edgeKey(bb.id(), succ)] = all;
+                mergeEdgeKill(spec, DataflowSpec::edgeKey(bb.id(), succ),
+                              all);
             }
         }
     }
@@ -125,7 +314,8 @@ addExceptionEdgeKills(const Function &func, DataflowSpec &spec)
         for (TryRegionId r = bb.tryRegion(); r != 0;
              r = func.tryRegion(r).parent) {
             BlockId handler = func.tryRegion(r).handlerBlock;
-            spec.edgeKill[DataflowSpec::edgeKey(bb.id(), handler)] = all;
+            mergeEdgeKill(spec, DataflowSpec::edgeKey(bb.id(), handler),
+                          all);
         }
     }
 }

@@ -3,7 +3,7 @@
 
 /**
  * @file
- * Generic iterative bit-vector dataflow solver.
+ * Generic iterative bit-vector dataflow solving.
  *
  * All six analyses of the paper are instances of one scheme:
  *
@@ -23,7 +23,27 @@
  * Blocks without the relevant boundary edges (the entry for forward, the
  * exit blocks for backward) start from `boundary`; everything else starts
  * from the confluence identity (universal set for intersection, empty for
- * union) and the solver sweeps in (reverse) postorder to a fixed point.
+ * union).
+ *
+ * Two solvers implement the scheme:
+ *
+ *  - DataflowSolver — the production engine.  A sparse worklist seeded in
+ *    RPO (forward) / postorder (backward) and popped in that priority
+ *    order, so loop bodies stabilize before the header is re-examined;
+ *    on-worklist dedup bits; scratch BitSets and worklist storage that
+ *    persist across solve() calls (a pass solving N functions or K
+ *    problems reuses one arena); a fast path that skips the edge-map hash
+ *    lookups entirely when edgeAdd/edgeKill are empty; and fused BitSet
+ *    kernels (meetInto, assignTransferAndReport) so the inner loop is
+ *    straight word-array arithmetic with zero allocation.
+ *  - solveDataflowReference — the original dense round-robin sweep,
+ *    retained as the oracle for differential testing and as the baseline
+ *    the BM_SolveDataflow_* micro benchmarks compare against.
+ *
+ * Both converge to the same fixed point: every transfer in the framework
+ * is monotone, so the limit reached from the identity initialization does
+ * not depend on the visit order (the differential test in
+ * tests/test_dataflow_random.cpp asserts bit-identical In/Out).
  */
 
 #include <cstdint>
@@ -77,16 +97,151 @@ struct DataflowResult
 };
 
 /**
- * Solve @p spec over @p func.  CFG edges must be current.
- * Unreachable blocks converge to the confluence identity; callers that
- * transform code should ignore them (they are never executed).
+ * Convergence counters of one or more solves.  Passes fold these into
+ * PassContext::solverStats; the pass manager and the compile service
+ * carry them to PassTimings / ServiceCounters so benchmarks can report
+ * convergence behavior, not just wall clock.
+ */
+struct SolverStats
+{
+    size_t solves = 0;      ///< solve() calls
+    size_t blockVisits = 0; ///< worklist pops (= block equations applied)
+    size_t edgeFastPathSolves = 0; ///< solves with empty edge maps
+
+    /** Average worklist pops per solve; 0 when nothing ran. */
+    double
+    visitsPerSolve() const
+    {
+        return solves == 0 ? 0.0
+                           : static_cast<double>(blockVisits) /
+                                 static_cast<double>(solves);
+    }
+
+    SolverStats &
+    operator+=(const SolverStats &other)
+    {
+        solves += other.solves;
+        blockVisits += other.blockVisits;
+        edgeFastPathSolves += other.edgeFastPathSolves;
+        return *this;
+    }
+};
+
+/**
+ * Priority worklist over the blocks of one function, reused across
+ * solves (no allocation once warmed up).
+ *
+ * Priorities are static: the block's position in RPO (forward problems)
+ * or postorder (backward problems).  pop() always returns the pending
+ * block earliest in that order, so within a loop the body re-stabilizes
+ * before the header is re-examined — the visit pattern that makes
+ * reducible graphs converge in near-linear work.  Unreachable blocks are
+ * not part of the order; push() ignores them (they keep their identity
+ * initialization, matching the reference solver's sweep over reachable
+ * blocks only).
+ */
+class WorklistScheduler
+{
+  public:
+    /**
+     * Recompute the priority order for @p func and seed the worklist
+     * with every reachable block, in order.
+     */
+    void prepare(const Function &func, bool forward);
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Pop the pending block earliest in the priority order. */
+    BlockId pop();
+
+    /** Enqueue @p block unless unreachable or already pending. */
+    void push(BlockId block);
+
+    /** True if @p block is in the priority order (reachable). */
+    bool
+    reachable(BlockId block) const
+    {
+        return orderIndex_[block] != kNotInOrder;
+    }
+
+    /** The priority order itself (RPO or postorder). */
+    const std::vector<BlockId> &order() const { return order_; }
+
+  private:
+    static constexpr uint32_t kNotInOrder = UINT32_MAX;
+
+    std::vector<BlockId> order_;      ///< priority -> block
+    std::vector<uint32_t> orderIndex_; ///< block -> priority
+    std::vector<uint32_t> heap_;       ///< min-heap of priorities
+    std::vector<uint8_t> pending_;     ///< dedup bit per priority
+};
+
+/**
+ * Reusable sparse worklist engine for DataflowSpec problems.
+ *
+ * Hold one instance per pass (or per analysis layer) and call solve()
+ * once per problem: the scratch BitSets, the worklist storage and the
+ * result arrays persist across calls, so solving K problems over N
+ * functions allocates only while the arena grows to the high-water mark.
+ *
+ * solve() returns a reference to solver-owned storage: the result is
+ * valid until the next solve() on the same instance.  Callers that need
+ * two live results at once either use two solver instances or copy.
+ */
+class DataflowSolver
+{
+  public:
+    /**
+     * Solve @p spec over @p func.  CFG edges must be current.
+     * Unreachable blocks converge to the confluence identity; callers
+     * that transform code should ignore them (they are never executed).
+     */
+    const DataflowResult &solve(const Function &func,
+                                const DataflowSpec &spec);
+
+    /** Counters accumulated since construction or the last takeStats. */
+    const SolverStats &stats() const { return stats_; }
+
+    /** Return and reset the accumulated counters. */
+    SolverStats
+    takeStats()
+    {
+        SolverStats out = stats_;
+        stats_ = SolverStats{};
+        return out;
+    }
+
+  private:
+    WorklistScheduler sched_;
+    DataflowResult result_;
+    BitSet identity_;
+    BitSet boundary_;
+    BitSet meet_;
+    BitSet edgeScratch_;
+    SolverStats stats_;
+};
+
+/**
+ * One-shot convenience wrapper: solves with a local DataflowSolver.
+ * Hot paths hold a DataflowSolver instance instead, to reuse its arena.
  */
 DataflowResult solveDataflow(const Function &func, const DataflowSpec &spec);
 
 /**
+ * The retained reference solver: dense round-robin sweeps over the block
+ * order until a full quiet pass.  Kept verbatim (allocating inner loop
+ * included) as the differential-testing oracle and the benchmark
+ * baseline; production code uses DataflowSolver.
+ */
+DataflowResult solveDataflowReference(const Function &func,
+                                      const DataflowSpec &spec);
+
+/**
  * Build the Edge_try kill map for null-check motion: every fact is killed
  * on any edge whose endpoints are in different try regions (checks may
- * not move across a try boundary, Section 4.1.1).
+ * not move across a try boundary, Section 4.1.1).  Kill sets a caller
+ * already registered for an edge are merged into (never clobbered), and
+ * narrower sets are resized to the spec's fact width first.
  */
 void addTryBoundaryKills(const Function &func, DataflowSpec &spec);
 
@@ -94,7 +249,8 @@ void addTryBoundaryKills(const Function &func, DataflowSpec &spec);
  * Kill every fact on factored exception edges (block -> its try region's
  * handler).  Facts established mid-block do not necessarily hold when an
  * instruction earlier in the block throws, so forward availability
- * analyses must not propagate anything along these edges.
+ * analyses must not propagate anything along these edges.  Merges with
+ * (never clobbers) existing per-edge kill sets.
  */
 void addExceptionEdgeKills(const Function &func, DataflowSpec &spec);
 

@@ -5,18 +5,20 @@
 namespace trapjit
 {
 
-DataflowResult
-solveLiveness(const Function &func)
+void
+makeLivenessSpec(const Function &func, DataflowSpec &spec)
 {
     const size_t numValues = func.numValues();
     const size_t numBlocks = func.numBlocks();
 
-    DataflowSpec spec;
     spec.direction = DataflowSpec::Direction::Backward;
     spec.confluence = DataflowSpec::Confluence::Union;
     spec.numFacts = numValues;
     spec.gen.assign(numBlocks, BitSet(numValues));
     spec.kill.assign(numBlocks, BitSet(numValues));
+    spec.boundary = BitSet();
+    spec.edgeAdd.clear();
+    spec.edgeKill.clear();
 
     std::vector<ValueId> uses;
     for (size_t b = 0; b < numBlocks; ++b) {
@@ -37,7 +39,22 @@ solveLiveness(const Function &func)
             }
         }
     }
+}
+
+DataflowResult
+solveLiveness(const Function &func)
+{
+    DataflowSpec spec;
+    makeLivenessSpec(func, spec);
     return solveDataflow(func, spec);
+}
+
+const DataflowResult &
+solveLiveness(const Function &func, DataflowSolver &solver)
+{
+    DataflowSpec spec;
+    makeLivenessSpec(func, spec);
+    return solver.solve(func, spec);
 }
 
 } // namespace trapjit

@@ -17,8 +17,21 @@
 namespace trapjit
 {
 
+/**
+ * Fill @p spec with the backward/union liveness problem over all values
+ * of @p func (gen = upward-exposed uses, kill = defs outside try
+ * regions).  Exposed separately so callers with a reusable
+ * DataflowSolver — and the solver micro benchmarks — can build the spec
+ * once and solve it on their own arena.
+ */
+void makeLivenessSpec(const Function &func, DataflowSpec &spec);
+
 /** Solve backward liveness over all values of @p func. */
 DataflowResult solveLiveness(const Function &func);
+
+/** Same, on a caller-owned solver arena; valid until its next solve. */
+const DataflowResult &solveLiveness(const Function &func,
+                                    DataflowSolver &solver);
 
 } // namespace trapjit
 

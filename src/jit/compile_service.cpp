@@ -203,6 +203,9 @@ CompileService::compileModules(const std::vector<Module *> &mods,
                                         config.enableSpeculation};
                         pm->run(*fn, ctx);
                         jobTimings = pm->timings();
+                        local.solverSolves = jobTimings.solver.solves;
+                        local.solverBlockVisits =
+                            jobTimings.solver.blockVisits;
                         std::string text =
                             serializeFunctionToString(*fn);
                         compiled =

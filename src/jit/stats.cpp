@@ -72,6 +72,8 @@ ServiceCounters::operator+=(const ServiceCounters &other)
     functionsRequested += other.functionsRequested;
     functionsCompiled += other.functionsCompiled;
     cacheHits += other.cacheHits;
+    solverSolves += other.solverSolves;
+    solverBlockVisits += other.solverBlockVisits;
     return *this;
 }
 

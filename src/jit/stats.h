@@ -49,6 +49,12 @@ struct ServiceCounters
     size_t functionsCompiled = 0;  ///< cache misses: pipeline actually ran
     size_t cacheHits = 0;          ///< jobs satisfied from the cache
 
+    // Dataflow solver convergence, summed over every solve the batch's
+    // pipelines ran (see analysis/dataflow.h SolverStats).  Cache hits
+    // contribute nothing: no pipeline ran.
+    size_t solverSolves = 0;      ///< solve() calls across all jobs
+    size_t solverBlockVisits = 0; ///< worklist pops across all solves
+
     size_t
     total() const
     {

@@ -46,7 +46,7 @@ makeBoundCheck(Function &func, ValueId idx, ValueId len)
 } // namespace
 
 bool
-BoundsCheckElimination::runOnFunction(Function &func, PassContext &)
+BoundsCheckElimination::runOnFunction(Function &func, PassContext &ctx)
 {
     stats_ = Stats{};
     BoundsUniverse universe(func);
@@ -88,7 +88,9 @@ BoundsCheckElimination::runOnFunction(Function &func, PassContext &)
         }
     }
     addTryBoundaryKills(func, bwd);
-    DataflowResult ant = solveDataflow(func, bwd);
+    // `ant` lives in solver_ and is overwritten by the availability
+    // solve below; it is only read to derive `earliest` first.
+    const DataflowResult &ant = solver_.solve(func, bwd);
 
     std::vector<BitSet> earliest(numBlocks, BitSet(numFacts));
     for (size_t b = 0; b < numBlocks; ++b) {
@@ -100,8 +102,8 @@ BoundsCheckElimination::runOnFunction(Function &func, PassContext &)
     }
 
     // ---- Forward availability, elimination, insertion -------------------
-    DataflowResult avail = solveBoundsAvailability(func, universe,
-                                                   &earliest);
+    const DataflowResult &avail =
+        solveBoundsAvailability(func, universe, &earliest, solver_);
 
     bool changed = false;
     BitSet eliminatedFacts(numFacts);
@@ -151,6 +153,7 @@ BoundsCheckElimination::runOnFunction(Function &func, PassContext &)
         });
         changed = true;
     }
+    ctx.solverStats += solver_.takeStats();
     return changed;
 }
 

@@ -20,6 +20,7 @@
  * exception is never changed by the motion, only AIOOBE-vs-AIOOBE order.
  */
 
+#include "analysis/dataflow.h"
 #include "opt/pass.h"
 
 namespace trapjit
@@ -42,6 +43,7 @@ class BoundsCheckElimination : public Pass
 
   private:
     Stats stats_;
+    DataflowSolver solver_; ///< reused for anticipation + availability
 };
 
 } // namespace trapjit

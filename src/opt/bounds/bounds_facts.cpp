@@ -36,6 +36,16 @@ DataflowResult
 solveBoundsAvailability(const Function &func, const BoundsUniverse &universe,
                         const std::vector<BitSet> *earliest_per_block)
 {
+    DataflowSolver solver;
+    return solveBoundsAvailability(func, universe, earliest_per_block,
+                                   solver);
+}
+
+const DataflowResult &
+solveBoundsAvailability(const Function &func, const BoundsUniverse &universe,
+                        const std::vector<BitSet> *earliest_per_block,
+                        DataflowSolver &solver)
+{
     const size_t numFacts = universe.numFacts();
     const size_t numBlocks = func.numBlocks();
     const std::vector<bool> reachable = reachableBlocks(func);
@@ -78,7 +88,7 @@ solveBoundsAvailability(const Function &func, const BoundsUniverse &universe,
     }
     addExceptionEdgeKills(func, fwd);
     fwd.boundary.resize(numFacts);
-    return solveDataflow(func, fwd);
+    return solver.solve(func, fwd);
 }
 
 } // namespace trapjit

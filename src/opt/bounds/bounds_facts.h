@@ -66,6 +66,18 @@ DataflowResult solveBoundsAvailability(const Function &func,
                                        const std::vector<BitSet>
                                            *earliest_per_block);
 
+/**
+ * Same, on a caller-owned solver arena (no per-call allocation once
+ * warm).  The result references solver storage: valid until the next
+ * solve on @p solver.
+ */
+const DataflowResult &solveBoundsAvailability(const Function &func,
+                                              const BoundsUniverse
+                                                  &universe,
+                                              const std::vector<BitSet>
+                                                  *earliest_per_block,
+                                              DataflowSolver &solver);
+
 } // namespace trapjit
 
 #endif // TRAPJIT_OPT_BOUNDS_BOUNDS_FACTS_H_

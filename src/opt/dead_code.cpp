@@ -26,14 +26,14 @@ isRemovableWhenDead(const Instruction &inst)
 } // namespace
 
 bool
-DeadCodeElimination::runOnFunction(Function &func, PassContext &)
+DeadCodeElimination::runOnFunction(Function &func, PassContext &ctx)
 {
     const size_t numValues = func.numValues();
     const size_t numBlocks = func.numBlocks();
     if (numValues == 0)
         return false;
 
-    DataflowResult live = solveLiveness(func);
+    const DataflowResult &live = solveLiveness(func, solver_);
 
     std::vector<ValueId> uses;
     bool changed = false;
@@ -60,6 +60,7 @@ DeadCodeElimination::runOnFunction(Function &func, PassContext &)
             insts.erase(insts.begin() + static_cast<long>(idx));
         changed |= !doomed.empty();
     }
+    ctx.solverStats += solver_.takeStats();
     return changed;
 }
 

@@ -12,6 +12,7 @@
  * Unmarked memory reads are removable — reads are unobservable.
  */
 
+#include "analysis/dataflow.h"
 #include "opt/pass.h"
 
 namespace trapjit
@@ -23,6 +24,9 @@ class DeadCodeElimination : public Pass
   public:
     const char *name() const override { return "dead-code-elimination"; }
     bool runOnFunction(Function &func, PassContext &ctx) override;
+
+  private:
+    DataflowSolver solver_; ///< liveness solver state, reused per function
 };
 
 } // namespace trapjit

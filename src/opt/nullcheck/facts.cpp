@@ -217,77 +217,105 @@ NonNullDomain::mustEqual(const BitSet &state, ValueId a, ValueId b) const
     return false;
 }
 
+const NonNullStates &
+NonNullSolver::solve(const Function &func, const NonNullDomain &domain,
+                     const NullCheckUniverse &universe,
+                     const std::vector<BitSet> *earliest_per_block)
+{
+    const size_t numBits = domain.numBits();
+    const size_t numBlocks = func.numBlocks();
+
+    ++stats_.solves;
+
+    universal_.resize(numBits);
+    universal_.setAll();
+    meet_.resize(numBits);
+    next_.resize(numBits);
+    value_.resize(numBits);
+
+    boundary_.resize(numBits);
+    boundary_.clearAll();
+    if (func.isInstanceMethod() && func.numParams() > 0 &&
+        func.value(0).isRef()) {
+        boundary_.set(domain.nonnullBit(0));
+    }
+
+    // Every block — including unreachable ones, never visited — starts
+    // at the universal set; storage persists across solves.
+    states_.in.resize(numBlocks);
+    states_.out.resize(numBlocks);
+    for (size_t b = 0; b < numBlocks; ++b) {
+        states_.in[b].resize(numBits);
+        states_.out[b].resize(numBits);
+        states_.in[b].assignAndReport(universal_);
+        states_.out[b].assignAndReport(universal_);
+    }
+
+    sched_.prepare(func, /*forward=*/true);
+
+    while (!sched_.empty()) {
+        const BlockId block = sched_.pop();
+        ++stats_.blockVisits;
+        const BasicBlock &bb = func.block(block);
+
+        if (bb.preds().empty()) {
+            meet_.assignAndReport(boundary_);
+        } else {
+            meet_.assignAndReport(universal_);
+            for (BlockId pred : bb.preds()) {
+                // Nothing flows along factored exception edges: a fact
+                // established mid-block need not hold when an earlier
+                // instruction of the block threw.
+                if (func.isExceptionalEdge(pred, block)) {
+                    meet_.clearAll();
+                    continue;
+                }
+                const BasicBlock &pb = func.block(pred);
+                const Instruction &term = pb.terminator();
+                const bool ifnullEdge =
+                    term.op == Opcode::IfNull && term.imm != term.imm2 &&
+                    static_cast<BlockId>(term.imm2) == block;
+                const bool hasEarliest =
+                    earliest_per_block &&
+                    !(*earliest_per_block)[pred].empty();
+                if (!ifnullEdge && !hasEarliest) {
+                    // Fast path: no per-edge facts, flow the exit state
+                    // straight into the meet without a copy.
+                    meet_.meetInto(states_.out[pred], /*intersect=*/true);
+                    continue;
+                }
+                value_.assignAndReport(states_.out[pred]);
+                if (ifnullEdge)
+                    domain.establish(value_, term.a);
+                if (hasEarliest) {
+                    (*earliest_per_block)[pred].forEach([&](size_t fact) {
+                        domain.establish(value_, universe.valueOf(fact));
+                    });
+                }
+                meet_.meetInto(value_, /*intersect=*/true);
+            }
+        }
+
+        next_.assignAndReport(meet_);
+        for (const Instruction &inst : bb.insts())
+            domain.transfer(inst, next_);
+
+        states_.in[block].assignAndReport(meet_);
+        if (states_.out[block].assignAndReport(next_)) {
+            for (BlockId succ : bb.succs())
+                sched_.push(succ);
+        }
+    }
+    return states_;
+}
+
 NonNullStates
 solveNonNullStates(const Function &func, const NonNullDomain &domain,
                    const NullCheckUniverse &universe,
                    const std::vector<BitSet> *earliest_per_block)
 {
-    const size_t numBits = domain.numBits();
-    const size_t numBlocks = func.numBlocks();
-    const std::vector<BlockId> rpo = reversePostorder(func);
-
-    BitSet universal(numBits);
-    universal.setAll();
-    std::vector<BitSet> in(numBlocks, universal);
-    std::vector<BitSet> out(numBlocks, universal);
-
-    BitSet boundary(numBits);
-    if (func.isInstanceMethod() && func.numParams() > 0 &&
-        func.value(0).isRef()) {
-        boundary.set(domain.nonnullBit(0));
-    }
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (BlockId block : rpo) {
-            const BasicBlock &bb = func.block(block);
-
-            BitSet meet(numBits);
-            if (bb.preds().empty()) {
-                meet = boundary;
-            } else {
-                meet = universal;
-                for (BlockId pred : bb.preds()) {
-                    const BasicBlock &pb = func.block(pred);
-                    BitSet value(numBits);
-                    // Nothing flows along factored exception edges: a
-                    // fact established mid-block need not hold when an
-                    // earlier instruction of the block threw.
-                    if (!func.isExceptionalEdge(pred, block)) {
-                        value = out[pred];
-                        const Instruction &term = pb.terminator();
-                        if (term.op == Opcode::IfNull &&
-                            term.imm != term.imm2 &&
-                            static_cast<BlockId>(term.imm2) == block) {
-                            domain.establish(value, term.a);
-                        }
-                        if (earliest_per_block) {
-                            (*earliest_per_block)[pred].forEach(
-                                [&](size_t fact) {
-                                    domain.establish(
-                                        value, universe.valueOf(fact));
-                                });
-                        }
-                    }
-                    meet.intersectWith(value);
-                }
-            }
-
-            BitSet next = meet;
-            for (const Instruction &inst : bb.insts())
-                domain.transfer(inst, next);
-            if (in[block] != meet) {
-                in[block] = std::move(meet);
-                changed = true;
-            }
-            if (out[block] != next) {
-                out[block] = std::move(next);
-                changed = true;
-            }
-        }
-    }
-    return NonNullStates{std::move(in), std::move(out)};
+    NonNullSolver solver;
+    return solver.solve(func, domain, universe, earliest_per_block);
 }
 
 size_t

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/dataflow.h"
 #include "arch/target.h"
 #include "ir/function.h"
 #include "support/bitset.h"
@@ -195,6 +196,45 @@ struct NonNullStates
 {
     std::vector<BitSet> in;  ///< entry state per block
     std::vector<BitSet> out; ///< exit state per block
+};
+
+/**
+ * Reusable worklist engine for the non-nullness problem.  The domain's
+ * transfer is not gen/kill-expressible (copy-bit closure, ifnull edge
+ * facts), so this mirrors DataflowSolver's machinery — priority
+ * worklist, persistent scratch and result arrays — around the custom
+ * per-instruction transfer.  Hold one instance per pass; solve() returns
+ * a reference to solver-owned storage, valid until the next solve().
+ */
+class NonNullSolver
+{
+  public:
+    /** See solveNonNullStates for the semantics. */
+    const NonNullStates &solve(const Function &func,
+                               const NonNullDomain &domain,
+                               const NullCheckUniverse &universe,
+                               const std::vector<BitSet>
+                                   *earliest_per_block);
+
+    const SolverStats &stats() const { return stats_; }
+
+    SolverStats
+    takeStats()
+    {
+        SolverStats out = stats_;
+        stats_ = SolverStats{};
+        return out;
+    }
+
+  private:
+    WorklistScheduler sched_;
+    NonNullStates states_;
+    BitSet boundary_;
+    BitSet universal_;
+    BitSet meet_;
+    BitSet next_;
+    BitSet value_;
+    SolverStats stats_;
 };
 
 NonNullStates solveNonNullStates(const Function &func,

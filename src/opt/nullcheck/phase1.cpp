@@ -70,7 +70,7 @@ NullCheckPhase1::runOnFunction(Function &func, PassContext &ctx)
                         bwd.gen[b], bwd.kill[b]);
     }
     addTryBoundaryKills(func, bwd);
-    DataflowResult ant = solveDataflow(func, bwd);
+    const DataflowResult &ant = solver_.solve(func, bwd);
 
     // Earliest(n) = Out_bwd(n) − U_{m in Pred(n)} Out_bwd(m):
     // anticipated at n's exit but at no predecessor's exit — these are
@@ -86,8 +86,8 @@ NullCheckPhase1::runOnFunction(Function &func, PassContext &ctx)
 
     // ---- 4.1.2: forward non-nullness, elimination, insertion -----------
     NonNullDomain domain(func, universe, &ctx.target);
-    NonNullStates nonnull =
-        solveNonNullStates(func, domain, universe, &earliest);
+    const NonNullStates &nonnull =
+        nonnullSolver_.solve(func, domain, universe, &earliest);
 
     BitSet eliminatedFacts(numFacts);
     stats_.eliminated = eliminateCoveredChecks(func, universe, domain,
@@ -121,6 +121,8 @@ NullCheckPhase1::runOnFunction(Function &func, PassContext &ctx)
         changed = true;
     }
 
+    ctx.solverStats += solver_.takeStats();
+    ctx.solverStats += nonnullSolver_.takeStats();
     return changed;
 }
 

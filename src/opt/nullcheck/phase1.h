@@ -30,6 +30,8 @@
  * NullPointerException in the same visible state, merely earlier.
  */
 
+#include "analysis/dataflow.h"
+#include "opt/nullcheck/facts.h"
 #include "opt/pass.h"
 
 namespace trapjit
@@ -54,6 +56,8 @@ class NullCheckPhase1 : public Pass
 
   private:
     Stats stats_;
+    DataflowSolver solver_;       ///< arena reused across functions
+    NonNullSolver nonnullSolver_; ///< dito, for the 4.1.2 analysis
 };
 
 } // namespace trapjit

@@ -116,15 +116,17 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
     }
     addTryBoundaryKills(func, fwd);
     addExceptionEdgeKills(func, fwd);
-    DataflowResult motion = solveDataflow(func, fwd);
+    // solver_ is reused for the 4.2.2 solve below, which overwrites this
+    // result in place; `motion` is only read before that point.
+    const DataflowResult &motion = solver_.solve(func, fwd);
 
     // Copy availability, for attaching a pending check implicitly to a
     // trapping access of a must-equal copy (the inlined-receiver shape of
     // Figure 1: the check guards the call-site variable, the slot access
     // uses the callee's cloned `this`).
     NonNullDomain domain(func, universe, &ctx.target);
-    NonNullStates copyStates =
-        solveNonNullStates(func, domain, universe, nullptr);
+    const NonNullStates &copyStates =
+        nonnullSolver_.solve(func, domain, universe, nullptr);
 
     // ---- In-block insertion (the algorithm of Section 4.2.1) ----------
     bool changed = false;
@@ -302,7 +304,7 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
         }
     }
     addTryBoundaryKills(func, bwd);
-    DataflowResult subst = solveDataflow(func, bwd);
+    const DataflowResult &subst = solver_.solve(func, bwd);
 
     for (size_t b = 0; b < numBlocks; ++b) {
         if (!reachable[b])
@@ -348,6 +350,8 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
         changed |= !doomed.empty();
     }
 
+    ctx.solverStats += solver_.takeStats();
+    ctx.solverStats += nonnullSolver_.takeStats();
     return changed;
 }
 

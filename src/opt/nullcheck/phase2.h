@@ -29,6 +29,8 @@
  *    anticipated edge).
  */
 
+#include "analysis/dataflow.h"
+#include "opt/nullcheck/facts.h"
 #include "opt/pass.h"
 
 namespace trapjit
@@ -54,6 +56,8 @@ class NullCheckPhase2 : public Pass
 
   private:
     Stats stats_;
+    DataflowSolver solver_;       ///< reused for the 4.2.1 + 4.2.2 solves
+    NonNullSolver nonnullSolver_; ///< copy availability solver
 };
 
 } // namespace trapjit

@@ -14,10 +14,11 @@ WhaleyNullCheckElimination::runOnFunction(Function &func, PassContext &ctx)
         return false;
 
     NonNullDomain domain(func, universe, &ctx.target);
-    NonNullStates nonnull =
-        solveNonNullStates(func, domain, universe, nullptr);
+    const NonNullStates &nonnull =
+        solver_.solve(func, domain, universe, nullptr);
     eliminated_ =
         eliminateCoveredChecks(func, universe, domain, nonnull.in);
+    ctx.solverStats += solver_.takeStats();
     return eliminated_ > 0;
 }
 

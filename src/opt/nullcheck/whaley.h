@@ -14,6 +14,7 @@
  * the drawback (Section 2.2) the paper's phase 1 removes.
  */
 
+#include "opt/nullcheck/facts.h"
 #include "opt/pass.h"
 
 namespace trapjit
@@ -31,6 +32,7 @@ class WhaleyNullCheckElimination : public Pass
 
   private:
     size_t eliminated_ = 0;
+    NonNullSolver solver_; ///< arena reused across functions
 };
 
 } // namespace trapjit

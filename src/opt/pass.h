@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "analysis/dataflow.h"
 #include "arch/target.h"
 #include "ir/module.h"
 
@@ -35,6 +36,13 @@ struct PassContext
 
     /** Allow read speculation in scalar replacement (Section 5.4). */
     bool enableSpeculation = false;
+
+    /**
+     * Dataflow convergence counters.  Every pass that runs a solver
+     * folds its takeStats() here after runOnFunction; the pass manager
+     * harvests the accumulator into PassTimings.
+     */
+    SolverStats solverStats = {};
 };
 
 /** Base class of all passes. */

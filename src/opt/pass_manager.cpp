@@ -15,6 +15,7 @@ PassTimings::operator+=(const PassTimings &other)
         perPass[name] += seconds;
     nullCheckSeconds += other.nullCheckSeconds;
     otherSeconds += other.otherSeconds;
+    solver += other.solver;
     return *this;
 }
 
@@ -52,6 +53,9 @@ PassManager::run(Function &func, PassContext &ctx)
         if (verifyAfterEachPass_)
             verify(std::string("after pass '") + pass->name() + "'");
     }
+    // Harvest the solver counters the passes accumulated on the context.
+    timings_.solver += ctx.solverStats;
+    ctx.solverStats = SolverStats{};
     return changed;
 }
 

@@ -46,6 +46,9 @@ struct PassTimings
     double nullCheckSeconds = 0.0;
     double otherSeconds = 0.0;
 
+    /** Dataflow solver convergence counters, harvested per run(). */
+    SolverStats solver;
+
     double total() const { return nullCheckSeconds + otherSeconds; }
     void clear() { *this = PassTimings{}; }
 

@@ -51,7 +51,7 @@ keyOf(LocKind kind, ValueId base, int64_t offset, ValueId idx)
 class LengthBindingAvailability
 {
   public:
-    explicit LengthBindingAvailability(const Function &func)
+    LengthBindingAvailability(const Function &func, DataflowSolver &solver)
     {
         for (size_t b = 0; b < func.numBlocks(); ++b) {
             for (const Instruction &inst :
@@ -98,7 +98,9 @@ class LengthBindingAvailability
         }
         addExceptionEdgeKills(func, fwd);
         fwd.boundary.resize(numFacts);
-        result_ = solveDataflow(func, fwd);
+        // Retained copy: the shared solver arena is reused for the
+        // bounds availability solve right after this constructor.
+        result_ = solver.solve(func, fwd);
     }
 
     /** Length values bound to @p base and available at @p block entry. */
@@ -471,14 +473,17 @@ ScalarReplacement::runOnFunction(Function &func, PassContext &ctx)
 
         NullCheckUniverse ncu(func);
         NonNullDomain domain(func, ncu, &ctx.target);
-        NonNullStates nonnull =
-            solveNonNullStates(func, domain, ncu, nullptr);
+        const NonNullStates &nonnull =
+            nonnullSolver_.solve(func, domain, ncu, nullptr);
         BoundsUniverse bu(func);
-        DataflowResult bavail;
+        LengthBindingAvailability lengths(func, solver_);
         bool haveBounds = bu.numFacts() > 0;
-        if (haveBounds)
-            bavail = solveBoundsAvailability(func, bu, nullptr);
-        LengthBindingAvailability lengths(func);
+        // Solved last on solver_, so the reference stays valid for the
+        // whole round (lengths already copied its own result out).
+        const DataflowResult *bavail =
+            haveBounds
+                ? &solveBoundsAvailability(func, bu, nullptr, solver_)
+                : nullptr;
 
         // Innermost loops first.
         std::vector<const Loop *> order;
@@ -494,9 +499,7 @@ ScalarReplacement::runOnFunction(Function &func, PassContext &ctx)
             if (loop->header == 0)
                 continue;
             LoopPlan plan = analyzeLoop(func, ctx, *loop, domain,
-                                        nonnull.in, bu,
-                                        haveBounds ? &bavail : nullptr,
-                                        lengths);
+                                        nonnull.in, bu, bavail, lengths);
             if (plan.groups.empty())
                 continue;
             BlockId preheader = ensurePreheader(func, *loop);
@@ -508,6 +511,8 @@ ScalarReplacement::runOnFunction(Function &func, PassContext &ctx)
         if (!changed)
             break;
     }
+    ctx.solverStats += solver_.takeStats();
+    ctx.solverStats += nonnullSolver_.takeStats();
     return changedAny;
 }
 

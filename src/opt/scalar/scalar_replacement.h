@@ -30,6 +30,8 @@
  * survives calls: lengths are immutable.
  */
 
+#include "analysis/dataflow.h"
+#include "opt/nullcheck/facts.h"
 #include "opt/pass.h"
 
 namespace trapjit
@@ -54,6 +56,8 @@ class ScalarReplacement : public Pass
 
   private:
     Stats stats_;
+    DataflowSolver solver_;       ///< bounds availability + length bindings
+    NonNullSolver nonnullSolver_; ///< hoist-safety non-nullness
 };
 
 } // namespace trapjit

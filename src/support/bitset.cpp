@@ -90,6 +90,69 @@ BitSet::assign(const BitSet &other)
 }
 
 bool
+BitSet::assignAndReport(const BitSet &other)
+{
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        changed |= (words_[i] != other.words_[i]);
+        words_[i] = other.words_[i];
+    }
+    return changed;
+}
+
+void
+BitSet::assignAndSubtract(const BitSet &a, const BitSet &b)
+{
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] = a.words_[i] & ~b.words_[i];
+}
+
+bool
+BitSet::unionWithAndReport(const BitSet &a, const BitSet &b)
+{
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        Word next = a.words_[i] | b.words_[i];
+        changed |= (next != words_[i]);
+        words_[i] = next;
+    }
+    return changed;
+}
+
+bool
+BitSet::meetInto(const BitSet &other, bool intersect)
+{
+    bool changed = false;
+    if (intersect) {
+        for (size_t i = 0; i < words_.size(); ++i) {
+            Word next = words_[i] & other.words_[i];
+            changed |= (next != words_[i]);
+            words_[i] = next;
+        }
+    } else {
+        for (size_t i = 0; i < words_.size(); ++i) {
+            Word next = words_[i] | other.words_[i];
+            changed |= (next != words_[i]);
+            words_[i] = next;
+        }
+    }
+    return changed;
+}
+
+bool
+BitSet::assignTransferAndReport(const BitSet &meet, const BitSet &kill,
+                                const BitSet &gen)
+{
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        Word next = (meet.words_[i] & ~kill.words_[i]) | gen.words_[i];
+        changed |= (next != words_[i]);
+        words_[i] = next;
+    }
+    return changed;
+}
+
+bool
 BitSet::isSubsetOf(const BitSet &other) const
 {
     for (size_t i = 0; i < words_.size(); ++i)

@@ -90,6 +90,41 @@ class BitSet
     /** this = other, sizes must match (or this is empty). */
     void assign(const BitSet &other);
 
+    /**
+     * this = other, reporting whether this changed; sizes must match.
+     * One word pass (compare and overwrite together), used by the solver
+     * to detect entry-side movement without a separate operator!= scan.
+     */
+    bool assignAndReport(const BitSet &other);
+
+    /**
+     * this = a - b in a single fused word pass (no temporary for the
+     * complement).  All three universes must have equal size.
+     */
+    void assignAndSubtract(const BitSet &a, const BitSet &b);
+
+    /**
+     * this = a | b, reporting whether this changed from its previous
+     * contents.  All three universes must have equal size.
+     */
+    bool unionWithAndReport(const BitSet &a, const BitSet &b);
+
+    /**
+     * Word-level confluence: this &= other (@p intersect) or this |= other
+     * (union) in one pass.  @return true if this changed.  The branch on
+     * @p intersect is per call, not per word, so the solver's inner loop
+     * stays straight word arithmetic.
+     */
+    bool meetInto(const BitSet &other, bool intersect);
+
+    /**
+     * The fused dataflow transfer kernel: this = (meet - kill) | gen in a
+     * single word pass, reporting whether this changed.  This is the
+     * entire inner-loop arithmetic of the worklist solver.
+     */
+    bool assignTransferAndReport(const BitSet &meet, const BitSet &kill,
+                                 const BitSet &gen);
+
     /** True if every bit of this is also set in other. */
     bool isSubsetOf(const BitSet &other) const;
 

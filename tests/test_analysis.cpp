@@ -256,6 +256,38 @@ TEST(Dataflow, EdgeAddInjectsFacts)
     EXPECT_TRUE(result.in[3].test(0)) << "present on both join inputs";
 }
 
+TEST(Dataflow, TryBoundaryKillsMergeWithExistingEdgeKills)
+{
+    Function *fn;
+    auto mod = makeDiamond(&fn);
+    // Put the left arm in a try region: edges 0->1 and 1->3 cross a
+    // region boundary, edges 0->2 and 2->3 do not.
+    TryRegionId region =
+        fn->addTryRegion(/*handler=*/3, ExcKind::CatchAll);
+    fn->block(1).setTryRegion(region);
+    fn->recomputeCFG();
+
+    DataflowSpec spec;
+    spec.numFacts = 2;
+    spec.gen.assign(fn->numBlocks(), BitSet(2));
+    spec.kill.assign(fn->numBlocks(), BitSet(2));
+    // Pre-register a *narrower* kill set on a boundary edge: the helper
+    // must widen it and union in its own kills, not clobber it.
+    BitSet narrow(1);
+    narrow.set(0);
+    spec.edgeKill[DataflowSpec::edgeKey(1, 3)] = narrow;
+    addTryBoundaryKills(*fn, spec);
+
+    const BitSet &merged = spec.edgeKill[DataflowSpec::edgeKey(1, 3)];
+    EXPECT_EQ(2u, merged.size()) << "widened to the spec's fact count";
+    EXPECT_TRUE(merged.test(0));
+    EXPECT_TRUE(merged.test(1));
+    EXPECT_TRUE(
+        spec.edgeKill.count(DataflowSpec::edgeKey(0, 1)) > 0);
+    EXPECT_EQ(0u, spec.edgeKill.count(DataflowSpec::edgeKey(0, 2)))
+        << "edges inside one region are untouched";
+}
+
 TEST(Liveness, UseKeepsValueLiveAcrossBlocks)
 {
     Module mod;

@@ -128,6 +128,94 @@ TEST(BitSet, ResizeKeepsLowBitsAndClearsTail)
     EXPECT_EQ(32u, set.count()) << "grown bits must start cleared";
 }
 
+TEST(BitSet, AssignAndReport)
+{
+    BitSet a(130), b(130);
+    b.set(0);
+    b.set(129);
+    EXPECT_TRUE(a.assignAndReport(b));
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.assignAndReport(b)) << "no-op assign must report false";
+    b.reset(0);
+    EXPECT_TRUE(a.assignAndReport(b)) << "bit removal is a change too";
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitSet, AssignAndSubtract)
+{
+    BitSet dst(130), a(130), b(130);
+    dst.set(7); // stale content must be fully overwritten
+    a.set(1);
+    a.set(64);
+    a.set(129);
+    b.set(64);
+    dst.assignAndSubtract(a, b);
+    EXPECT_TRUE(dst.test(1));
+    EXPECT_FALSE(dst.test(64));
+    EXPECT_TRUE(dst.test(129));
+    EXPECT_FALSE(dst.test(7));
+    EXPECT_EQ(2u, dst.count());
+}
+
+TEST(BitSet, UnionWithAndReport)
+{
+    BitSet dst(70), a(70), b(70);
+    a.set(3);
+    b.set(69);
+    EXPECT_TRUE(dst.unionWithAndReport(a, b));
+    EXPECT_TRUE(dst.test(3));
+    EXPECT_TRUE(dst.test(69));
+    EXPECT_FALSE(dst.unionWithAndReport(a, b));
+    dst.set(10); // dst is *assigned* a|b, so extra bits vanish
+    EXPECT_TRUE(dst.unionWithAndReport(a, b));
+    EXPECT_FALSE(dst.test(10));
+}
+
+TEST(BitSet, MeetIntoIntersect)
+{
+    BitSet a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    EXPECT_TRUE(a.meetInto(b, /*intersect=*/true));
+    EXPECT_FALSE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+    EXPECT_FALSE(a.test(3));
+    EXPECT_FALSE(a.meetInto(b, true));
+}
+
+TEST(BitSet, MeetIntoUnion)
+{
+    BitSet a(64), b(64);
+    a.set(1);
+    b.set(3);
+    EXPECT_TRUE(a.meetInto(b, /*intersect=*/false));
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(3));
+    EXPECT_FALSE(a.meetInto(b, false));
+}
+
+TEST(BitSet, AssignTransferAndReport)
+{
+    // out = (meet & ~kill) | gen, reporting whether out changed.
+    BitSet out(130), meet(130), kill(130), gen(130);
+    meet.set(1);
+    meet.set(64);
+    kill.set(64);
+    gen.set(129);
+    EXPECT_TRUE(out.assignTransferAndReport(meet, kill, gen));
+    EXPECT_TRUE(out.test(1));
+    EXPECT_FALSE(out.test(64));
+    EXPECT_TRUE(out.test(129));
+    EXPECT_EQ(2u, out.count());
+    EXPECT_FALSE(out.assignTransferAndReport(meet, kill, gen))
+        << "fixed point must report no change";
+    gen.set(64); // gen wins over kill, as in the classic equation
+    EXPECT_TRUE(out.assignTransferAndReport(meet, kill, gen));
+    EXPECT_TRUE(out.test(64));
+}
+
 TEST(BitSet, ToStringFormat)
 {
     BitSet set(8);
