@@ -11,6 +11,7 @@
 
 #include "analysis/dataflow.h"
 #include "analysis/liveness.h"
+#include "interp/fast_interpreter.h"
 #include "opt/nullcheck/local_trap_lowering.h"
 #include "opt/nullcheck/phase1.h"
 #include "opt/nullcheck/phase2.h"
@@ -174,6 +175,90 @@ BM_FullCompile_javac(benchmark::State &state)
         benchmark::ClobberMemory();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Execution engines
+// ---------------------------------------------------------------------------
+//
+// Dispatch-cost comparison of the three interpreter shapes on jBYTEmark
+// kernels: the reference switch interpreter re-reading Instruction
+// records, the pre-decoded direct-threaded engine, and the same engine
+// with superinstruction fusion.  The modules are the unoptimized
+// front-end form (every check explicit), i.e. what an interpreter tier
+// executes before the JIT kicks in — the shape with the most
+// NullCheck+access fusion pairs.  Interpreters are built once per
+// benchmark and reset() between iterations so the timed region is pure
+// execution (constructing one would zero the 32 MiB heap every
+// iteration; decoding happens once, on the first run).
+
+enum class InterpMode
+{
+    Reference,
+    Decoded,
+    DecodedFused,
+};
+
+void
+runInterpBenchmark(benchmark::State &state, const char *workload,
+                   InterpMode mode)
+{
+    Target target = makeIA32WindowsTarget();
+    const Workload *w = findWorkload(workload);
+    auto mod = w->build();
+    FunctionId entry = mod->findFunction("main");
+    InterpOptions options;
+    options.recordTrace = false;
+
+    ExecStats stats;
+    auto loop = [&](auto &interp) {
+        for (auto _ : state) {
+            interp.reset();
+            ExecResult r = interp.run(entry, {});
+            benchmark::DoNotOptimize(r.value.i);
+            stats = r.stats;
+        }
+    };
+    if (mode == InterpMode::Reference) {
+        Interpreter interp(*mod, target, options);
+        loop(interp);
+    } else {
+        DecodeOptions decode;
+        decode.fuse = mode == InterpMode::DecodedFused;
+        FastInterpreter interp(*mod, target, options, nullptr, decode);
+        loop(interp);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(stats.instructions) * state.iterations());
+    if (mode != InterpMode::Reference) {
+        state.counters["dispatches"] =
+            static_cast<double>(stats.dispatches);
+        state.counters["fused_pairs"] =
+            static_cast<double>(stats.fusedPairsExecuted);
+    }
+}
+
+#define TRAPJIT_INTERP_BENCH(kernel, workload)                           \
+    void BM_Interp_Reference_##kernel(benchmark::State &state)           \
+    {                                                                    \
+        runInterpBenchmark(state, workload, InterpMode::Reference);      \
+    }                                                                    \
+    void BM_Interp_Decoded_##kernel(benchmark::State &state)             \
+    {                                                                    \
+        runInterpBenchmark(state, workload, InterpMode::Decoded);        \
+    }                                                                    \
+    void BM_Interp_DecodedFused_##kernel(benchmark::State &state)        \
+    {                                                                    \
+        runInterpBenchmark(state, workload, InterpMode::DecodedFused);   \
+    }                                                                    \
+    BENCHMARK(BM_Interp_Reference_##kernel);                             \
+    BENCHMARK(BM_Interp_Decoded_##kernel);                               \
+    BENCHMARK(BM_Interp_DecodedFused_##kernel)
+
+TRAPJIT_INTERP_BENCH(numsort, "Numeric Sort");
+TRAPJIT_INTERP_BENCH(assignment, "Assignment");
+TRAPJIT_INTERP_BENCH(idea, "IDEA encryption");
+
+#undef TRAPJIT_INTERP_BENCH
 
 BENCHMARK(BM_Phase1_javac);
 BENCHMARK(BM_Phase2_javac);

@@ -70,6 +70,7 @@ main()
     double oursTotal = 0.0;
     double altvmTotal = 0.0;
     SolverStats oursSolver;
+    ExecStats engineTotals;
     for (const Workload &w : specjvmWorkloads()) {
         PassTimings oursT = averageCompileTimings(w, ours, reps);
         PassTimings altvmT = averageCompileTimings(w, altvm, reps);
@@ -88,6 +89,12 @@ main()
         oursTotal += oursCompileMs;
         altvmTotal += altvmCompileMs;
         oursSolver += oursT.solver;
+        engineTotals.instructions += oursRun.stats.instructions;
+        engineTotals.dispatches += oursRun.stats.dispatches;
+        engineTotals.fusedPairsExecuted +=
+            oursRun.stats.fusedPairsExecuted;
+        engineTotals.functionsDecoded += oursRun.stats.functionsDecoded;
+        engineTotals.decodeSeconds += oursRun.stats.decodeSeconds;
 
         table.addRow({w.name, TextTable::num(oursCompileMs, 3),
                       TextTable::num(oursRunMs, 3),
@@ -110,5 +117,21 @@ main()
               << TextTable::num(oursSolver.visitsPerSolve(), 2)
               << " visits/solve), " << oursSolver.edgeFastPathSolves
               << " edge-map fast-path solves\n";
+
+    // Simulation-side accounting, kept apart from the compile columns
+    // above: pre-decoding for the fast engine is host time the
+    // interpreter spends before the first dispatch, not compile time.
+    std::cout << "Execution engine (ours runs): "
+              << interpEngineName(interpEngineFromEnv()) << "; "
+              << engineTotals.instructions << " instructions retired";
+    if (interpEngineFromEnv() == InterpEngineKind::Fast)
+        std::cout << ", " << engineTotals.dispatches << " dispatches, "
+                  << engineTotals.fusedPairsExecuted
+                  << " fused pairs executed, "
+                  << engineTotals.functionsDecoded
+                  << " functions decoded in "
+                  << TextTable::num(engineTotals.decodeSeconds * 1e3, 3)
+                  << " ms (excluded from compile columns)";
+    std::cout << "\n";
     return 0;
 }

@@ -1,0 +1,145 @@
+#ifndef TRAPJIT_INTERP_FAST_INTERPRETER_H_
+#define TRAPJIT_INTERP_FAST_INTERPRETER_H_
+
+/**
+ * @file
+ * Pre-decoded, direct-threaded IR interpreter.
+ *
+ * Executes the DecodedFunction form (interp/decoded_program.h) with
+ * computed-goto dispatch on GNU-compatible compilers and a token-
+ * threaded switch otherwise (define TRAPJIT_FORCE_SWITCH_DISPATCH to
+ * force the portable path).  Semantics — heap contents, exception
+ * behavior including the per-target trap model, the observable event
+ * trace, and the accumulated cycle count, bit for bit — are identical
+ * to the reference interpreter (interp/interpreter.h), which is kept
+ * as the executable specification; tests/test_interp_differential.cpp
+ * enforces the contract over random programs under every config arm.
+ *
+ * The register file is a packed array of 8-byte union slots rather than
+ * the reference engine's three-field RuntimeValue: every IR value has
+ * one static type, so one 64-bit lane per register is enough, and Move
+ * copies a single machine word.
+ *
+ * Decoded programs are immutable and shareable; pass a
+ * DecodedProgramCache (e.g. CompileService::decodedCache()) to reuse
+ * decodes across interpreter instances — the bench path then decodes
+ * each (function, target) pair exactly once.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/target.h"
+#include "interp/decoded_program.h"
+#include "interp/event_trace.h"
+#include "interp/interpreter.h"
+#include "ir/module.h"
+#include "runtime/exceptions.h"
+#include "runtime/heap.h"
+
+namespace trapjit
+{
+
+/** Which execution engine to use for a workload run. */
+enum class InterpEngineKind : uint8_t
+{
+    Reference, ///< the original switch interpreter (the oracle)
+    Fast,      ///< pre-decoded, direct-threaded engine
+};
+
+/**
+ * Engine selected by the TRAPJIT_INTERP environment variable:
+ * "reference" (or "ref") picks the oracle, anything else — including
+ * the variable being unset — picks the fast engine.
+ */
+InterpEngineKind interpEngineFromEnv();
+
+/** Printable engine name ("reference" / "fast"). */
+const char *interpEngineName(InterpEngineKind kind);
+
+/**
+ * The fast engine; mirrors the Interpreter surface so call sites can
+ * switch between the two with a branch.
+ */
+class FastInterpreter
+{
+  public:
+    /**
+     * @param mod     the compiled module to execute
+     * @param target  the honest runtime trap/cost model
+     * @param cache   optional shared decode cache; when null, decodes
+     *                are private to this interpreter (still memoized
+     *                per function)
+     */
+    FastInterpreter(const Module &mod, const Target &target,
+                    InterpOptions options = {},
+                    std::shared_ptr<DecodedProgramCache> cache = nullptr,
+                    DecodeOptions decode_options = {});
+
+    /** Execute @p func with @p args; resets nothing between calls. */
+    ExecResult run(FunctionId func, const std::vector<RuntimeValue> &args);
+
+    Heap &heap() { return heap_; }
+    EventTrace &trace() { return trace_; }
+    const ExecStats &stats() const { return stats_; }
+
+    /** Clear heap, trace and statistics (decoded programs are kept). */
+    void reset();
+
+  private:
+    /**
+     * One 64-bit register slot.  All lanes alias the same machine word;
+     * the static type of the IR value picks which one is read.
+     */
+    struct Slot
+    {
+        union {
+            int64_t i;
+            double f;
+            Address ref;
+            uint64_t bits;
+        };
+
+        Slot() : bits(0) {}
+    };
+
+    struct FrameResult
+    {
+        Slot value;
+        ThrownExc exc;
+    };
+
+    /** Decoded form of @p id, decoding (through the cache) on demand. */
+    const DecodedFunction &decoded(FunctionId id);
+
+    FrameResult execFrame(const DecodedFunction &df, std::vector<Slot> args,
+                          size_t depth);
+
+    /**
+     * Decoded-form twin of Interpreter::handleNullAccess.  @p cycles8
+     * is the frame's register-resident eighth-cycle accumulator (trap
+     * dispatch charges land there, in reference order).
+     */
+    Slot handleNullAccess(const DecodedInst &d, ThrownExc &exc,
+                          uint64_t &cycles8);
+
+    const Module &mod_;
+    const Target &target_;
+    InterpOptions options_;
+    DecodeOptions decodeOptions_;
+    std::shared_ptr<DecodedProgramCache> cache_;
+    std::vector<std::shared_ptr<const DecodedFunction>> decoded_;
+    Heap heap_;
+    EventTrace trace_;
+    ExecStats stats_;
+
+    // Target charges pre-scaled to eighth-cycles (see cyclesToEighths).
+    uint64_t throwCycles8_;
+    uint64_t trapDispatch8_;
+    uint64_t allocPerByte8_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_INTERP_FAST_INTERPRETER_H_

@@ -5,59 +5,11 @@
 #include <limits>
 
 #include "interp/cost_model.h"
+#include "interp/java_semantics.h"
 #include "support/diagnostics.h"
 
 namespace trapjit
 {
-
-namespace
-{
-
-/** Java-style i32/i64 division that wraps on MIN / -1. */
-int64_t
-javaDiv(int64_t a, int64_t b)
-{
-    if (b == -1)
-        return static_cast<int64_t>(0 - static_cast<uint64_t>(a));
-    return a / b;
-}
-
-int64_t
-javaRem(int64_t a, int64_t b)
-{
-    if (b == -1)
-        return 0;
-    return a % b;
-}
-
-/** Java-style f64 -> i32 (NaN -> 0, saturating). */
-int32_t
-javaF2I(double v)
-{
-    if (std::isnan(v))
-        return 0;
-    if (v >= 2147483647.0)
-        return 2147483647;
-    if (v <= -2147483648.0)
-        return INT32_MIN;
-    return static_cast<int32_t>(v);
-}
-
-bool
-evalPred(CmpPred pred, auto lhs, auto rhs)
-{
-    switch (pred) {
-      case CmpPred::EQ: return lhs == rhs;
-      case CmpPred::NE: return lhs != rhs;
-      case CmpPred::LT: return lhs < rhs;
-      case CmpPred::LE: return lhs <= rhs;
-      case CmpPred::GT: return lhs > rhs;
-      case CmpPred::GE: return lhs >= rhs;
-    }
-    return false;
-}
-
-} // namespace
 
 Interpreter::Interpreter(const Module &mod, const Target &target,
                          InterpOptions options)

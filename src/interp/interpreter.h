@@ -81,6 +81,14 @@ struct ExecStats
     uint64_t allocations = 0;
     uint64_t trapsTaken = 0;
     uint64_t speculativeReadsOfNull = 0;
+
+    // Engine-side counters, filled by the fast interpreter only (the
+    // reference interpreter leaves them zero; they are excluded from
+    // the cross-engine differential comparison).
+    uint64_t dispatches = 0;         ///< handler entries (fused pair = 1)
+    uint64_t fusedPairsExecuted = 0; ///< superinstruction executions
+    uint64_t functionsDecoded = 0;   ///< decode-cache misses this run
+    double decodeSeconds = 0.0;      ///< host time spent decoding
 };
 
 /** Result of a top-level execution. */

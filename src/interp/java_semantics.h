@@ -1,0 +1,65 @@
+#ifndef TRAPJIT_INTERP_JAVA_SEMANTICS_H_
+#define TRAPJIT_INTERP_JAVA_SEMANTICS_H_
+
+/**
+ * @file
+ * Java-language arithmetic corner cases, shared by the reference
+ * interpreter and the pre-decoded fast engine so that both execute the
+ * exact same definitions (the differential tests compare bit for bit).
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include "ir/instruction.h"
+
+namespace trapjit
+{
+
+/** Java-style i32/i64 division that wraps on MIN / -1. */
+inline int64_t
+javaDiv(int64_t a, int64_t b)
+{
+    if (b == -1)
+        return static_cast<int64_t>(0 - static_cast<uint64_t>(a));
+    return a / b;
+}
+
+inline int64_t
+javaRem(int64_t a, int64_t b)
+{
+    if (b == -1)
+        return 0;
+    return a % b;
+}
+
+/** Java-style f64 -> i32 (NaN -> 0, saturating). */
+inline int32_t
+javaF2I(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    if (v >= 2147483647.0)
+        return 2147483647;
+    if (v <= -2147483648.0)
+        return INT32_MIN;
+    return static_cast<int32_t>(v);
+}
+
+inline bool
+evalPred(CmpPred pred, auto lhs, auto rhs)
+{
+    switch (pred) {
+      case CmpPred::EQ: return lhs == rhs;
+      case CmpPred::NE: return lhs != rhs;
+      case CmpPred::LT: return lhs < rhs;
+      case CmpPred::LE: return lhs <= rhs;
+      case CmpPred::GT: return lhs > rhs;
+      case CmpPred::GE: return lhs >= rhs;
+    }
+    return false;
+}
+
+} // namespace trapjit
+
+#endif // TRAPJIT_INTERP_JAVA_SEMANTICS_H_

@@ -106,6 +106,14 @@ class Function
     const Value &value(ValueId id) const { return values_[id]; }
     Value &value(ValueId id) { return values_[id]; }
 
+    /**
+     * The whole value table in id order.  Value ids double as register
+     * numbers in both interpreter engines, so this ordering is a stable
+     * part of the function's contract (the pre-decoder bakes the ids
+     * into its flattened records).
+     */
+    const std::vector<Value> &values() const { return values_; }
+
     // -- Blocks and regions ------------------------------------------------
 
     /** Create a new block; the first one created is the entry. */

@@ -128,6 +128,9 @@ CompileService::CompileService(const Target &target,
       options_(options),
       cache_(options.cache ? options.cache
                            : std::make_shared<CompileCache>()),
+      decodedCache_(options.decodedCache
+                        ? options.decodedCache
+                        : std::make_shared<DecodedProgramCache>()),
       pool_(resolveWorkerCount(options.numWorkers))
 {}
 
@@ -241,6 +244,28 @@ CompileService::compileModules(const std::vector<Module *> &mods,
         for (FunctionId f = 0; f < results[m].size(); ++f)
             mods[m]->replaceFunction(
                 f, deserializeFunctionFromString(*results[m][f], f));
+
+    // ---- Pre-decode for the fast interpreter ---------------------------
+    // Decoding is content-addressed like compilation, so identical
+    // functions across batches decode once; the time is reported apart
+    // from compile time (ServiceCounters::decodeSeconds).
+    if (options_.predecode) {
+        DecodeOptions decodeOpts;
+        for (Module *mod : mods) {
+            for (FunctionId f = 0; f < mod->numFunctions(); ++f) {
+                const Function &fn = mod->function(f);
+                Hash128 key =
+                    decodedProgramKey(fn, target_, decodeOpts);
+                if (decodedCache_->lookup(key))
+                    continue;
+                Stopwatch decodeWatch;
+                auto df = decodeFunction(fn, target_, decodeOpts);
+                report.counters.decodeSeconds += decodeWatch.elapsed();
+                ++report.counters.functionsPredecoded;
+                decodedCache_->insert(key, std::move(df));
+            }
+        }
+    }
 
     report.timings = timing.timings();
     report.busySeconds = timing.busySeconds();

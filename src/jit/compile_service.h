@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "arch/target.h"
+#include "interp/decoded_program.h"
 #include "jit/compile_cache.h"
 #include "jit/pipeline.h"
 #include "jit/stats.h"
@@ -66,10 +67,23 @@ struct CompileServiceOptions
     bool enableCache = true;
 
     /**
+     * Pre-decode every installed function into the decoded-program
+     * cache after each batch, so fast interpreters sharing
+     * decodedCache() never decode on the execution path.
+     */
+    bool predecode = true;
+
+    /**
      * Share a cache across services (e.g. across worker-count arms of
      * a bench).  When null the service creates a private cache.
      */
     std::shared_ptr<CompileCache> cache;
+
+    /**
+     * Share a decoded-program cache; when null the service creates a
+     * private one.
+     */
+    std::shared_ptr<DecodedProgramCache> decodedCache;
 };
 
 /** What one batch did: counters, merged timings, wall clock. */
@@ -109,10 +123,22 @@ class CompileService
     CompileCache &cache() { return *cache_; }
     const CompileCache &cache() const { return *cache_; }
 
+    /**
+     * Decoded programs of everything this service compiled (one decode
+     * per (function, target) content hash); hand it to FastInterpreter
+     * or runWorkload so execution starts without a decode pass.
+     */
+    const std::shared_ptr<DecodedProgramCache> &
+    decodedCache() const
+    {
+        return decodedCache_;
+    }
+
   private:
     Target target_;
     CompileServiceOptions options_;
     std::shared_ptr<CompileCache> cache_;
+    std::shared_ptr<DecodedProgramCache> decodedCache_;
     WorkerPool pool_;
 };
 

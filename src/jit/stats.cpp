@@ -74,6 +74,8 @@ ServiceCounters::operator+=(const ServiceCounters &other)
     cacheHits += other.cacheHits;
     solverSolves += other.solverSolves;
     solverBlockVisits += other.solverBlockVisits;
+    functionsPredecoded += other.functionsPredecoded;
+    decodeSeconds += other.decodeSeconds;
     return *this;
 }
 

@@ -55,6 +55,14 @@ struct ServiceCounters
     size_t solverSolves = 0;      ///< solve() calls across all jobs
     size_t solverBlockVisits = 0; ///< worklist pops across all solves
 
+    // Pre-decoding for the fast interpreter (interp/decoded_program.h):
+    // after the batch installs its results, the service decodes each
+    // compiled function into its DecodedProgramCache so bench runs pay
+    // for decoding once, not per interpreter instance.  These separate
+    // that cost from compilation proper in the compile-time benches.
+    size_t functionsPredecoded = 0; ///< decode-cache misses this batch
+    double decodeSeconds = 0.0;     ///< host time spent pre-decoding
+
     size_t
     total() const
     {

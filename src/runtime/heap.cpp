@@ -41,80 +41,6 @@ Heap::allocateArray(Type elem_type, int32_t length)
     return ref;
 }
 
-bool
-Heap::inBounds(Address addr, int64_t size) const
-{
-    return addr >= kHeapBase && addr + size <= next_;
-}
-
-int32_t
-Heap::readI32(Address addr) const
-{
-    int32_t v;
-    std::memcpy(&v, plot(addr), sizeof(v));
-    return v;
-}
-
-int64_t
-Heap::readI64(Address addr) const
-{
-    int64_t v;
-    std::memcpy(&v, plot(addr), sizeof(v));
-    return v;
-}
-
-double
-Heap::readF64(Address addr) const
-{
-    double v;
-    std::memcpy(&v, plot(addr), sizeof(v));
-    return v;
-}
-
-Address
-Heap::readRef(Address addr) const
-{
-    Address v;
-    std::memcpy(&v, plot(addr), sizeof(v));
-    return v;
-}
-
-void
-Heap::writeI32(Address addr, int32_t value)
-{
-    std::memcpy(plot(addr), &value, sizeof(value));
-}
-
-void
-Heap::writeI64(Address addr, int64_t value)
-{
-    std::memcpy(plot(addr), &value, sizeof(value));
-}
-
-void
-Heap::writeF64(Address addr, double value)
-{
-    std::memcpy(plot(addr), &value, sizeof(value));
-}
-
-void
-Heap::writeRef(Address addr, Address value)
-{
-    std::memcpy(plot(addr), &value, sizeof(value));
-}
-
-ClassId
-Heap::classOf(Address ref) const
-{
-    return static_cast<ClassId>(readI32(ref + kHeaderOffset));
-}
-
-int32_t
-Heap::arrayLength(Address ref) const
-{
-    return readI32(ref + kArrayLengthOffset);
-}
-
 uint64_t
 Heap::digest() const
 {

@@ -18,6 +18,7 @@
  */
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "ir/layout.h"
@@ -57,23 +58,83 @@ class Heap
     size_t bytesAllocated() const { return next_ - kHeapBase; }
 
     /** True if [addr, addr+size) is inside the allocated arena. */
-    bool inBounds(Address addr, int64_t size) const;
+    bool
+    inBounds(Address addr, int64_t size) const
+    {
+        return addr >= kHeapBase && addr + size <= next_;
+    }
 
     // Typed accessors; addresses must be in bounds (callers check).
-    int32_t readI32(Address addr) const;
-    int64_t readI64(Address addr) const;
-    double readF64(Address addr) const;
-    Address readRef(Address addr) const;
-    void writeI32(Address addr, int32_t value);
-    void writeI64(Address addr, int64_t value);
-    void writeF64(Address addr, double value);
-    void writeRef(Address addr, Address value);
+    // Inline: these sit on the hottest path of both interpreter engines.
+    int32_t
+    readI32(Address addr) const
+    {
+        int32_t v;
+        std::memcpy(&v, plot(addr), sizeof(v));
+        return v;
+    }
+
+    int64_t
+    readI64(Address addr) const
+    {
+        int64_t v;
+        std::memcpy(&v, plot(addr), sizeof(v));
+        return v;
+    }
+
+    double
+    readF64(Address addr) const
+    {
+        double v;
+        std::memcpy(&v, plot(addr), sizeof(v));
+        return v;
+    }
+
+    Address
+    readRef(Address addr) const
+    {
+        Address v;
+        std::memcpy(&v, plot(addr), sizeof(v));
+        return v;
+    }
+
+    void
+    writeI32(Address addr, int32_t value)
+    {
+        std::memcpy(plot(addr), &value, sizeof(value));
+    }
+
+    void
+    writeI64(Address addr, int64_t value)
+    {
+        std::memcpy(plot(addr), &value, sizeof(value));
+    }
+
+    void
+    writeF64(Address addr, double value)
+    {
+        std::memcpy(plot(addr), &value, sizeof(value));
+    }
+
+    void
+    writeRef(Address addr, Address value)
+    {
+        std::memcpy(plot(addr), &value, sizeof(value));
+    }
 
     /** Class id stored in the header of the object at @p ref. */
-    ClassId classOf(Address ref) const;
+    ClassId
+    classOf(Address ref) const
+    {
+        return static_cast<ClassId>(readI32(ref + kHeaderOffset));
+    }
 
     /** Length word of the array at @p ref. */
-    int32_t arrayLength(Address ref) const;
+    int32_t
+    arrayLength(Address ref) const
+    {
+        return static_cast<int32_t>(readI32(ref + kArrayLengthOffset));
+    }
 
     /** FNV-1a digest of the allocated region (for equivalence tests). */
     uint64_t digest() const;

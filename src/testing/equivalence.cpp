@@ -1,7 +1,9 @@
 #include "testing/equivalence.h"
 
+#include <bit>
 #include <sstream>
 
+#include "interp/fast_interpreter.h"
 #include "interp/interpreter.h"
 #include "ir/verifier.h"
 #include "runtime/exceptions.h"
@@ -131,6 +133,174 @@ compareWithReference(
     }
     if (ref.heapDigest != opt.heapDigest) {
         os << "final heap digest differs";
+        report.message = os.str();
+        return report;
+    }
+
+    report.equivalent = true;
+    return report;
+}
+
+EquivalenceReport
+compareEngines(Module &mod, const Target &runtime_target,
+               DecodeOptions decode_options)
+{
+    EquivalenceReport report;
+    FunctionId entry = mod.findFunction("main");
+    TRAPJIT_ASSERT(entry != kNoFunction, "module has no main");
+    const Type returnType = mod.function(entry).returnType();
+
+    InterpOptions options;
+    options.recordTrace = true;
+
+    Observation ref;
+    Interpreter refInterp(mod, runtime_target, options);
+    try {
+        ref.result = refInterp.run(entry, {});
+        ref.events = refInterp.trace().events();
+        ref.heapDigest = refInterp.heap().digest();
+    } catch (const HardFault &fault) {
+        ref.hardFault = true;
+        ref.fault = fault.what();
+    }
+
+    Observation fast;
+    FastInterpreter fastInterp(mod, runtime_target, options, nullptr,
+                               decode_options);
+    try {
+        fast.result = fastInterp.run(entry, {});
+        fast.events = fastInterp.trace().events();
+        fast.heapDigest = fastInterp.heap().digest();
+    } catch (const HardFault &fault) {
+        fast.hardFault = true;
+        fast.fault = fault.what();
+    }
+
+    std::ostringstream os;
+    if (ref.hardFault != fast.hardFault) {
+        os << "HardFault parity differs: reference "
+           << (ref.hardFault ? "faulted (" + ref.fault + ")"
+                             : "completed")
+           << ", fast "
+           << (fast.hardFault ? "faulted (" + fast.fault + ")"
+                              : "completed");
+        report.message = os.str();
+        return report;
+    }
+    if (ref.hardFault) {
+        if (ref.fault != fast.fault) {
+            os << "HardFault message differs: reference \"" << ref.fault
+               << "\", fast \"" << fast.fault << "\"";
+            report.message = os.str();
+            return report;
+        }
+        // Both engines detected the same miscompilation; that IS the
+        // agreed behavior (partial stats are not comparable past the
+        // throw, so stop here).
+        report.equivalent = true;
+        return report;
+    }
+
+    if (ref.result.outcome != fast.result.outcome) {
+        os << "outcome differs: reference "
+           << (ref.result.outcome == ExecResult::Outcome::Returned
+                   ? "returned"
+                   : "threw")
+           << ", fast "
+           << (fast.result.outcome == ExecResult::Outcome::Returned
+                   ? "returned"
+                   : "threw");
+        report.message = os.str();
+        return report;
+    }
+    if (ref.result.exception != fast.result.exception) {
+        os << "exception differs: reference "
+           << excName(ref.result.exception) << ", fast "
+           << excName(fast.result.exception);
+        report.message = os.str();
+        return report;
+    }
+    if (ref.result.outcome == ExecResult::Outcome::Returned) {
+        const RuntimeValue &rv = ref.result.value;
+        const RuntimeValue &fv = fast.result.value;
+        bool same = true;
+        switch (returnType) {
+          case Type::F64:
+            same = std::bit_cast<uint64_t>(rv.f) ==
+                   std::bit_cast<uint64_t>(fv.f);
+            break;
+          case Type::Ref:
+            same = rv.ref == fv.ref;
+            break;
+          case Type::Void:
+            break;
+          default:
+            same = rv.i == fv.i;
+            break;
+        }
+        if (!same) {
+            os << "return value differs: reference (i=" << rv.i
+               << ", f=" << rv.f << ", ref=" << rv.ref << "), fast (i="
+               << fv.i << ", f=" << fv.f << ", ref=" << fv.ref << ")";
+            report.message = os.str();
+            return report;
+        }
+    }
+
+    size_t n = std::min(ref.events.size(), fast.events.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (!(ref.events[i] == fast.events[i])) {
+            os << "event " << i << " differs: reference "
+               << ref.events[i].toString() << ", fast "
+               << fast.events[i].toString();
+            report.message = os.str();
+            return report;
+        }
+    }
+    if (ref.events.size() != fast.events.size()) {
+        os << "event count differs: reference " << ref.events.size()
+           << ", fast " << fast.events.size();
+        report.message = os.str();
+        return report;
+    }
+    if (ref.heapDigest != fast.heapDigest) {
+        os << "final heap digest differs";
+        report.message = os.str();
+        return report;
+    }
+
+    // Bit-exact stats: the decoded engine must charge the same costs in
+    // the same order, so even the cycle double is compared bitwise.
+    const ExecStats &a = ref.result.stats;
+    const ExecStats &b = fast.result.stats;
+    auto counter = [&](const char *name, uint64_t x, uint64_t y) {
+        if (x != y && report.message.empty()) {
+            std::ostringstream cs;
+            cs << "stats." << name << " differs: reference " << x
+               << ", fast " << y;
+            report.message = cs.str();
+        }
+    };
+    counter("instructions", a.instructions, b.instructions);
+    counter("explicitNullChecks", a.explicitNullChecks,
+            b.explicitNullChecks);
+    counter("implicitNullChecks", a.implicitNullChecks,
+            b.implicitNullChecks);
+    counter("boundChecks", a.boundChecks, b.boundChecks);
+    counter("heapReads", a.heapReads, b.heapReads);
+    counter("heapWrites", a.heapWrites, b.heapWrites);
+    counter("calls", a.calls, b.calls);
+    counter("allocations", a.allocations, b.allocations);
+    counter("trapsTaken", a.trapsTaken, b.trapsTaken);
+    counter("speculativeReadsOfNull", a.speculativeReadsOfNull,
+            b.speculativeReadsOfNull);
+    if (!report.message.empty())
+        return report;
+    if (std::bit_cast<uint64_t>(a.cycles) !=
+        std::bit_cast<uint64_t>(b.cycles)) {
+        os.precision(17);
+        os << "cycles differ bitwise: reference " << a.cycles
+           << ", fast " << b.cycles;
         report.message = os.str();
         return report;
     }

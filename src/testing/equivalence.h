@@ -20,6 +20,7 @@
 #include <string>
 
 #include "arch/target.h"
+#include "interp/decoded_program.h"
 #include "ir/module.h"
 #include "jit/compiler.h"
 
@@ -55,6 +56,24 @@ EquivalenceReport compareWithReference(
     const std::function<std::unique_ptr<Module>()> &build,
     const std::function<void(Module &)> &compile,
     const Target &runtime_target);
+
+/**
+ * Cross-engine differential oracle: run @p mod's `main` once under the
+ * reference switch interpreter and once under the pre-decoded fast
+ * engine (interp/fast_interpreter.h) and compare *everything*, bit for
+ * bit — HardFault parity (including the fault message), outcome,
+ * exception kind, the typed return value, the full ordered EventTrace,
+ * the final heap digest, the accumulated cycle double, and every
+ * semantic ExecStats counter.  This is strictly stronger than the
+ * Java-observability check above: the fast engine is required to be an
+ * exact reimplementation, not merely an equivalent one.
+ *
+ * @param decode_options  decode knobs for the fast engine (run once
+ *                        with fusion on and once off to cover both
+ *                        dispatch shapes)
+ */
+EquivalenceReport compareEngines(Module &mod, const Target &runtime_target,
+                                 DecodeOptions decode_options = {});
 
 } // namespace trapjit
 

@@ -19,7 +19,8 @@ findWorkload(const std::string &name)
 
 WorkloadRun
 runWorkload(const Workload &workload, const Compiler &compiler,
-            const Target &runtime_target, bool record_trace)
+            const Target &runtime_target, bool record_trace,
+            std::shared_ptr<DecodedProgramCache> decoded_cache)
 {
     WorkloadRun run;
     std::unique_ptr<Module> mod = workload.build();
@@ -31,8 +32,15 @@ runWorkload(const Workload &workload, const Compiler &compiler,
 
     InterpOptions options;
     options.recordTrace = record_trace;
-    Interpreter interp(*mod, runtime_target, options);
-    ExecResult result = interp.run(entry, {});
+    ExecResult result;
+    if (interpEngineFromEnv() == InterpEngineKind::Reference) {
+        Interpreter interp(*mod, runtime_target, options);
+        result = interp.run(entry, {});
+    } else {
+        FastInterpreter interp(*mod, runtime_target, options,
+                               std::move(decoded_cache));
+        result = interp.run(entry, {});
+    }
 
     run.stats = result.stats;
     run.cycles = result.stats.cycles;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/target.h"
+#include "interp/fast_interpreter.h"
 #include "interp/interpreter.h"
 #include "ir/module.h"
 #include "jit/compiler.h"
@@ -70,10 +71,19 @@ struct WorkloadRun
  * Build, compile (under @p compiler) and execute @p workload on
  * @p runtime_target (the honest machine model — may differ from the
  * compiler's target in the Illegal Implicit experiment).
+ *
+ * Execution uses the pre-decoded fast engine unless TRAPJIT_INTERP
+ * selects the reference interpreter (see interpEngineFromEnv()); the
+ * two are differentially tested to be bit-identical, so every bench
+ * harness reproduces the same numbers under either engine.  Pass
+ * @p decoded_cache (e.g. CompileService::decodedCache()) to reuse
+ * decodes across runs.
  */
 WorkloadRun runWorkload(const Workload &workload, const Compiler &compiler,
                         const Target &runtime_target,
-                        bool record_trace = false);
+                        bool record_trace = false,
+                        std::shared_ptr<DecodedProgramCache> decoded_cache =
+                            nullptr);
 
 } // namespace trapjit
 

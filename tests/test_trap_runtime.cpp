@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include "arch/target.h"
+#include "interp/fast_interpreter.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
 #include "runtime/trap_runtime.h"
+#include "testing/equivalence.h"
 
 namespace trapjit
 {
@@ -67,6 +72,154 @@ TEST(TrapRuntime, TrapCoverageMatchesPageBounds)
                                           runtime.trapAreaBytes() - 1));
     EXPECT_FALSE(runtime.trapCoversAddress(runtime.simNull() +
                                            runtime.trapAreaBytes()));
+}
+
+// ---------------------------------------------------------------------------
+// Trap semantics on the fast path
+// ---------------------------------------------------------------------------
+//
+// The pre-decoded engine bakes each memory access's trap verdict
+// (exception site? trap-covered offset? speculation-safe read?) into
+// flag bits at decode time instead of consulting the Target per access.
+// These tests pin every edge of that decision table to the reference
+// interpreter's behavior — same exception, same counters, and for
+// miscompiles the same HardFault message.
+
+/** A marked (implicit-check) getfield of `null.field(offset)`. */
+std::unique_ptr<Module>
+buildMarkedNullRead(int64_t offset, bool marked, bool speculative)
+{
+    auto mod = std::make_unique<Module>();
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId nil = b.constNull();
+    Instruction gf;
+    gf.op = Opcode::GetField;
+    gf.dst = fn.addTemp(Type::I32);
+    gf.a = nil;
+    gf.imm = offset;
+    gf.exceptionSite = marked;
+    gf.speculative = speculative;
+    b.emit(gf);
+    b.ret(gf.dst);
+    return mod;
+}
+
+TEST(FastPathTrapSemantics, ImplicitCheckNPEMatchesReference)
+{
+    auto mod = buildMarkedNullRead(8, /*marked=*/true,
+                                   /*speculative=*/false);
+    Target ia32 = makeIA32WindowsTarget();
+    EquivalenceReport report = compareEngines(*mod, ia32);
+    EXPECT_TRUE(report.equivalent) << report.message;
+
+    FastInterpreter fast(*mod, ia32);
+    ExecResult r = fast.run(mod->findFunction("main"), {});
+    ASSERT_EQ(ExecResult::Outcome::Threw, r.outcome);
+    EXPECT_EQ(ExcKind::NullPointer, r.exception);
+    EXPECT_EQ(1u, r.stats.trapsTaken);
+}
+
+TEST(FastPathTrapSemantics, SpeculativeNullReadYieldsZeroOnAIX)
+{
+    auto mod = buildMarkedNullRead(8, /*marked=*/false,
+                                   /*speculative=*/true);
+    Target aix = makePPCAIXTarget();
+    EquivalenceReport report = compareEngines(*mod, aix);
+    EXPECT_TRUE(report.equivalent) << report.message;
+
+    FastInterpreter fast(*mod, aix);
+    ExecResult r = fast.run(mod->findFunction("main"), {});
+    ASSERT_EQ(ExecResult::Outcome::Returned, r.outcome);
+    EXPECT_EQ(0, r.value.i);
+    EXPECT_EQ(1u, r.stats.speculativeReadsOfNull);
+    EXPECT_EQ(0u, r.stats.trapsTaken);
+}
+
+TEST(FastPathTrapSemantics, SpeculativeNullReadFaultsIdenticallyOnIA32)
+{
+    // The same speculative shape is a miscompile where reads through
+    // the null page trap; both engines must agree on the exact fault.
+    auto mod = buildMarkedNullRead(8, /*marked=*/false,
+                                   /*speculative=*/true);
+    Target ia32 = makeIA32WindowsTarget();
+    EquivalenceReport report = compareEngines(*mod, ia32);
+    EXPECT_TRUE(report.equivalent)
+        << "both engines should hard-fault identically: "
+        << report.message;
+
+    std::string fastMessage;
+    try {
+        FastInterpreter fast(*mod, ia32);
+        fast.run(mod->findFunction("main"), {});
+        FAIL() << "speculative null read must fault on ia32";
+    } catch (const HardFault &fault) {
+        fastMessage = fault.what();
+    }
+    try {
+        Interpreter ref(*mod, ia32);
+        ref.run(mod->findFunction("main"), {});
+        FAIL() << "speculative null read must fault on ia32";
+    } catch (const HardFault &fault) {
+        EXPECT_EQ(std::string(fault.what()), fastMessage);
+    }
+}
+
+TEST(FastPathTrapSemantics, IllegalImplicitReadSilentZeroMatches)
+{
+    // Section 5.4 "Illegal Implicit": a marked *read* on a target that
+    // only traps writes loses the NPE and silently yields zero.  The
+    // decode-time kDecodedIllegalZero flag must reproduce this exactly.
+    auto mod = buildMarkedNullRead(8, /*marked=*/true,
+                                   /*speculative=*/false);
+    Target aix = makePPCAIXTarget();
+    EquivalenceReport report = compareEngines(*mod, aix);
+    EXPECT_TRUE(report.equivalent) << report.message;
+
+    FastInterpreter fast(*mod, aix);
+    ExecResult r = fast.run(mod->findFunction("main"), {});
+    ASSERT_EQ(ExecResult::Outcome::Returned, r.outcome);
+    EXPECT_EQ(0, r.value.i);
+    EXPECT_EQ(0u, r.stats.trapsTaken);
+}
+
+TEST(FastPathTrapSemantics, HardFaultMessagesMatchReference)
+{
+    // Unmarked null dereference (plain miscompile) and a marked access
+    // beyond the protected page (Figure 5 BigOffset rule): in both
+    // cases the engines must throw HardFault with the same text.
+    Target ia32 = makeIA32WindowsTarget();
+    struct Shape
+    {
+        int64_t offset;
+        bool marked;
+    };
+    for (const Shape &shape : {Shape{8, false}, Shape{8192, true}}) {
+        auto mod = buildMarkedNullRead(shape.offset, shape.marked,
+                                       /*speculative=*/false);
+        EquivalenceReport report = compareEngines(*mod, ia32);
+        EXPECT_TRUE(report.equivalent)
+            << "offset " << shape.offset << " marked " << shape.marked
+            << ": " << report.message;
+
+        std::string refMessage;
+        std::string fastMessage;
+        try {
+            Interpreter ref(*mod, ia32);
+            ref.run(mod->findFunction("main"), {});
+        } catch (const HardFault &fault) {
+            refMessage = fault.what();
+        }
+        try {
+            FastInterpreter fast(*mod, ia32);
+            fast.run(mod->findFunction("main"), {});
+        } catch (const HardFault &fault) {
+            fastMessage = fault.what();
+        }
+        EXPECT_FALSE(refMessage.empty());
+        EXPECT_EQ(refMessage, fastMessage);
+    }
 }
 
 } // namespace
