@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Execution-tier comparison on real wall time: reference switch
+ * interpreter vs pre-decoded fused interpreter vs the native x86-64
+ * tier, on jBYTEmark kernels (BM_Native_* — CI uploads the results as
+ * BENCH_native.json next to BENCH_interp.json).
+ *
+ * Two families:
+ *
+ *  - BM_Native_{Reference,Fast,Jit}_<kernel>: the same unoptimized
+ *    module (every check explicit, the interpreter benches' shape)
+ *    under all three engines.  The native tier's claim is >= 5x over
+ *    the fused interpreter on these kernels — dispatch disappears
+ *    entirely; what remains is the slot traffic.
+ *
+ *  - BM_Native_{ImplicitChecks,ExplicitChecks}_<kernel>: the paper's
+ *    actual experiment on real hardware.  The same kernel compiled
+ *    under the hardware-trap arm (implicit checks: zero instructions,
+ *    the guard page does the checking) and the no-trap arm (explicit
+ *    compare-and-branch per check), both executed natively.  On
+ *    null-heavy kernels the trap arm must be at least as fast in wall
+ *    time — the win the paper measures in Table 1.
+ *
+ * Native benches skip (with a notice in the JSON) on hosts without the
+ * native tier; the interpreter baselines run everywhere.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/native/native_engine.h"
+#include "interp/fast_interpreter.h"
+#include "interp/interpreter.h"
+#include "jit/compiler.h"
+#include "workloads/workload.h"
+
+namespace trapjit
+{
+namespace
+{
+
+enum class Tier
+{
+    Reference,
+    Fast,
+    Native,
+};
+
+void
+runEngineBenchmark(benchmark::State &state, const char *workload, Tier tier)
+{
+    Target target = makeIA32WindowsTarget();
+    const Workload *w = findWorkload(workload);
+    auto mod = w->build();
+    FunctionId entry = mod->findFunction("main");
+    InterpOptions options;
+    options.recordTrace = false;
+
+    ExecStats stats;
+    auto loop = [&](auto &engine) {
+        for (auto _ : state) {
+            engine.reset();
+            ExecResult r = engine.run(entry, {});
+            benchmark::DoNotOptimize(r.value.i);
+            stats = r.stats;
+        }
+    };
+    switch (tier) {
+      case Tier::Reference: {
+        Interpreter interp(*mod, target, options);
+        loop(interp);
+        break;
+      }
+      case Tier::Fast: {
+        FastInterpreter interp(*mod, target, options);
+        loop(interp);
+        break;
+      }
+      case Tier::Native: {
+        if (!nativeTierSupported()) {
+            state.SkipWithError("native tier requires x86-64 Linux");
+            return;
+        }
+        NativeEngine engine(*mod, target, options);
+        // Compile outside the timed region and fail loudly on
+        // fallback: a silently interpreted "native" number would make
+        // the comparison meaningless.
+        if (engine.nativeCode(entry) == nullptr) {
+            state.SkipWithError("main did not compile natively");
+            return;
+        }
+        loop(engine);
+        break;
+      }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(stats.instructions) * state.iterations());
+}
+
+/**
+ * The trap experiment: compile under @p makeConfig, execute natively,
+ * and report the check mix so the JSON shows what was measured.
+ */
+void
+runCheckArmBenchmark(benchmark::State &state, const char *workload,
+                     PipelineConfig (*makeConfig)())
+{
+    if (!nativeTierSupported()) {
+        state.SkipWithError("native tier requires x86-64 Linux");
+        return;
+    }
+    Target target = makeIA32WindowsTarget();
+    const Workload *w = findWorkload(workload);
+    auto mod = w->build();
+    Compiler compiler(target, makeConfig());
+    compiler.compile(*mod);
+    FunctionId entry = mod->findFunction("main");
+    InterpOptions options;
+    options.recordTrace = false;
+
+    NativeEngine engine(*mod, target, options);
+    const NativeCode *nc = engine.nativeCode(entry);
+    if (nc == nullptr) {
+        state.SkipWithError("main did not compile natively");
+        return;
+    }
+    ExecStats stats;
+    for (auto _ : state) {
+        engine.reset();
+        ExecResult r = engine.run(entry, {});
+        benchmark::DoNotOptimize(r.value.i);
+        stats = r.stats;
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(stats.instructions) * state.iterations());
+    state.counters["implicit_checks"] =
+        static_cast<double>(nc->implicitChecksCompiled);
+    state.counters["explicit_checks"] =
+        static_cast<double>(nc->explicitChecksCompiled);
+    state.counters["explicit_check_bytes"] =
+        static_cast<double>(nc->explicitNullCheckBytes);
+    state.counters["traps_taken"] = static_cast<double>(stats.trapsTaken);
+}
+
+#define TRAPJIT_NATIVE_BENCH(kernel, workload)                            \
+    void BM_Native_Reference_##kernel(benchmark::State &state)            \
+    {                                                                     \
+        runEngineBenchmark(state, workload, Tier::Reference);             \
+    }                                                                     \
+    void BM_Native_Fast_##kernel(benchmark::State &state)                 \
+    {                                                                     \
+        runEngineBenchmark(state, workload, Tier::Fast);                  \
+    }                                                                     \
+    void BM_Native_Jit_##kernel(benchmark::State &state)                  \
+    {                                                                     \
+        runEngineBenchmark(state, workload, Tier::Native);                \
+    }                                                                     \
+    void BM_Native_ImplicitChecks_##kernel(benchmark::State &state)       \
+    {                                                                     \
+        runCheckArmBenchmark(state, workload, makeNoOptTrapConfig);       \
+    }                                                                     \
+    void BM_Native_ExplicitChecks_##kernel(benchmark::State &state)       \
+    {                                                                     \
+        runCheckArmBenchmark(state, workload, makeNoOptNoTrapConfig);     \
+    }                                                                     \
+    BENCHMARK(BM_Native_Reference_##kernel);                              \
+    BENCHMARK(BM_Native_Fast_##kernel);                                   \
+    BENCHMARK(BM_Native_Jit_##kernel);                                    \
+    BENCHMARK(BM_Native_ImplicitChecks_##kernel);                         \
+    BENCHMARK(BM_Native_ExplicitChecks_##kernel)
+
+TRAPJIT_NATIVE_BENCH(numsort, "Numeric Sort");
+TRAPJIT_NATIVE_BENCH(assignment, "Assignment");
+TRAPJIT_NATIVE_BENCH(idea, "IDEA encryption");
+
+#undef TRAPJIT_NATIVE_BENCH
+
+} // namespace
+} // namespace trapjit
+
+BENCHMARK_MAIN();

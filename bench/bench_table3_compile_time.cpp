@@ -95,6 +95,10 @@ main()
             oursRun.stats.fusedPairsExecuted;
         engineTotals.functionsDecoded += oursRun.stats.functionsDecoded;
         engineTotals.decodeSeconds += oursRun.stats.decodeSeconds;
+        engineTotals.functionsNativeCompiled +=
+            oursRun.stats.functionsNativeCompiled;
+        engineTotals.nativeCompileSeconds +=
+            oursRun.stats.nativeCompileSeconds;
 
         table.addRow({w.name, TextTable::num(oursCompileMs, 3),
                       TextTable::num(oursRunMs, 3),
@@ -131,6 +135,12 @@ main()
                   << engineTotals.functionsDecoded
                   << " functions decoded in "
                   << TextTable::num(engineTotals.decodeSeconds * 1e3, 3)
+                  << " ms (excluded from compile columns)";
+    if (interpEngineFromEnv() == InterpEngineKind::Native)
+        std::cout << ", " << engineTotals.functionsNativeCompiled
+                  << " functions native-compiled in "
+                  << TextTable::num(
+                         engineTotals.nativeCompileSeconds * 1e3, 3)
                   << " ms (excluded from compile columns)";
     std::cout << "\n";
     return 0;

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <map>
 
+#include "codegen/check_bytes.h"
+
 namespace trapjit
 {
 
@@ -55,29 +57,18 @@ emitFunction(const Function &func, const Target &target)
         blockOffset[b] = static_cast<uint32_t>(code.bytes.size());
         for (const Instruction &inst :
              func.block(static_cast<BlockId>(b)).insts()) {
-            size_t before = code.bytes.size();
             switch (inst.op) {
               case Opcode::NullCheck:
-                if (inst.flavor == CheckFlavor::Explicit) {
-                    // test r, r ; jz <npe stub>  (or a conditional trap
-                    // instruction on targets that have one).
-                    code.bytes.push_back(0x85);
-                    putReg(code.bytes, inst.a);
-                    code.bytes.push_back(0x74);
-                    code.bytes.push_back(0x00); // stub displacement
+                // The check sequences live in codegen/check_bytes.h so
+                // this emitter and the native tier account identically.
+                if (inst.flavor == CheckFlavor::Explicit)
                     code.explicitNullCheckBytes +=
-                        code.bytes.size() - before;
-                }
+                        model::emitExplicitNullCheck(code.bytes, inst.a);
                 // Implicit: no bytes at all — the following access traps.
                 break;
               case Opcode::BoundCheck:
-                // cmp idx, len ; jae <aioobe stub>
-                code.bytes.push_back(0x39);
-                putReg(code.bytes, inst.a);
-                putReg(code.bytes, inst.b);
-                code.bytes.push_back(0x73);
-                code.bytes.push_back(0x00);
-                code.boundCheckBytes += code.bytes.size() - before;
+                code.boundCheckBytes +=
+                    model::emitBoundCheck(code.bytes, inst.a, inst.b);
                 break;
               case Opcode::ConstInt:
                 code.bytes.push_back(0xb8);

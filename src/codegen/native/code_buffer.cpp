@@ -1,0 +1,58 @@
+#include "codegen/native/code_buffer.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+CodeBuffer::CodeBuffer(size_t capacity)
+{
+    size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    if (capacity == 0)
+        capacity = 1;
+    capacity_ = (capacity + page - 1) & ~(page - 1);
+    void *mem = mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED)
+        TRAPJIT_FATAL("mmap of a code buffer failed");
+    base_ = static_cast<uint8_t *>(mem);
+}
+
+CodeBuffer::CodeBuffer(CodeBuffer &&other) noexcept
+    : base_(other.base_), capacity_(other.capacity_),
+      executable_(other.executable_)
+{
+    other.base_ = nullptr;
+    other.capacity_ = 0;
+}
+
+CodeBuffer::~CodeBuffer()
+{
+    if (base_ != nullptr)
+        munmap(base_, capacity_);
+}
+
+void
+CodeBuffer::finalize()
+{
+    if (executable_)
+        return;
+    if (mprotect(base_, capacity_, PROT_READ | PROT_EXEC) != 0)
+        TRAPJIT_FATAL("mprotect(PROT_EXEC) on a code buffer failed");
+    executable_ = true;
+}
+
+void
+CodeBuffer::makeWritable()
+{
+    if (!executable_)
+        return;
+    if (mprotect(base_, capacity_, PROT_READ | PROT_WRITE) != 0)
+        TRAPJIT_FATAL("mprotect(PROT_WRITE) on a code buffer failed");
+    executable_ = false;
+}
+
+} // namespace trapjit

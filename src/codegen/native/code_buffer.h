@@ -1,0 +1,60 @@
+#ifndef TRAPJIT_CODEGEN_NATIVE_CODE_BUFFER_H_
+#define TRAPJIT_CODEGEN_NATIVE_CODE_BUFFER_H_
+
+/**
+ * @file
+ * W^X executable code buffer.
+ *
+ * One mmap'd, page-rounded region that is writable *or* executable,
+ * never both: the compiler fills it under PROT_READ|PROT_WRITE, then
+ * finalize() flips it to PROT_READ|PROT_EXEC before the first call.
+ * makeWritable() flips it back for patching or reuse across
+ * recompiles — the lifecycle tests (tests/test_code_buffer.cpp) drive
+ * a buffer through several write/execute cycles.
+ *
+ * The buffer never moves once allocated (entry addresses and the
+ * absolute handler-table entries inside it would dangle), so it is
+ * non-copyable and non-movable past finalization; size must be chosen
+ * up front.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trapjit
+{
+
+/** RAII owner of one executable region. */
+class CodeBuffer
+{
+  public:
+    /** Maps at least @p capacity bytes PROT_READ|PROT_WRITE. */
+    explicit CodeBuffer(size_t capacity);
+    ~CodeBuffer();
+
+    CodeBuffer(const CodeBuffer &) = delete;
+    CodeBuffer &operator=(const CodeBuffer &) = delete;
+    CodeBuffer(CodeBuffer &&other) noexcept;
+    CodeBuffer &operator=(CodeBuffer &&) = delete;
+
+    uint8_t *base() const { return base_; }
+    size_t capacity() const { return capacity_; }
+
+    /** True while the mapping is PROT_READ|PROT_EXEC. */
+    bool executable() const { return executable_; }
+
+    /** Flip to PROT_READ|PROT_EXEC; idempotent. */
+    void finalize();
+
+    /** Flip back to PROT_READ|PROT_WRITE for patching; idempotent. */
+    void makeWritable();
+
+  private:
+    uint8_t *base_ = nullptr;
+    size_t capacity_ = 0; ///< page-rounded mapping size
+    bool executable_ = false;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_CODEGEN_NATIVE_CODE_BUFFER_H_

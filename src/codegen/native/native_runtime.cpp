@@ -1,0 +1,136 @@
+#include "codegen/native/native_runtime.h"
+
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#if defined(__x86_64__) && defined(__linux__)
+#include <ucontext.h>
+#endif
+
+#include "runtime/signal_stack.h"
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+thread_local NativeActivation *t_activation = nullptr;
+
+std::mutex g_installMutex;
+int g_installCount = 0;
+struct sigaction g_prevAction;
+
+void
+chainToPrevious(int signo, siginfo_t *info, void *context)
+{
+    if (g_prevAction.sa_flags & SA_SIGINFO) {
+        if (g_prevAction.sa_sigaction != nullptr)
+            g_prevAction.sa_sigaction(signo, info, context);
+        return;
+    }
+    if (g_prevAction.sa_handler == SIG_IGN)
+        return;
+    if (g_prevAction.sa_handler != SIG_DFL) {
+        g_prevAction.sa_handler(signo);
+        return;
+    }
+    signal(signo, SIG_DFL);
+    raise(signo);
+}
+
+void
+nativeSegvHandler(int signo, siginfo_t *info, void *context)
+{
+#if defined(__x86_64__) && defined(__linux__)
+    NativeActivation *act = t_activation;
+    if (act != nullptr) {
+        ucontext_t *uc = static_cast<ucontext_t *>(context);
+        uintptr_t pc =
+            static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+        if (pc >= act->codeLo && pc < act->codeHi) {
+            uintptr_t fault = reinterpret_cast<uintptr_t>(info->si_addr);
+            act->faultPc = pc;
+            act->faultAddr = fault;
+            // The budget count lives in r14 while JIT code runs; the
+            // wrapper writes it back to the context before resuming.
+            act->faultBudget =
+                static_cast<int64_t>(uc->uc_mcontext.gregs[REG_R14]);
+            bool inGuard = fault >= act->guardLo && fault < act->guardHi;
+            siglongjmp(act->jmp, inGuard ? 1 : 2);
+        }
+    }
+#endif
+    chainToPrevious(signo, info, context);
+}
+
+} // namespace
+
+void
+nativePushActivation(NativeActivation *act)
+{
+    act->prev = t_activation;
+    t_activation = act;
+}
+
+void
+nativePopActivation(NativeActivation *act)
+{
+    TRAPJIT_ASSERT(t_activation == act, "activation stack out of order");
+    t_activation = act->prev;
+}
+
+void
+nativeInstallSegvHandler()
+{
+    std::lock_guard<std::mutex> lock(g_installMutex);
+    if (g_installCount++ > 0)
+        return;
+    ensureAltSignalStack();
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = nativeSegvHandler;
+    action.sa_flags = SA_SIGINFO | SA_NODEFER | SA_ONSTACK;
+    sigemptyset(&action.sa_mask);
+    if (sigaction(SIGSEGV, &action, &g_prevAction) != 0)
+        TRAPJIT_FATAL("sigaction(SIGSEGV) failed for the native tier");
+}
+
+void
+nativeUninstallSegvHandler()
+{
+    std::lock_guard<std::mutex> lock(g_installMutex);
+    TRAPJIT_ASSERT(g_installCount > 0, "unbalanced handler uninstall");
+    if (--g_installCount == 0)
+        sigaction(SIGSEGV, &g_prevAction, nullptr);
+}
+
+int32_t
+nativeFindHandlerIndex(const DecodedFunction &df, TryRegionId region,
+                       ExcKind kind)
+{
+    for (TryRegionId rr = region; rr != 0; rr = df.tryRegions[rr].parent) {
+        const DecodedTryRegion &r = df.tryRegions[rr];
+        if (r.catches == ExcKind::CatchAll || r.catches == kind)
+            return static_cast<int32_t>(r.handlerIndex);
+    }
+    return -1;
+}
+
+extern "C" int32_t
+trapjitNativeFindHandler(NativeContext *ctx, uint32_t tryRegion)
+{
+    const DecodedFunction &df = *ctx->frame->df;
+    int32_t handler = nativeFindHandlerIndex(
+        df, static_cast<TryRegionId>(tryRegion),
+        static_cast<ExcKind>(ctx->pendingKind));
+    if (handler >= 0) {
+        ctx->pendingKind = 0;
+        ctx->pendingSite = 0;
+    }
+    return handler;
+}
+
+} // namespace trapjit

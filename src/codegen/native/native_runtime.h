@@ -1,0 +1,146 @@
+#ifndef TRAPJIT_CODEGEN_NATIVE_NATIVE_RUNTIME_H_
+#define TRAPJIT_CODEGEN_NATIVE_NATIVE_RUNTIME_H_
+
+/**
+ * @file
+ * Runtime support for the native x86-64 tier: the context block JIT
+ * code addresses directly, the per-frame trap activation records, the
+ * SIGSEGV handler that turns guard-page faults into exception
+ * dispatch, and the out-of-line helpers compiled code calls for the
+ * operations that stay in C++ (allocation, calls, trace recording,
+ * libm).
+ *
+ * Protocol between JIT code and the helpers:
+ *
+ *  - every helper takes (NativeContext*, recordIndex) and returns a
+ *    status: 0 = continue with the next record, 1 = a Java-level
+ *    exception is pending in the context (the caller jumps to the
+ *    in-code dispatch stub with the record's try region), 2 = hard
+ *    unwind (HardFault recorded engine-side; the caller jumps to the
+ *    frame's unwind exit).
+ *  - helpers NEVER throw C++ exceptions: JIT frames carry no unwind
+ *    tables, so a throw crossing them would terminate the process.
+ *    HardFaults are parked in the engine and rethrown at the top of
+ *    NativeEngine::run.
+ *
+ * Trap recovery: each native frame runs inside a sigsetjmp loop with a
+ * NativeActivation on a thread-local stack.  The SIGSEGV handler
+ * checks whether the faulting PC lies in the innermost activation's
+ * code range; if so it records PC and fault address and siglongjmps
+ * back (value 1 for a fault inside the heap guard region, 2 for any
+ * other address).  The frame wrapper maps the PC to the faulting
+ * record's trap site and applies the same null-access decision table
+ * as the interpreters (FastInterpreter::handleNullAccess).  Faults
+ * that don't match a trap site — or whose reference slot is not
+ * actually null — are reported as a HardFault instead of corrupting
+ * state.  The handler runs on a per-thread alternate stack
+ * (runtime/signal_stack.h) and chains to the previously installed
+ * handler for faults outside any activation.
+ */
+
+#include <csetjmp>
+#include <cstdint>
+
+#include "interp/decoded_program.h"
+#include "ir/function.h"
+
+namespace trapjit
+{
+
+class NativeEngine;
+struct NativeCode;
+
+/** Per-frame execution state the C++ helpers reach through. */
+struct NativeFrame
+{
+    const DecodedFunction *df = nullptr;
+    const NativeCode *nc = nullptr;
+    void *slots = nullptr; ///< FastInterpreter::Slot[numValues]
+    NativeFrame *parent = nullptr;
+};
+
+/**
+ * The block JIT code addresses through r12.  The first 24 bytes are
+ * the hot fields with hard-coded displacements (static_asserts below);
+ * everything after is only touched from C++.
+ */
+struct NativeContext
+{
+    /** maxInstructions minus instructions retired; faults below zero. */
+    int64_t budgetRemaining = 0;
+    /** Return-value bits, written by compiled Return. */
+    uint64_t retBits = 0;
+    /** Pending exception (ExcKind as int32; 0 = none) + its site. */
+    int32_t pendingKind = 0;
+    uint32_t pendingSite = 0;
+
+    // ---- cold, C++-only fields --------------------------------------
+    NativeFrame *frame = nullptr;
+    NativeEngine *engine = nullptr;
+    uint32_t depth = 0;
+    uint32_t hardFault = 0; ///< message parked in the engine
+};
+
+constexpr uint8_t kNativeCtxBudgetOffset = 0;
+constexpr uint8_t kNativeCtxRetOffset = 8;
+constexpr uint8_t kNativeCtxPendingKindOffset = 16;
+constexpr uint8_t kNativeCtxPendingSiteOffset = 20;
+
+static_assert(offsetof(NativeContext, budgetRemaining) ==
+              kNativeCtxBudgetOffset);
+static_assert(offsetof(NativeContext, retBits) == kNativeCtxRetOffset);
+static_assert(offsetof(NativeContext, pendingKind) ==
+              kNativeCtxPendingKindOffset);
+static_assert(offsetof(NativeContext, pendingSite) ==
+              kNativeCtxPendingSiteOffset);
+
+/** One native frame's trap-recovery record (thread-local stack). */
+struct NativeActivation
+{
+    sigjmp_buf jmp;
+    uintptr_t codeLo = 0, codeHi = 0;   ///< this frame's code range
+    uintptr_t guardLo = 0, guardHi = 0; ///< the heap guard region
+    uintptr_t faultPc = 0, faultAddr = 0;
+    /** r14 (the register-resident budget count) at the fault. */
+    int64_t faultBudget = 0;
+    NativeActivation *prev = nullptr;
+};
+
+/** Push/pop the calling thread's activation stack. */
+void nativePushActivation(NativeActivation *act);
+void nativePopActivation(NativeActivation *act);
+
+/**
+ * Install / remove the process-wide SIGSEGV handler (refcounted; the
+ * previous disposition is restored when the last engine uninstalls).
+ */
+void nativeInstallSegvHandler();
+void nativeUninstallSegvHandler();
+
+/**
+ * Walk @p df's try-region parent chain from @p region for an handler
+ * catching @p kind; returns the handler's stream index or -1.  The
+ * shared L_dispatch stub calls this (through trapjitNativeFindHandler)
+ * and the trap wrapper calls it directly for trap NPEs.
+ */
+int32_t nativeFindHandlerIndex(const DecodedFunction &df,
+                               TryRegionId region, ExcKind kind);
+
+// ---- helpers called from JIT code (see protocol above) --------------
+extern "C" {
+uint32_t trapjitNativeNewObject(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitNativeNewArray(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitNativeCall(NativeContext *ctx, uint32_t rec);
+/** FExp / FSin / FCos / FLog / F2I, switched on the record's srcOp. */
+uint32_t trapjitNativeMath(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitNativeTraceFieldWrite(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitNativeTraceArrayWrite(NativeContext *ctx, uint32_t rec);
+/** Budget exhausted: parks the HardFault message; always returns 2. */
+uint32_t trapjitNativeBudgetFault(NativeContext *ctx, uint32_t rec);
+/** Handler index for the pending exception, or -1 (clears pending). */
+int32_t trapjitNativeFindHandler(NativeContext *ctx, uint32_t tryRegion);
+}
+
+} // namespace trapjit
+
+#endif // TRAPJIT_CODEGEN_NATIVE_NATIVE_RUNTIME_H_

@@ -18,13 +18,19 @@ interpEngineFromEnv()
     if (env != nullptr && (std::strcmp(env, "reference") == 0 ||
                            std::strcmp(env, "ref") == 0))
         return InterpEngineKind::Reference;
+    if (env != nullptr && std::strcmp(env, "native") == 0)
+        return InterpEngineKind::Native;
     return InterpEngineKind::Fast;
 }
 
 const char *
 interpEngineName(InterpEngineKind kind)
 {
-    return kind == InterpEngineKind::Reference ? "reference" : "fast";
+    switch (kind) {
+      case InterpEngineKind::Reference: return "reference";
+      case InterpEngineKind::Native: return "native";
+      default: return "fast";
+    }
 }
 
 FastInterpreter::FastInterpreter(const Module &mod, const Target &target,

@@ -46,16 +46,19 @@ enum class InterpEngineKind : uint8_t
 {
     Reference, ///< the original switch interpreter (the oracle)
     Fast,      ///< pre-decoded, direct-threaded engine
+    Native,    ///< x86-64 machine code with hardware-trap null checks
 };
 
 /**
  * Engine selected by the TRAPJIT_INTERP environment variable:
- * "reference" (or "ref") picks the oracle, anything else — including
- * the variable being unset — picks the fast engine.
+ * "reference" (or "ref") picks the oracle, "native" the x86-64 JIT
+ * tier (which itself falls back to the fast engine per function on
+ * unsupported hosts — see codegen/native/native_engine.h), anything
+ * else — including the variable being unset — the fast engine.
  */
 InterpEngineKind interpEngineFromEnv();
 
-/** Printable engine name ("reference" / "fast"). */
+/** Printable engine name ("reference" / "fast" / "native"). */
 const char *interpEngineName(InterpEngineKind kind);
 
 /**
@@ -88,6 +91,11 @@ class FastInterpreter
     void reset();
 
   private:
+    // The native tier embeds a FastInterpreter as its per-function
+    // fallback engine and drives execFrame directly so mixed native /
+    // interpreted call stacks share one heap, trace and stats block.
+    friend class NativeEngine;
+
     /**
      * One 64-bit register slot.  All lanes alias the same machine word;
      * the static type of the IR value picks which one is read.

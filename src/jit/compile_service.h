@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "arch/target.h"
+#include "codegen/native/native_compiler.h"
 #include "interp/decoded_program.h"
 #include "jit/compile_cache.h"
 #include "jit/pipeline.h"
@@ -74,6 +75,15 @@ struct CompileServiceOptions
     bool predecode = true;
 
     /**
+     * Lower every installed function to x86-64 machine code into the
+     * native code cache after each batch (piggybacking on predecode's
+     * pass over the installed module), so NativeEngine runs sharing
+     * nativeCodeCache() never hit the emitter on the execution path.
+     * A no-op on hosts the native tier does not support.
+     */
+    bool precompileNative = true;
+
+    /**
      * Share a cache across services (e.g. across worker-count arms of
      * a bench).  When null the service creates a private cache.
      */
@@ -84,6 +94,12 @@ struct CompileServiceOptions
      * private one.
      */
     std::shared_ptr<DecodedProgramCache> decodedCache;
+
+    /**
+     * Share a native-code cache; when null the service creates a
+     * private one.
+     */
+    std::shared_ptr<NativeCodeCache> nativeCodeCache;
 };
 
 /** What one batch did: counters, merged timings, wall clock. */
@@ -134,11 +150,23 @@ class CompileService
         return decodedCache_;
     }
 
+    /**
+     * Native machine code of everything this service compiled (one
+     * emission per native-code content hash); hand it to NativeEngine
+     * so execution starts without an emitter pass.
+     */
+    const std::shared_ptr<NativeCodeCache> &
+    nativeCodeCache() const
+    {
+        return nativeCodeCache_;
+    }
+
   private:
     Target target_;
     CompileServiceOptions options_;
     std::shared_ptr<CompileCache> cache_;
     std::shared_ptr<DecodedProgramCache> decodedCache_;
+    std::shared_ptr<NativeCodeCache> nativeCodeCache_;
     WorkerPool pool_;
 };
 

@@ -76,6 +76,8 @@ ServiceCounters::operator+=(const ServiceCounters &other)
     solverBlockVisits += other.solverBlockVisits;
     functionsPredecoded += other.functionsPredecoded;
     decodeSeconds += other.decodeSeconds;
+    functionsNativeCompiled += other.functionsNativeCompiled;
+    nativeCompileSeconds += other.nativeCompileSeconds;
     return *this;
 }
 

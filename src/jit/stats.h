@@ -63,6 +63,14 @@ struct ServiceCounters
     size_t functionsPredecoded = 0; ///< decode-cache misses this batch
     double decodeSeconds = 0.0;     ///< host time spent pre-decoding
 
+    // Native-tier pre-compilation (codegen/native/native_compiler.h):
+    // on x86-64 hosts the service also lowers each compiled function to
+    // machine code into its NativeCodeCache, again so bench runs never
+    // pay the emitter on first execution.  Functions the tier rejects
+    // (non-x86-64 builds) are counted as compiled attempts by neither.
+    size_t functionsNativeCompiled = 0; ///< native-cache misses this batch
+    double nativeCompileSeconds = 0.0;  ///< host time spent emitting
+
     size_t
     total() const
     {

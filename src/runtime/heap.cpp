@@ -2,14 +2,36 @@
 
 #include <cstring>
 
+#include <sys/mman.h>
+
 #include "support/diagnostics.h"
 
 namespace trapjit
 {
 
 Heap::Heap(size_t capacity_bytes)
-    : arena_(capacity_bytes, 0), limit_(kHeapBase + capacity_bytes)
-{}
+    : mapBytes_(static_cast<size_t>(kHeapBase) + capacity_bytes),
+      limit_(kHeapBase + capacity_bytes)
+{
+    // One mapping: [0, kHeapBase) is the PROT_NONE guard region standing
+    // in for the OS's protected page-zero area, the rest is the arena.
+    // MAP_NORESERVE keeps a fleet of test heaps cheap — pages commit on
+    // first touch.
+    void *map = mmap(nullptr, mapBytes_, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (map == MAP_FAILED)
+        TRAPJIT_FATAL("mmap of the heap arena failed");
+    base_ = static_cast<uint8_t *>(map);
+    if (mprotect(base_ + kHeapBase, capacity_bytes,
+                 PROT_READ | PROT_WRITE) != 0)
+        TRAPJIT_FATAL("mprotect of the heap arena failed");
+}
+
+Heap::~Heap()
+{
+    if (base_ != nullptr)
+        munmap(base_, mapBytes_);
+}
 
 Address
 Heap::allocateObject(ClassId cls, int64_t size)
@@ -46,7 +68,7 @@ Heap::digest() const
 {
     uint64_t hash = 1469598103934665603ull;
     size_t used = static_cast<size_t>(next_ - kHeapBase);
-    const uint8_t *data = arena_.data();
+    const uint8_t *data = base_ + kHeapBase;
     for (size_t i = 0; i < used; ++i) {
         hash ^= data[i];
         hash *= 1099511628211ull;
@@ -58,7 +80,7 @@ void
 Heap::reset()
 {
     size_t used = static_cast<size_t>(next_ - kHeapBase);
-    std::memset(arena_.data(), 0, used);
+    std::memset(base_ + kHeapBase, 0, used);
     next_ = kHeapBase;
 }
 

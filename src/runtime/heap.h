@@ -3,14 +3,19 @@
 
 /**
  * @file
- * Simulated Java heap.
+ * Simulated Java heap backed by a real guard page.
  *
- * References are plain 64-bit addresses into a flat arena; the null
- * reference is address 0.  The arena deliberately leaves the low
- * `kHeapBase` bytes unmapped — like the OS page protection the paper
- * relies on — so any access that lands there is either a simulated
- * hardware trap (handled by the interpreter according to the Target's
- * trap model) or a wild access (a miscompilation, reported as HardFault).
+ * References are plain 64-bit addresses into an mmap'd arena; the null
+ * reference is address 0.  The arena is one contiguous mapping whose
+ * first `kHeapBase` bytes are PROT_NONE, so simulated address A lives at
+ * host address hostBase() + A and an access through a null reference —
+ * any offset below kHeapBase — lands on protected memory and raises a
+ * real SIGSEGV.  The interpreters never touch that region (they check
+ * for null first and consult the Target's trap model), but the native
+ * x86-64 tier (codegen/native/) relies on the hardware fault exactly
+ * the way the paper's JIT does: an implicit null check emits zero
+ * instructions and the faulting load/store is caught by the signal
+ * handler in codegen/native/native_runtime.cpp.
  *
  * Object layout (see ir/layout.h): 4-byte class-id header at offset 0;
  * arrays keep their length at offset 4 and elements from offset 8;
@@ -19,7 +24,6 @@
 
 #include <cstdint>
 #include <cstring>
-#include <vector>
 
 #include "ir/layout.h"
 #include "ir/type.h"
@@ -40,6 +44,10 @@ class Heap
   public:
     /** @param capacity_bytes arena size available for allocation. */
     explicit Heap(size_t capacity_bytes = 32u << 20);
+    ~Heap();
+
+    Heap(const Heap &) = delete;
+    Heap &operator=(const Heap &) = delete;
 
     /**
      * Allocate @p size zeroed bytes tagged with @p cls in the header.
@@ -54,7 +62,7 @@ class Heap
      */
     Address allocateArray(Type elem_type, int32_t length);
 
-    /** Bytes currently allocated (excludes the unmapped low region). */
+    /** Bytes currently allocated (excludes the guarded low region). */
     size_t bytesAllocated() const { return next_ - kHeapBase; }
 
     /** True if [addr, addr+size) is inside the allocated arena. */
@@ -62,6 +70,22 @@ class Heap
     inBounds(Address addr, int64_t size) const
     {
         return addr >= kHeapBase && addr + size <= next_;
+    }
+
+    /**
+     * Host address of simulated address 0: host = hostBase() + simulated.
+     * The native tier keeps this bias in a register; [hostBase(),
+     * hostBase()+kHeapBase) is the PROT_NONE guard region whose faults
+     * the SIGSEGV handler converts into NullPointerExceptions.
+     */
+    uint8_t *hostBase() const { return base_; }
+
+    /** Host range of the guard region (fault-address classification). */
+    uintptr_t guardLo() const { return reinterpret_cast<uintptr_t>(base_); }
+    uintptr_t
+    guardHi() const
+    {
+        return reinterpret_cast<uintptr_t>(base_) + kHeapBase;
     }
 
     // Typed accessors; addresses must be in bounds (callers check).
@@ -143,14 +167,11 @@ class Heap
     void reset();
 
   private:
-    uint8_t *plot(Address addr) { return arena_.data() + (addr - kHeapBase); }
-    const uint8_t *
-    plot(Address addr) const
-    {
-        return arena_.data() + (addr - kHeapBase);
-    }
+    uint8_t *plot(Address addr) { return base_ + addr; }
+    const uint8_t *plot(Address addr) const { return base_ + addr; }
 
-    std::vector<uint8_t> arena_;
+    uint8_t *base_ = nullptr; ///< host address of simulated address 0
+    size_t mapBytes_ = 0;     ///< total mapping size (guard + arena)
     Address next_ = kHeapBase;
     Address limit_;
 };

@@ -1,0 +1,67 @@
+#include "runtime/signal_stack.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/diagnostics.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Owns one thread's alternate stack; unregisters it on thread exit. */
+struct AltStack
+{
+    void *memory = nullptr;
+    bool registered = false;
+    bool checked = false;
+
+    void
+    install()
+    {
+        checked = true;
+        stack_t current;
+        if (sigaltstack(nullptr, &current) == 0 &&
+            !(current.ss_flags & SS_DISABLE) && current.ss_sp != nullptr)
+            return; // the thread already has one
+
+        size_t size = SIGSTKSZ < 64 * 1024 ? 64 * 1024 : size_t(SIGSTKSZ);
+        memory = std::malloc(size);
+        if (memory == nullptr)
+            TRAPJIT_FATAL("alternate signal stack allocation failed");
+        stack_t ss;
+        std::memset(&ss, 0, sizeof(ss));
+        ss.ss_sp = memory;
+        ss.ss_size = size;
+        ss.ss_flags = 0;
+        if (sigaltstack(&ss, nullptr) != 0)
+            TRAPJIT_FATAL("sigaltstack registration failed");
+        registered = true;
+    }
+
+    ~AltStack()
+    {
+        if (registered) {
+            stack_t ss;
+            std::memset(&ss, 0, sizeof(ss));
+            ss.ss_flags = SS_DISABLE;
+            sigaltstack(&ss, nullptr);
+        }
+        std::free(memory);
+    }
+};
+
+} // namespace
+
+void
+ensureAltSignalStack()
+{
+    thread_local AltStack stack;
+    if (!stack.checked)
+        stack.install();
+}
+
+} // namespace trapjit

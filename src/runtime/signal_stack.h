@@ -1,0 +1,28 @@
+#ifndef TRAPJIT_RUNTIME_SIGNAL_STACK_H_
+#define TRAPJIT_RUNTIME_SIGNAL_STACK_H_
+
+/**
+ * @file
+ * Per-thread alternate signal stack.
+ *
+ * SIGSEGV handlers that must run reliably — the trap-runtime demo and the
+ * native tier's implicit-null-check recovery — are installed SA_ONSTACK
+ * so a fault with a nearly exhausted thread stack still reaches the
+ * handler.  That only works if the faulting thread registered an
+ * alternate stack first; ensureAltSignalStack() does so idempotently for
+ * the calling thread and keeps the memory alive until thread exit.
+ */
+
+namespace trapjit
+{
+
+/**
+ * Register a SIGALTSTACK for the calling thread if it does not already
+ * have one (ours or anyone else's).  Safe to call repeatedly and from
+ * any number of threads concurrently.
+ */
+void ensureAltSignalStack();
+
+} // namespace trapjit
+
+#endif // TRAPJIT_RUNTIME_SIGNAL_STACK_H_

@@ -1,5 +1,6 @@
 #include "runtime/trap_runtime.h"
 
+#include <atomic>
 #include <csetjmp>
 #include <csignal>
 #include <cstring>
@@ -7,6 +8,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include "runtime/signal_stack.h"
 #include "support/diagnostics.h"
 
 namespace trapjit
@@ -15,23 +17,30 @@ namespace trapjit
 namespace
 {
 
-// Single-threaded trap state.  `volatile sig_atomic_t` flags what the
-// handler may touch; the jump buffer carries control out of the handler.
-sigjmp_buf g_trapJmp;
-volatile sig_atomic_t g_trapArmed = 0;
-uintptr_t g_guardLo = 0;
-uintptr_t g_guardHi = 0;
+// Per-thread trap state: each thread that enters a guarded accessor arms
+// its own jump buffer, so concurrent traps on different threads unwind
+// independently.  The guard range is instance state but stored in
+// atomics so the handler (which may run on any thread) reads it without
+// a data race.  SA_NODEFER lets the handler siglongjmp out with SIGSEGV
+// still deliverable, which is what makes sigsetjmp(buf, 0) — no
+// sigprocmask syscall on the hot path — sufficient.
+thread_local sigjmp_buf t_trapJmp;
+thread_local volatile sig_atomic_t t_trapArmed = 0;
+std::atomic<uintptr_t> g_guardLo{0};
+std::atomic<uintptr_t> g_guardHi{0};
 struct sigaction g_prevAction;
 
 void
 segvHandler(int signo, siginfo_t *info, void *context)
 {
     uintptr_t fault = reinterpret_cast<uintptr_t>(info->si_addr);
-    if (g_trapArmed && fault >= g_guardLo && fault < g_guardHi) {
+    if (t_trapArmed &&
+        fault >= g_guardLo.load(std::memory_order_relaxed) &&
+        fault < g_guardHi.load(std::memory_order_relaxed)) {
         // A null-reference access inside the protected page: unwind back
-        // to the guarded accessor, which reports "NPE".
-        g_trapArmed = 0;
-        siglongjmp(g_trapJmp, 1);
+        // to this thread's guarded accessor, which reports "NPE".
+        t_trapArmed = 0;
+        siglongjmp(t_trapJmp, 1);
     }
     // Not ours: chain to the previous handler (or die by default).
     if (g_prevAction.sa_flags & SA_SIGINFO) {
@@ -53,19 +62,20 @@ segvHandler(int signo, siginfo_t *info, void *context)
 
 TrapRuntime::TrapRuntime()
 {
+    ensureAltSignalStack();
     pageSize_ = static_cast<size_t>(sysconf(_SC_PAGESIZE));
     void *page = mmap(nullptr, pageSize_, PROT_NONE,
                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
     if (page == MAP_FAILED)
         TRAPJIT_FATAL("mmap of the protected page failed");
     pageBase_ = reinterpret_cast<uintptr_t>(page);
-    g_guardLo = pageBase_;
-    g_guardHi = pageBase_ + pageSize_;
+    g_guardLo.store(pageBase_, std::memory_order_relaxed);
+    g_guardHi.store(pageBase_ + pageSize_, std::memory_order_relaxed);
 
     struct sigaction action;
     std::memset(&action, 0, sizeof(action));
     action.sa_sigaction = segvHandler;
-    action.sa_flags = SA_SIGINFO | SA_NODEFER;
+    action.sa_flags = SA_SIGINFO | SA_NODEFER | SA_ONSTACK;
     sigemptyset(&action.sa_mask);
     if (sigaction(SIGSEGV, &action, &g_prevAction) != 0)
         TRAPJIT_FATAL("sigaction(SIGSEGV) failed");
@@ -78,33 +88,36 @@ TrapRuntime::~TrapRuntime()
         sigaction(SIGSEGV, &g_prevAction, nullptr);
     if (pageBase_ != 0)
         munmap(reinterpret_cast<void *>(pageBase_), pageSize_);
-    g_guardLo = g_guardHi = 0;
+    g_guardLo.store(0, std::memory_order_relaxed);
+    g_guardHi.store(0, std::memory_order_relaxed);
 }
 
 std::optional<int32_t>
 TrapRuntime::guardedReadI32(uintptr_t addr)
 {
-    if (sigsetjmp(g_trapJmp, 1) != 0) {
+    ensureAltSignalStack();
+    if (sigsetjmp(t_trapJmp, 0) != 0) {
         // We arrive here from the handler: the access trapped.
-        ++trapsTaken_;
+        trapsTaken_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
-    g_trapArmed = 1;
+    t_trapArmed = 1;
     int32_t value = *reinterpret_cast<volatile int32_t *>(addr);
-    g_trapArmed = 0;
+    t_trapArmed = 0;
     return value;
 }
 
 bool
 TrapRuntime::guardedWriteI32(uintptr_t addr, int32_t value)
 {
-    if (sigsetjmp(g_trapJmp, 1) != 0) {
-        ++trapsTaken_;
+    ensureAltSignalStack();
+    if (sigsetjmp(t_trapJmp, 0) != 0) {
+        trapsTaken_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
-    g_trapArmed = 1;
+    t_trapArmed = 1;
     *reinterpret_cast<volatile int32_t *>(addr) = value;
-    g_trapArmed = 0;
+    t_trapArmed = 0;
     return true;
 }
 

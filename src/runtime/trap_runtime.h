@@ -20,10 +20,16 @@
  * front, mirroring the "BigOffset requires an explicit check" rule
  * (Figure 5).
  *
- * Thread-safety: single-threaded by design (one jump buffer); this is a
- * demonstration substrate, not a production signal runtime.
+ * Thread-safety: any number of threads may call the guarded accessors of
+ * one TrapRuntime concurrently.  Each thread arms its own thread-local
+ * jump buffer, the handler runs on a per-thread alternate stack
+ * (SA_ONSTACK, runtime/signal_stack.h), and only consults the faulting
+ * thread's own state — so concurrent traps on different threads recover
+ * independently.  Construction and destruction remain single-owner: keep
+ * exactly one live TrapRuntime instance at a time.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -53,6 +59,7 @@ class TrapRuntime
      * Read a 32-bit value at @p addr with implicit null checking:
      * returns the value, or std::nullopt if the access hardware-trapped
      * (i.e. addr pointed into the protected page — a null dereference).
+     * Safe to call from any number of threads concurrently.
      */
     std::optional<int32_t> guardedReadI32(uintptr_t addr);
 
@@ -67,12 +74,16 @@ class TrapRuntime
     bool trapCoversAddress(uintptr_t addr) const;
 
     /** Number of traps taken since construction (statistics). */
-    uint64_t trapsTaken() const { return trapsTaken_; }
+    uint64_t
+    trapsTaken() const
+    {
+        return trapsTaken_.load(std::memory_order_relaxed);
+    }
 
   private:
     uintptr_t pageBase_ = 0;
     size_t pageSize_ = 0;
-    uint64_t trapsTaken_ = 0;
+    std::atomic<uint64_t> trapsTaken_{0};
     bool handlerInstalled_ = false;
 };
 

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "arch/target.h"
+#include "codegen/native/native_engine.h"
 #include "interp/decoded_program.h"
 #include "ir/module.h"
 #include "jit/compiler.h"
@@ -74,6 +75,26 @@ EquivalenceReport compareWithReference(
  */
 EquivalenceReport compareEngines(Module &mod, const Target &runtime_target,
                                  DecodeOptions decode_options = {});
+
+/**
+ * Native-tier differential oracle: run @p mod's `main` once under the
+ * fast interpreter and once under the native x86-64 engine
+ * (codegen/native/native_engine.h) and compare HardFault parity
+ * (including the message), outcome, exception kind, the typed return
+ * value (F64 bitwise), the full ordered EventTrace, the final heap
+ * digest, and the semantic counters the native tier maintains
+ * (instructions, calls, allocations, trapsTaken,
+ * speculativeReadsOfNull).  The cycle cost model and the engine-side
+ * dynamic counters are excluded: the native tier runs on real time.
+ *
+ * @param engine_options  e.g. a nativeFilter forcing some functions
+ *                        onto the interpreter fallback, to exercise
+ *                        mixed native/interpreted call stacks
+ */
+EquivalenceReport compareNativeEngine(
+    Module &mod, const Target &runtime_target,
+    DecodeOptions decode_options = {},
+    NativeEngineOptions engine_options = {});
 
 } // namespace trapjit
 

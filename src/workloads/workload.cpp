@@ -20,7 +20,8 @@ findWorkload(const std::string &name)
 WorkloadRun
 runWorkload(const Workload &workload, const Compiler &compiler,
             const Target &runtime_target, bool record_trace,
-            std::shared_ptr<DecodedProgramCache> decoded_cache)
+            std::shared_ptr<DecodedProgramCache> decoded_cache,
+            std::shared_ptr<NativeCodeCache> native_cache)
 {
     WorkloadRun run;
     std::unique_ptr<Module> mod = workload.build();
@@ -33,13 +34,27 @@ runWorkload(const Workload &workload, const Compiler &compiler,
     InterpOptions options;
     options.recordTrace = record_trace;
     ExecResult result;
-    if (interpEngineFromEnv() == InterpEngineKind::Reference) {
+    switch (interpEngineFromEnv()) {
+      case InterpEngineKind::Reference: {
         Interpreter interp(*mod, runtime_target, options);
         result = interp.run(entry, {});
-    } else {
+        break;
+      }
+      case InterpEngineKind::Native: {
+        // Per-function fallback inside the engine keeps this valid on
+        // hosts without the native tier (it degrades to fast).
+        NativeEngine engine(*mod, runtime_target, options,
+                            std::move(decoded_cache), DecodeOptions{},
+                            std::move(native_cache));
+        result = engine.run(entry, {});
+        break;
+      }
+      default: {
         FastInterpreter interp(*mod, runtime_target, options,
                                std::move(decoded_cache));
         result = interp.run(entry, {});
+        break;
+      }
     }
 
     run.stats = result.stats;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/target.h"
+#include "codegen/native/native_engine.h"
 #include "interp/fast_interpreter.h"
 #include "interp/interpreter.h"
 #include "ir/module.h"
@@ -73,16 +74,21 @@ struct WorkloadRun
  * compiler's target in the Illegal Implicit experiment).
  *
  * Execution uses the pre-decoded fast engine unless TRAPJIT_INTERP
- * selects the reference interpreter (see interpEngineFromEnv()); the
- * two are differentially tested to be bit-identical, so every bench
- * harness reproduces the same numbers under either engine.  Pass
- * @p decoded_cache (e.g. CompileService::decodedCache()) to reuse
- * decodes across runs.
+ * selects the reference interpreter or the native x86-64 tier (see
+ * interpEngineFromEnv()); the engines are differentially tested to be
+ * bit-identical on everything but the simulated cycle count (which the
+ * native tier does not model), so every bench harness reproduces the
+ * same numbers under any engine.  Pass @p decoded_cache (e.g.
+ * CompileService::decodedCache()) to reuse decodes across runs, and
+ * @p native_cache (CompileService::nativeCodeCache()) to reuse native
+ * code when the native engine is selected.
  */
 WorkloadRun runWorkload(const Workload &workload, const Compiler &compiler,
                         const Target &runtime_target,
                         bool record_trace = false,
                         std::shared_ptr<DecodedProgramCache> decoded_cache =
+                            nullptr,
+                        std::shared_ptr<NativeCodeCache> native_cache =
                             nullptr);
 
 } // namespace trapjit

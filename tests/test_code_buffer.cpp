@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Lifecycle tests for the W^X code buffer and the native-code cache.
+ *
+ * The buffer's contract is write *or* execute, never both, with
+ * idempotent transitions in both directions — a recompile reuses the
+ * same mapping by flipping it back to writable, repatching, and
+ * finalizing again, and the entry address must survive every cycle
+ * (the in-buffer handler table stores absolute addresses).  The cache's
+ * contract is content addressing: the (function, target, fusion,
+ * trace) tuple *is* the identity of the machine code, so any component
+ * changing must change the key, and identical tuples must collide into
+ * one first-writer-wins entry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codegen/native/code_buffer.h"
+#include "codegen/native/native_compiler.h"
+#include "interp/decoded_program.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "testing/random_program.h"
+
+#if !defined(__SANITIZE_ADDRESS__) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#endif
+
+namespace trapjit
+{
+namespace
+{
+
+#if defined(__x86_64__) && !defined(__SANITIZE_ADDRESS__)
+constexpr bool kCanExecute = true;
+#else
+constexpr bool kCanExecute = false;
+#endif
+
+/** mov eax, <imm32>; ret */
+void
+emitReturnConst(uint8_t *p, uint32_t value)
+{
+    p[0] = 0xb8;
+    std::memcpy(p + 1, &value, sizeof(value));
+    p[5] = 0xc3;
+}
+
+TEST(CodeBuffer, WxToggleAndExecution)
+{
+    CodeBuffer buf(64);
+    ASSERT_NE(nullptr, buf.base());
+    EXPECT_GE(buf.capacity(), 64u);
+    EXPECT_FALSE(buf.executable());
+
+    emitReturnConst(buf.base(), 17);
+    buf.finalize();
+    EXPECT_TRUE(buf.executable());
+    buf.finalize(); // idempotent
+    EXPECT_TRUE(buf.executable());
+
+    if (kCanExecute) {
+        auto fn = reinterpret_cast<uint32_t (*)()>(buf.base());
+        EXPECT_EQ(17u, fn());
+    }
+}
+
+TEST(CodeBuffer, ReuseAcrossRecompiles)
+{
+    CodeBuffer buf(64);
+    uint8_t *stableBase = buf.base();
+
+    // Three compile/patch cycles through the same mapping: writable →
+    // fill → executable → run, then back.  The base must never move.
+    for (uint32_t round = 0; round < 3; ++round) {
+        buf.makeWritable();
+        EXPECT_FALSE(buf.executable());
+        buf.makeWritable(); // idempotent
+        EXPECT_FALSE(buf.executable());
+        emitReturnConst(buf.base(), 100 + round);
+        buf.finalize();
+        EXPECT_TRUE(buf.executable());
+        EXPECT_EQ(stableBase, buf.base());
+        if (kCanExecute) {
+            auto fn = reinterpret_cast<uint32_t (*)()>(buf.base());
+            EXPECT_EQ(100 + round, fn());
+        }
+    }
+}
+
+TEST(CodeBuffer, MoveTransfersOwnership)
+{
+    CodeBuffer first(64);
+    uint8_t *base = first.base();
+    emitReturnConst(base, 5);
+    CodeBuffer second(std::move(first));
+    EXPECT_EQ(base, second.base());
+    EXPECT_EQ(nullptr, first.base());
+    second.finalize();
+    if (kCanExecute) {
+        auto fn = reinterpret_cast<uint32_t (*)()>(second.base());
+        EXPECT_EQ(5u, fn());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed native-code cache
+// ---------------------------------------------------------------------------
+
+TEST(NativeCodeKey, EveryTupleComponentChangesTheKey)
+{
+    GeneratorOptions opts;
+    opts.seed = 616161;
+    auto mod = generateRandomModule(opts);
+    const Function &main = mod->function(mod->findFunction("main"));
+    Target ia32 = makeIA32WindowsTarget();
+
+    Hash128 k = nativeCodeKey(main, ia32, {}, {});
+    EXPECT_EQ(k, nativeCodeKey(main, ia32, {}, {})) << "key not stable";
+
+    DecodeOptions noFuse;
+    noFuse.fuse = false;
+    EXPECT_FALSE(nativeCodeKey(main, ia32, noFuse, {}) == k)
+        << "fusion flag must be part of the identity";
+    EXPECT_FALSE(nativeCodeKey(main, makePPCAIXTarget(), {}, {}) == k)
+        << "target must be part of the identity";
+    NativeCompileOptions noTrace;
+    noTrace.recordTrace = false;
+    EXPECT_FALSE(nativeCodeKey(main, ia32, {}, noTrace) == k)
+        << "trace instrumentation must be part of the identity";
+
+    // A different function under the same knobs is a different key.
+    GeneratorOptions opts2;
+    opts2.seed = 616162;
+    auto mod2 = generateRandomModule(opts2);
+    const Function &main2 = mod2->function(mod2->findFunction("main"));
+    EXPECT_FALSE(nativeCodeKey(main2, ia32, {}, {}) == k);
+}
+
+TEST(NativeCodeCacheTest, FirstWriterWinsOnKeyCollision)
+{
+    if (!nativeTierSupported())
+        GTEST_SKIP() << "native tier requires x86-64 Linux";
+
+    auto mod = std::make_unique<Module>();
+    Function &fn = mod->addFunction("main", Type::I32);
+    {
+        IRBuilder b(fn);
+        b.startBlock();
+        b.ret(b.constInt(7));
+    }
+    Target ia32 = makeIA32WindowsTarget();
+    auto df = decodeFunction(fn, ia32);
+
+    NativeCodeCache cache;
+    Hash128 key = nativeCodeKey(fn, ia32, {}, {});
+    EXPECT_EQ(nullptr, cache.lookup(key));
+
+    auto first = cache.insert(key, compileNative(fn, *df, {}));
+    ASSERT_NE(nullptr, first->code);
+    // A second compile colliding on the same (function, target, fusion,
+    // trace) key must not replace the installed code: callers may
+    // already hold entry addresses into the first buffer.
+    auto second = cache.insert(key, compileNative(fn, *df, {}));
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(first->code.get(), cache.lookup(key)->code.get());
+    EXPECT_EQ(1u, cache.size());
+
+    // Unsupported results are cached too (null code + reason), so a
+    // known-bad function is never recompiled.
+    Hash128 other = nativeCodeKey(fn, makePPCAIXTarget(), {}, {});
+    NativeCompileResult unsupported;
+    unsupported.unsupportedReason = "synthetic";
+    auto bad = cache.insert(other, std::move(unsupported));
+    EXPECT_EQ(nullptr, bad->code);
+    EXPECT_EQ("synthetic", cache.lookup(other)->unsupportedReason);
+    EXPECT_EQ(2u, cache.size());
+
+    cache.clear();
+    EXPECT_EQ(0u, cache.size());
+    EXPECT_EQ(nullptr, cache.lookup(key));
+}
+
+} // namespace
+} // namespace trapjit

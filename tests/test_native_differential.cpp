@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Differential suite for the native x86-64 tier.
+ *
+ * The native engine (codegen/native/native_engine.h) claims to be
+ * observably identical to the fast interpreter on everything but the
+ * simulated cycle model: same heap bytes, same exceptions (Java-level
+ * and HardFault, message included), same EventTrace, same semantic
+ * counters (instructions, calls, allocations, trapsTaken,
+ * speculativeReadsOfNull).  Unlike the interpreters it takes the
+ * paper's mechanism literally — an implicit null check is *zero emitted
+ * instructions* and recovery rides a real SIGSEGV from the heap guard
+ * page — so this suite also asserts the machine-code shape:
+ *
+ *  1. a parametrized sweep: 200 random programs × the full 11-arm
+ *     config matrix, each compiled program executed under both engines
+ *     and compared with compareNativeEngine();
+ *  2. disassembly-level check-size assertions via NativeCode record
+ *     offsets: an implicit NullCheck record is exactly the
+ *     instruction-budget preamble (no compare, no branch), an explicit
+ *     one carries the kNativeExplicitNullCheckBytes compare-and-branch;
+ *  3. directed tests for the trap path (a real fault must be taken and
+ *     must surface as the interpreter-identical NullPointerException),
+ *     mixed native/interpreted call stacks, budget-fault message
+ *     parity, and the TRAPJIT_INTERP selector.
+ *
+ * Everything execution-related skips on hosts without the native tier
+ * and under AddressSanitizer (ASan's own SIGSEGV instrumentation is
+ * incompatible with recovering from intentional guard-page faults).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+
+#include "codegen/check_bytes.h"
+#include "codegen/native/native_compiler.h"
+#include "codegen/native/native_engine.h"
+#include "interp/decoded_program.h"
+#include "interp/fast_interpreter.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "jit/compile_service.h"
+#include "jit/compiler.h"
+#include "testing/equivalence.h"
+#include "testing/random_program.h"
+
+#if !defined(__SANITIZE_ADDRESS__) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#endif
+
+namespace trapjit
+{
+namespace
+{
+
+#if defined(__SANITIZE_ADDRESS__)
+constexpr bool kAsanActive = true;
+#else
+constexpr bool kAsanActive = false;
+#endif
+
+/** Skip (with notice) where native code cannot run: see file comment. */
+#define TRAPJIT_REQUIRE_NATIVE_TIER()                                        \
+    do {                                                                     \
+        if (!nativeTierSupported())                                          \
+            GTEST_SKIP() << "native tier requires x86-64 Linux";             \
+        if (kAsanActive)                                                     \
+            GTEST_SKIP()                                                     \
+                << "guard-page SIGSEGV recovery is incompatible with ASan";  \
+    } while (0)
+
+struct Arm
+{
+    const char *targetName;
+    Target (*makeTarget)();
+    PipelineConfig (*makeConfig)();
+};
+
+// The full 11-arm (target, pipeline) matrix of the reproduction — the
+// same arms as test_interp_differential and the equivalence suites.
+const Arm kArms[] = {
+    {"ia32", makeIA32WindowsTarget, makeNoOptNoTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeNoOptTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeOldNullCheckConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewPhase1OnlyConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewFullConfig},
+    {"ia32", makeIA32WindowsTarget, makeAltVMConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoOptConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoSpeculationConfig},
+    {"aix", makePPCAIXTarget, makeAIXSpeculationConfig},
+    {"sparc", makeSPARCTarget, makeNewFullConfig},
+    {"s390", makeS390Target, makeNewFullConfig},
+};
+
+using SeedAndArm = std::tuple<uint64_t, size_t>;
+
+class NativeDifferential : public ::testing::TestWithParam<SeedAndArm>
+{
+};
+
+TEST_P(NativeDifferential, NativeMatchesFastInterpreter)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    const auto [seed, armIdx] = GetParam();
+    const Arm &arm = kArms[armIdx];
+
+    GeneratorOptions opts;
+    opts.seed = seed;
+    std::unique_ptr<Module> mod = generateRandomModule(opts);
+
+    Target target = arm.makeTarget();
+    Compiler compiler(target, arm.makeConfig());
+    compiler.compile(*mod);
+
+    EquivalenceReport report = compareNativeEngine(*mod, target);
+    EXPECT_TRUE(report.equivalent)
+        << "seed " << seed << " on " << arm.targetName << " / "
+        << arm.makeConfig().name << ": " << report.message;
+}
+
+std::string
+armName(const ::testing::TestParamInfo<SeedAndArm> &info)
+{
+    const auto [seed, armIdx] = info.param;
+    std::string cfg = kArms[armIdx].makeConfig().name;
+    for (char &c : cfg)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return "seed" + std::to_string(seed) + "_" +
+           kArms[armIdx].targetName + "_" + cfg;
+}
+
+// Seeds 500..700 (200 random programs) × 11 arms = 2200 compiled
+// programs executed under both engines — disjoint from the other
+// suites' seed ranges.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NativeDifferential,
+    ::testing::Combine(::testing::Range<uint64_t>(500, 700),
+                       ::testing::Range<size_t>(0, std::size(kArms))),
+    armName);
+
+// A smaller sweep re-running a slice of the matrix with fusion off
+// (fusion must be invisible to the native tier: records keep their
+// srcOp and the compiled code is per-record either way) and on the
+// *unoptimized* module shape (every check explicit).
+class NativeDifferentialShapes
+    : public ::testing::TestWithParam<SeedAndArm>
+{
+};
+
+TEST_P(NativeDifferentialShapes, FusionOffAndUnoptimizedShapes)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    const auto [seed, armIdx] = GetParam();
+    const Arm &arm = kArms[armIdx];
+
+    GeneratorOptions opts;
+    opts.seed = seed;
+    std::unique_ptr<Module> mod = generateRandomModule(opts);
+    Target target = arm.makeTarget();
+
+    EquivalenceReport unopt = compareNativeEngine(*mod, target);
+    EXPECT_TRUE(unopt.equivalent)
+        << "seed " << seed << " unoptimized on " << arm.targetName
+        << ": " << unopt.message;
+
+    Compiler compiler(target, arm.makeConfig());
+    compiler.compile(*mod);
+
+    DecodeOptions noFuse;
+    noFuse.fuse = false;
+    EquivalenceReport plain = compareNativeEngine(*mod, target, noFuse);
+    EXPECT_TRUE(plain.equivalent)
+        << "seed " << seed << " on " << arm.targetName << " / "
+        << arm.makeConfig().name << " (fusion off): " << plain.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NativeDifferentialShapes,
+    ::testing::Combine(::testing::Range<uint64_t>(500, 520),
+                       ::testing::Range<size_t>(0, std::size(kArms))),
+    armName);
+
+// ---------------------------------------------------------------------------
+// Mixed native / interpreted call stacks
+// ---------------------------------------------------------------------------
+
+TEST(NativeMixedDispatch, FilteredFunctionsFallBackPerFunction)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+    PipelineConfig config = makeNewFullConfig();
+
+    for (uint64_t seed = 500; seed < 510; ++seed) {
+        GeneratorOptions opts;
+        opts.seed = seed;
+        auto mod = generateRandomModule(opts);
+        Compiler compiler(target, config);
+        compiler.compile(*mod);
+
+        // Alternate functions native / interpreted: calls cross the
+        // boundary in both directions.
+        NativeEngineOptions alternate;
+        alternate.nativeFilter = [](FunctionId id) { return id % 2 == 0; };
+        EquivalenceReport mixed =
+            compareNativeEngine(*mod, target, {}, alternate);
+        EXPECT_TRUE(mixed.equivalent)
+            << "seed " << seed << " mixed-dispatch: " << mixed.message;
+
+        // Everything filtered: the engine must degrade to the fast
+        // interpreter wholesale (the non-x86-64 code path, on x86-64).
+        NativeEngineOptions none;
+        none.nativeFilter = [](FunctionId) { return false; };
+        EquivalenceReport fallback =
+            compareNativeEngine(*mod, target, {}, none);
+        EXPECT_TRUE(fallback.equivalent)
+            << "seed " << seed << " full-fallback: " << fallback.message;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-code shape: the implicit check really is zero instructions
+// ---------------------------------------------------------------------------
+
+/** main: one checked field read off a parameter-like local ref. */
+std::unique_ptr<Module>
+buildFieldReadModule(bool throughNull)
+{
+    auto mod = std::make_unique<Module>();
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+    ValueId obj;
+    if (throughNull) {
+        obj = b.constNull();
+    } else {
+        obj = b.newObject(0, 24);
+        b.putField(obj, 8, b.constInt(41));
+    }
+    ValueId v = b.getField(obj, 8, Type::I32);
+    b.ret(b.binop(Opcode::IAdd, v, b.constInt(1)));
+    return mod;
+}
+
+TEST(NativeCheckBytes, ImplicitChecksCompileToZeroInstructions)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+    auto mod = buildFieldReadModule(false);
+    Compiler compiler(target, makeNoOptTrapConfig());
+    compiler.compile(*mod);
+
+    FunctionId entry = mod->findFunction("main");
+    NativeEngine engine(*mod, target);
+    const NativeCode *nc = engine.nativeCode(entry);
+    ASSERT_NE(nullptr, nc) << engine.unsupportedReason(entry);
+    ASSERT_GT(nc->implicitChecksCompiled, 0u)
+        << "trap config did not produce implicit checks";
+    EXPECT_EQ(0u, nc->implicitNullCheckBytes);
+
+    // Record-level disassembly check: every implicit NullCheck record
+    // is *exactly* the budget preamble — zero check instructions — and
+    // every explicit one is preamble + slot load + compare-and-branch.
+    auto df = decodeFunction(mod->function(entry), target);
+    ASSERT_EQ(df->code.size() + 1, nc->recordOffsets.size());
+    size_t implicitSeen = 0;
+    for (size_t i = 0; i < df->code.size(); ++i) {
+        if (df->code[i].srcOp != Opcode::NullCheck)
+            continue;
+        uint32_t bytes = nc->recordOffsets[i + 1] - nc->recordOffsets[i];
+        if (df->code[i].flavor == CheckFlavor::Implicit) {
+            EXPECT_EQ(kNativeBudgetPreambleBytes +
+                          kNativeImplicitNullCheckBytes,
+                      bytes)
+                << "implicit check at record " << i
+                << " emitted real instructions";
+            ++implicitSeen;
+        } else {
+            EXPECT_EQ(kNativeBudgetPreambleBytes + 7 /* slot load */ +
+                          kNativeExplicitNullCheckBytes,
+                      bytes)
+                << "explicit check at record " << i;
+        }
+    }
+    EXPECT_GT(implicitSeen, 0u);
+
+    // And the code still runs correctly.
+    ExecResult r = engine.run(entry, {});
+    ASSERT_EQ(ExecResult::Outcome::Returned, r.outcome);
+    EXPECT_EQ(42, r.value.i);
+}
+
+TEST(NativeCheckBytes, ExplicitChecksCarryTheCompareAndBranch)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+    auto mod = buildFieldReadModule(false);
+    Compiler compiler(target, makeNoOptNoTrapConfig());
+    compiler.compile(*mod);
+
+    FunctionId entry = mod->findFunction("main");
+    NativeEngine engine(*mod, target);
+    const NativeCode *nc = engine.nativeCode(entry);
+    ASSERT_NE(nullptr, nc) << engine.unsupportedReason(entry);
+    EXPECT_EQ(0u, nc->implicitChecksCompiled);
+    ASSERT_GT(nc->explicitChecksCompiled, 0u);
+    EXPECT_EQ(nc->explicitChecksCompiled * kNativeExplicitNullCheckBytes,
+              nc->explicitNullCheckBytes);
+}
+
+// ---------------------------------------------------------------------------
+// The trap path, for real
+// ---------------------------------------------------------------------------
+
+TEST(NativeTrap, GuardPageFaultBecomesTheInterpreterIdenticalNpe)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+    auto mod = buildFieldReadModule(true);
+    Compiler compiler(target, makeNoOptTrapConfig());
+    compiler.compile(*mod);
+
+    FunctionId entry = mod->findFunction("main");
+
+    // Both engines must agree on everything observable...
+    EquivalenceReport report = compareNativeEngine(*mod, target);
+    EXPECT_TRUE(report.equivalent) << report.message;
+
+    // ...and the native run must have taken a *real* hardware trap.
+    NativeEngine engine(*mod, target);
+    const NativeCode *nc = engine.nativeCode(entry);
+    ASSERT_NE(nullptr, nc) << engine.unsupportedReason(entry);
+    ASSERT_GT(nc->implicitChecksCompiled, 0u);
+    ExecResult r = engine.run(entry, {});
+    EXPECT_EQ(ExecResult::Outcome::Threw, r.outcome);
+    EXPECT_EQ(ExcKind::NullPointer, r.exception);
+    EXPECT_EQ(1u, r.stats.trapsTaken);
+
+    FastInterpreter fast(*mod, target);
+    ExecResult fr = fast.run(entry, {});
+    EXPECT_EQ(ExecResult::Outcome::Threw, fr.outcome);
+    EXPECT_EQ(ExcKind::NullPointer, fr.exception);
+    EXPECT_EQ(r.stats.trapsTaken, fr.stats.trapsTaken);
+}
+
+// ---------------------------------------------------------------------------
+// Instruction-budget parity
+// ---------------------------------------------------------------------------
+
+TEST(NativeBudget, BudgetHardFaultMessageMatchesFastInterpreter)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    auto build = [] {
+        auto mod = std::make_unique<Module>();
+        Function &fn = mod->addFunction("main", Type::I32);
+        IRBuilder b(fn);
+        b.startBlock();
+        ValueId i = fn.addLocal(Type::I32);
+        b.move(i, b.constInt(0));
+        BasicBlock &head = fn.newBlock();
+        BasicBlock &body = fn.newBlock();
+        BasicBlock &exit = fn.newBlock();
+        b.jump(head);
+        b.atEnd(head);
+        ValueId cond = b.cmp(Opcode::ICmp, CmpPred::LT, i,
+                             b.constInt(1000000));
+        b.branch(cond, body, exit);
+        b.atEnd(body);
+        b.move(i, b.binop(Opcode::IAdd, i, b.constInt(1)));
+        b.jump(head);
+        b.atEnd(exit);
+        b.ret(i);
+        return mod;
+    };
+
+    Target target = makeIA32WindowsTarget();
+    InterpOptions options;
+    options.maxInstructions = 100;
+
+    auto mod = build();
+    std::string fastMessage;
+    std::string nativeMessage;
+    uint64_t fastCount = 0;
+    uint64_t nativeCount = 0;
+    {
+        FastInterpreter fast(*mod, target, options);
+        try {
+            fast.run(mod->findFunction("main"), {});
+            FAIL() << "fast engine did not hit the budget";
+        } catch (const HardFault &fault) {
+            fastMessage = fault.what();
+            fastCount = fast.stats().instructions;
+        }
+    }
+    {
+        NativeEngine engine(*mod, target, options);
+        try {
+            engine.run(mod->findFunction("main"), {});
+            FAIL() << "native engine did not hit the budget";
+        } catch (const HardFault &fault) {
+            nativeMessage = fault.what();
+            nativeCount = engine.stats().instructions;
+        }
+    }
+    EXPECT_EQ(fastMessage, nativeMessage);
+    EXPECT_EQ(fastCount, nativeCount);
+}
+
+// ---------------------------------------------------------------------------
+// Cache sharing with the compile service
+// ---------------------------------------------------------------------------
+
+TEST(NativeCodeCacheSharing, ServicePrecompilesAndEngineReuses)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    GeneratorOptions opts;
+    opts.seed = 515151;
+    auto mod = generateRandomModule(opts);
+    Target target = makeIA32WindowsTarget();
+    PipelineConfig config = makeNewFullConfig();
+
+    CompileServiceOptions serviceOpts;
+    serviceOpts.numWorkers = 2;
+    CompileService service(target, serviceOpts);
+    ServiceReport report = service.compileModule(*mod, config);
+    EXPECT_GT(report.counters.functionsNativeCompiled, 0u);
+    EXPECT_GE(report.counters.nativeCompileSeconds, 0.0);
+    EXPECT_GE(service.nativeCodeCache()->size(),
+              report.counters.functionsNativeCompiled);
+
+    // The service precompiles the trace-free variant the bench
+    // harnesses execute; an engine running with recordTrace off shares
+    // those entries, and a second compile of the identical module
+    // compiles nothing new.
+    InterpOptions traceFree;
+    traceFree.recordTrace = false;
+    NativeEngine engine(*mod, target, traceFree, service.decodedCache(),
+                        DecodeOptions{}, service.nativeCodeCache());
+    ExecResult r = engine.run(mod->findFunction("main"), {});
+    (void)r;
+    auto again = generateRandomModule(opts);
+    ServiceReport second = service.compileModule(*again, config);
+    EXPECT_EQ(0u, second.counters.functionsNativeCompiled);
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection
+// ---------------------------------------------------------------------------
+
+TEST(NativeEngineSelection, EnvVariablePicksNative)
+{
+    ASSERT_EQ(0, setenv("TRAPJIT_INTERP", "native", 1));
+    EXPECT_EQ(InterpEngineKind::Native, interpEngineFromEnv());
+    ASSERT_EQ(0, unsetenv("TRAPJIT_INTERP"));
+    EXPECT_EQ(InterpEngineKind::Fast, interpEngineFromEnv());
+    EXPECT_STREQ("native", interpEngineName(InterpEngineKind::Native));
+}
+
+} // namespace
+} // namespace trapjit

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "arch/target.h"
 #include "interp/fast_interpreter.h"
 #include "interp/interpreter.h"
@@ -60,6 +64,50 @@ TEST(TrapRuntime, RepeatedTrapsAllRecover)
         EXPECT_FALSE(result.has_value());
     }
     EXPECT_EQ(50u, runtime.trapsTaken());
+}
+
+TEST(TrapRuntime, ConcurrentTrapsRecoverIndependently)
+{
+    // The thread-safety contract: traps taken simultaneously on many
+    // threads recover on *their own* thread (thread-local jump buffer,
+    // per-thread SA_ONSTACK alternate stack) without cross-talk.  Each
+    // thread interleaves faulting and non-faulting accesses so a
+    // recovery delivered to the wrong thread would misclassify one of
+    // them immediately.
+    TrapRuntime runtime;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 200;
+    std::atomic<int> mistakes{0};
+    std::atomic<bool> go{false};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&runtime, &mistakes, &go, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            int32_t cell = t;
+            for (int i = 0; i < kIters; ++i) {
+                auto trapped =
+                    runtime.guardedReadI32(runtime.simNull() + 8 * t + 4);
+                if (trapped.has_value())
+                    mistakes.fetch_add(1, std::memory_order_relaxed);
+                auto fine = runtime.guardedReadI32(
+                    reinterpret_cast<uintptr_t>(&cell));
+                if (!fine.has_value() || *fine != t)
+                    mistakes.fetch_add(1, std::memory_order_relaxed);
+                if (!runtime.guardedWriteI32(
+                        reinterpret_cast<uintptr_t>(&cell), t))
+                    mistakes.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(0, mistakes.load());
+    EXPECT_EQ(static_cast<uint64_t>(kThreads) * kIters,
+              runtime.trapsTaken());
 }
 
 TEST(TrapRuntime, TrapCoverageMatchesPageBounds)
