@@ -40,6 +40,9 @@ averageCompileTimings(const Workload &w, const Compiler &compiler,
         sum.nullCheckSeconds += report.timings.nullCheckSeconds;
         sum.otherSeconds += report.timings.otherSeconds;
         sum.solver += report.timings.solver;
+        sum.functionsAudited += report.timings.functionsAudited;
+        sum.auditFindings += report.timings.auditFindings;
+        sum.auditSeconds += report.timings.auditSeconds;
     }
     sum.nullCheckSeconds /= reps;
     sum.otherSeconds /= reps;
@@ -70,6 +73,9 @@ main()
     double oursTotal = 0.0;
     double altvmTotal = 0.0;
     SolverStats oursSolver;
+    uint64_t oursAudited = 0;
+    uint64_t oursAuditFindings = 0;
+    double oursAuditSeconds = 0.0;
     ExecStats engineTotals;
     for (const Workload &w : specjvmWorkloads()) {
         PassTimings oursT = averageCompileTimings(w, ours, reps);
@@ -89,6 +95,9 @@ main()
         oursTotal += oursCompileMs;
         altvmTotal += altvmCompileMs;
         oursSolver += oursT.solver;
+        oursAudited += oursT.functionsAudited;
+        oursAuditFindings += oursT.auditFindings;
+        oursAuditSeconds += oursT.auditSeconds;
         engineTotals.instructions += oursRun.stats.instructions;
         engineTotals.dispatches += oursRun.stats.dispatches;
         engineTotals.fusedPairsExecuted +=
@@ -121,6 +130,13 @@ main()
               << TextTable::num(oursSolver.visitsPerSolve(), 2)
               << " visits/solve), " << oursSolver.edgeFastPathSolves
               << " edge-map fast-path solves\n";
+    if (oursAudited > 0) {
+        std::cout << "Null-check soundness audit (ours, all reps): "
+                  << oursAudited << " functions audited, "
+                  << oursAuditFindings << " findings, "
+                  << TextTable::num(oursAuditSeconds * 1e3, 3)
+                  << " ms\n";
+    }
 
     // Simulation-side accounting, kept apart from the compile columns
     // above: pre-decoding for the fast engine is host time the

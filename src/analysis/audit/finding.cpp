@@ -1,0 +1,75 @@
+#include "analysis/audit/finding.h"
+
+#include <sstream>
+
+namespace trapjit
+{
+
+const char *
+auditObligationName(AuditObligation obligation)
+{
+    switch (obligation) {
+      case AuditObligation::Coverage: return "coverage";
+      case AuditObligation::Ordering: return "ordering";
+      case AuditObligation::Completeness: return "completeness";
+      case AuditObligation::Structure: return "structure";
+      case AuditObligation::TrapSafety: return "trap-safety";
+      case AuditObligation::Redundancy: return "redundancy";
+    }
+    return "?";
+}
+
+const char *
+auditSeverityName(AuditSeverity severity)
+{
+    return severity == AuditSeverity::Error ? "error" : "warning";
+}
+
+std::string
+AuditFinding::format() const
+{
+    std::ostringstream os;
+    os << auditSeverityName(severity) << " ["
+       << auditObligationName(obligation) << "] " << function;
+    if (!passName.empty())
+        os << " (after " << passName << ")";
+    os << " block " << block << " inst " << instIndex;
+    if (ref != kNoValue)
+        os << " ref v" << ref;
+    os << ": " << message;
+    return os.str();
+}
+
+size_t
+AuditReport::errorCount() const
+{
+    size_t n = 0;
+    for (const AuditFinding &f : findings)
+        n += f.severity == AuditSeverity::Error;
+    return n;
+}
+
+size_t
+AuditReport::warningCount() const
+{
+    return findings.size() - errorCount();
+}
+
+std::string
+AuditReport::format() const
+{
+    std::ostringstream os;
+    for (const AuditFinding &f : findings)
+        os << f.format() << "\n";
+    return os.str();
+}
+
+AuditReport &
+AuditReport::operator+=(const AuditReport &other)
+{
+    findings.insert(findings.end(), other.findings.begin(),
+                    other.findings.end());
+    return *this;
+}
+
+} // namespace trapjit

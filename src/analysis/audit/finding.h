@@ -1,0 +1,124 @@
+#ifndef TRAPJIT_ANALYSIS_AUDIT_FINDING_H_
+#define TRAPJIT_ANALYSIS_AUDIT_FINDING_H_
+
+/**
+ * @file
+ * Structured diagnostics of the null-check soundness auditor.
+ *
+ * Every auditor entry point (analysis/audit/audit.h) reports its
+ * verdicts as AuditFindings: one record per violated obligation, with
+ * enough location context (function, block, instruction, checked value)
+ * to act on without re-running the audit.  The PassManager hook panics
+ * on Error findings, `trapjit-lint` prints them one per line, and the
+ * counters flow into PassTimings / ServiceCounters for the compile-time
+ * benches.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/value.h"
+
+namespace trapjit
+{
+
+/** Which soundness obligation a finding violates. */
+enum class AuditObligation : uint8_t
+{
+    /**
+     * A potentially-faulting access (field/array/vcall) is not covered
+     * on every path by an equivalent explicit check, a designated
+     * implicit trap site, or a legal speculation exemption.
+     */
+    Coverage,
+
+    /**
+     * A check appears at a point where the pre-pass function neither
+     * established nor anticipated it: it was hoisted above a
+     * side-effecting instruction or across an Edge_try boundary into a
+     * different handler region (the Section 4.1.1 legality conditions).
+     */
+    Ordering,
+
+    /**
+     * A check present before a null-check pass is neither established
+     * nor anticipated after it: the pass lost an NPE (the access it
+     * guarded can now execute, or complete, unchecked).
+     */
+    Completeness,
+
+    /**
+     * A null-check pass changed the non-check instruction skeleton of
+     * the function (these passes may only insert, delete, move and
+     * re-flavor checks and mark trap sites).
+     */
+    Structure,
+
+    /**
+     * An implicit check or marked exception site does not satisfy the
+     * target's trap contract: the faulting access is missing, not
+     * statically bounded below the guard size, of the wrong access
+     * kind for the trap model, or (native tier) lacks a complete
+     * NativeTrapSite entry.
+     */
+    TrapSafety,
+
+    /**
+     * An explicit check survives an elimination pass even though the
+     * recomputed non-nullness proves it redundant at its own program
+     * point (an effectiveness regression, not a soundness bug).
+     */
+    Redundancy,
+};
+
+/** Printable obligation name. */
+const char *auditObligationName(AuditObligation obligation);
+
+/** How bad a finding is. */
+enum class AuditSeverity : uint8_t
+{
+    Error,   ///< soundness violation: exception semantics can change
+    Warning, ///< effectiveness/hygiene issue: semantics preserved
+};
+
+/** Printable severity name. */
+const char *auditSeverityName(AuditSeverity severity);
+
+/** One violated obligation at one program point. */
+struct AuditFinding
+{
+    AuditSeverity severity = AuditSeverity::Error;
+    AuditObligation obligation = AuditObligation::Coverage;
+
+    std::string function;   ///< function name
+    std::string passName;   ///< pass audited ("" for a final audit)
+    BlockId block = kNoBlock;
+    size_t instIndex = 0;   ///< index within the block (post state)
+    ValueId ref = kNoValue; ///< the checked reference, when applicable
+
+    std::string message;
+
+    /** One-line rendering: severity obligation func block:inst message. */
+    std::string format() const;
+};
+
+/** What one audit produced. */
+struct AuditReport
+{
+    std::vector<AuditFinding> findings;
+
+    size_t errorCount() const;
+    size_t warningCount() const;
+    bool clean() const { return findings.empty(); }
+
+    /** All findings, one format() line each. */
+    std::string format() const;
+
+    /** Append another report's findings. */
+    AuditReport &operator+=(const AuditReport &other);
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_ANALYSIS_AUDIT_FINDING_H_

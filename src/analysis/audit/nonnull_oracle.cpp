@@ -1,0 +1,309 @@
+#include "analysis/audit/nonnull_oracle.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace trapjit
+{
+
+NonNullOracle::NonNullOracle(const Function &func, const Target &target,
+                             bool conditional_pairs)
+    : func_(func), target_(target), conditionalPairs_(conditional_pairs)
+{
+    indexOf_.assign(func.numValues(), -1);
+    for (ValueId v = 0; v < func.numValues(); ++v) {
+        if (!func.value(v).isRef())
+            continue;
+        indexOf_[v] = static_cast<int>(refs_.size());
+        refs_.push_back(v);
+    }
+
+    // Collect the reference-copy pairs the function can ever create;
+    // each gets one liveness bit so congruence is flow-sensitive.
+    copiesOf_.resize(func.numValues());
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        for (const Instruction &inst :
+             func.block(static_cast<BlockId>(b)).insts()) {
+            if (inst.op != Opcode::Move || inst.dst == inst.a ||
+                indexOf(inst.dst) < 0) {
+                continue;
+            }
+            auto pair = std::make_pair(inst.dst, inst.a);
+            bool known = false;
+            for (size_t p : copiesOf_[inst.dst])
+                known |= copies_[p] == pair;
+            if (known)
+                continue;
+            size_t p = copies_.size();
+            copies_.push_back(pair);
+            copiesOf_[inst.dst].push_back(p);
+            copiesOf_[inst.a].push_back(p);
+        }
+    }
+}
+
+void
+NonNullOracle::establish(BitSet &state, ValueId v) const
+{
+    int idx = indexOf(v);
+    if (idx < 0)
+        return;
+    state.set(static_cast<size_t>(idx));
+    // Keep congruent values in lockstep: propagate non-nullness across
+    // live copy pairs until nothing changes.  A conditional pair fires
+    // one way only: `dst == src OR dst non-null` plus `src non-null`
+    // gives `dst non-null`, nothing about `src` from `dst`.
+    bool changed = !copies_.empty();
+    while (changed) {
+        changed = false;
+        for (size_t p = 0; p < copies_.size(); ++p) {
+            size_t d = static_cast<size_t>(indexOf(copies_[p].first));
+            size_t s = static_cast<size_t>(indexOf(copies_[p].second));
+            if (state.test(copyBit(p)) &&
+                state.test(d) != state.test(s)) {
+                state.set(d);
+                state.set(s);
+                changed = true;
+            }
+            if (state.test(condBit(p)) && state.test(s) &&
+                !state.test(d)) {
+                state.set(d);
+                changed = true;
+            }
+        }
+    }
+}
+
+void
+NonNullOracle::kill(BitSet &state, ValueId v) const
+{
+    int idx = indexOf(v);
+    if (idx >= 0)
+        state.reset(static_cast<size_t>(idx));
+    // Redefining either side invalidates the equality and with it the
+    // conditional fact (whose `dst == src` disjunct names both values).
+    if (v < copiesOf_.size()) {
+        for (size_t p : copiesOf_[v]) {
+            state.reset(copyBit(p));
+            state.reset(condBit(p));
+        }
+    }
+}
+
+void
+NonNullOracle::widenConditionals(BitSet &state) const
+{
+    if (!conditionalPairs_)
+        return;
+    for (size_t p = 0; p < copies_.size(); ++p) {
+        if (state.test(static_cast<size_t>(indexOf(copies_[p].first))))
+            state.set(condBit(p));
+    }
+}
+
+bool
+NonNullOracle::establishes(const Instruction &inst) const
+{
+    if (inst.op == Opcode::NullCheck)
+        return inst.flavor == CheckFlavor::Explicit;
+    return inst.exceptionSite && target_.trapCovers(inst);
+}
+
+void
+NonNullOracle::apply(const Instruction &inst, BitSet &state) const
+{
+    if (establishes(inst))
+        establish(state, inst.checkedRef());
+
+    if (!inst.hasDst() || indexOf(inst.dst) < 0)
+        return;
+    switch (inst.op) {
+      case Opcode::NewObject:
+      case Opcode::NewArray:
+        kill(state, inst.dst);
+        establish(state, inst.dst);
+        break;
+      case Opcode::Move: {
+        if (inst.a == inst.dst)
+            break;
+        bool srcNonNull = isNonNull(state, inst.a);
+        kill(state, inst.dst);
+        for (size_t p : copiesOf_[inst.dst]) {
+            if (copies_[p] == std::make_pair(inst.dst, inst.a)) {
+                state.set(copyBit(p));
+                if (conditionalPairs_)
+                    state.set(condBit(p)); // equality implies the weaker fact
+            }
+        }
+        if (srcNonNull)
+            establish(state, inst.dst);
+        break;
+      }
+      default:
+        kill(state, inst.dst);
+        break;
+    }
+}
+
+bool
+NonNullOracle::sameReference(const BitSet &state, ValueId a,
+                             ValueId b) const
+{
+    if (a == b)
+        return true;
+    std::deque<ValueId> frontier{a};
+    std::vector<bool> seen(func_.numValues(), false);
+    if (a >= seen.size() || b >= seen.size())
+        return false;
+    seen[a] = true;
+    while (!frontier.empty()) {
+        ValueId cur = frontier.front();
+        frontier.pop_front();
+        for (size_t p : copiesOf_[cur]) {
+            if (!state.test(copyBit(p)))
+                continue;
+            ValueId other = copies_[p].first == cur ? copies_[p].second
+                                                    : copies_[p].first;
+            if (other == b)
+                return true;
+            if (!seen[other]) {
+                seen[other] = true;
+                frontier.push_back(other);
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<size_t>
+NonNullOracle::congruentWith(const BitSet &state, ValueId v) const
+{
+    std::vector<size_t> result;
+    if (v >= func_.numValues() || indexOf(v) < 0)
+        return result;
+    std::deque<ValueId> frontier{v};
+    std::vector<bool> seen(func_.numValues(), false);
+    seen[v] = true;
+    result.push_back(static_cast<size_t>(indexOf(v)));
+    while (!frontier.empty()) {
+        ValueId cur = frontier.front();
+        frontier.pop_front();
+        for (size_t p : copiesOf_[cur]) {
+            if (!state.test(copyBit(p)))
+                continue;
+            ValueId other = copies_[p].first == cur ? copies_[p].second
+                                                    : copies_[p].first;
+            if (!seen[other]) {
+                seen[other] = true;
+                result.push_back(static_cast<size_t>(indexOf(other)));
+                frontier.push_back(other);
+            }
+        }
+    }
+    return result;
+}
+
+void
+NonNullOracle::edgeState(BlockId from, BlockId to, BitSet &scratch) const
+{
+    scratch.assign(out_[from]);
+    const Instruction &term = func_.block(from).terminator();
+    // The fall-through edge of `ifnull` carries a not-null fact for the
+    // tested value (unless both edges lead to the same block).
+    if (term.op == Opcode::IfNull && term.imm != term.imm2 &&
+        static_cast<BlockId>(term.imm2) == to) {
+        establish(scratch, term.a);
+    }
+    // Close the state under `dst non-null implies the conditional fact`
+    // before the caller intersects edges: a pair live on one edge and a
+    // directly-established dst on the other leaves the conditional fact
+    // standing at the merge, which is exactly what lets a later check of
+    // the copied-from value prove the copy.
+    widenConditionals(scratch);
+}
+
+void
+NonNullOracle::solve()
+{
+    const size_t numBlocks = func_.numBlocks();
+    const size_t numBits = stateBits();
+
+    BitSet universal(numBits);
+    universal.setAll();
+    BitSet boundary(numBits);
+    if (func_.isInstanceMethod() && func_.numParams() > 0 &&
+        func_.value(0).isRef()) {
+        establish(boundary, 0);
+    }
+    widenConditionals(boundary);
+
+    in_.assign(numBlocks, universal);
+    out_.assign(numBlocks, universal);
+
+    // Depth-first preorder over the reachable CFG seeds the worklist;
+    // unreachable blocks keep the universal state and are never queried.
+    std::vector<bool> reachable(numBlocks, false);
+    std::vector<BlockId> order;
+    std::vector<BlockId> stack{0};
+    reachable[0] = true; // block 0 is the entry
+    while (!stack.empty()) {
+        BlockId b = stack.back();
+        stack.pop_back();
+        order.push_back(b);
+        for (BlockId succ : func_.block(b).succs()) {
+            if (!reachable[succ]) {
+                reachable[succ] = true;
+                stack.push_back(succ);
+            }
+        }
+    }
+
+    std::deque<BlockId> work(order.begin(), order.end());
+    std::vector<bool> queued(numBlocks, false);
+    for (BlockId b : order)
+        queued[b] = true;
+
+    BitSet meet(numBits);
+    BitSet contribution(numBits);
+    BitSet next(numBits);
+
+    while (!work.empty()) {
+        BlockId block = work.front();
+        work.pop_front();
+        queued[block] = false;
+        const BasicBlock &bb = func_.block(block);
+
+        if (bb.preds().empty()) {
+            meet.assign(boundary);
+        } else {
+            meet.assign(universal);
+            for (BlockId pred : bb.preds()) {
+                // Nothing flows along factored exception edges: a fact
+                // established mid-block need not hold when an earlier
+                // instruction of the block threw.
+                if (func_.isExceptionalEdge(pred, block)) {
+                    meet.clearAll();
+                    continue;
+                }
+                edgeState(pred, block, contribution);
+                meet.meetInto(contribution, /*intersect=*/true);
+            }
+        }
+
+        next.assign(meet);
+        for (const Instruction &inst : bb.insts())
+            apply(inst, next);
+
+        in_[block].assign(meet);
+        if (out_[block].assignAndReport(next)) {
+            for (BlockId succ : bb.succs()) {
+                if (!queued[succ]) {
+                    queued[succ] = true;
+                    work.push_back(succ);
+                }
+            }
+        }
+    }
+}
+
+} // namespace trapjit

@@ -1,0 +1,147 @@
+#ifndef TRAPJIT_ANALYSIS_AUDIT_NONNULL_ORACLE_H_
+#define TRAPJIT_ANALYSIS_AUDIT_NONNULL_ORACLE_H_
+
+/**
+ * @file
+ * Independent recomputation of must-non-nullness for the auditor.
+ *
+ * This is deliberately NOT the optimizer's engine (opt/nullcheck/facts.h)
+ * and shares no code with it: the whole point of the audit is that a bug
+ * in the shared machinery cannot silently certify itself.  The oracle
+ * re-derives, from the IR and the target trap model alone, the facts the
+ * null-check passes are allowed to rely on:
+ *
+ *  - `v` is must-non-null at a program point when on every non-exceptional
+ *    path an *explicit* nullcheck of `v` (or of a value congruent with it),
+ *    a trap-covered exception-site access of it, an allocation defining
+ *    it, or the not-null edge of an `ifnull` has executed since the last
+ *    redefinition of `v`; the receiver `this` is non-null on entry.
+ *  - two values are *congruent* when a chain of still-live `move`s
+ *    connects them (value congruence in the GVN sense, restricted to
+ *    copies — the only value identities the IR can create for refs).
+ *  - each copy pair additionally carries a weaker *conditional* fact
+ *    `dst == src OR dst non-null`.  Unlike the equality, it survives a
+ *    merge where the other path established `dst` directly, so a later
+ *    check of `src` still proves `dst` (the shape the optimizer builds
+ *    when it guards one path with a check and the other with a trap on
+ *    the copied-from value).
+ *
+ * Nothing propagates along factored exception edges: a fact established
+ * mid-block need not hold when an earlier instruction of the block threw.
+ */
+
+#include <vector>
+
+#include "arch/target.h"
+#include "ir/function.h"
+#include "support/bitset.h"
+
+namespace trapjit
+{
+
+/**
+ * Forward must-non-null solver over value congruence, with per-point
+ * replay: solve() computes block-entry states; walk a block by calling
+ * apply() per instruction to get the state at any interior point.
+ */
+class NonNullOracle
+{
+  public:
+    /**
+     * @param conditional_pairs track the `dst == src OR dst non-null`
+     *        facts.  Soundness obligations want them (the optimizer
+     *        composes exactly such split-path guards); the redundancy
+     *        lint turns them off so it only flags checks the optimizer's
+     *        own equality-strength domain could have eliminated.
+     */
+    NonNullOracle(const Function &func, const Target &target,
+                  bool conditional_pairs = true);
+
+    /** Number of tracked (reference-typed) values. */
+    size_t numRefs() const { return refs_.size(); }
+
+    /** Tracked value at dense index @p idx. */
+    ValueId refAt(size_t idx) const { return refs_[idx]; }
+
+    /** Dense index of @p v, or -1 when not reference-typed. */
+    int
+    indexOf(ValueId v) const
+    {
+        return v < indexOf_.size() ? indexOf_[v] : -1;
+    }
+
+    /** State bits: non-null facts + live-copy facts + conditional facts. */
+    size_t stateBits() const { return refs_.size() + 2 * copies_.size(); }
+
+    /** Run the dataflow to a fixed point over the reachable CFG. */
+    void solve();
+
+    /** Must-non-null state on entry to @p block (after solve()). */
+    const BitSet &entryState(BlockId block) const { return in_[block]; }
+
+    /** Apply one instruction's effect to @p state (forward replay). */
+    void apply(const Instruction &inst, BitSet &state) const;
+
+    /** True if @p v is proven non-null in @p state. */
+    bool
+    isNonNull(const BitSet &state, ValueId v) const
+    {
+        int idx = indexOf(v);
+        return idx >= 0 && state.test(static_cast<size_t>(idx));
+    }
+
+    /** True if @p a and @p b provably hold the same reference. */
+    bool sameReference(const BitSet &state, ValueId a, ValueId b) const;
+
+    /**
+     * Every tracked value congruent with @p v in @p state (including
+     * @p v itself), as dense indices.
+     */
+    std::vector<size_t> congruentWith(const BitSet &state,
+                                      ValueId v) const;
+
+    /**
+     * Does executing @p inst prove its checked reference non-null
+     * afterwards?  Mirrors what the optimizer may rely on: an explicit
+     * nullcheck, or a trap-covered exception-site access.  An *implicit*
+     * nullcheck marker proves nothing by itself — only the trapping
+     * access it is anchored to does.
+     */
+    bool establishes(const Instruction &inst) const;
+
+    const Target &target() const { return target_; }
+
+  private:
+    void establish(BitSet &state, ValueId v) const;
+    void kill(BitSet &state, ValueId v) const;
+    size_t copyBit(size_t pair) const { return refs_.size() + pair; }
+    /** Bit of the weaker `dst == src OR dst non-null` fact of @p pair. */
+    size_t
+    condBit(size_t pair) const
+    {
+        return refs_.size() + copies_.size() + pair;
+    }
+    /** Set every conditional bit its non-null bit already implies. */
+    void widenConditionals(BitSet &state) const;
+
+    /** Out-state of @p from along the normal edge to @p to. */
+    void edgeState(BlockId from, BlockId to, BitSet &scratch) const;
+
+    const Function &func_;
+    const Target &target_;
+    bool conditionalPairs_;
+
+    std::vector<ValueId> refs_;
+    std::vector<int> indexOf_;
+
+    /** (dst, src) pairs of reference moves; one liveness bit each. */
+    std::vector<std::pair<ValueId, ValueId>> copies_;
+    std::vector<std::vector<size_t>> copiesOf_; ///< value -> pair indices
+
+    std::vector<BitSet> in_;
+    std::vector<BitSet> out_;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_ANALYSIS_AUDIT_NONNULL_ORACLE_H_

@@ -69,6 +69,18 @@ void
 verifyInstruction(Checker &chk, const Function &func,
                   const Instruction &inst)
 {
+    // Trap-model flag consistency.  An exception site is by definition
+    // the instruction whose hardware trap implements a null check, so it
+    // must access a slot of its base reference; the speculative marker
+    // is only legal on reads (Section 3.3.1 — a write through null must
+    // still fault); and a NullCheck is a pure guard producing nothing.
+    if (inst.exceptionSite && inst.slotAccess() == SlotAccess::None)
+        chk.error("exceptionSite on an instruction with no slot access");
+    if (inst.speculative && inst.slotAccess() != SlotAccess::Read)
+        chk.error("speculative flag on a non-read instruction");
+    if (inst.op == Opcode::NullCheck && inst.hasDst())
+        chk.error("nullcheck must not define a value");
+
     switch (inst.op) {
       case Opcode::ConstInt:
         if (!chk.validValue(inst.dst) || !isIntType(func.value(inst.dst).type))

@@ -212,6 +212,10 @@ CompileService::compileModules(const std::vector<Module *> &mods,
                         local.solverSolves = jobTimings.solver.solves;
                         local.solverBlockVisits =
                             jobTimings.solver.blockVisits;
+                        local.functionsAudited =
+                            jobTimings.functionsAudited;
+                        local.auditFindings = jobTimings.auditFindings;
+                        local.auditSeconds = jobTimings.auditSeconds;
                         std::string text =
                             serializeFunctionToString(*fn);
                         compiled =

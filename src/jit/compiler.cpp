@@ -17,6 +17,7 @@ Compiler::compile(Module &mod) const
         ++report.functionsCompiled;
     }
     report.timings = pm->timings();
+    report.audit = pm->auditReport();
     return report;
 }
 

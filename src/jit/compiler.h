@@ -19,6 +19,13 @@ struct CompileReport
 {
     PassTimings timings;
     size_t functionsCompiled = 0;
+
+    /**
+     * Soundness-audit findings across all compiled functions; empty
+     * unless the config runs with AuditMode::Collect (Panic dies on the
+     * first error instead of reporting it here).
+     */
+    AuditReport audit;
 };
 
 /** Compiles modules under one (target, pipeline) pair. */

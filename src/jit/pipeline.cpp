@@ -36,13 +36,29 @@ envForcesVerification()
     return forced;
 }
 
+/** TRAPJIT_AUDIT=1 forces the soundness auditor into every pipeline. */
+bool
+envForcesAudit()
+{
+    static const bool forced = [] {
+        const char *value = std::getenv("TRAPJIT_AUDIT");
+        return value != nullptr && *value != '\0' &&
+               std::strcmp(value, "0") != 0;
+    }();
+    return forced;
+}
+
 } // namespace
 
 std::unique_ptr<PassManager>
 buildPipeline(const PipelineConfig &config)
 {
+    AuditMode audit = config.audit;
+    if (audit == AuditMode::Off && envForcesAudit())
+        audit = AuditMode::Panic;
     auto pm = std::make_unique<PassManager>(config.verifyAfterEachPass ||
-                                            envForcesVerification());
+                                                envForcesVerification(),
+                                            audit);
 
     if (config.enableInlining)
         pm->add(std::make_unique<Inliner>(config.inlineBudget, 4000,

@@ -72,6 +72,19 @@ struct PipelineConfig
      * ctest so every arm of every test is verified pass-by-pass).
      */
     bool verifyAfterEachPass = false;
+
+    /**
+     * Run the null-check soundness auditor (analysis/audit/) alongside
+     * the pipeline: translation validation after every null-check pass
+     * plus a final whole-function audit.  Off by default; Panic is
+     * forced for every pipeline when the TRAPJIT_AUDIT environment
+     * variable is set to a non-zero value.  The trapjit-lint tool and
+     * the mutation tests use Collect to gather findings instead of
+     * dying on the first one.  Like verifyAfterEachPass, this is
+     * excluded from configFingerprint(): auditing never changes the
+     * generated code.
+     */
+    AuditMode audit = AuditMode::Off;
 };
 
 /** Build the ordered pass list realizing @p config. */

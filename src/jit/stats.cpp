@@ -78,6 +78,9 @@ ServiceCounters::operator+=(const ServiceCounters &other)
     decodeSeconds += other.decodeSeconds;
     functionsNativeCompiled += other.functionsNativeCompiled;
     nativeCompileSeconds += other.nativeCompileSeconds;
+    functionsAudited += other.functionsAudited;
+    auditFindings += other.auditFindings;
+    auditSeconds += other.auditSeconds;
     return *this;
 }
 

@@ -71,6 +71,14 @@ struct ServiceCounters
     size_t functionsNativeCompiled = 0; ///< native-cache misses this batch
     double nativeCompileSeconds = 0.0;  ///< host time spent emitting
 
+    // Null-check soundness auditor (analysis/audit/), summed over every
+    // job whose pipeline ran with auditing enabled (TRAPJIT_AUDIT=1 or
+    // PipelineConfig::audit).  Zero findings is the expected steady
+    // state; any nonzero count is a soundness bug in a null-check pass.
+    size_t functionsAudited = 0; ///< final whole-function audits run
+    size_t auditFindings = 0;    ///< findings across all audits
+    double auditSeconds = 0.0;   ///< host time spent auditing
+
     size_t
     total() const
     {

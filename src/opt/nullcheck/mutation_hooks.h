@@ -1,0 +1,87 @@
+#ifndef TRAPJIT_OPT_NULLCHECK_MUTATION_HOOKS_H_
+#define TRAPJIT_OPT_NULLCHECK_MUTATION_HOOKS_H_
+
+/**
+ * @file
+ * Test-only fault injection for the null-check passes.
+ *
+ * The soundness auditor (analysis/audit/) exists to catch optimizer bugs,
+ * so its own test suite must demonstrate that it actually does: each
+ * enumerator below switches on one deliberate, realistic bug in Phase 1
+ * or Phase 2 — a dropped kill, a skipped materialization, a mis-marked
+ * trap site — and tests/test_audit_mutations.cpp asserts the auditor
+ * flags every one of them.
+ *
+ * The hook is thread-local so a mutation armed by a test cannot leak
+ * into concurrently compiling service threads; production code never
+ * sets it, and every check sits on a pass-setup or rewrite path (not in
+ * a solver inner loop), so the cost when disarmed is a thread-local
+ * load per site.
+ */
+
+namespace trapjit
+{
+
+enum class NullCheckMutation
+{
+    None,
+
+    // ---- Phase 1 (4.1.1 / 4.1.2) -------------------------------------
+    /** Redefinitions are invisible to the backward anticipation. */
+    P1DropRedefKillBwd,
+    /** Side-effect barriers no longer stop the backward anticipation. */
+    P1DropBarrierKillBwd,
+    /** Anticipation flows freely across Edge_try boundaries. */
+    P1DropTryBoundaryKills,
+    /** Insertion skips the `Earliest -= Out_fwd` redundancy prune. */
+    P1SkipEliminatedPrune,
+
+    // ---- Phase 2 (4.2.1 / 4.2.2) -------------------------------------
+    /** Pending checks are dropped at a barrier instead of materialized. */
+    P2DropBarrierMaterialize,
+    /** Motion flows across Edge_try boundaries and exception edges. */
+    P2DropTryEdgeKills,
+    /** A consuming access no longer consumes its own pending check. */
+    P2SkipOwnConsume,
+    /** Implicit conversion forgets to flag the access as a trap site. */
+    P2SkipExceptionSiteMark,
+    /** Accesses the target cannot trap on are converted anyway. */
+    P2MarkWithoutTrapCover,
+    /** 4.2.2 ignores consuming accesses when judging substitutability. */
+    P2SubstIgnoresConsume,
+};
+
+/** The mutation armed on this thread (tests only; defaults to None). */
+inline NullCheckMutation &
+activeNullCheckMutation()
+{
+    thread_local NullCheckMutation active = NullCheckMutation::None;
+    return active;
+}
+
+inline bool
+mutationActive(NullCheckMutation m)
+{
+    return activeNullCheckMutation() == m;
+}
+
+/** RAII arm/disarm so a failing test cannot leave a mutation armed. */
+class ScopedNullCheckMutation
+{
+  public:
+    explicit ScopedNullCheckMutation(NullCheckMutation m)
+    {
+        activeNullCheckMutation() = m;
+    }
+    ~ScopedNullCheckMutation()
+    {
+        activeNullCheckMutation() = NullCheckMutation::None;
+    }
+    ScopedNullCheckMutation(const ScopedNullCheckMutation &) = delete;
+    ScopedNullCheckMutation &
+    operator=(const ScopedNullCheckMutation &) = delete;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_OPT_NULLCHECK_MUTATION_HOOKS_H_

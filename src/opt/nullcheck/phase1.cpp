@@ -3,6 +3,7 @@
 #include "analysis/dataflow.h"
 #include "analysis/rpo.h"
 #include "opt/nullcheck/facts.h"
+#include "opt/nullcheck/mutation_hooks.h"
 
 namespace trapjit
 {
@@ -31,11 +32,13 @@ backwardGenKill(const Function &func, const NullCheckUniverse &universe,
             gen.set(static_cast<size_t>(universe.factOf(inst.a)));
             continue;
         }
-        if (isMotionBarrier(func, inst, inTry)) {
+        if (isMotionBarrier(func, inst, inTry) &&
+            !mutationActive(NullCheckMutation::P1DropBarrierKillBwd)) {
             gen.clearAll();
             kill.setAll();
         }
-        if (inst.hasDst()) {
+        if (inst.hasDst() &&
+            !mutationActive(NullCheckMutation::P1DropRedefKillBwd)) {
             int fact = universe.factOf(inst.dst);
             if (fact >= 0) {
                 gen.reset(static_cast<size_t>(fact));
@@ -69,7 +72,8 @@ NullCheckPhase1::runOnFunction(Function &func, PassContext &ctx)
         backwardGenKill(func, universe, func.block(static_cast<BlockId>(b)),
                         bwd.gen[b], bwd.kill[b]);
     }
-    addTryBoundaryKills(func, bwd);
+    if (!mutationActive(NullCheckMutation::P1DropTryBoundaryKills))
+        addTryBoundaryKills(func, bwd);
     const DataflowResult &ant = solver_.solve(func, bwd);
 
     // Earliest(n) = Out_bwd(n) − U_{m in Pred(n)} Out_bwd(m):
@@ -105,8 +109,9 @@ NullCheckPhase1::runOnFunction(Function &func, PassContext &ctx)
         BitSet pending(numFacts);
         earliest[b].forEach([&](size_t fact) {
             if (eliminatedFacts.test(fact) &&
-                !nonnull.out[b].test(
-                    domain.nonnullBit(universe.valueOf(fact)))) {
+                (mutationActive(NullCheckMutation::P1SkipEliminatedPrune) ||
+                 !nonnull.out[b].test(
+                     domain.nonnullBit(universe.valueOf(fact))))) {
                 pending.set(fact);
             }
         });

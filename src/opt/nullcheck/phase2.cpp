@@ -5,6 +5,7 @@
 #include "analysis/dataflow.h"
 #include "analysis/rpo.h"
 #include "opt/nullcheck/facts.h"
+#include "opt/nullcheck/mutation_hooks.h"
 
 namespace trapjit
 {
@@ -114,8 +115,10 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
                       func.block(static_cast<BlockId>(b)), fwd.gen[b],
                       fwd.kill[b]);
     }
-    addTryBoundaryKills(func, fwd);
-    addExceptionEdgeKills(func, fwd);
+    if (!mutationActive(NullCheckMutation::P2DropTryEdgeKills)) {
+        addTryBoundaryKills(func, fwd);
+        addExceptionEdgeKills(func, fwd);
+    }
     // solver_ is reused for the 4.2.2 solve below, which overwrites this
     // result in place; `motion` is only read before that point.
     const DataflowResult &motion = solver_.solve(func, fwd);
@@ -203,7 +206,9 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
                         domain.mustEqual(flow, alias, checked)) {
                         rebuilt.push_back(
                             makeImplicitNullCheck(func, alias));
-                        inst.exceptionSite = true;
+                        if (!mutationActive(
+                                NullCheckMutation::P2SkipExceptionSiteMark))
+                            inst.exceptionSite = true;
                         ++stats_.convertedToImplicit;
                     } else {
                         rebuilt.push_back(
@@ -215,11 +220,16 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
                 }
                 size_t fact =
                     static_cast<size_t>(universe.factOf(checked));
-                if (inner.test(fact)) {
-                    if (ctx.target.trapCovers(inst)) {
+                if (inner.test(fact) &&
+                    !mutationActive(NullCheckMutation::P2SkipOwnConsume)) {
+                    if (ctx.target.trapCovers(inst) ||
+                        mutationActive(
+                            NullCheckMutation::P2MarkWithoutTrapCover)) {
                         rebuilt.push_back(
                             makeImplicitNullCheck(func, checked));
-                        inst.exceptionSite = true;
+                        if (!mutationActive(
+                                NullCheckMutation::P2SkipExceptionSiteMark))
+                            inst.exceptionSite = true;
                         ++stats_.convertedToImplicit;
                     } else {
                         rebuilt.push_back(
@@ -232,7 +242,9 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
             }
 
             if (isMotionBarrier(func, inst, inTry)) {
-                inner.forEach(materialize);
+                if (!mutationActive(
+                        NullCheckMutation::P2DropBarrierMaterialize))
+                    inner.forEach(materialize);
                 inner.clearAll();
             } else if (inst.hasDst()) {
                 int fact = universe.factOf(inst.dst);
@@ -283,11 +295,14 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
                 // copy) consumes the guard duty: a check above it may
                 // not be substituted by a check *below* it, or the
                 // access would execute unguarded.
-                for (ValueId alias : aliases.aliasesOf(checked)) {
-                    size_t fact =
-                        static_cast<size_t>(universe.factOf(alias));
-                    killedSoFar.set(fact);
-                    kill.set(fact);
+                if (!mutationActive(
+                        NullCheckMutation::P2SubstIgnoresConsume)) {
+                    for (ValueId alias : aliases.aliasesOf(checked)) {
+                        size_t fact =
+                            static_cast<size_t>(universe.factOf(alias));
+                        killedSoFar.set(fact);
+                        kill.set(fact);
+                    }
                 }
             }
             if (isMotionBarrier(func, inst, inTry)) {
@@ -336,9 +351,13 @@ NullCheckPhase2::runOnFunction(Function &func, PassContext &ctx)
             if (inst.op == Opcode::NullCheck) {
                 after.set(static_cast<size_t>(universe.factOf(inst.a)));
             } else if (inst.checkedRef() != kNoValue) {
-                for (ValueId alias : aliases.aliasesOf(inst.checkedRef()))
-                    after.reset(static_cast<size_t>(
-                        universe.factOf(alias)));
+                if (!mutationActive(
+                        NullCheckMutation::P2SubstIgnoresConsume)) {
+                    for (ValueId alias :
+                         aliases.aliasesOf(inst.checkedRef()))
+                        after.reset(static_cast<size_t>(
+                            universe.factOf(alias)));
+                }
                 if (inst.exceptionSite && ctx.target.trapCovers(inst)) {
                     after.set(static_cast<size_t>(
                         universe.factOf(inst.checkedRef())));

@@ -1,7 +1,10 @@
 #include "opt/pass_manager.h"
 
 #include <chrono>
+#include <cstring>
 
+#include "analysis/audit/audit.h"
+#include "ir/serializer.h"
 #include "ir/verifier.h"
 #include "support/diagnostics.h"
 
@@ -16,6 +19,9 @@ PassTimings::operator+=(const PassTimings &other)
     nullCheckSeconds += other.nullCheckSeconds;
     otherSeconds += other.otherSeconds;
     solver += other.solver;
+    functionsAudited += other.functionsAudited;
+    auditFindings += other.auditFindings;
+    auditSeconds += other.auditSeconds;
     return *this;
 }
 
@@ -23,6 +29,18 @@ void
 PassManager::add(std::unique_ptr<Pass> pass)
 {
     passes_.push_back(std::move(pass));
+}
+
+void
+PassManager::absorbAudit(const AuditReport &report, const char *when)
+{
+    if (report.findings.empty())
+        return;
+    timings_.auditFindings += report.findings.size();
+    if (auditMode_ == AuditMode::Panic && report.errorCount() > 0)
+        TRAPJIT_PANIC("null-check soundness audit failed ", when, ":\n",
+                      report.format());
+    auditReport_ += report;
 }
 
 bool
@@ -40,7 +58,12 @@ PassManager::run(Function &func, PassContext &ctx)
         verify("before the first pass");
 
     bool changed = false;
+    std::string preSnapshot;
     for (auto &pass : passes_) {
+        const bool auditThis =
+            auditMode_ != AuditMode::Off && pass->isNullCheckPass();
+        if (auditThis)
+            preSnapshot = serializeFunctionToString(func);
         auto start = Clock::now();
         changed |= pass->runOnFunction(func, ctx);
         double seconds =
@@ -52,6 +75,33 @@ PassManager::run(Function &func, PassContext &ctx)
             timings_.otherSeconds += seconds;
         if (verifyAfterEachPass_)
             verify(std::string("after pass '") + pass->name() + "'");
+        if (auditThis) {
+            auto auditStart = Clock::now();
+            std::unique_ptr<Function> pre =
+                deserializeFunctionFromString(preSnapshot, func.id());
+            AuditOptions options;
+            // Redundant surviving checks are only a finding for the
+            // elimination passes; motion legitimately rematerializes
+            // checks a direct solve re-proves.
+            options.checkRedundancy =
+                std::strcmp(pass->name(), "nullcheck-phase1") == 0 ||
+                std::strcmp(pass->name(), "nullcheck-whaley") == 0;
+            absorbAudit(auditTransformation(*pre, func, ctx.target,
+                                            pass->name(), options),
+                        pass->name());
+            timings_.auditSeconds +=
+                std::chrono::duration<double>(Clock::now() - auditStart)
+                    .count();
+        }
+    }
+    if (auditMode_ != AuditMode::Off) {
+        auto auditStart = Clock::now();
+        absorbAudit(auditFunction(func, ctx.target),
+                    "in the final whole-function audit");
+        ++timings_.functionsAudited;
+        timings_.auditSeconds +=
+            std::chrono::duration<double>(Clock::now() - auditStart)
+                .count();
     }
     // Harvest the solver counters the passes accumulated on the context.
     timings_.solver += ctx.solverStats;

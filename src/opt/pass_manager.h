@@ -28,11 +28,13 @@
  *    while any job is in flight.
  */
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/audit/finding.h"
 #include "opt/pass.h"
 
 namespace trapjit
@@ -49,11 +51,29 @@ struct PassTimings
     /** Dataflow solver convergence counters, harvested per run(). */
     SolverStats solver;
 
+    // Soundness-audit accounting (analysis/audit/), populated only when
+    // the manager runs with an AuditMode other than Off.
+    uint64_t functionsAudited = 0; ///< functions given a final audit
+    uint64_t auditFindings = 0;    ///< findings across all audits
+    double auditSeconds = 0.0;     ///< wall clock spent auditing
+
     double total() const { return nullCheckSeconds + otherSeconds; }
     void clear() { *this = PassTimings{}; }
 
     /** Merge another accounting into this one (per-worker merge). */
     PassTimings &operator+=(const PassTimings &other);
+};
+
+/**
+ * Whether (and how) the null-check soundness auditor runs alongside the
+ * pipeline: translation validation after every null-check pass plus a
+ * final whole-function audit (see analysis/audit/audit.h).
+ */
+enum class AuditMode
+{
+    Off,     ///< no auditing (production default)
+    Panic,   ///< TRAPJIT_PANIC on the first error-severity finding
+    Collect, ///< record every finding in auditReport(), never panic
 };
 
 /** Runs an ordered list of passes over functions, accumulating timings. */
@@ -65,8 +85,10 @@ class PassManager
      *        before the first pass and after every pass, panicking on
      *        the first structural breakage (names the guilty pass).
      */
-    explicit PassManager(bool verify_after_each_pass = false)
-        : verifyAfterEachPass_(verify_after_each_pass)
+    explicit PassManager(bool verify_after_each_pass = false,
+                         AuditMode audit_mode = AuditMode::Off)
+        : verifyAfterEachPass_(verify_after_each_pass),
+          auditMode_(audit_mode)
     {}
 
     /** Append a pass; runs in insertion order. */
@@ -79,11 +101,19 @@ class PassManager
     void clearTimings() { timings_.clear(); }
 
     bool verifiesAfterEachPass() const { return verifyAfterEachPass_; }
+    AuditMode auditMode() const { return auditMode_; }
+
+    /** Findings accumulated across run() calls (Collect mode). */
+    const AuditReport &auditReport() const { return auditReport_; }
 
   private:
+    void absorbAudit(const AuditReport &report, const char *when);
+
     std::vector<std::unique_ptr<Pass>> passes_;
     PassTimings timings_;
+    AuditReport auditReport_;
     bool verifyAfterEachPass_ = false;
+    AuditMode auditMode_ = AuditMode::Off;
 };
 
 } // namespace trapjit

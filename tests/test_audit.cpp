@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Unit tests of the null-check soundness auditor on hand-built IR:
+ * coverage edge cases the random sweeps only hit by luck (facts killed
+ * on factored exception edges at try boundaries, back-edge-only
+ * coverage that an optimistic solver must not certify, split-path
+ * guards composed through a reference copy) plus the translation
+ * validation obligations on minimal pre/post pairs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/audit/audit.h"
+#include "arch/target.h"
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "ir/serializer.h"
+
+namespace trapjit
+{
+namespace
+{
+
+Target ia32 = makeIA32WindowsTarget();
+
+/** Raw (unguarded) field read of @p obj at @p offset. */
+Instruction
+rawGetField(Function &fn, ValueId obj, int64_t offset,
+            bool exception_site = false)
+{
+    Instruction gf;
+    gf.op = Opcode::GetField;
+    gf.dst = fn.addTemp(Type::I32);
+    gf.a = obj;
+    gf.imm = offset;
+    gf.exceptionSite = exception_site;
+    return gf;
+}
+
+// ---------------------------------------------------------------------
+// Coverage: final whole-function audit
+// ---------------------------------------------------------------------
+
+TEST(AuditCoverage, DominatingCheckCoversDiamond)
+{
+    Module mod;
+    Function &fn = mod.addFunction("diamond", Type::Void);
+    ValueId o = fn.addParam(Type::Ref, "o");
+    ValueId c = fn.addParam(Type::I32, "c");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &left = b.startBlock();
+    BasicBlock &right = b.startBlock();
+    BasicBlock &merge = b.startBlock();
+
+    b.atEnd(entry);
+    b.nullCheck(o);
+    b.branch(c, left, right);
+    b.atEnd(left);
+    b.jump(merge);
+    b.atEnd(right);
+    b.jump(merge);
+    b.atEnd(merge);
+    b.emit(rawGetField(fn, o, 8));
+    b.ret();
+    fn.recomputeCFG();
+
+    AuditReport report = auditFunction(fn, ia32);
+    EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(AuditCoverage, BackEdgeOnlyCheckDoesNotCover)
+{
+    // The check sits on the loop's back edge, so the access at the loop
+    // head runs unguarded on the first iteration.  An optimistic solver
+    // that trusts its universal initial state would certify this; the
+    // auditor must not.
+    Module mod;
+    Function &fn = mod.addFunction("loop", Type::Void);
+    ValueId o = fn.addParam(Type::Ref, "o");
+    ValueId c = fn.addParam(Type::I32, "c");
+    IRBuilder b(fn);
+    BasicBlock &entry = b.startBlock();
+    BasicBlock &head = b.startBlock();
+    BasicBlock &body = b.startBlock();
+    BasicBlock &exit = b.startBlock();
+
+    b.atEnd(entry);
+    b.jump(head);
+    b.atEnd(head);
+    b.emit(rawGetField(fn, o, 8));
+    b.branch(c, body, exit);
+    b.atEnd(body);
+    b.nullCheck(o);
+    b.jump(head);
+    b.atEnd(exit);
+    b.ret();
+    fn.recomputeCFG();
+
+    AuditReport report = auditFunction(fn, ia32);
+    ASSERT_EQ(1u, report.errorCount()) << report.format();
+    EXPECT_EQ(AuditObligation::Coverage, report.findings[0].obligation);
+    EXPECT_EQ(o, report.findings[0].ref);
+
+    // Hoisting the check above the loop covers every iteration.
+    Module mod2;
+    Function &fn2 = mod2.addFunction("loop2", Type::Void);
+    ValueId o2 = fn2.addParam(Type::Ref, "o");
+    ValueId c2 = fn2.addParam(Type::I32, "c");
+    IRBuilder b2(fn2);
+    BasicBlock &entry2 = b2.startBlock();
+    BasicBlock &head2 = b2.startBlock();
+    BasicBlock &body2 = b2.startBlock();
+    BasicBlock &exit2 = b2.startBlock();
+    b2.atEnd(entry2);
+    b2.nullCheck(o2);
+    b2.jump(head2);
+    b2.atEnd(head2);
+    b2.emit(rawGetField(fn2, o2, 8));
+    b2.branch(c2, body2, exit2);
+    b2.atEnd(body2);
+    b2.jump(head2);
+    b2.atEnd(exit2);
+    b2.ret();
+    fn2.recomputeCFG();
+    EXPECT_TRUE(auditFunction(fn2, ia32).clean());
+}
+
+TEST(AuditCoverage, ExceptionEdgeKillsFactsAtTryBoundary)
+{
+    // A check established inside a try block must not cover an access
+    // in the handler: the factored exception edge can be taken before
+    // the check executed.
+    auto build = [](bool recheckInHandler) {
+        auto mod = std::make_unique<Module>();
+        Function &fn = mod->addFunction("f", Type::Void);
+        ValueId o = fn.addParam(Type::Ref, "o");
+        IRBuilder b(fn);
+        BasicBlock &entry = b.startBlock();
+        BasicBlock &handler = b.startBlock();
+        TryRegionId region =
+            fn.addTryRegion(handler.id(), ExcKind::CatchAll);
+        BasicBlock &body = b.startBlock(region);
+        BasicBlock &exit = b.startBlock();
+
+        b.atEnd(entry);
+        b.jump(body);
+        b.atEnd(body);
+        b.nullCheck(o);
+        b.emit(rawGetField(fn, o, 8));
+        b.jump(exit);
+        b.atEnd(handler);
+        if (recheckInHandler)
+            b.nullCheck(o);
+        b.emit(rawGetField(fn, o, 8));
+        b.jump(exit);
+        b.atEnd(exit);
+        b.ret();
+        fn.recomputeCFG();
+        return mod;
+    };
+
+    auto leaky = build(/*recheckInHandler=*/false);
+    AuditReport report = auditFunction(leaky->function(0), ia32);
+    ASSERT_EQ(1u, report.errorCount()) << report.format();
+    EXPECT_EQ(AuditObligation::Coverage, report.findings[0].obligation);
+
+    auto sound = build(/*recheckInHandler=*/true);
+    EXPECT_TRUE(auditFunction(sound->function(0), ia32).clean());
+}
+
+TEST(AuditCoverage, SplitGuardComposesThroughReferenceCopy)
+{
+    // One path checks the copy directly, the other keeps the copy pair
+    // live, and the merge is followed by a trap site on the copied-from
+    // value.  Sound — the conditional fact `v == o OR v non-null`
+    // survives the merge and the trap discharges it — and exactly the
+    // shape copy propagation plus Phase 2 motion composes.
+    auto build = [](bool trapSite) {
+        auto mod = std::make_unique<Module>();
+        Function &fn = mod->addFunction("f", Type::Void);
+        ValueId o = fn.addParam(Type::Ref, "o");
+        ValueId p = fn.addParam(Type::Ref, "p");
+        ValueId c = fn.addParam(Type::I32, "c");
+        ValueId v = fn.addLocal(Type::Ref, "v");
+        IRBuilder b(fn);
+        BasicBlock &entry = b.startBlock();
+        BasicBlock &left = b.startBlock();
+        BasicBlock &right = b.startBlock();
+        BasicBlock &merge = b.startBlock();
+
+        b.atEnd(entry);
+        b.move(v, o);
+        b.branch(c, left, right);
+        b.atEnd(left);
+        b.move(v, p);
+        b.nullCheck(v);
+        b.jump(merge);
+        b.atEnd(right);
+        b.jump(merge);
+        b.atEnd(merge);
+        b.emit(rawGetField(fn, o, 8, /*exception_site=*/trapSite));
+        b.emit(rawGetField(fn, v, 8));
+        b.ret();
+        fn.recomputeCFG();
+        return mod;
+    };
+
+    auto sound = build(/*trapSite=*/true);
+    AuditReport report = auditFunction(sound->function(0), ia32);
+    EXPECT_TRUE(report.clean()) << report.format();
+
+    // Without the trap site neither access is covered.
+    auto leaky = build(/*trapSite=*/false);
+    EXPECT_GE(auditFunction(leaky->function(0), ia32).errorCount(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Translation validation: auditTransformation on minimal pre/post pairs
+// ---------------------------------------------------------------------
+//
+// Like the PassManager, the tests snapshot the pre state by
+// serializing the function and then mutate the original in place:
+// separately-built functions would get fresh site ids and trip the
+// structure obligation instead of the one under test.
+
+/** Serialize-round-trip copy of @p fn (the PassManager's snapshot). */
+std::unique_ptr<Function>
+snapshot(const Function &fn)
+{
+    return deserializeFunctionFromString(serializeFunctionToString(fn),
+                                         fn.id());
+}
+
+TEST(AuditTransformation, HoistAboveSideEffectIsOrderingError)
+{
+    // constInt k; nullcheck q; putfield q.8 = k; nullcheck o;
+    // getfield o.8; ret
+    Module mod;
+    Function &fn = mod.addFunction("f", Type::Void);
+    ValueId o = fn.addParam(Type::Ref, "o");
+    ValueId q = fn.addParam(Type::Ref, "q");
+    IRBuilder b(fn);
+    BasicBlock &bb = b.startBlock();
+    ValueId k = b.constInt(7);
+    b.nullCheck(q);
+    Instruction pf;
+    pf.op = Opcode::PutField;
+    pf.a = q;
+    pf.b = k;
+    pf.imm = 8;
+    b.emit(pf);
+    b.nullCheck(o);
+    b.emit(rawGetField(fn, o, 8));
+    b.ret();
+    fn.recomputeCFG();
+    auto pre = snapshot(fn);
+
+    // "Hoist" the check of o above the store: move inst 3 to index 2.
+    Instruction check = bb.insts()[3];
+    bb.insts().erase(bb.insts().begin() + 3);
+    bb.insts().insert(bb.insts().begin() + 2, check);
+    fn.recomputeCFG();
+
+    AuditReport report =
+        auditTransformation(*pre, fn, ia32, "test-pass");
+    ASSERT_EQ(1u, report.errorCount()) << report.format();
+    EXPECT_EQ(AuditObligation::Ordering, report.findings[0].obligation);
+    EXPECT_EQ(o, report.findings[0].ref);
+
+    // The mirror move is illegal too, under the other obligation:
+    // sinking the check below the store delays the NPE past an
+    // observable side effect, so at its old position the check is no
+    // longer established or anticipated.
+    AuditReport sunk = auditTransformation(fn, *pre, ia32, "test-pass");
+    ASSERT_EQ(1u, sunk.errorCount()) << sunk.format();
+    EXPECT_EQ(AuditObligation::Completeness, sunk.findings[0].obligation);
+}
+
+TEST(AuditTransformation, DroppedUnestablishedCheckIsCompletenessError)
+{
+    Module mod;
+    Function &fn = mod.addFunction("f", Type::Void);
+    ValueId o = fn.addParam(Type::Ref, "o");
+    IRBuilder b(fn);
+    BasicBlock &bb = b.startBlock();
+    b.nullCheck(o);
+    b.ret();
+    fn.recomputeCFG();
+    auto pre = snapshot(fn);
+
+    // Drop the only check: nothing establishes or anticipates o at its
+    // old position afterwards (the next instruction is the return).
+    bb.insts().erase(bb.insts().begin());
+    fn.recomputeCFG();
+
+    AuditReport report =
+        auditTransformation(*pre, fn, ia32, "test-pass");
+    ASSERT_EQ(1u, report.errorCount()) << report.format();
+    EXPECT_EQ(AuditObligation::Completeness,
+              report.findings[0].obligation);
+    EXPECT_EQ(o, report.findings[0].ref);
+}
+
+/** nullcheck o; getfield o.8; nullcheck o; getfield o.12; ret */
+Function &
+buildRedundantShape(Module &mod)
+{
+    Function &fn = mod.addFunction("f", Type::Void);
+    ValueId o = fn.addParam(Type::Ref, "o");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(o);
+    b.emit(rawGetField(fn, o, 8));
+    b.nullCheck(o);
+    b.emit(rawGetField(fn, o, 12));
+    b.ret();
+    fn.recomputeCFG();
+    return fn;
+}
+
+TEST(AuditTransformation, EliminationOfCoveredCheckIsClean)
+{
+    Module mod;
+    Function &fn = buildRedundantShape(mod);
+    auto pre = snapshot(fn);
+
+    // Eliminate the second (covered) check — the legal move.
+    BasicBlock &bb = fn.block(0);
+    bb.insts().erase(bb.insts().begin() + 2);
+    fn.recomputeCFG();
+
+    AuditOptions options;
+    options.checkRedundancy = true;
+    AuditReport report =
+        auditTransformation(*pre, fn, ia32, "test-pass", options);
+    EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(AuditTransformation, SurvivingRedundantCheckIsWarning)
+{
+    // An elimination pass that leaves the provably-redundant second
+    // check in place draws the (warning-severity) redundancy finding.
+    Module mod;
+    Function &fn = buildRedundantShape(mod);
+    AuditOptions options;
+    options.checkRedundancy = true;
+    AuditReport report =
+        auditTransformation(fn, fn, ia32, "test-pass", options);
+    ASSERT_EQ(1u, report.findings.size()) << report.format();
+    EXPECT_EQ(AuditSeverity::Warning, report.findings[0].severity);
+    EXPECT_EQ(AuditObligation::Redundancy,
+              report.findings[0].obligation);
+}
+
+} // namespace
+} // namespace trapjit

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Mutation harness for the null-check soundness auditor: each test arms
+ * one deliberate bug in Phase 1 or Phase 2 (opt/nullcheck/mutation_hooks.h)
+ * and asserts the auditor flags it on at least one random-program seed.
+ * The auditor's value is exactly this — catching optimizer bugs the
+ * moment they are introduced — so an undetected mutation means a blind
+ * spot in the audit, not a tolerable miss.
+ *
+ * The compile runs through the sequential Compiler (not the service):
+ * the mutation hook is thread-local, so the pass must execute on the
+ * arming thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jit/compiler.h"
+#include "opt/nullcheck/mutation_hooks.h"
+#include "testing/random_program.h"
+
+namespace trapjit
+{
+namespace
+{
+
+// The window is chosen so every mutation has at least one detecting
+// seed inside it; the rarest (P2SubstIgnoresConsume, whose bug only
+// bites when substitution crosses a consuming access) fires at seeds
+// 111, 117 and 134 under the generator options below.
+constexpr uint64_t kSeedBegin = 100;
+constexpr uint64_t kSeedEnd = 140;
+
+/** Compile seeds [kSeedBegin, kSeedEnd) with the auditor collecting. */
+AuditReport
+auditSweep(NullCheckMutation mutation)
+{
+    ScopedNullCheckMutation armed(mutation);
+    Target target = makeIA32WindowsTarget();
+    PipelineConfig config = makeNewFullConfig();
+    config.audit = AuditMode::Collect;
+    Compiler compiler(target, config);
+
+    AuditReport all;
+    for (uint64_t seed = kSeedBegin; seed < kSeedEnd; ++seed) {
+        // Larger programs than the GeneratorOptions defaults: the subtler
+        // bugs (a dropped redefinition kill, substitution across a
+        // consuming access) only change the pass output when a reference
+        // is redefined or re-checked mid-flow, and those shapes need
+        // deeper nesting and longer bodies to appear within the seed
+        // budget.
+        GeneratorOptions opts;
+        opts.seed = seed;
+        opts.statementsPerFunction = 30;
+        opts.numFunctions = 4;
+        opts.maxDepth = 4;
+        auto mod = generateRandomModule(opts);
+        all += compiler.compile(*mod).audit;
+    }
+    return all;
+}
+
+/** Unmutated passes must be certified clean — no errors, no warnings. */
+TEST(AuditMutations, BaselineIsClean)
+{
+    AuditReport report = auditSweep(NullCheckMutation::None);
+    EXPECT_TRUE(report.clean()) << report.format();
+}
+
+class AuditMutationDetection
+    : public ::testing::TestWithParam<NullCheckMutation>
+{
+};
+
+TEST_P(AuditMutationDetection, AuditorFlagsTheSeededBug)
+{
+    AuditReport report = auditSweep(GetParam());
+    EXPECT_FALSE(report.findings.empty())
+        << "the auditor missed this mutation on every seed in ["
+        << kSeedBegin << ", " << kSeedEnd << ")";
+}
+
+const NullCheckMutation kAllMutations[] = {
+    NullCheckMutation::P1DropRedefKillBwd,
+    NullCheckMutation::P1DropBarrierKillBwd,
+    NullCheckMutation::P1DropTryBoundaryKills,
+    NullCheckMutation::P1SkipEliminatedPrune,
+    NullCheckMutation::P2DropBarrierMaterialize,
+    NullCheckMutation::P2DropTryEdgeKills,
+    NullCheckMutation::P2SkipOwnConsume,
+    NullCheckMutation::P2SkipExceptionSiteMark,
+    NullCheckMutation::P2MarkWithoutTrapCover,
+    NullCheckMutation::P2SubstIgnoresConsume,
+};
+
+const char *
+mutationName(const ::testing::TestParamInfo<NullCheckMutation> &info)
+{
+    switch (info.param) {
+      case NullCheckMutation::None: return "None";
+      case NullCheckMutation::P1DropRedefKillBwd:
+        return "P1DropRedefKillBwd";
+      case NullCheckMutation::P1DropBarrierKillBwd:
+        return "P1DropBarrierKillBwd";
+      case NullCheckMutation::P1DropTryBoundaryKills:
+        return "P1DropTryBoundaryKills";
+      case NullCheckMutation::P1SkipEliminatedPrune:
+        return "P1SkipEliminatedPrune";
+      case NullCheckMutation::P2DropBarrierMaterialize:
+        return "P2DropBarrierMaterialize";
+      case NullCheckMutation::P2DropTryEdgeKills:
+        return "P2DropTryEdgeKills";
+      case NullCheckMutation::P2SkipOwnConsume:
+        return "P2SkipOwnConsume";
+      case NullCheckMutation::P2SkipExceptionSiteMark:
+        return "P2SkipExceptionSiteMark";
+      case NullCheckMutation::P2MarkWithoutTrapCover:
+        return "P2MarkWithoutTrapCover";
+      case NullCheckMutation::P2SubstIgnoresConsume:
+        return "P2SubstIgnoresConsume";
+    }
+    return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, AuditMutationDetection,
+                         ::testing::ValuesIn(kAllMutations),
+                         mutationName);
+
+} // namespace
+} // namespace trapjit

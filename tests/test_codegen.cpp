@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "codegen/check_bytes.h"
 #include "codegen/emitter.h"
 #include "codegen/linear_scan.h"
 #include "codegen/scheduler.h"
@@ -241,10 +242,17 @@ TEST(Emitter, ImplicitChecksEmitNoBytes)
     EmittedCode implicitCode =
         emitFunction(implicitMod->function(0), ia32);
 
-    EXPECT_GT(explicitCode.explicitNullCheckBytes, 0u);
-    EXPECT_EQ(0u, implicitCode.explicitNullCheckBytes);
-    EXPECT_LT(implicitCode.bytes.size(), explicitCode.bytes.size())
-        << "implicit checks shrink the code";
+    // Pin the exact byte accounting to the shared constants: the one
+    // explicit check costs precisely the model sequence, the implicit
+    // variant costs precisely nothing, and the total code sizes differ
+    // by exactly that sequence.
+    EXPECT_EQ(kModelExplicitNullCheckBytes,
+              explicitCode.explicitNullCheckBytes);
+    EXPECT_EQ(kNativeImplicitNullCheckBytes,
+              implicitCode.explicitNullCheckBytes);
+    EXPECT_EQ(explicitCode.bytes.size() - kModelExplicitNullCheckBytes,
+              implicitCode.bytes.size())
+        << "implicit checks shrink the code by exactly the check bytes";
 }
 
 TEST(Emitter, BranchFixupsPointAtBlockStarts)

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * trapjit-lint: the null-check soundness auditor as a command-line tool.
+ *
+ * Compiles programs through every (target, pipeline) arm of the config
+ * matrix with the auditor in Collect mode and prints each finding —
+ * translation-validation failures of the null-check passes, coverage
+ * gaps, and trap-safety violations (see analysis/audit/audit.h).  Exits
+ * nonzero when any finding surfaces, so CI can run it as a gate.
+ *
+ * Inputs are the two corpora the repo can generate on its own: the
+ * deterministic random-program seeds the differential test suites use,
+ * and the JByteMark / SPECjvm98-like workload modules.
+ *
+ * Usage:
+ *   trapjit-lint [--seeds A:B] [--arm SUBSTR] [--no-workloads]
+ *                [--no-random] [-v]
+ *
+ *   --seeds A:B     random-program seed range, half open (default 200:232,
+ *                   the config-matrix suite's seed set)
+ *   --arm SUBSTR    only arms whose "target/config" label contains SUBSTR
+ *   --no-workloads  skip the workload modules
+ *   --no-random     skip the random-program corpus
+ *   -v              also print per-arm clean summaries
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "jit/compiler.h"
+#include "testing/random_program.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace trapjit;
+
+struct Arm
+{
+    const char *targetName;
+    Target (*makeTarget)();
+    PipelineConfig (*makeConfig)();
+};
+
+// Identical to the tests' config matrix: every legal (target, pipeline)
+// pair, including both AIX speculation arms.
+const Arm kArms[] = {
+    {"ia32", makeIA32WindowsTarget, makeNoOptNoTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeNoOptTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeOldNullCheckConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewPhase1OnlyConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewFullConfig},
+    {"ia32", makeIA32WindowsTarget, makeAltVMConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoOptConfig},
+    {"aix", makePPCAIXTarget, makeAIXNoSpeculationConfig},
+    {"aix", makePPCAIXTarget, makeAIXSpeculationConfig},
+    {"sparc", makeSPARCTarget, makeNewFullConfig},
+    {"s390", makeS390Target, makeNewFullConfig},
+};
+
+struct LintOptions
+{
+    uint64_t seedBegin = 200;
+    uint64_t seedEnd = 232;
+    std::string armFilter;
+    bool runWorkloads = true;
+    bool runRandom = true;
+    bool verbose = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::cerr << "usage: " << argv0
+              << " [--seeds A:B] [--arm SUBSTR] [--no-workloads]"
+                 " [--no-random] [-v]\n";
+    std::exit(code);
+}
+
+LintOptions
+parseArgs(int argc, char **argv)
+{
+    LintOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seeds" && i + 1 < argc) {
+            const char *spec = argv[++i];
+            const char *colon = std::strchr(spec, ':');
+            if (!colon)
+                usage(argv[0], 2);
+            opts.seedBegin = std::strtoull(spec, nullptr, 10);
+            opts.seedEnd = std::strtoull(colon + 1, nullptr, 10);
+        } else if (arg == "--arm" && i + 1 < argc) {
+            opts.armFilter = argv[++i];
+        } else if (arg == "--no-workloads") {
+            opts.runWorkloads = false;
+        } else if (arg == "--no-random") {
+            opts.runRandom = false;
+        } else if (arg == "-v" || arg == "--verbose") {
+            opts.verbose = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage(argv[0], 0);
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+struct LintTotals
+{
+    size_t modules = 0;
+    size_t functions = 0;
+    size_t errors = 0;
+    size_t warnings = 0;
+};
+
+/** Compile @p mod under @p arm with the auditor on; print findings. */
+void
+lintModule(const Arm &arm, const std::string &label, Module &mod,
+           const LintOptions &opts, LintTotals &totals)
+{
+    PipelineConfig config = arm.makeConfig();
+    config.audit = AuditMode::Collect;
+    Compiler compiler(arm.makeTarget(), config);
+    CompileReport report = compiler.compile(mod);
+
+    ++totals.modules;
+    totals.functions += report.functionsCompiled;
+    totals.errors += report.audit.errorCount();
+    totals.warnings += report.audit.warningCount();
+
+    if (!report.audit.clean()) {
+        std::cout << label << ":\n";
+        for (const AuditFinding &f : report.audit.findings)
+            std::cout << "  " << f.format() << "\n";
+    } else if (opts.verbose) {
+        std::cout << label << ": clean (" << report.functionsCompiled
+                  << " functions)\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const LintOptions opts = parseArgs(argc, argv);
+    LintTotals totals;
+
+    for (const Arm &arm : kArms) {
+        const std::string armLabel =
+            std::string(arm.targetName) + "/" + arm.makeConfig().name;
+        if (!opts.armFilter.empty() &&
+            armLabel.find(opts.armFilter) == std::string::npos)
+            continue;
+
+        if (opts.runRandom) {
+            for (uint64_t seed = opts.seedBegin; seed < opts.seedEnd;
+                 ++seed) {
+                GeneratorOptions gen;
+                gen.seed = seed;
+                auto mod = generateRandomModule(gen);
+                lintModule(arm,
+                           armLabel + " seed " + std::to_string(seed),
+                           *mod, opts, totals);
+            }
+        }
+        if (opts.runWorkloads) {
+            for (const auto &suite :
+                 {&jbytemarkWorkloads(), &specjvmWorkloads()}) {
+                for (const Workload &w : *suite) {
+                    auto mod = w.build();
+                    lintModule(arm, armLabel + " workload " + w.name,
+                               *mod, opts, totals);
+                }
+            }
+        }
+    }
+
+    std::cout << "trapjit-lint: " << totals.modules << " modules, "
+              << totals.functions << " functions audited, "
+              << totals.errors << " errors, " << totals.warnings
+              << " warnings\n";
+    return totals.errors > 0 || totals.warnings > 0 ? 1 : 0;
+}
