@@ -76,6 +76,36 @@ Heap::digest() const
     return hash;
 }
 
+Heap::Difference
+Heap::firstDifference(const Heap &other) const
+{
+    Difference diff;
+    const size_t mine = static_cast<size_t>(next_ - kHeapBase);
+    const size_t theirs = static_cast<size_t>(other.next_ - kHeapBase);
+    const size_t common = mine < theirs ? mine : theirs;
+    const uint8_t *a = base_ + kHeapBase;
+    const uint8_t *b = other.base_ + kHeapBase;
+    for (size_t i = 0; i < common; i += 8) {
+        const size_t span = common - i < 8 ? common - i : 8;
+        uint64_t wa = 0, wb = 0;
+        std::memcpy(&wa, a + i, span);
+        std::memcpy(&wb, b + i, span);
+        if (wa != wb) {
+            diff.differs = true;
+            diff.address = kHeapBase + i;
+            diff.lhsWord = wa;
+            diff.rhsWord = wb;
+            return diff;
+        }
+    }
+    if (mine != theirs) {
+        diff.differs = true;
+        diff.sizeOnly = true;
+        diff.address = kHeapBase + common;
+    }
+    return diff;
+}
+
 void
 Heap::reset()
 {

@@ -163,6 +163,22 @@ class Heap
     /** FNV-1a digest of the allocated region (for equivalence tests). */
     uint64_t digest() const;
 
+    /**
+     * First 8-byte word at which this heap's allocated region differs
+     * from @p other's — the actionable half of a digest mismatch.  A
+     * size difference with bit-identical common prefix reports the
+     * first address past the shorter arena.
+     */
+    struct Difference
+    {
+        bool differs = false;
+        Address address = 0; ///< simulated address of the word
+        uint64_t lhsWord = 0;
+        uint64_t rhsWord = 0;
+        bool sizeOnly = false; ///< arenas differ only in extent
+    };
+    Difference firstDifference(const Heap &other) const;
+
     /** Release everything (arena is reused). */
     void reset();
 

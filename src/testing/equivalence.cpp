@@ -15,6 +15,31 @@ namespace trapjit
 namespace
 {
 
+/**
+ * Render a digest mismatch down to the first differing heap word —
+ * the difference an engine author can act on, instead of "digests
+ * differ" with 32 MB of haystack.
+ */
+std::string
+describeHeapDifference(const Heap &lhs, const Heap &rhs,
+                       const char *lhs_name, const char *rhs_name)
+{
+    Heap::Difference diff = lhs.firstDifference(rhs);
+    std::ostringstream os;
+    os << "final heap digest differs";
+    if (!diff.differs)
+        return os.str(); // digest collision-free in practice; be safe
+    if (diff.sizeOnly) {
+        os << ": arenas diverge in extent at address 0x" << std::hex
+           << diff.address << " (allocation count/order differs)";
+        return os.str();
+    }
+    os << ": first differing word at address 0x" << std::hex
+       << diff.address << " (" << lhs_name << " 0x" << diff.lhsWord
+       << ", " << rhs_name << " 0x" << diff.rhsWord << ")";
+    return os.str();
+}
+
 struct Observation
 {
     bool hardFault = false;
@@ -25,14 +50,9 @@ struct Observation
 };
 
 Observation
-observe(Module &mod, const Target &runtime_target)
+observe(Interpreter &interp, FunctionId entry)
 {
     Observation obs;
-    FunctionId entry = mod.findFunction("main");
-    TRAPJIT_ASSERT(entry != kNoFunction, "module has no main");
-    InterpOptions options;
-    options.recordTrace = true;
-    Interpreter interp(mod, runtime_target, options);
     try {
         obs.result = interp.run(entry, {});
     } catch (const HardFault &fault) {
@@ -64,9 +84,14 @@ compareWithReference(
     const Target &runtime_target)
 {
     EquivalenceReport report;
+    InterpOptions options;
+    options.recordTrace = true;
 
     std::unique_ptr<Module> reference = build();
-    Observation ref = observe(*reference, runtime_target);
+    FunctionId refEntry = reference->findFunction("main");
+    TRAPJIT_ASSERT(refEntry != kNoFunction, "module has no main");
+    Interpreter refInterp(*reference, runtime_target, options);
+    Observation ref = observe(refInterp, refEntry);
     if (ref.hardFault) {
         report.message = "reference run hard-faulted: " + ref.fault;
         return report;
@@ -80,7 +105,10 @@ compareWithReference(
                          verify.message();
         return report;
     }
-    Observation opt = observe(*optimized, runtime_target);
+    FunctionId optEntry = optimized->findFunction("main");
+    TRAPJIT_ASSERT(optEntry != kNoFunction, "module has no main");
+    Interpreter optInterp(*optimized, runtime_target, options);
+    Observation opt = observe(optInterp, optEntry);
     if (opt.hardFault) {
         report.message = "optimized run hard-faulted (miscompile): " +
                          opt.fault;
@@ -132,12 +160,14 @@ compareWithReference(
         return report;
     }
     if (ref.heapDigest != opt.heapDigest) {
-        os << "final heap digest differs";
-        report.message = os.str();
+        report.message = describeHeapDifference(
+            refInterp.heap(), optInterp.heap(), "reference", "optimized");
         return report;
     }
 
     report.equivalent = true;
+    report.trapsTaken = opt.result.stats.trapsTaken;
+    report.instructionsExecuted = opt.result.stats.instructions;
     return report;
 }
 
@@ -196,8 +226,10 @@ compareEngines(Module &mod, const Target &runtime_target,
         }
         // Both engines detected the same miscompilation; that IS the
         // agreed behavior (partial stats are not comparable past the
-        // throw, so stop here).
+        // throw, so stop here).  hardFaulted lets a harness still
+        // flag the case: clean pipelines never HardFault.
         report.equivalent = true;
+        report.hardFaulted = true;
         return report;
     }
 
@@ -264,8 +296,8 @@ compareEngines(Module &mod, const Target &runtime_target,
         return report;
     }
     if (ref.heapDigest != fast.heapDigest) {
-        os << "final heap digest differs";
-        report.message = os.str();
+        report.message = describeHeapDifference(
+            refInterp.heap(), fastInterp.heap(), "reference", "fast");
         return report;
     }
 
@@ -306,6 +338,8 @@ compareEngines(Module &mod, const Target &runtime_target,
     }
 
     report.equivalent = true;
+    report.trapsTaken = ref.result.stats.trapsTaken;
+    report.instructionsExecuted = ref.result.stats.instructions;
     return report;
 }
 
@@ -366,6 +400,7 @@ compareNativeEngine(Module &mod, const Target &runtime_target,
             return report;
         }
         report.equivalent = true;
+        report.hardFaulted = true;
         return report;
     }
 
@@ -432,8 +467,8 @@ compareNativeEngine(Module &mod, const Target &runtime_target,
         return report;
     }
     if (fast.heapDigest != native.heapDigest) {
-        os << "final heap digest differs";
-        report.message = os.str();
+        report.message = describeHeapDifference(
+            fastInterp.heap(), engine.heap(), "fast", "native");
         return report;
     }
 
@@ -460,6 +495,8 @@ compareNativeEngine(Module &mod, const Target &runtime_target,
         return report;
 
     report.equivalent = true;
+    report.trapsTaken = fast.result.stats.trapsTaken;
+    report.instructionsExecuted = fast.result.stats.instructions;
     return report;
 }
 

@@ -33,6 +33,20 @@ struct EquivalenceReport
 {
     bool equivalent = false;
     std::string message; ///< first difference / fault, for diagnostics
+
+    /**
+     * Both runs hard-faulted with the identical message.  The engines
+     * agree, so `equivalent` is true — but a clean pipeline never
+     * HardFaults, so a fuzz harness must treat this as a finding in its
+     * own right, not bury it as a pass.
+     */
+    bool hardFaulted = false;
+
+    // Workload telemetry from the comparison runs (equal across engines
+    // whenever equivalent && !hardFaulted): lets a harness aggregate
+    // traps/sec and instructions/sec without re-running anything.
+    uint64_t trapsTaken = 0;
+    uint64_t instructionsExecuted = 0;
 };
 
 /**

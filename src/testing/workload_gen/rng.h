@@ -1,0 +1,138 @@
+#ifndef TRAPJIT_TESTING_WORKLOAD_GEN_RNG_H_
+#define TRAPJIT_TESTING_WORKLOAD_GEN_RNG_H_
+
+/**
+ * @file
+ * Deterministic, platform-portable random number generators for the
+ * test-program generators.
+ *
+ * Repro tuples (seed, profile, arm) printed by the fuzz farm must
+ * reproduce the identical program on any host, compiler and standard
+ * library, so nothing here may depend on implementation-defined
+ * behavior: no std::uniform_int_distribution (its algorithm is
+ * unspecified and differs between libstdc++/libc++/MSVC), no
+ * std::mt19937 seeding helpers, only fixed integer arithmetic.
+ *
+ * SplitMix64 is the generator random_program.cpp has always used (the
+ * exact seeding and output sequence is pinned by a regression test:
+ * changing either silently invalidates every recorded seed in every
+ * differential suite).  Xoshiro256** is the larger-state generator the
+ * workload generator uses, seeded through SplitMix64 as its authors
+ * recommend.
+ */
+
+#include <cstdint>
+
+namespace trapjit
+{
+
+/** splitmix64: deterministic, seedable, 64 bits of state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed)
+        : state_(seed * 2685821657736338717ull + 1)
+    {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, n).  Modulo reduction: biased but portable. */
+    uint32_t range(uint32_t n) { return static_cast<uint32_t>(next() % n); }
+
+    /** True with probability pct/100. */
+    bool chance(uint32_t pct) { return range(100) < pct; }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * xoshiro256**: 256 bits of state, the recommended all-purpose
+ * generator of Blackman & Vigna.  Seeded via SplitMix64 so that nearby
+ * integer seeds still land in unrelated parts of the state space.
+ */
+class Xoshiro256
+{
+  public:
+    explicit Xoshiro256(uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (uint64_t &word : s_)
+            word = sm.next();
+    }
+
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, n); n == 0 returns 0. */
+    uint32_t
+    range(uint32_t n)
+    {
+        return n == 0 ? 0 : static_cast<uint32_t>(next() % n);
+    }
+
+    /** Uniform in [lo, hi] (inclusive); lo > hi returns lo. */
+    int32_t
+    rangeInclusive(int32_t lo, int32_t hi)
+    {
+        if (lo >= hi)
+            return lo;
+        return lo + static_cast<int32_t>(
+                        range(static_cast<uint32_t>(hi - lo + 1)));
+    }
+
+    /** True with probability pct/100. */
+    bool chance(uint32_t pct) { return range(100) < pct; }
+
+    /**
+     * Index into @p weights (size @p count) with probability
+     * proportional to each weight; all-zero weights pick 0.
+     */
+    size_t
+    pickWeighted(const uint32_t *weights, size_t count)
+    {
+        uint32_t total = 0;
+        for (size_t i = 0; i < count; ++i)
+            total += weights[i];
+        if (total == 0)
+            return 0;
+        uint32_t roll = range(total);
+        for (size_t i = 0; i < count; ++i) {
+            if (roll < weights[i])
+                return i;
+            roll -= weights[i];
+        }
+        return count - 1;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4] = {};
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_TESTING_WORKLOAD_GEN_RNG_H_

@@ -1,0 +1,637 @@
+#include "testing/workload_gen/workload_gen.h"
+
+#include <algorithm>
+
+#include "ir/builder.h"
+#include "ir/layout.h"
+#include "ir/serializer.h"
+#include "testing/workload_gen/rng.h"
+#include "workloads/kernel_util.h"
+
+namespace trapjit
+{
+
+namespace
+{
+
+/**
+ * Field offset past every modeled target's protected area (the largest
+ * trap area is S/390's 8 KiB), so an access here can never ride the
+ * hardware trap: Figure 5's BigOffset rule must force it explicit.
+ */
+constexpr int64_t kBeyondGuardOffset = 16384;
+
+/** Shared layout of the generated world. */
+struct GenWorld
+{
+    ClassId nodeCls = kUnknownClass;
+    ClassId subCls = kUnknownClass;
+    int64_t offIval = 0;
+    int64_t offFval = 0;
+    int64_t offNext = 0;
+    int64_t offAux = 0;
+    int64_t offBig = -1;  ///< kBeyondGuardOffset field (when profiled)
+    int64_t offHuge = -1; ///< kMaxFieldOffset field (when profiled)
+    int64_t nodeSize = 0;
+    uint32_t slotMono = 0;
+    uint32_t slotPoly = 0;
+    std::vector<FunctionId> kernels; ///< acyclic call order
+};
+
+/** Emits one kernel function from the profile's distributions. */
+class KernelGen
+{
+  public:
+    KernelGen(Function &fn, GenWorld &world, Xoshiro256 &rng,
+              const WorkloadProfile &profile, size_t kernel_index)
+        : fn_(fn), world_(world), rng_(rng), p_(profile),
+          kernelIndex_(kernel_index), b_(fn)
+    {}
+
+    void
+    generate()
+    {
+        // Every kernel has the same shape a hand-built one would:
+        // (Node o, i32[] arr, i32 x) -> i32 checksum.
+        ValueId o = fn_.addParam(Type::Ref, "o", world_.nodeCls);
+        arr_ = fn_.addParam(Type::Ref, "arr");
+        ValueId x = fn_.addParam(Type::I32, "x");
+
+        b_.startBlock();
+        for (int i = 0; i < 3; ++i) {
+            ValueId v = fn_.addLocal(Type::I32);
+            b_.move(v, b_.constInt(static_cast<int64_t>(rng_.range(64))));
+            intLocals_.push_back(v);
+        }
+        intLocals_.push_back(x);
+        {
+            ValueId v = fn_.addLocal(Type::F64);
+            b_.move(v, b_.constFloat(rng_.range(16) * 0.5));
+            floatLocals_.push_back(v);
+        }
+
+        refLocals_.push_back(o);
+        {
+            // A reference local whose nullness follows the profile's
+            // density: the optimizer cannot prove it either way.
+            ValueId v = fn_.addLocal(Type::Ref, "", world_.nodeCls);
+            if (rng_.chance(p_.nullDensityPct)) {
+                b_.move(v, b_.constNull(world_.nodeCls));
+            } else if (allowAllocation()) {
+                b_.move(v, b_.newObject(world_.nodeCls, world_.nodeSize));
+            } else {
+                b_.move(v, o);
+            }
+            refLocals_.push_back(v);
+        }
+        {
+            ValueId nil = fn_.addLocal(Type::Ref, "", world_.nodeCls);
+            b_.move(nil, b_.constNull(world_.nodeCls));
+            refLocals_.push_back(nil);
+        }
+
+        for (int i = 0; i < p_.statementsPerKernel; ++i)
+            genStatement(0);
+
+        ValueId r = b_.binop(Opcode::IXor, intLocals_[0], intLocals_[1]);
+        ValueId r2 = b_.binop(Opcode::IAdd, r, intLocals_[2]);
+        b_.ret(r2);
+    }
+
+  private:
+    /**
+     * Jumbo-field profiles make every Node ~512 KB, so kernels must not
+     * allocate inside loops (a few thousand iterations would exhaust
+     * the 32 MB arena and turn every program into an OutOfMemory test).
+     */
+    bool allowAllocation() const { return world_.offHuge < 0; }
+
+    ValueId pickInt() { return intLocals_[rng_.range(
+        static_cast<uint32_t>(intLocals_.size()))]; }
+    ValueId pickRef() { return refLocals_[rng_.range(
+        static_cast<uint32_t>(refLocals_.size()))]; }
+
+    ValueId
+    intExpr()
+    {
+        ValueId a = pickInt();
+        if (rng_.chance(30))
+            return a;
+        ValueId c = rng_.chance(50)
+                        ? b_.constInt(static_cast<int64_t>(rng_.range(32)))
+                        : pickInt();
+        static const Opcode ops[] = {Opcode::IAdd, Opcode::ISub,
+                                     Opcode::IMul, Opcode::IAnd,
+                                     Opcode::IOr, Opcode::IXor};
+        return b_.binop(ops[rng_.range(6)], a, c);
+    }
+
+    /** Field offset drawn from the profile's offset regime. */
+    int64_t
+    pickFieldOffset()
+    {
+        if (world_.offHuge >= 0 && rng_.chance(p_.hugeOffsetPct))
+            return world_.offHuge;
+        if (world_.offBig >= 0 && rng_.chance(p_.bigOffsetPct))
+            return world_.offBig;
+        return rng_.chance(50) ? world_.offIval : world_.offAux;
+    }
+
+    int
+    pickTripCount()
+    {
+        return rng_.rangeInclusive(p_.loopTripMin, p_.loopTripMax);
+    }
+
+    void
+    genStatement(int depth)
+    {
+        const uint32_t weights[] = {
+            p_.arithWeight,  p_.fieldWeight, p_.arrayWeight,
+            p_.chainWeight,  p_.callWeight,  p_.virtualWeight,
+            // Nesting-limited constructs get zero weight at the cap.
+            depth < p_.tryDepth ? p_.tryWeight : 0,
+        };
+        switch (rng_.pickWeighted(weights, std::size(weights))) {
+          case 0: genArith(); break;
+          case 1: genFieldBurst(depth); break;
+          case 2: genArrayStream(depth); break;
+          case 3: genChainWalk(); break;
+          case 4: genStaticCall(); break;
+          case 5: genVirtualCall(); break;
+          default: genTryRegion(depth); break;
+        }
+    }
+
+    void
+    genArith()
+    {
+        if (rng_.chance(25)) {
+            static const Opcode ops[] = {Opcode::FAdd, Opcode::FSub,
+                                         Opcode::FMul};
+            ValueId e = b_.binop(ops[rng_.range(3)], floatLocals_[0],
+                                 floatLocals_[0]);
+            b_.move(floatLocals_[0], e);
+            return;
+        }
+        if (rng_.chance(20)) { // division: a non-NPE exception source
+            ValueId d = b_.binop(rng_.chance(50) ? Opcode::IDiv
+                                                 : Opcode::IRem,
+                                 intExpr(), pickInt());
+            b_.move(intLocals_[rng_.range(3)], d);
+            return;
+        }
+        b_.move(intLocals_[rng_.range(3)], intExpr());
+    }
+
+    /**
+     * A burst of 2-4 field accesses against one base reference — the
+     * shape phase 1 turns into one check + unchecked accesses, and the
+     * big/huge-offset draws are where phase 2 must refuse the trap.
+     */
+    void
+    genFieldBurst(int depth)
+    {
+        ValueId r = pickRef();
+        const int ops = 2 + static_cast<int>(rng_.range(3));
+        for (int i = 0; i < ops; ++i) {
+            int64_t off = pickFieldOffset();
+            if (rng_.chance(40)) {
+                b_.putField(r, off, intExpr());
+            } else if (off == world_.offIval && rng_.chance(25)) {
+                // A chained load: r.next.ival through a maybe-null link.
+                ValueId nxt = b_.getField(r, world_.offNext, Type::Ref);
+                ValueId t = b_.getField(nxt, world_.offIval, Type::I32);
+                b_.move(intLocals_[rng_.range(3)], t);
+            } else {
+                ValueId t = b_.getField(r, off, Type::I32);
+                b_.move(intLocals_[rng_.range(3)], t);
+            }
+        }
+        if (rng_.chance(20) && depth < p_.tryDepth)
+            genStatement(depth + 1);
+    }
+
+    /**
+     * A streaming loop over the array parameter: `for (i < n) acc ^=
+     * arr[i]` with occasional stores — the bounds-check-elimination
+     * friendly kernel shape, and an NPE source when main passed null.
+     */
+    void
+    genArrayStream(int depth)
+    {
+        const int trips =
+            std::min(pickTripCount(),
+                     std::max(1, p_.arrayLength));
+        ValueId i = fn_.addLocal(Type::I32);
+        CountedLoop loop(b_, i, b_.constInt(0),
+                         b_.constInt(static_cast<int64_t>(trips)));
+        ValueId t = b_.arrayLoad(arr_, i, Type::I32);
+        ValueId acc = intLocals_[rng_.range(3)];
+        b_.move(acc, b_.binop(Opcode::IXor, acc, t));
+        if (rng_.chance(40))
+            b_.arrayStore(arr_, i, intExpr(), Type::I32);
+        if (rng_.chance(25) && depth < p_.tryDepth)
+            genStatement(depth + 1);
+        loop.close();
+
+        if (rng_.chance(15)) {
+            // A masked random-index access: in range only when the
+            // profile's array length is a power of two (the generator
+            // rounds it up), so this never turns into a guaranteed
+            // AIOOBE — only the loop above can overrun a short array.
+            ValueId mask =
+                b_.constInt(static_cast<int64_t>(p_.arrayLength - 1));
+            ValueId idx = b_.binop(Opcode::IAnd, intExpr(), mask);
+            ValueId v = b_.arrayLoad(arr_, idx, Type::I32);
+            b_.move(intLocals_[rng_.range(3)], v);
+        }
+    }
+
+    /**
+     * A pointer chase: `cur = cur.next` for a counted number of steps.
+     * Guarded walks reset at null (the Edge(m,n) fact of 4.1.2 makes
+     * the body's dereference check-free); unguarded walks run off the
+     * chain's null tail and take the trap — the trap-heavy regime.
+     */
+    void
+    genChainWalk()
+    {
+        ValueId cur = fn_.addLocal(Type::Ref, "", world_.nodeCls);
+        b_.move(cur, pickRef());
+        const bool guarded = rng_.chance(p_.guardedChasePct);
+        ValueId i = fn_.addLocal(Type::I32);
+        CountedLoop loop(b_, i, b_.constInt(0),
+                         b_.constInt(static_cast<int64_t>(pickTripCount())));
+        if (guarded) {
+            TryRegionId region = b_.currentBlock().tryRegion();
+            BasicBlock &nullB = fn_.newBlock(region);
+            BasicBlock &okB = fn_.newBlock(region);
+            BasicBlock &join = fn_.newBlock(region);
+            b_.ifNull(cur, nullB, okB);
+            b_.atEnd(nullB);
+            // Restart the walk at a root so the loop keeps chasing.
+            b_.move(cur, refLocals_[0]);
+            b_.jump(join);
+            b_.atEnd(okB);
+            ValueId t = b_.getField(cur, world_.offIval, Type::I32);
+            ValueId acc = intLocals_[rng_.range(3)];
+            b_.move(acc, b_.binop(Opcode::IAdd, acc, t));
+            b_.move(cur, b_.getField(cur, world_.offNext, Type::Ref));
+            b_.jump(join);
+            b_.atEnd(join);
+        } else {
+            ValueId t = b_.getField(cur, world_.offIval, Type::I32);
+            ValueId acc = intLocals_[rng_.range(3)];
+            b_.move(acc, b_.binop(Opcode::IXor, acc, t));
+            b_.move(cur, b_.getField(cur, world_.offNext, Type::Ref));
+        }
+        loop.close();
+    }
+
+    void
+    genStaticCall()
+    {
+        const size_t next = kernelIndex_ + 1;
+        if (next >= world_.kernels.size()) {
+            genArith();
+            return;
+        }
+        const size_t span = std::min<size_t>(
+            static_cast<size_t>(std::max(1, p_.callFanout)),
+            world_.kernels.size() - next);
+        const size_t callee = next + rng_.range(
+            static_cast<uint32_t>(span));
+        ValueId arrArg =
+            rng_.chance(p_.nullDensityPct / 2) ? refLocals_.back() : arr_;
+        ValueId got = b_.callStatic(world_.kernels[callee],
+                                    {pickRef(), arrArg, intExpr()},
+                                    Type::I32);
+        b_.move(intLocals_[rng_.range(3)], got);
+    }
+
+    void
+    genVirtualCall()
+    {
+        uint32_t slot =
+            rng_.chance(50) ? world_.slotMono : world_.slotPoly;
+        ValueId got = b_.callVirtual(slot, {pickRef()}, Type::I32);
+        b_.move(intLocals_[rng_.range(3)], got);
+    }
+
+    void
+    genTryRegion(int depth)
+    {
+        static const ExcKind kinds[] = {
+            ExcKind::NullPointer, ExcKind::ArrayIndexOutOfBounds,
+            ExcKind::Arithmetic, ExcKind::CatchAll};
+        ExcKind caught = kinds[rng_.range(4)];
+        TryRegionId enclosing = b_.currentBlock().tryRegion();
+        BasicBlock &handler = fn_.newBlock(enclosing);
+        TryRegionId region =
+            fn_.addTryRegion(handler.id(), caught, enclosing);
+        BasicBlock &body = fn_.newBlock(region);
+        BasicBlock &join = fn_.newBlock(enclosing);
+        b_.jump(body);
+        b_.atEnd(body);
+        const int stmts = 1 + static_cast<int>(rng_.range(2));
+        for (int i = 0; i < stmts; ++i)
+            genStatement(depth + 1);
+        b_.jump(join);
+        b_.atEnd(handler);
+        ValueId mark =
+            b_.constInt(static_cast<int64_t>(2000 + rng_.range(9)));
+        b_.move(intLocals_[rng_.range(3)], mark);
+        b_.jump(join);
+        b_.atEnd(join);
+    }
+
+    Function &fn_;
+    GenWorld &world_;
+    Xoshiro256 &rng_;
+    const WorkloadProfile &p_;
+    size_t kernelIndex_;
+    IRBuilder b_;
+    ValueId arr_ = kNoValue;
+    std::vector<ValueId> intLocals_;
+    std::vector<ValueId> refLocals_;
+    std::vector<ValueId> floatLocals_;
+};
+
+/** Round @p n up to a power of two (mask-index portability). */
+int
+roundUpPow2(int n)
+{
+    int p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+workloadProfiles()
+{
+    static const std::vector<WorkloadProfile> presets = [] {
+        std::vector<WorkloadProfile> all;
+
+        WorkloadProfile mixed; // the defaults
+        all.push_back(mixed);
+
+        WorkloadProfile chase;
+        chase.name = "pointer_chase";
+        chase.chainWeight = 8;
+        chase.fieldWeight = 2;
+        chase.arrayWeight = 1;
+        chase.nullDensityPct = 30;
+        chase.guardedChasePct = 50;
+        chase.chainLength = 12;
+        chase.loopTripMax = 16;
+        all.push_back(chase);
+
+        WorkloadProfile stream;
+        stream.name = "array_stream";
+        stream.arrayWeight = 10;
+        stream.fieldWeight = 1;
+        stream.chainWeight = 0;
+        stream.tryWeight = 1;
+        stream.nullDensityPct = 5;
+        stream.loopTripMin = 8;
+        stream.loopTripMax = 32;
+        stream.arrayLength = 64;
+        all.push_back(stream);
+
+        WorkloadProfile big;
+        big.name = "big_offset";
+        big.fieldWeight = 8;
+        big.arrayWeight = 1;
+        big.bigOffsetPct = 70;
+        big.hugeOffsetPct = 30;
+        big.nullDensityPct = 25;
+        big.chainLength = 3;
+        all.push_back(big);
+
+        WorkloadProfile storm;
+        storm.name = "try_storm";
+        storm.tryWeight = 8;
+        storm.tryDepth = 4;
+        storm.nullDensityPct = 35;
+        storm.guardedChasePct = 30;
+        all.push_back(storm);
+
+        WorkloadProfile web;
+        web.name = "call_web";
+        web.callWeight = 6;
+        web.virtualWeight = 3;
+        web.numKernels = 6;
+        web.callFanout = 4;
+        web.statementsPerKernel = 7;
+        all.push_back(web);
+
+        WorkloadProfile nulls;
+        nulls.name = "null_storm";
+        nulls.nullDensityPct = 70;
+        nulls.fieldWeight = 6;
+        nulls.chainWeight = 4;
+        nulls.guardedChasePct = 20;
+        nulls.tryWeight = 4;
+        nulls.tryDepth = 3;
+        all.push_back(nulls);
+
+        return all;
+    }();
+    return presets;
+}
+
+const WorkloadProfile *
+findWorkloadProfile(std::string_view name)
+{
+    for (const WorkloadProfile &p : workloadProfiles())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+std::string
+workloadProfileNames()
+{
+    std::string names;
+    for (const WorkloadProfile &p : workloadProfiles()) {
+        if (!names.empty())
+            names += ",";
+        names += p.name;
+    }
+    return names;
+}
+
+std::unique_ptr<Module>
+generateWorkloadModule(const WorkloadProfile &profile)
+{
+    auto mod = std::make_unique<Module>();
+    Xoshiro256 rng(profile.seed);
+
+    WorkloadProfile p = profile;
+    p.arrayLength = roundUpPow2(std::max(1, p.arrayLength));
+    p.numKernels = std::max(1, p.numKernels);
+    p.chainLength = std::max(1, p.chainLength);
+    if (p.hugeOffsetPct > 0)
+        p.chainLength = std::min(p.chainLength, 4);
+
+    GenWorld world;
+    world.nodeCls = mod->addClass("Node");
+    world.offIval = mod->addField(world.nodeCls, "ival", Type::I32);
+    world.offFval = mod->addField(world.nodeCls, "fval", Type::F64);
+    world.offNext = mod->addField(world.nodeCls, "next", Type::Ref);
+    world.offAux = mod->addField(world.nodeCls, "aux", Type::I32);
+    if (p.bigOffsetPct > 0)
+        world.offBig = mod->addFieldAt(world.nodeCls, "big", Type::I32,
+                                       kBeyondGuardOffset);
+    if (p.hugeOffsetPct > 0)
+        world.offHuge = mod->addFieldAt(world.nodeCls, "huge", Type::I32,
+                                        kMaxFieldOffset);
+    world.nodeSize = mod->cls(world.nodeCls).instanceSize;
+
+    // Virtual slots mirroring the Figure 1 situation: `weigh` is
+    // monomorphic (devirtualizable + inlinable), `mix` polymorphic.
+    {
+        Function &weigh = mod->addFunction("Node.weigh", Type::I32, true);
+        ValueId self = weigh.addParam(Type::Ref, "this", world.nodeCls);
+        IRBuilder b(weigh);
+        BasicBlock &entry = b.startBlock();
+        BasicBlock &neg = weigh.newBlock();
+        BasicBlock &pos = weigh.newBlock();
+        b.atEnd(entry);
+        ValueId v = b.getField(self, world.offIval, Type::I32);
+        ValueId isNeg =
+            b.cmp(Opcode::ICmp, CmpPred::LT, v, b.constInt(0));
+        b.branch(isNeg, neg, pos);
+        b.atEnd(neg);
+        b.ret(b.constInt(-7));
+        b.atEnd(pos);
+        b.ret(b.binop(Opcode::IMul, v, b.constInt(5)));
+        world.slotMono = mod->addVirtualMethod(world.nodeCls, weigh.id());
+    }
+    {
+        Function &mixA = mod->addFunction("Node.mix", Type::I32, true);
+        ValueId self = mixA.addParam(Type::Ref, "this", world.nodeCls);
+        IRBuilder b(mixA);
+        b.startBlock();
+        ValueId v = b.getField(self, world.offAux, Type::I32);
+        b.ret(b.binop(Opcode::IAdd, v, b.constInt(3)));
+        world.slotPoly = mod->addVirtualMethod(world.nodeCls, mixA.id());
+    }
+    world.subCls = mod->addClass("SubNode", world.nodeCls);
+    {
+        Function &mixB = mod->addFunction("SubNode.mix", Type::I32, true);
+        ValueId self = mixB.addParam(Type::Ref, "this", world.subCls);
+        IRBuilder b(mixB);
+        b.startBlock();
+        ValueId v = b.getField(self, world.offIval, Type::I32);
+        b.ret(b.binop(Opcode::IXor, v, b.constInt(9)));
+        mod->overrideMethod(world.subCls, world.slotPoly, mixB.id());
+    }
+
+    // Reserve kernel ids so calls can reference later kernels.
+    std::vector<Function *> kernels;
+    for (int i = 0; i < p.numKernels; ++i) {
+        Function &fn =
+            mod->addFunction("kern" + std::to_string(i), Type::I32);
+        world.kernels.push_back(fn.id());
+        kernels.push_back(&fn);
+    }
+    for (int i = 0; i < p.numKernels; ++i) {
+        KernelGen gen(*kernels[i], world, rng, p,
+                      static_cast<size_t>(i));
+        gen.generate();
+    }
+
+    // main: build the chain + array world, then drive kern0.
+    Function &fn = mod->addFunction("main", Type::I32);
+    IRBuilder b(fn);
+    b.startBlock();
+
+    ValueId head = fn.addLocal(Type::Ref, "head", world.nodeCls);
+    ValueId mid = fn.addLocal(Type::Ref, "mid", world.nodeCls);
+    {
+        b.move(head, b.newObject(world.nodeCls, world.nodeSize));
+        b.putField(head, world.offIval, b.constInt(11));
+        b.move(mid, head);
+        ValueId prev = fn.addLocal(Type::Ref, "", world.nodeCls);
+        b.move(prev, head);
+        for (int i = 1; i < p.chainLength; ++i) {
+            // The chain ends early with the profile's null density:
+            // walks past the break take the NPE/trap path.
+            if (rng.chance(p.nullDensityPct))
+                break;
+            ClassId cls = rng.chance(30) ? world.subCls : world.nodeCls;
+            ValueId node = fn.addLocal(Type::Ref, "", world.nodeCls);
+            b.move(node, b.newObject(cls, world.nodeSize));
+            b.putField(node, world.offIval,
+                       b.constInt(static_cast<int64_t>(i * 3 + 1)));
+            b.putField(prev, world.offNext, node);
+            b.move(prev, node);
+            if (i == p.chainLength / 2)
+                b.move(mid, node);
+        }
+    }
+
+    ValueId arr = fn.addLocal(Type::Ref, "arr");
+    {
+        ValueId len = b.constInt(static_cast<int64_t>(p.arrayLength));
+        b.move(arr, b.newArray(len, Type::I32));
+        ValueId i = fn.addLocal(Type::I32);
+        CountedLoop fill(b, i, b.constInt(0), len);
+        ValueId v = b.binop(Opcode::IMul, i, b.constInt(5));
+        b.arrayStore(arr, i, v, Type::I32);
+        fill.close();
+    }
+
+    ValueId nil = fn.addLocal(Type::Ref, "nil", world.nodeCls);
+    b.move(nil, b.constNull(world.nodeCls));
+
+    ValueId chk = fn.addLocal(Type::I32, "chk");
+    b.move(chk, b.constInt(0));
+    for (int c = 0; c < std::max(1, p.mainCalls); ++c) {
+        ValueId refArg = head;
+        if (rng.chance(p.nullDensityPct))
+            refArg = nil;
+        else if (rng.chance(40))
+            refArg = mid;
+        ValueId arrArg = rng.chance(p.nullDensityPct / 2) ? nil : arr;
+        ValueId x = b.constInt(static_cast<int64_t>(rng.range(64)));
+
+        if (p.tryWeight > 0 && rng.chance(60)) {
+            BasicBlock &handler = fn.newBlock(0);
+            TryRegionId region =
+                fn.addTryRegion(handler.id(), ExcKind::CatchAll);
+            BasicBlock &body = fn.newBlock(region);
+            BasicBlock &join = fn.newBlock(0);
+            b.jump(body);
+            b.atEnd(body);
+            ValueId got = b.callStatic(world.kernels[0],
+                                       {refArg, arrArg, x}, Type::I32);
+            b.move(chk, b.binop(Opcode::IXor, chk, got));
+            b.jump(join);
+            b.atEnd(handler);
+            b.move(chk, b.binop(Opcode::IAdd, chk,
+                                b.constInt(0x0ddba11)));
+            b.jump(join);
+            b.atEnd(join);
+        } else {
+            ValueId got = b.callStatic(world.kernels[0],
+                                       {refArg, arrArg, x}, Type::I32);
+            b.move(chk, b.binop(Opcode::IXor, chk, got));
+        }
+    }
+    b.ret(chk);
+    return mod;
+}
+
+Hash128
+moduleFingerprint(const Module &mod)
+{
+    return hashBytes(serializeModuleToString(mod));
+}
+
+} // namespace trapjit

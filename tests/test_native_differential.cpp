@@ -45,6 +45,7 @@
 #include "jit/compiler.h"
 #include "testing/equivalence.h"
 #include "testing/random_program.h"
+#include "testing/workload_gen/workload_gen.h"
 
 #if !defined(__SANITIZE_ADDRESS__) && defined(__has_feature)
 #if __has_feature(address_sanitizer)
@@ -445,6 +446,97 @@ TEST(NativeCodeCacheSharing, ServicePrecompilesAndEngineReuses)
     auto again = generateRandomModule(opts);
     ServiceReport second = service.compileModule(*again, config);
     EXPECT_EQ(0u, second.counters.functionsNativeCompiled);
+}
+
+// ---------------------------------------------------------------------------
+// The big-offset regime: accesses beyond the protected area
+// ---------------------------------------------------------------------------
+
+// Figure 5's BigOffset rule: an access whose offset can land past the
+// target's protected area must never ride the hardware trap — phase 2
+// has to leave (or re-materialize) an explicit check.  The big_offset
+// workload profile pins the generator to such offsets (16 KiB — past
+// every target's trap area — and the >512 KB kMaxFieldOffset regime),
+// so these sweeps hit the rule on every arm instead of relying on the
+// occasional draw from the uniform generator.
+
+/** Arms that convert explicit checks into trap-implicit ones. */
+const Arm kTrapArms[] = {
+    {"ia32", makeIA32WindowsTarget, makeNoOptTrapConfig},
+    {"ia32", makeIA32WindowsTarget, makeNewFullConfig},
+    {"sparc", makeSPARCTarget, makeNewFullConfig},
+    {"s390", makeS390Target, makeNewFullConfig},
+};
+
+std::unique_ptr<Module>
+buildBigOffsetModule(uint64_t seed)
+{
+    const WorkloadProfile *preset = findWorkloadProfile("big_offset");
+    EXPECT_NE(preset, nullptr);
+    WorkloadProfile p = *preset;
+    p.seed = seed;
+    return generateWorkloadModule(p);
+}
+
+// IR-shape half (host-independent, no native tier needed): after any
+// trap-converting arm compiles a big-offset module, no field access at
+// an offset the target cannot trap on may claim implicit coverage.
+TEST(NativeBigOffset, BeyondGuardAccessesStayExplicitUnderTrapArms)
+{
+    for (const Arm &arm : kTrapArms) {
+        Target target = arm.makeTarget();
+        for (uint64_t seed = 700; seed < 712; ++seed) {
+            auto mod = buildBigOffsetModule(seed);
+            Compiler compiler(target, arm.makeConfig());
+            compiler.compile(*mod);
+
+            size_t beyondGuard = 0;
+            for (FunctionId f = 0; f < mod->numFunctions(); ++f) {
+                const Function &fn = mod->function(f);
+                for (BlockId bid = 0; bid < fn.numBlocks(); ++bid) {
+                    for (const Instruction &inst :
+                         fn.block(bid).insts()) {
+                        if (inst.op != Opcode::GetField &&
+                            inst.op != Opcode::PutField)
+                            continue;
+                        if (inst.imm < target.trapAreaBytes)
+                            continue;
+                        ++beyondGuard;
+                        EXPECT_FALSE(inst.exceptionSite)
+                            << "seed " << seed << " on "
+                            << arm.targetName << " / "
+                            << arm.makeConfig().name << ": " << fn.name()
+                            << " claims a trap at offset " << inst.imm
+                            << ", past the " << target.trapAreaBytes
+                            << "-byte protected area";
+                    }
+                }
+            }
+            // The profile guarantees the regime is actually present.
+            EXPECT_GT(beyondGuard, 0u) << "seed " << seed;
+        }
+    }
+}
+
+// Execution half: the compiled big-offset programs must still be
+// bit-identical across fast and native engines — the explicit checks
+// the rule preserves fire exactly like the interpreter's.
+TEST(NativeBigOffset, BigOffsetProgramsMatchAcrossEngines)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    for (const Arm &arm : kTrapArms) {
+        Target target = arm.makeTarget();
+        for (uint64_t seed = 700; seed < 708; ++seed) {
+            auto mod = buildBigOffsetModule(seed);
+            Compiler compiler(target, arm.makeConfig());
+            compiler.compile(*mod);
+            EquivalenceReport report = compareNativeEngine(*mod, target);
+            EXPECT_TRUE(report.equivalent)
+                << "big_offset seed " << seed << " on " << arm.targetName
+                << " / " << arm.makeConfig().name << ": "
+                << report.message;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -12,11 +12,20 @@
 #include <vector>
 
 #include "arch/target.h"
+#include "codegen/native/native_engine.h"
 #include "interp/fast_interpreter.h"
 #include "interp/interpreter.h"
 #include "ir/builder.h"
+#include "jit/compiler.h"
 #include "runtime/trap_runtime.h"
 #include "testing/equivalence.h"
+#include "testing/workload_gen/workload_gen.h"
+
+#if !defined(__SANITIZE_ADDRESS__) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#endif
 
 namespace trapjit
 {
@@ -108,6 +117,97 @@ TEST(TrapRuntime, ConcurrentTrapsRecoverIndependently)
     EXPECT_EQ(0, mistakes.load());
     EXPECT_EQ(static_cast<uint64_t>(kThreads) * kIters,
               runtime.trapsTaken());
+}
+
+TEST(TrapRuntime, ConcurrentEnginesRunTrapHeavyKernelsInIsolation)
+{
+    // The full-stack version of ConcurrentTrapsRecoverIndependently:
+    // eight mutator threads simultaneously execute *different*
+    // fuzz-generated trap-heavy programs on all three engines
+    // (reference, fast, native where available — the native threads
+    // take real guard-page SIGSEGVs), and every thread must reproduce
+    // the exact single-threaded result — outcome, exception, return value, trap
+    // count and final heap bytes.  Cross-thread trap delivery would
+    // corrupt one of them instantly.
+    constexpr int kThreads = 8;
+    constexpr int kItersPerThread = 6;
+
+#if defined(__SANITIZE_ADDRESS__)
+    constexpr bool nativeUsable = false;
+#else
+    constexpr bool nativeUsable = nativeTierSupported();
+#endif
+
+    Target target = makeIA32WindowsTarget();
+    const WorkloadProfile *storm = findWorkloadProfile("null_storm");
+    ASSERT_NE(storm, nullptr);
+
+    struct Expected
+    {
+        std::unique_ptr<Module> mod;
+        FunctionId entry = kNoFunction;
+        ExecResult result;
+        uint64_t heapDigest = 0;
+    };
+    std::vector<Expected> cases(kThreads);
+    uint64_t expectedTraps = 0;
+    for (int t = 0; t < kThreads; ++t) {
+        WorkloadProfile p = *storm;
+        p.seed = 420 + static_cast<uint64_t>(t);
+        cases[t].mod = generateWorkloadModule(p);
+        Compiler compiler(target, makeNewFullConfig());
+        compiler.compile(*cases[t].mod);
+        cases[t].entry = cases[t].mod->findFunction("main");
+        Interpreter ref(*cases[t].mod, target);
+        cases[t].result = ref.run(cases[t].entry, {});
+        cases[t].heapDigest = ref.heap().digest();
+        expectedTraps += cases[t].result.stats.trapsTaken;
+    }
+    // The regime must actually exercise the trap path.
+    ASSERT_GT(expectedTraps, 0u);
+
+    std::atomic<int> mistakes{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const Expected &want = cases[t];
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kItersPerThread; ++i) {
+                ExecResult got;
+                uint64_t digest = 0;
+                const int engine = t % 3;
+                if (engine == 0) {
+                    Interpreter ref(*want.mod, target);
+                    got = ref.run(want.entry, {});
+                    digest = ref.heap().digest();
+                } else if (engine == 1 || !nativeUsable) {
+                    FastInterpreter fast(*want.mod, target);
+                    got = fast.run(want.entry, {});
+                    digest = fast.heap().digest();
+                } else {
+                    NativeEngine native(*want.mod, target);
+                    got = native.run(want.entry, {});
+                    digest = native.heap().digest();
+                }
+                const bool ok =
+                    got.outcome == want.result.outcome &&
+                    got.exception == want.result.exception &&
+                    (got.outcome != ExecResult::Outcome::Returned ||
+                     got.value.i == want.result.value.i) &&
+                    got.stats.trapsTaken ==
+                        want.result.stats.trapsTaken &&
+                    digest == want.heapDigest;
+                if (!ok)
+                    mistakes.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(0, mistakes.load());
 }
 
 TEST(TrapRuntime, TrapCoverageMatchesPageBounds)
