@@ -5,7 +5,7 @@
  * tier, on jBYTEmark kernels (BM_Native_* — CI uploads the results as
  * BENCH_native.json next to BENCH_interp.json).
  *
- * Two families:
+ * Three families:
  *
  *  - BM_Native_{Reference,Fast,Jit}_<kernel>: the same unoptimized
  *    module (every check explicit, the interpreter benches' shape)
@@ -21,6 +21,12 @@
  *    null-heavy kernels the trap arm must be at least as fast in wall
  *    time — the win the paper measures in Table 1.
  *
+ *  - BM_Tiered_{Fast,Native,Cold,Warm,WarmNoLink}_<preset>: the
+ *    profile-guided tiering story on call-heavy workload-gen presets
+ *    (CI uploads these as BENCH_tiering.json).  Cold start vs warmed
+ *    steady state, direct block linking vs trampoline-only, against
+ *    the fused interpreter and per-call-dispatch native baselines.
+ *
  * Native benches skip (with a notice in the JSON) on hosts without the
  * native tier; the interpreter baselines run everywhere.
  */
@@ -28,9 +34,11 @@
 #include <benchmark/benchmark.h>
 
 #include "codegen/native/native_engine.h"
+#include "codegen/native/tiered_engine.h"
 #include "interp/fast_interpreter.h"
 #include "interp/interpreter.h"
 #include "jit/compiler.h"
+#include "testing/workload_gen/workload_gen.h"
 #include "workloads/workload.h"
 
 namespace trapjit
@@ -173,6 +181,183 @@ TRAPJIT_NATIVE_BENCH(assignment, "Assignment");
 TRAPJIT_NATIVE_BENCH(idea, "IDEA encryption");
 
 #undef TRAPJIT_NATIVE_BENCH
+
+// ---------------------------------------------------------------------------
+// Profile-guided tiering (BM_Tiered_* — CI uploads BENCH_tiering.json)
+// ---------------------------------------------------------------------------
+//
+// Call-heavy workload-gen presets (call_web, pointer_chase) under the
+// tiering policies the engine supports:
+//
+//  - BM_Tiered_Fast:       fused-interpreter baseline
+//  - BM_Tiered_Native:     classic native tier — every call bounces
+//                          through C++ dispatch (vector frame, argv
+//                          copy, sigsetjmp) per frame
+//  - BM_Tiered_Cold:       cold start — a fresh engine per iteration
+//                          pays interpretation, promotion compiles and
+//                          publishing inside the measured region
+//  - BM_Tiered_Warm:       everything published and direct-linked;
+//                          hot call chains never leave native code.
+//                          The tiering acceptance line: >= 1.3x over
+//                          BM_Tiered_Native on these presets
+//  - BM_Tiered_WarmNoLink: published but trampoline-only (linkBlocks
+//                          off) — isolates the value of the rel32
+//                          direct patches from the rest of the tier
+
+enum class TieredMode
+{
+    Fast,
+    NativeDispatch,
+    Cold,
+    Warm,
+    WarmNoLink,
+};
+
+/** Build + compile one workload-gen preset (fixed preset seed). */
+std::unique_ptr<Module>
+buildTieredPresetModule(const char *preset)
+{
+    const WorkloadProfile *p = findWorkloadProfile(preset);
+    auto mod = generateWorkloadModule(*p);
+    Target target = makeIA32WindowsTarget();
+    Compiler compiler(target, makeNewFullConfig());
+    compiler.compile(*mod);
+    return mod;
+}
+
+void
+runTieredBenchmark(benchmark::State &state, const char *preset,
+                   TieredMode mode)
+{
+    Target target = makeIA32WindowsTarget();
+    auto mod = buildTieredPresetModule(preset);
+    FunctionId entry = mod->findFunction("main");
+    InterpOptions options;
+    options.recordTrace = false;
+
+    // Serving-loop shape: many requests per heap recycle.  The bump
+    // arena hands out pre-zeroed memory, so runs are back to back and
+    // the periodic wipe (identical across engines, proportional to the
+    // workload's allocation volume rather than engine speed) happens
+    // off the timed path, as a server would recycle between batches.
+    constexpr int kRunsPerReset = 64;
+
+    auto timeRuns = [&](auto &engine) {
+        // ExecStats accumulate until reset(); report per-run deltas.
+        uint64_t instructionsPerRun = 0;
+        uint64_t instructionsSeen = 0;
+        int sinceReset = 0;
+        for (auto _ : state) {
+            if (++sinceReset > kRunsPerReset) {
+                state.PauseTiming();
+                engine.reset();
+                sinceReset = 1;
+                instructionsSeen = 0;
+                state.ResumeTiming();
+            }
+            ExecResult r = engine.run(entry, {});
+            benchmark::DoNotOptimize(r.value.i);
+            instructionsPerRun = r.stats.instructions - instructionsSeen;
+            instructionsSeen = r.stats.instructions;
+        }
+        state.SetItemsProcessed(static_cast<int64_t>(instructionsPerRun) *
+                                state.iterations());
+    };
+
+    if (mode == TieredMode::Fast) {
+        FastInterpreter interp(*mod, target, options);
+        timeRuns(interp);
+        return;
+    }
+
+    if (!nativeTierSupported()) {
+        state.SkipWithError("native tier requires x86-64 Linux");
+        return;
+    }
+
+    if (mode == TieredMode::NativeDispatch) {
+        NativeEngine engine(*mod, target, options);
+        if (engine.nativeCode(entry) == nullptr) {
+            state.SkipWithError("main did not compile natively");
+            return;
+        }
+        timeRuns(engine);
+        return;
+    }
+
+    TieredOptions topts;
+    topts.threshold = 1;
+    topts.synchronous = true;
+    topts.linkBlocks = mode != TieredMode::WarmNoLink;
+
+    if (mode == TieredMode::Cold) {
+        // The whole first-run story per iteration: construct, interpret,
+        // cross the threshold, compile, audit, publish, finish native.
+        ExecStats stats;
+        for (auto _ : state) {
+            TieredEngine engine(*mod, target, options, nullptr, {},
+                                topts);
+            ExecResult r = engine.run(entry, {});
+            benchmark::DoNotOptimize(r.value.i);
+            stats = r.stats;
+        }
+        state.SetItemsProcessed(
+            static_cast<int64_t>(stats.instructions) *
+            state.iterations());
+        return;
+    }
+
+    TieredEngine engine(*mod, target, options, nullptr, {}, topts);
+    // Warm outside the timed region: after one run every touched
+    // function is published (threshold 1, synchronous); reset() keeps
+    // the published blocks.
+    engine.run(entry, {});
+    engine.drainPromotions();
+    engine.reset();
+    timeRuns(engine);
+
+    ServiceCounters tiering;
+    engine.addTieringCounters(tiering);
+    state.counters["functions_promoted"] =
+        static_cast<double>(tiering.functionsPromoted);
+    state.counters["blocks_linked"] =
+        static_cast<double>(tiering.blocksLinked);
+    state.counters["slots_patched"] =
+        static_cast<double>(tiering.slotsPatched);
+    state.counters["tier_up_ms"] = tiering.tierUpLatencySeconds * 1e3;
+}
+
+#define TRAPJIT_TIERED_BENCH(kernel, preset)                              \
+    void BM_Tiered_Fast_##kernel(benchmark::State &state)                 \
+    {                                                                     \
+        runTieredBenchmark(state, preset, TieredMode::Fast);              \
+    }                                                                     \
+    void BM_Tiered_Native_##kernel(benchmark::State &state)               \
+    {                                                                     \
+        runTieredBenchmark(state, preset, TieredMode::NativeDispatch);    \
+    }                                                                     \
+    void BM_Tiered_Cold_##kernel(benchmark::State &state)                 \
+    {                                                                     \
+        runTieredBenchmark(state, preset, TieredMode::Cold);              \
+    }                                                                     \
+    void BM_Tiered_Warm_##kernel(benchmark::State &state)                 \
+    {                                                                     \
+        runTieredBenchmark(state, preset, TieredMode::Warm);              \
+    }                                                                     \
+    void BM_Tiered_WarmNoLink_##kernel(benchmark::State &state)           \
+    {                                                                     \
+        runTieredBenchmark(state, preset, TieredMode::WarmNoLink);        \
+    }                                                                     \
+    BENCHMARK(BM_Tiered_Fast_##kernel);                                   \
+    BENCHMARK(BM_Tiered_Native_##kernel);                                 \
+    BENCHMARK(BM_Tiered_Cold_##kernel);                                   \
+    BENCHMARK(BM_Tiered_Warm_##kernel);                                   \
+    BENCHMARK(BM_Tiered_WarmNoLink_##kernel)
+
+TRAPJIT_TIERED_BENCH(call_web, "call_web");
+TRAPJIT_TIERED_BENCH(pointer_chase, "pointer_chase");
+
+#undef TRAPJIT_TIERED_BENCH
 
 } // namespace
 } // namespace trapjit

@@ -77,6 +77,7 @@ main()
     uint64_t oursAuditFindings = 0;
     double oursAuditSeconds = 0.0;
     ExecStats engineTotals;
+    ServiceCounters tieringTotals;
     for (const Workload &w : specjvmWorkloads()) {
         PassTimings oursT = averageCompileTimings(w, ours, reps);
         PassTimings altvmT = averageCompileTimings(w, altvm, reps);
@@ -108,6 +109,7 @@ main()
             oursRun.stats.functionsNativeCompiled;
         engineTotals.nativeCompileSeconds +=
             oursRun.stats.nativeCompileSeconds;
+        tieringTotals += oursRun.tiering;
 
         table.addRow({w.name, TextTable::num(oursCompileMs, 3),
                       TextTable::num(oursRunMs, 3),
@@ -159,5 +161,18 @@ main()
                          engineTotals.nativeCompileSeconds * 1e3, 3)
                   << " ms (excluded from compile columns)";
     std::cout << "\n";
+    if (interpEngineFromEnv() == InterpEngineKind::Tiered) {
+        std::cout << "Profile-guided tiering (ours runs): "
+                  << tieringTotals.functionsPromoted
+                  << " functions promoted in "
+                  << TextTable::num(
+                         tieringTotals.tierUpLatencySeconds * 1e3, 3)
+                  << " ms request-to-publish, "
+                  << tieringTotals.blocksLinked << " blocks linked, "
+                  << tieringTotals.slotsPatched << " call slots patched, "
+                  << tieringTotals.blocksInvalidated
+                  << " blocks invalidated (tier-up time is background "
+                     "host time, excluded from compile columns)\n";
+    }
     return 0;
 }

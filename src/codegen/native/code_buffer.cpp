@@ -45,6 +45,19 @@ CodeBuffer::finalize()
     executable_ = true;
 }
 
+bool
+CodeBuffer::finalizePatchable()
+{
+    if (mprotect(base_, capacity_,
+                 PROT_READ | PROT_WRITE | PROT_EXEC) == 0) {
+        executable_ = true;
+        patchable_ = true;
+        return true;
+    }
+    finalize(); // RWX refused: fall back to RX (runs, can't be patched)
+    return false;
+}
+
 void
 CodeBuffer::makeWritable()
 {
@@ -53,6 +66,7 @@ CodeBuffer::makeWritable()
     if (mprotect(base_, capacity_, PROT_READ | PROT_WRITE) != 0)
         TRAPJIT_FATAL("mprotect(PROT_WRITE) on a code buffer failed");
     executable_ = false;
+    patchable_ = false;
 }
 
 } // namespace trapjit

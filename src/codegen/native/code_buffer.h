@@ -46,6 +46,18 @@ class CodeBuffer
     /** Flip to PROT_READ|PROT_EXEC; idempotent. */
     void finalize();
 
+    /**
+     * Flip to PROT_READ|PROT_WRITE|PROT_EXEC for code that stays
+     * patchable while other threads execute it (the tiered tier's
+     * call-slot linking).  Returns false — leaving the buffer RX, so
+     * it still runs, just unpatchable — when the platform forbids RWX
+     * mappings (hardened kernels, some sandboxes).
+     */
+    bool finalizePatchable();
+
+    /** True when finalizePatchable() succeeded. */
+    bool patchable() const { return patchable_; }
+
     /** Flip back to PROT_READ|PROT_WRITE for patching; idempotent. */
     void makeWritable();
 
@@ -53,6 +65,7 @@ class CodeBuffer
     uint8_t *base_ = nullptr;
     size_t capacity_ = 0; ///< page-rounded mapping size
     bool executable_ = false;
+    bool patchable_ = false;
 };
 
 } // namespace trapjit

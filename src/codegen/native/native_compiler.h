@@ -68,6 +68,21 @@ struct NativeTrapSite
     uint32_t resumeNext = 0;  ///< code offset of the next record
 };
 
+/**
+ * One patchable call displacement in a tiered block.  The rel32 field
+ * at @p rel32Offset is 4-byte aligned (the compiler NOP-pads to make
+ * it so) and initially resolves to the per-site slow stub at
+ * @p stubOffset; the code registry retargets it with a single aligned
+ * 32-bit release store when @p callee publishes, and back again on
+ * invalidation.  Both targets are valid at every instant.
+ */
+struct NativeCallSlot
+{
+    uint32_t rel32Offset = 0; ///< offset of the 4-byte displacement
+    uint32_t stubOffset = 0;  ///< the slow stub this site falls back to
+    FunctionId callee = kNoFunction; ///< kNoFunction = never patched
+};
+
 /** Compiled form of one function. */
 struct NativeCode
 {
@@ -81,10 +96,27 @@ struct NativeCode
     using EntryFn = uint32_t (*)(NativeContext *, void *, uint8_t *,
                                  const void *);
 
+    /**
+     * Tiered entry protocol: (ctx, frameBase, heapHostBase).  No
+     * resume parameter and no sigsetjmp wrapper — the SIGSEGV handler
+     * resumes tiered frames in place by rewriting RIP.  Returns 0 when
+     * the frame returned (value in ctx->retBits), 1 when it unwound
+     * (pending exception in ctx, or ctx->hardFault set).
+     */
+    using TieredEntryFn = uint32_t (*)(NativeContext *, void *,
+                                       uint8_t *);
+
     CodeBuffer buffer;
     size_t codeSize = 0; ///< instruction bytes (table excluded)
     std::vector<uint32_t> recordOffsets; ///< per record, + end sentinel
     std::vector<NativeTrapSite> sites;   ///< sorted by accessBegin
+
+    // ---- tiered-mode extras (empty/zero in classic mode) ------------
+    bool tiered = false;
+    /** Code offset of the shared hard-unwind exit (RIP rewrite). */
+    uint32_t unwindOffset = 0;
+    /** Static-call sites the registry may link/unlink. */
+    std::vector<NativeCallSlot> callSlots;
 
     // Check-size accounting, asserted against codegen/check_bytes.h.
     size_t explicitNullCheckBytes = 0;
@@ -108,6 +140,12 @@ struct NativeCode
         return reinterpret_cast<EntryFn>(buffer.base());
     }
 
+    TieredEntryFn
+    tieredEntry() const
+    {
+        return reinterpret_cast<TieredEntryFn>(buffer.base());
+    }
+
     /** Site whose [accessBegin, accessEnd) contains @p off, or null. */
     const NativeTrapSite *findSite(uint32_t off) const;
 };
@@ -117,6 +155,15 @@ struct NativeCompileOptions
 {
     /** Emit event-trace recording after heap stores. */
     bool recordTrace = true;
+    /**
+     * Tiered lowering: the no-sigsetjmp entry ABI, pool-staged call
+     * arguments, patchable rel32 call slots and the in-block unwind
+     * exit (see DESIGN.md section 14).  Tiered blocks bake the
+     * DecodedFunction address into the code, so they must never go
+     * into the content-addressed NativeCodeCache — the code registry
+     * owns them together with a keepalive of the decoded function.
+     */
+    bool tiered = false;
 };
 
 /** What compiling one function produced. */

@@ -22,7 +22,15 @@ NativeEngine::NativeEngine(const Module &mod, const Target &target,
       engineOptions_(std::move(engine_options)),
       nativeCache_(native_cache ? std::move(native_cache)
                                 : std::make_shared<NativeCodeCache>()),
-      fi_(mod, target, options, std::move(decoded_cache), decode_options)
+      // Always hand the fallback interpreter a DecodedProgramCache:
+      // the per-function fallback and compileNative then share one
+      // decode per function, and an externally shared cache (compile
+      // service, tier controller, sibling engines) makes that decode
+      // happen at most once per process instead of once per engine.
+      fi_(mod, target, options,
+          decoded_cache ? std::move(decoded_cache)
+                        : std::make_shared<DecodedProgramCache>(),
+          decode_options)
 {
     nativeOptions_.recordTrace = options.recordTrace;
     if (nativeTierSupported()) {

@@ -38,8 +38,10 @@
  * handler for faults outside any activation.
  */
 
+#include <atomic>
 #include <csetjmp>
 #include <cstdint>
+#include <vector>
 
 #include "interp/decoded_program.h"
 #include "ir/function.h"
@@ -48,6 +50,7 @@ namespace trapjit
 {
 
 class NativeEngine;
+class TieredEngine;
 struct NativeCode;
 
 /** Per-frame execution state the C++ helpers reach through. */
@@ -60,9 +63,11 @@ struct NativeFrame
 };
 
 /**
- * The block JIT code addresses through r12.  The first 24 bytes are
+ * The block JIT code addresses through r12.  The first 80 bytes are
  * the hot fields with hard-coded displacements (static_asserts below);
- * everything after is only touched from C++.
+ * everything after is only touched from C++.  The tiered tier's extra
+ * fields (activeDf .. linkedCalls) are dead weight for the classic
+ * per-frame native engine, which never reads them.
  */
 struct NativeContext
 {
@@ -73,18 +78,44 @@ struct NativeContext
     /** Pending exception (ExcKind as int32; 0 = none) + its site. */
     int32_t pendingKind = 0;
     uint32_t pendingSite = 0;
+    /** Message parked in the engine; tiered status stubs test this. */
+    uint32_t hardFault = 0;
+    uint32_t pad_ = 0;
+    /** Function owning the currently executing tiered block. */
+    const DecodedFunction *activeDf = nullptr;
+    /** Slot base (rbx) of the currently executing tiered frame. */
+    void *activeSlots = nullptr;
+    /** Frame-pool bump pointer / limit (tiered frames only). */
+    uint8_t *poolTop = nullptr;
+    uint8_t *poolEnd = nullptr;
+    /** maxCallDepth + 1 minus current depth; faults below zero. */
+    int64_t depthRemaining = 0;
+    /** Calls retired by linked tiered code since the last sync. */
+    uint64_t linkedCalls = 0;
 
     // ---- cold, C++-only fields --------------------------------------
     NativeFrame *frame = nullptr;
     NativeEngine *engine = nullptr;
+    TieredEngine *tieredEngine = nullptr;
     uint32_t depth = 0;
-    uint32_t hardFault = 0; ///< message parked in the engine
+    /** TieredPark reason left by the SIGSEGV handler (0 = none). */
+    int32_t parkCode = 0;
+    /** Record index of the parked fault inside parkDf. */
+    uint32_t parkRec = 0;
+    const DecodedFunction *parkDf = nullptr;
 };
 
 constexpr uint8_t kNativeCtxBudgetOffset = 0;
 constexpr uint8_t kNativeCtxRetOffset = 8;
 constexpr uint8_t kNativeCtxPendingKindOffset = 16;
 constexpr uint8_t kNativeCtxPendingSiteOffset = 20;
+constexpr uint8_t kNativeCtxHardFaultOffset = 24;
+constexpr uint8_t kNativeCtxActiveDfOffset = 32;
+constexpr uint8_t kNativeCtxActiveSlotsOffset = 40;
+constexpr uint8_t kNativeCtxPoolTopOffset = 48;
+constexpr uint8_t kNativeCtxPoolEndOffset = 56;
+constexpr uint8_t kNativeCtxDepthRemainingOffset = 64;
+constexpr uint8_t kNativeCtxLinkedCallsOffset = 72;
 
 static_assert(offsetof(NativeContext, budgetRemaining) ==
               kNativeCtxBudgetOffset);
@@ -93,6 +124,20 @@ static_assert(offsetof(NativeContext, pendingKind) ==
               kNativeCtxPendingKindOffset);
 static_assert(offsetof(NativeContext, pendingSite) ==
               kNativeCtxPendingSiteOffset);
+static_assert(offsetof(NativeContext, hardFault) ==
+              kNativeCtxHardFaultOffset);
+static_assert(offsetof(NativeContext, activeDf) ==
+              kNativeCtxActiveDfOffset);
+static_assert(offsetof(NativeContext, activeSlots) ==
+              kNativeCtxActiveSlotsOffset);
+static_assert(offsetof(NativeContext, poolTop) ==
+              kNativeCtxPoolTopOffset);
+static_assert(offsetof(NativeContext, poolEnd) ==
+              kNativeCtxPoolEndOffset);
+static_assert(offsetof(NativeContext, depthRemaining) ==
+              kNativeCtxDepthRemainingOffset);
+static_assert(offsetof(NativeContext, linkedCalls) ==
+              kNativeCtxLinkedCallsOffset);
 
 /** One native frame's trap-recovery record (thread-local stack). */
 struct NativeActivation
@@ -109,6 +154,65 @@ struct NativeActivation
 /** Push/pop the calling thread's activation stack. */
 void nativePushActivation(NativeActivation *act);
 void nativePopActivation(NativeActivation *act);
+
+// ---- tiered-tier trap recovery --------------------------------------
+//
+// Tiered blocks do NOT run under a per-frame sigsetjmp: the handler
+// resolves the fault in place and rewrites RIP to the resume point (or
+// the block's unwind exit), so a hot tiered call chain pays zero
+// setup per frame.  The handler reaches everything it needs through
+// the faulting thread's TieredRun descriptor plus the pinned registers
+// (r12 = NativeContext*, rbx = current frame's Slot*).
+
+/** One published tiered block's code range (for fault-PC lookup). */
+struct TieredBlockRange
+{
+    uintptr_t lo = 0;
+    uintptr_t hi = 0;
+    const NativeCode *nc = nullptr;
+    const DecodedFunction *df = nullptr;
+};
+
+/**
+ * Immutable, sorted snapshot of every tiered block ever published.
+ * The registry swaps in a fresh snapshot on publish; old snapshots are
+ * kept alive forever so the handler's acquire load is always safe.
+ */
+struct TieredPcMap
+{
+    std::vector<TieredBlockRange> blocks; ///< sorted by lo, disjoint
+    /** Async-signal-safe binary search; null when pc is outside. */
+    const TieredBlockRange *find(uintptr_t pc) const;
+};
+
+/** Why the SIGSEGV handler hard-unwound a tiered frame. */
+enum class TieredPark : int32_t
+{
+    None = 0,
+    Wild = 1,           ///< PC without site, or reference not null
+    SpecUnsafe = 2,     ///< speculative access, target forbids it
+    NotTrapCovered = 3, ///< exception site outside the trap area
+    Unchecked = 4,      ///< null dereference with no check at all
+};
+
+/**
+ * Thread-scoped fault-resolution descriptor, active while a tiered
+ * root call runs.  pcMap is a pointer to the registry's atomic map
+ * slot — the handler does a fresh acquire load per fault so blocks
+ * published mid-run are visible immediately.
+ */
+struct TieredRun
+{
+    const std::atomic<const TieredPcMap *> *pcMap = nullptr;
+    uint64_t *trapsTaken = nullptr; ///< ExecStats::trapsTaken
+    uint64_t *specReads = nullptr;  ///< ExecStats::speculativeReadsOfNull
+    uintptr_t guardLo = 0, guardHi = 0;
+    TieredRun *prev = nullptr;
+};
+
+/** Enter/exit the calling thread's tiered-run scope (LIFO). */
+void tieredEnterRun(TieredRun *run);
+void tieredExitRun(TieredRun *run);
 
 /**
  * Install / remove the process-wide SIGSEGV handler (refcounted; the
@@ -139,6 +243,27 @@ uint32_t trapjitNativeTraceArrayWrite(NativeContext *ctx, uint32_t rec);
 uint32_t trapjitNativeBudgetFault(NativeContext *ctx, uint32_t rec);
 /** Handler index for the pending exception, or -1 (clears pending). */
 int32_t trapjitNativeFindHandler(NativeContext *ctx, uint32_t tryRegion);
+
+// ---- tiered-tier helpers (defined in tiered_engine.cpp) -------------
+// Same status protocol, but status 2 never crosses JIT code: hard
+// faults set ctx->hardFault and return 1, and the status stubs test
+// hardFault to pick unwind over dispatch.
+uint32_t trapjitTieredNewObject(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitTieredNewArray(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitTieredMath(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitTieredTraceFieldWrite(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitTieredTraceArrayWrite(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitTieredBudgetFault(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitTieredDepthFault(NativeContext *ctx, uint32_t rec);
+uint32_t trapjitTieredPoolFault(NativeContext *ctx, uint32_t rec);
+/**
+ * Unlinked-call trampoline target: resolves the callee and either
+ * enters its published block directly or interprets it.  Arguments
+ * were staged by the call site at ctx->poolTop.
+ */
+uint32_t trapjitTieredSlowCall(NativeContext *ctx, uint32_t rec);
+/** trapjitNativeFindHandler, but against ctx->activeDf. */
+int32_t trapjitTieredFindHandler(NativeContext *ctx, uint32_t tryRegion);
 }
 
 } // namespace trapjit

@@ -454,6 +454,21 @@ X64Emitter::decCtx64(uint8_t disp)
 }
 
 void
+X64Emitter::incCtx64(uint8_t disp)
+{
+    rex(true, 0, 0, 12);
+    u8(0xff);
+    if (disp == 0) {
+        modrm(0, 0, 4);
+        u8(0x24); // SIB: base = r12
+    } else {
+        modrm(1, 0, 4);
+        u8(0x24);
+        u8(disp);
+    }
+}
+
+void
 X64Emitter::storeCtx32Imm(uint8_t disp, uint32_t imm)
 {
     rex(false, 0, 0, 12);
@@ -482,6 +497,35 @@ X64Emitter::loadCtx64(X64Reg dst, uint8_t disp)
     modrm(1, lo3(dst), 4);
     u8(0x24);
     u8(disp);
+}
+
+void
+X64Emitter::cmpCtx32Imm8(uint8_t disp, int8_t imm)
+{
+    rex(false, 0, 0, 12);
+    u8(0x83);
+    modrm(1, 7, 4);
+    u8(0x24);
+    u8(disp);
+    u8(static_cast<uint8_t>(imm));
+}
+
+void
+X64Emitter::storeMemDisp64(X64Reg base, int32_t disp, X64Reg src)
+{
+    TRAPJIT_ASSERT(base != X64Reg::RSP, "rsp base needs a SIB");
+    rex(true, static_cast<uint8_t>(src), 0, static_cast<uint8_t>(base));
+    u8(0x89);
+    if (lo3(base) == 5 || disp != 0) {
+        modrm(2, lo3(src), lo3(base));
+        if (lo3(base) == 4)
+            u8(0x24);
+        u32(static_cast<uint32_t>(disp));
+    } else {
+        modrm(0, lo3(src), lo3(base));
+        if (lo3(base) == 4)
+            u8(0x24);
+    }
 }
 
 void
@@ -559,6 +603,20 @@ X64Emitter::andpd(X64Xmm dst, X64Xmm src)
 }
 
 void
+X64Emitter::repStosq()
+{
+    u8(0xf3);
+    u8(0x48);
+    u8(0xab);
+}
+
+void
+X64Emitter::nop()
+{
+    u8(0x90);
+}
+
+void
 X64Emitter::jmpLabel(int label)
 {
     u8(0xe9);
@@ -573,6 +631,16 @@ X64Emitter::jccLabel(X64Cond cond, int label)
     u8(static_cast<uint8_t>(0x80 + static_cast<uint8_t>(cond)));
     fixups_.push_back(LabelFixup{code_.size(), label});
     u32(0);
+}
+
+size_t
+X64Emitter::callLabelSlot(int label)
+{
+    u8(0xe8);
+    size_t at = code_.size();
+    fixups_.push_back(LabelFixup{at, label});
+    u32(0);
+    return at;
 }
 
 void

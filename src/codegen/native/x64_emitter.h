@@ -160,9 +160,15 @@ class X64Emitter
 
     // ---- NativeContext fields [r12 + disp] --------------------------
     void decCtx64(uint8_t disp);                  ///< dec qword [r12+disp]
+    void incCtx64(uint8_t disp);                  ///< inc qword [r12+disp]
     void storeCtx32Imm(uint8_t disp, uint32_t imm);
     void storeCtx64(uint8_t disp, X64Reg src);
     void loadCtx64(X64Reg dst, uint8_t disp);     ///< mov r64, [r12+disp]
+    void cmpCtx32Imm8(uint8_t disp, int8_t imm);  ///< cmp dword [r12+d], i8
+
+    // ---- memory through a plain base register -----------------------
+    /** mov [base + disp32], src (64-bit store; base must not be rsp). */
+    void storeMemDisp64(X64Reg base, int32_t disp, X64Reg src);
 
     // ---- SSE (scalar double) ----------------------------------------
     void movsdLoadSlot(X64Xmm dst, uint32_t slot);
@@ -183,9 +189,20 @@ class X64Emitter
     void xorpd(X64Xmm dst, X64Xmm src);
     void andpd(X64Xmm dst, X64Xmm src);
 
+    // ---- string / misc ----------------------------------------------
+    void repStosq(); ///< rep stosq: rcx quadwords of rax at [rdi]
+    void nop();      ///< single-byte 0x90
+
     // ---- control flow -----------------------------------------------
     void jmpLabel(int label);            ///< jmp rel32
     void jccLabel(X64Cond cond, int label); ///< jcc rel32
+    /**
+     * call rel32 whose displacement field is a patchable slot.  The
+     * rel32 initially resolves to `label` (via patchLabels); returns
+     * the offset of the 4-byte displacement so the runtime can later
+     * retarget the call with a single aligned 32-bit store.
+     */
+    size_t callLabelSlot(int label);
     void jmpReg(X64Reg reg);
     void callReg(X64Reg reg);
     void ret();

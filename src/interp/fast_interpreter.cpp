@@ -20,6 +20,8 @@ interpEngineFromEnv()
         return InterpEngineKind::Reference;
     if (env != nullptr && std::strcmp(env, "native") == 0)
         return InterpEngineKind::Native;
+    if (env != nullptr && std::strcmp(env, "tiered") == 0)
+        return InterpEngineKind::Tiered;
     return InterpEngineKind::Fast;
 }
 
@@ -29,6 +31,7 @@ interpEngineName(InterpEngineKind kind)
     switch (kind) {
       case InterpEngineKind::Reference: return "reference";
       case InterpEngineKind::Native: return "native";
+      case InterpEngineKind::Tiered: return "tiered";
       default: return "fast";
     }
 }
@@ -260,6 +263,21 @@ FastInterpreter::handleNullAccess(const DecodedInst &d, ThrownExc &exc,
     do {                                                                  \
         excRegion = (rec).tryRegion;                                      \
         goto L_exception;                                                 \
+    } while (0)
+
+// Back-edge hotness profiling for the tiered engine: a taken branch to
+// the same or an earlier record bumps the frame's counter; crossing the
+// threshold requests promotion exactly once (the counter keeps rising,
+// so the equality cannot refire until invalidation resets the slot).
+// `from` is the branch record itself, `ip` the already-taken target.
+#define TIER_BACKEDGE(from)                                               \
+    do {                                                                  \
+        if (tierHot_ != nullptr && ip <= (from) &&                        \
+            ++tierHot_[df.id] == tierThreshold_) {                        \
+            FLUSH_STATS();                                                \
+            tierHooks_->tierPromote(df.id);                               \
+            RELOAD_STATS();                                               \
+        }                                                                 \
     } while (0)
 
 // Integer destination write with the reference engine's I32 truncation.
@@ -896,8 +914,15 @@ L_dispatch:
         for (uint32_t k = 0; k < rec.argsCount; ++k)
             argv.push_back(r[cargs[k]]);
         FLUSH_STATS();
-        FrameResult sub =
-            execFrame(decoded(callee), std::move(argv), depth + 1);
+        // The tiered engine intercepts resolved calls: published
+        // callees run natively, cold ones bump their hotness counter
+        // and fall through to the recursive interpretation below
+        // (tierInvoke only consumes argv when it returns true).
+        FrameResult sub;
+        if (tierHooks_ == nullptr ||
+            !tierHooks_->tierInvoke(callee, std::move(argv), depth + 1,
+                                    sub))
+            sub = execFrame(decoded(callee), std::move(argv), depth + 1);
         RELOAD_STATS();
         if (sub.exc.pending()) {
             pending = sub.exc;
@@ -913,21 +938,27 @@ L_dispatch:
     {
         const DecodedInst &rec = *ip;
         CHARGE(rec);
+        const DecodedInst *const from = ip;
         ip = code + rec.target;
+        TIER_BACKEDGE(from);
         NEXT();
     }
     OP_TARGET(Branch)
     {
         const DecodedInst &rec = *ip;
         CHARGE(rec);
+        const DecodedInst *const from = ip;
         ip = code + (r[rec.a].i != 0 ? rec.target : rec.target2);
+        TIER_BACKEDGE(from);
         NEXT();
     }
     OP(IfNull)
     {
         const DecodedInst &rec = *ip;
         CHARGE(rec);
+        const DecodedInst *const from = ip;
         ip = code + (r[rec.a].ref == 0 ? rec.target : rec.target2);
+        TIER_BACKEDGE(from);
         NEXT();
     }
     OP(Return)
@@ -1240,7 +1271,9 @@ L_dispatch:
             ++ip;
             const DecodedInst &rec = *ip; // Branch
             CHARGE(rec);
+            const DecodedInst *const from = ip;
             ip = code + (r[rec.a].i != 0 ? rec.target : rec.target2);
+            TIER_BACKEDGE(from);
             NEXT();
         }
     }
@@ -1275,6 +1308,7 @@ L_return:
 #undef OP_TARGET
 #undef NEXT
 #undef CHARGE
+#undef TIER_BACKEDGE
 #undef FLUSH_STATS
 #undef RELOAD_STATS
 #undef FAULT

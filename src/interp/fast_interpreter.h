@@ -47,18 +47,21 @@ enum class InterpEngineKind : uint8_t
     Reference, ///< the original switch interpreter (the oracle)
     Fast,      ///< pre-decoded, direct-threaded engine
     Native,    ///< x86-64 machine code with hardware-trap null checks
+    Tiered,    ///< fast engine + profile-guided native promotion
 };
 
 /**
  * Engine selected by the TRAPJIT_INTERP environment variable:
  * "reference" (or "ref") picks the oracle, "native" the x86-64 JIT
  * tier (which itself falls back to the fast engine per function on
- * unsupported hosts — see codegen/native/native_engine.h), anything
- * else — including the variable being unset — the fast engine.
+ * unsupported hosts — see codegen/native/native_engine.h), "tiered"
+ * the profile-guided mixed-mode engine
+ * (codegen/native/tiered_engine.h), anything else — including the
+ * variable being unset — the fast engine.
  */
 InterpEngineKind interpEngineFromEnv();
 
-/** Printable engine name ("reference" / "fast" / "native"). */
+/** Printable engine name ("reference" / "fast" / "native" / "tiered"). */
 const char *interpEngineName(InterpEngineKind kind);
 
 /**
@@ -90,11 +93,16 @@ class FastInterpreter
     /** Clear heap, trace and statistics (decoded programs are kept). */
     void reset();
 
+    class TierHooks; ///< tiering call-outs (see below)
+
   private:
     // The native tier embeds a FastInterpreter as its per-function
     // fallback engine and drives execFrame directly so mixed native /
     // interpreted call stacks share one heap, trace and stats block.
+    // The tiered engine additionally enables the hotness profiling and
+    // call-interception hooks declared at the bottom of this class.
     friend class NativeEngine;
+    friend class TieredEngine;
 
     /**
      * One 64-bit register slot.  All lanes alias the same machine word;
@@ -146,6 +154,33 @@ class FastInterpreter
     uint64_t throwCycles8_;
     uint64_t trapDispatch8_;
     uint64_t allocPerByte8_;
+
+    // ---- profile-guided tiering (all null/zero = disabled) ----------
+    // Set directly by the owning TieredEngine (a friend): tierHot_ is
+    // its per-function hotness array, bumped on every taken back-edge;
+    // reaching tierThreshold_ fires tierPromote exactly once per
+    // tier-up (the counter keeps rising past the threshold, so the
+    // equality cannot refire until invalidation resets the slot).
+    TierHooks *tierHooks_ = nullptr;
+    uint32_t *tierHot_ = nullptr;
+    uint32_t tierThreshold_ = 0;
+};
+
+/**
+ * Call-outs from the dispatch loop into the tiered engine.  tierInvoke
+ * is offered every resolved call (stats_ flushed around it): it either
+ * executes the callee natively, filling @p out and consuming @p args,
+ * or returns false with @p args untouched and the interpreter runs the
+ * callee itself.  tierPromote reports a hotness counter crossing the
+ * threshold; the current frame keeps interpreting either way.
+ */
+class FastInterpreter::TierHooks
+{
+  public:
+    virtual ~TierHooks() = default;
+    virtual bool tierInvoke(FunctionId callee, std::vector<Slot> &&args,
+                            size_t depth, FrameResult &out) = 0;
+    virtual void tierPromote(FunctionId fn) = 0;
 };
 
 } // namespace trapjit

@@ -81,6 +81,11 @@ ServiceCounters::operator+=(const ServiceCounters &other)
     functionsAudited += other.functionsAudited;
     auditFindings += other.auditFindings;
     auditSeconds += other.auditSeconds;
+    functionsPromoted += other.functionsPromoted;
+    blocksLinked += other.blocksLinked;
+    slotsPatched += other.slotsPatched;
+    blocksInvalidated += other.blocksInvalidated;
+    tierUpLatencySeconds += other.tierUpLatencySeconds;
     return *this;
 }
 

@@ -79,6 +79,15 @@ struct ServiceCounters
     size_t auditFindings = 0;    ///< findings across all audits
     double auditSeconds = 0.0;   ///< host time spent auditing
 
+    // Profile-guided tiering (jit/tier_controller.h + the code
+    // registry): filled by TieredEngine::addTieringCounters after a
+    // tiered run or batch; all monotonic totals.
+    size_t functionsPromoted = 0;  ///< hot functions published native
+    size_t blocksLinked = 0;       ///< publishes that patched >=1 slot
+    size_t slotsPatched = 0;       ///< rel32 retargets, both directions
+    size_t blocksInvalidated = 0;  ///< published blocks unlinked
+    double tierUpLatencySeconds = 0.0; ///< request-to-publish, summed
+
     size_t
     total() const
     {

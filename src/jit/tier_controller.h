@@ -1,0 +1,108 @@
+#ifndef TRAPJIT_JIT_TIER_CONTROLLER_H_
+#define TRAPJIT_JIT_TIER_CONTROLLER_H_
+
+/**
+ * @file
+ * The promotion side of profile-guided tiering: accepts "this function
+ * is hot" requests from interpreting engines, compiles the function to
+ * a tiered native block on a background worker pool (or inline, for
+ * deterministic tests), lints the block's trap-site tables with
+ * auditNativeTrapSites, and publishes it into the CodeRegistry.
+ *
+ * Request deduplication is the registry's Cold -> Requested CAS, so a
+ * function is compiled at most once per tier-up no matter how many
+ * threads cross the hotness threshold simultaneously.  Functions the
+ * tier rejects (non-x86-64 hosts, audit findings) are parked in
+ * Unsupported so they are never re-requested; invalidate() on the
+ * registry returns a function to Cold and the whole cycle can repeat.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "arch/target.h"
+#include "codegen/native/code_registry.h"
+#include "interp/decoded_program.h"
+#include "ir/module.h"
+#include "support/job_queue.h"
+
+namespace trapjit
+{
+
+/** Promotion-policy knobs. */
+struct TierControllerOptions
+{
+    /**
+     * Compile on the caller's thread inside requestPromotion() instead
+     * of the pool (TRAPJIT_TIER_SYNC=1): deterministic promotion points
+     * for the differential tests.
+     */
+    bool synchronous = false;
+    /** Background compile workers (ignored when synchronous). */
+    size_t workers = 2;
+    /** Patch static call sites between published blocks. */
+    bool linkBlocks = true;
+    /** Run auditNativeTrapSites on every block before publishing. */
+    bool audit = true;
+    /** Must match the executing engine's InterpOptions::recordTrace. */
+    bool recordTrace = true;
+};
+
+/** Background native promotion for one module. */
+class TierController
+{
+  public:
+    TierController(const Module &mod, const Target &target,
+                   std::shared_ptr<CodeRegistry> registry,
+                   std::shared_ptr<DecodedProgramCache> decodedCache,
+                   const DecodeOptions &decodeOptions,
+                   const TierControllerOptions &options = {});
+    ~TierController();
+
+    TierController(const TierController &) = delete;
+    TierController &operator=(const TierController &) = delete;
+
+    /**
+     * Ask for @p fn to be tiered up.  Returns true when this call won
+     * the compile (synchronous mode: the block is published on
+     * return); false when it was already requested, published or
+     * unsupported.  Safe from any thread.
+     */
+    bool requestPromotion(FunctionId fn);
+
+    /** Block until every in-flight promotion has settled. */
+    void drain();
+
+    const std::shared_ptr<CodeRegistry> &registry() const
+    {
+        return registry_;
+    }
+
+    /** Blocks successfully published since construction. */
+    uint64_t functionsPromoted() const;
+    /** Total request-to-publish latency across those blocks. */
+    double tierUpLatencySeconds() const;
+
+  private:
+    void compileAndPublish(FunctionId fn);
+    void finishJob();
+
+    const Module &mod_;
+    Target target_;
+    std::shared_ptr<CodeRegistry> registry_;
+    std::shared_ptr<DecodedProgramCache> decodedCache_;
+    DecodeOptions decodeOptions_;
+    TierControllerOptions options_;
+    std::unique_ptr<WorkerPool> pool_; ///< null in synchronous mode
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;
+    size_t inFlight_ = 0;
+    uint64_t functionsPromoted_ = 0;
+    double tierUpSeconds_ = 0.0;
+};
+
+} // namespace trapjit
+
+#endif // TRAPJIT_JIT_TIER_CONTROLLER_H_

@@ -500,4 +500,161 @@ compareNativeEngine(Module &mod, const Target &runtime_target,
     return report;
 }
 
+EquivalenceReport
+compareTieredEngine(Module &mod, const Target &runtime_target,
+                    DecodeOptions decode_options,
+                    TieredOptions tiered_options)
+{
+    EquivalenceReport report;
+    FunctionId entry = mod.findFunction("main");
+    TRAPJIT_ASSERT(entry != kNoFunction, "module has no main");
+    const Type returnType = mod.function(entry).returnType();
+
+    InterpOptions options;
+    options.recordTrace = true;
+
+    Observation fast;
+    FastInterpreter fastInterp(mod, runtime_target, options, nullptr,
+                               decode_options);
+    try {
+        fast.result = fastInterp.run(entry, {});
+        fast.events = fastInterp.trace().events();
+        fast.heapDigest = fastInterp.heap().digest();
+    } catch (const HardFault &fault) {
+        fast.hardFault = true;
+        fast.fault = fault.what();
+    }
+
+    Observation tiered;
+    TieredEngine engine(mod, runtime_target, options, nullptr,
+                        decode_options, tiered_options);
+    try {
+        tiered.result = engine.run(entry, {});
+        tiered.events = engine.trace().events();
+        tiered.heapDigest = engine.heap().digest();
+    } catch (const HardFault &fault) {
+        tiered.hardFault = true;
+        tiered.fault = fault.what();
+    }
+
+    std::ostringstream os;
+    if (fast.hardFault != tiered.hardFault) {
+        os << "HardFault parity differs: fast "
+           << (fast.hardFault ? "faulted (" + fast.fault + ")"
+                              : "completed")
+           << ", tiered "
+           << (tiered.hardFault ? "faulted (" + tiered.fault + ")"
+                                : "completed");
+        report.message = os.str();
+        return report;
+    }
+    if (fast.hardFault) {
+        if (fast.fault != tiered.fault) {
+            os << "HardFault message differs: fast \"" << fast.fault
+               << "\", tiered \"" << tiered.fault << "\"";
+            report.message = os.str();
+            return report;
+        }
+        report.equivalent = true;
+        report.hardFaulted = true;
+        return report;
+    }
+
+    if (fast.result.outcome != tiered.result.outcome) {
+        os << "outcome differs: fast "
+           << (fast.result.outcome == ExecResult::Outcome::Returned
+                   ? "returned"
+                   : "threw")
+           << ", tiered "
+           << (tiered.result.outcome == ExecResult::Outcome::Returned
+                   ? "returned"
+                   : "threw");
+        report.message = os.str();
+        return report;
+    }
+    if (fast.result.exception != tiered.result.exception) {
+        os << "exception differs: fast "
+           << excName(fast.result.exception) << ", tiered "
+           << excName(tiered.result.exception);
+        report.message = os.str();
+        return report;
+    }
+    if (fast.result.outcome == ExecResult::Outcome::Returned) {
+        const RuntimeValue &fv = fast.result.value;
+        const RuntimeValue &tv = tiered.result.value;
+        bool same = true;
+        switch (returnType) {
+          case Type::F64:
+            same = std::bit_cast<uint64_t>(fv.f) ==
+                   std::bit_cast<uint64_t>(tv.f);
+            break;
+          case Type::Ref:
+            same = fv.ref == tv.ref;
+            break;
+          case Type::Void:
+            break;
+          default:
+            same = fv.i == tv.i;
+            break;
+        }
+        if (!same) {
+            os << "return value differs: fast (i=" << fv.i
+               << ", f=" << fv.f << ", ref=" << fv.ref
+               << "), tiered (i=" << tv.i << ", f=" << tv.f
+               << ", ref=" << tv.ref << ")";
+            report.message = os.str();
+            return report;
+        }
+    }
+
+    size_t n = std::min(fast.events.size(), tiered.events.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (!(fast.events[i] == tiered.events[i])) {
+            os << "event " << i << " differs: fast "
+               << fast.events[i].toString() << ", tiered "
+               << tiered.events[i].toString();
+            report.message = os.str();
+            return report;
+        }
+    }
+    if (fast.events.size() != tiered.events.size()) {
+        os << "event count differs: fast " << fast.events.size()
+           << ", tiered " << tiered.events.size();
+        report.message = os.str();
+        return report;
+    }
+    if (fast.heapDigest != tiered.heapDigest) {
+        report.message = describeHeapDifference(
+            fastInterp.heap(), engine.heap(), "fast", "tiered");
+        return report;
+    }
+
+    // Same exemptions as the classic native tier: engine-side dynamic
+    // counters and the simulated cycle model are out of scope for
+    // frames that ran as machine code.
+    const ExecStats &a = fast.result.stats;
+    const ExecStats &b = tiered.result.stats;
+    auto counter = [&](const char *name, uint64_t x, uint64_t y) {
+        if (x != y && report.message.empty()) {
+            std::ostringstream cs;
+            cs << "stats." << name << " differs: fast " << x
+               << ", tiered " << y;
+            report.message = cs.str();
+        }
+    };
+    counter("instructions", a.instructions, b.instructions);
+    counter("calls", a.calls, b.calls);
+    counter("allocations", a.allocations, b.allocations);
+    counter("trapsTaken", a.trapsTaken, b.trapsTaken);
+    counter("speculativeReadsOfNull", a.speculativeReadsOfNull,
+            b.speculativeReadsOfNull);
+    if (!report.message.empty())
+        return report;
+
+    report.equivalent = true;
+    report.trapsTaken = fast.result.stats.trapsTaken;
+    report.instructionsExecuted = fast.result.stats.instructions;
+    return report;
+}
+
 } // namespace trapjit

@@ -21,6 +21,7 @@
 
 #include "arch/target.h"
 #include "codegen/native/native_engine.h"
+#include "codegen/native/tiered_engine.h"
 #include "interp/decoded_program.h"
 #include "ir/module.h"
 #include "jit/compiler.h"
@@ -109,6 +110,23 @@ EquivalenceReport compareNativeEngine(
     Module &mod, const Target &runtime_target,
     DecodeOptions decode_options = {},
     NativeEngineOptions engine_options = {});
+
+/**
+ * Tiered-tier differential oracle: same comparison set as
+ * compareNativeEngine, but the second engine is the profile-guided
+ * TieredEngine (codegen/native/tiered_engine.h).  The default options
+ * force synchronous promotion at a threshold of 2 so functions tier up
+ * *mid-case* and the run crosses interpreter -> native -> interpreter
+ * frames in both directions; pass different TieredOptions to cover
+ * other policies (background workers, linking off, high threshold).
+ */
+EquivalenceReport compareTieredEngine(Module &mod,
+                                      const Target &runtime_target,
+                                      DecodeOptions decode_options = {},
+                                      TieredOptions tiered_options = {
+                                          .threshold = 2,
+                                          .synchronous = true,
+                                      });
 
 } // namespace trapjit
 

@@ -154,6 +154,7 @@ struct CaseDelta
     uint64_t instructions = 0;
     uint64_t auditErrors = 0;
     bool nativeRan = false;
+    bool tieredRan = false;
     std::vector<FuzzDivergence> divergences;
 };
 
@@ -247,6 +248,21 @@ runOneCase(uint64_t seed, const std::string &profile, const FuzzArm &arm,
         delta.nativeRan = true;
         delta.traps += native.trapsTaken;
         delta.instructions += native.instructionsExecuted;
+    }
+
+    if (opts.useTieredEngine && fuzzNativeTierUsable()) {
+        // Threshold 2 (the compareTieredEngine default): functions
+        // cross the hotness threshold mid-case, so blocks publish,
+        // call slots patch and frames switch tiers while this very
+        // worker — and its siblings — take guard-page traps.
+        EquivalenceReport tiered = compareTieredEngine(*mod, target);
+        if (!tiered.equivalent) {
+            record(delta, seed, profile, arm, "fast-vs-tiered",
+                   tiered.message);
+        }
+        delta.tieredRan = true;
+        delta.traps += tiered.trapsTaken;
+        delta.instructions += tiered.instructionsExecuted;
     }
     return delta;
 }
@@ -347,6 +363,8 @@ runFuzzFarm(const FuzzOptions &options)
             result.stats.auditFindings += delta.auditErrors;
             if (delta.nativeRan)
                 result.stats.nativeComparisons += 1;
+            if (delta.tieredRan)
+                result.stats.tieredComparisons += 1;
             for (FuzzDivergence &d : delta.divergences) {
                 if (opts.log)
                     opts.log("DIVERGENCE " + d.reproLine() + " " +

@@ -11,11 +11,13 @@
  * module (testing/workload_gen/), compiles it under the arm with the
  * soundness auditor collecting, and then runs the differential oracles:
  * reference vs fast interpreter (bit-exact, cycles included) and — on
- * hosts with the native tier — fast vs native x86-64.  Any audit
- * finding, any engine disagreement, and any agreed-upon HardFault is a
- * divergence, reported with the exact (seed, profile, arm) tuple that
- * regenerates it on any machine (the generator is platform-portable by
- * construction, see workload_gen/rng.h).
+ * hosts with the native tier — fast vs native x86-64 and fast vs the
+ * profile-guided tiered engine (threshold 2, so functions promote in
+ * the middle of the case and publish/patch runs under live traps).
+ * Any audit finding, any engine disagreement, and any agreed-upon
+ * HardFault is a divergence, reported with the exact (seed, profile,
+ * arm) tuple that regenerates it on any machine (the generator is
+ * platform-portable by construction, see workload_gen/rng.h).
  *
  * Worker threads claim cases from a shared counter, so many mutators
  * trap concurrently: every worker owns heaps whose guard pages fault at
@@ -75,7 +77,8 @@ struct FuzzDivergence
     std::string profile;
     std::string arm;
     /** Which oracle disagreed: "audit", "ref-vs-fast", "fast-vs-native",
-     *  or "hardfault" (both engines died identically — still a bug). */
+     *  "fast-vs-tiered", or "hardfault" (both engines died identically —
+     *  still a bug). */
     std::string oracle;
     std::string message;
 
@@ -92,6 +95,7 @@ struct FuzzStats
     uint64_t trapsTaken = 0;    ///< hardware-trap NPEs across all runs
     uint64_t instructionsExecuted = 0;
     uint64_t nativeComparisons = 0;
+    uint64_t tieredComparisons = 0;
     uint64_t auditFindings = 0;
     double elapsedSeconds = 0.0;
 
@@ -139,6 +143,15 @@ struct FuzzOptions
      * guard-page SIGSEGV recovery.
      */
     bool useNativeEngine = true;
+
+    /**
+     * Also run the fast-vs-tiered oracle with a promotion threshold of
+     * 2, so hot functions tier up *mid-case* — publish, direct-link
+     * patching and interp<->native frame crossings all happen while
+     * the worker's heap is taking real guard-page traps.  Skipped on
+     * the same hosts as the native oracle.
+     */
+    bool useTieredEngine = true;
 
     /**
      * Compile through a per-worker CompileService sharing one compile

@@ -1,5 +1,6 @@
 #include "workloads/workload.h"
 
+#include "codegen/native/tiered_engine.h"
 #include "support/diagnostics.h"
 
 namespace trapjit
@@ -34,6 +35,7 @@ runWorkload(const Workload &workload, const Compiler &compiler,
     InterpOptions options;
     options.recordTrace = record_trace;
     ExecResult result;
+    ServiceCounters tiering;
     switch (interpEngineFromEnv()) {
       case InterpEngineKind::Reference: {
         Interpreter interp(*mod, runtime_target, options);
@@ -49,6 +51,19 @@ runWorkload(const Workload &workload, const Compiler &compiler,
         result = engine.run(entry, {});
         break;
       }
+      case InterpEngineKind::Tiered: {
+        // Hotness-driven promotion with the env-configured policy
+        // (TRAPJIT_TIER_THRESHOLD / TRAPJIT_TIER_SYNC); also valid on
+        // hosts without the native tier (promotions park Unsupported
+        // and everything stays interpreted).
+        TieredEngine engine(*mod, runtime_target, options,
+                            std::move(decoded_cache), DecodeOptions{},
+                            tieredOptionsFromEnv());
+        result = engine.run(entry, {});
+        engine.drainPromotions();
+        engine.addTieringCounters(tiering);
+        break;
+      }
       default: {
         FastInterpreter interp(*mod, runtime_target, options,
                                std::move(decoded_cache));
@@ -58,6 +73,7 @@ runWorkload(const Workload &workload, const Compiler &compiler,
     }
 
     run.stats = result.stats;
+    run.tiering = tiering;
     run.cycles = result.stats.cycles;
     if (result.outcome == ExecResult::Outcome::Returned) {
         run.ok = true;

@@ -27,6 +27,7 @@
 #include "interp/interpreter.h"
 #include "ir/module.h"
 #include "jit/compiler.h"
+#include "jit/stats.h"
 
 namespace trapjit
 {
@@ -66,6 +67,10 @@ struct WorkloadRun
     ExecStats stats;          ///< dynamic counters
     CompileReport compile;    ///< where the compile time went
     ExcKind exception = ExcKind::None;
+
+    /** Tier-up accounting (promotions, links, patches); only filled
+     *  when TRAPJIT_INTERP=tiered ran the workload. */
+    ServiceCounters tiering;
 };
 
 /**

@@ -10,7 +10,7 @@
  *   trapjit-fuzz [--cases N] [--seed S] [--threads N]
  *                [--profile NAME[,NAME...]] [--arm LABEL[,LABEL...]]
  *                [--time-budget SECONDS] [--json FILE]
- *                [--no-native] [--no-service] [-v]
+ *                [--no-native] [--no-tiered] [--no-service] [-v]
  *   trapjit-fuzz --repro seed=S,profile=P,arm=A
  *   trapjit-fuzz --mutate MUTATION   (exit 0 iff the bug is CAUGHT)
  *
@@ -49,6 +49,8 @@ usage()
         << "  --time-budget SEC    stop claiming cases after SEC\n"
         << "  --json FILE          write a BENCH-style JSON report\n"
         << "  --no-native          skip the fast-vs-native oracle\n"
+        << "  --no-tiered          skip the fast-vs-tiered oracle\n"
+        << "                       (mid-case promotion at threshold 2)\n"
         << "  --no-service         sequential Compiler per case\n"
         << "  --repro seed=S,profile=P,arm=A   rerun one case\n"
         << "  --mutate NAME        inject a known optimizer bug and\n"
@@ -116,6 +118,7 @@ writeJson(const std::string &path, const FuzzResult &result,
         << "  \"modules_built\": " << s.modulesBuilt << ",\n"
         << "  \"functions_compiled\": " << s.functionsCompiled << ",\n"
         << "  \"native_comparisons\": " << s.nativeComparisons << ",\n"
+        << "  \"tiered_comparisons\": " << s.tieredComparisons << ",\n"
         << "  \"traps_taken\": " << s.trapsTaken << ",\n"
         << "  \"instructions\": " << s.instructionsExecuted << ",\n"
         << "  \"audit_findings\": " << s.auditFindings << ",\n"
@@ -137,10 +140,11 @@ printSummary(const FuzzResult &result)
                 s.elapsedSeconds, s.casesPerSecond(), s.trapsPerSecond(),
                 s.compilesPerSecond());
     std::printf("  modules=%llu compiled=%llu native-cmp=%llu "
-                "traps=%llu instructions=%llu\n",
+                "tiered-cmp=%llu traps=%llu instructions=%llu\n",
                 static_cast<unsigned long long>(s.modulesBuilt),
                 static_cast<unsigned long long>(s.functionsCompiled),
                 static_cast<unsigned long long>(s.nativeComparisons),
+                static_cast<unsigned long long>(s.tieredComparisons),
                 static_cast<unsigned long long>(s.trapsTaken),
                 static_cast<unsigned long long>(s.instructionsExecuted));
     for (const FuzzDivergence &d : result.divergences)
@@ -209,6 +213,8 @@ run(int argc, char **argv)
             jsonPath = value();
         } else if (flag == "--no-native") {
             opts.useNativeEngine = false;
+        } else if (flag == "--no-tiered") {
+            opts.useTieredEngine = false;
         } else if (flag == "--no-service") {
             opts.useService = false;
         } else if (flag == "--repro") {
