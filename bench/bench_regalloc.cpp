@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Optimized-backend benchmarks: linear-scan register allocation and
+ * section-5.4 load speculation against the slot-machine baseline
+ * native tier (BM_Regalloc_* / BM_Speculate_* — CI uploads the
+ * results as BENCH_regalloc.json).
+ *
+ * Two families:
+ *
+ *  - BM_Regalloc_{Fast,Baseline,Optimized}_<preset>: the same fully
+ *    optimized module under the fused interpreter, the baseline
+ *    native tier (every IR value lives in its stack slot) and the
+ *    optimized backend (hot values promoted to callee-/caller-saved
+ *    GPRs, budget checks batched per straight-line run).  The
+ *    acceptance line: warmed Optimized beats Baseline on the
+ *    pointer_chase and array_stream presets.
+ *
+ *  - BM_Speculate_{On,Off}_<preset> and BM_Speculate_DeoptStorm: the
+ *    paper's section-5.4 experiment on the optimized backend.  With
+ *    speculation on, loads are hoisted above their explicit null
+ *    checks (the check compiles to zero bytes); a null base takes the
+ *    guard-page trap and side-exits into the interpreter.  The storm
+ *    bench runs the null_storm preset, where speculated loads
+ *    actually fault, and reports deopts_taken so the JSON shows the
+ *    side-exit path was really measured.
+ *
+ * All benches skip (with a notice in the JSON) on hosts without the
+ * native tier.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/native/native_engine.h"
+#include "interp/fast_interpreter.h"
+#include "jit/compiler.h"
+#include "testing/workload_gen/workload_gen.h"
+
+namespace trapjit
+{
+namespace
+{
+
+enum class RegallocMode
+{
+    Fast,      ///< fused-interpreter baseline
+    Baseline,  ///< native tier, slots only
+    Optimized, ///< regalloc + batched budget + speculation
+    NoSpec,    ///< optimized backend with speculation forced off
+};
+
+std::unique_ptr<Module>
+buildPresetModule(const char *preset, PipelineConfig (*makeConfig)())
+{
+    const WorkloadProfile *p = findWorkloadProfile(preset);
+    auto mod = generateWorkloadModule(*p);
+    Target target = makeIA32WindowsTarget();
+    Compiler compiler(target, makeConfig());
+    compiler.compile(*mod);
+    return mod;
+}
+
+void
+runRegallocBenchmark(benchmark::State &state, const char *preset,
+                     PipelineConfig (*makeConfig)(), RegallocMode mode)
+{
+    Target target = makeIA32WindowsTarget();
+    auto mod = buildPresetModule(preset, makeConfig);
+    FunctionId entry = mod->findFunction("main");
+    InterpOptions options;
+    options.recordTrace = false;
+
+    // Serving-loop shape (same as the tiering benches): many requests
+    // per heap recycle, the periodic arena wipe off the timed path.
+    constexpr int kRunsPerReset = 64;
+
+    auto timeRuns = [&](auto &engine) {
+        uint64_t instructionsPerRun = 0;
+        uint64_t instructionsSeen = 0;
+        int sinceReset = 0;
+        for (auto _ : state) {
+            if (++sinceReset > kRunsPerReset) {
+                state.PauseTiming();
+                engine.reset();
+                sinceReset = 1;
+                instructionsSeen = 0;
+                state.ResumeTiming();
+            }
+            ExecResult r = engine.run(entry, {});
+            benchmark::DoNotOptimize(r.value.i);
+            instructionsPerRun = r.stats.instructions - instructionsSeen;
+            instructionsSeen = r.stats.instructions;
+        }
+        state.SetItemsProcessed(static_cast<int64_t>(instructionsPerRun) *
+                                state.iterations());
+    };
+
+    if (mode == RegallocMode::Fast) {
+        FastInterpreter interp(*mod, target, options);
+        timeRuns(interp);
+        return;
+    }
+
+    if (!nativeTierSupported()) {
+        state.SkipWithError("native tier requires x86-64 Linux");
+        return;
+    }
+
+    NativeEngineOptions eopts;
+    switch (mode) {
+      case RegallocMode::Baseline:
+        eopts.backend = NativeBackend::Baseline;
+        break;
+      case RegallocMode::Optimized:
+        eopts.backend = NativeBackend::Optimized;
+        eopts.speculate = 1;
+        break;
+      case RegallocMode::NoSpec:
+        eopts.backend = NativeBackend::Optimized;
+        eopts.speculate = 0;
+        break;
+      case RegallocMode::Fast:
+        break;
+    }
+
+    NativeEngine engine(*mod, target, options, nullptr, {}, nullptr,
+                        eopts);
+    // Warm (compile) outside the timed region and fail loudly on
+    // fallback: a silently interpreted "native" number would make the
+    // comparison meaningless.
+    if (engine.nativeCode(entry) == nullptr) {
+        state.SkipWithError("main did not compile natively");
+        return;
+    }
+    engine.run(entry, {});
+    engine.reset();
+    timeRuns(engine);
+
+    ServiceCounters c;
+    engine.addOptimizedCounters(c);
+    state.counters["functions_regalloc"] =
+        static_cast<double>(c.functionsRegalloc);
+    state.counters["spills_emitted"] =
+        static_cast<double>(c.spillsEmitted);
+    state.counters["loads_speculated"] =
+        static_cast<double>(c.loadsSpeculated);
+    state.counters["deopts_taken"] = static_cast<double>(c.deoptsTaken);
+    state.counters["regalloc_ms"] = c.regallocSeconds * 1e3;
+}
+
+// Regalloc family: fully optimized modules (the IR the backend is
+// named for), interpreter / baseline-native / optimized-native.
+#define TRAPJIT_REGALLOC_BENCH(kernel, preset)                            \
+    void BM_Regalloc_Fast_##kernel(benchmark::State &state)               \
+    {                                                                     \
+        runRegallocBenchmark(state, preset, makeNewFullConfig,            \
+                             RegallocMode::Fast);                         \
+    }                                                                     \
+    void BM_Regalloc_Baseline_##kernel(benchmark::State &state)           \
+    {                                                                     \
+        runRegallocBenchmark(state, preset, makeNewFullConfig,            \
+                             RegallocMode::Baseline);                     \
+    }                                                                     \
+    void BM_Regalloc_Optimized_##kernel(benchmark::State &state)          \
+    {                                                                     \
+        runRegallocBenchmark(state, preset, makeNewFullConfig,            \
+                             RegallocMode::Optimized);                    \
+    }                                                                     \
+    BENCHMARK(BM_Regalloc_Fast_##kernel);                                 \
+    BENCHMARK(BM_Regalloc_Baseline_##kernel);                             \
+    BENCHMARK(BM_Regalloc_Optimized_##kernel)
+
+TRAPJIT_REGALLOC_BENCH(pointer_chase, "pointer_chase");
+TRAPJIT_REGALLOC_BENCH(array_stream, "array_stream");
+
+#undef TRAPJIT_REGALLOC_BENCH
+
+// Speculation family: no-opt NO-trap modules — the trap arm already
+// turns coverable checks implicit (zero bytes, nothing left for §5.4
+// to do), so the §5.4 experiment is the arm where every check is
+// still an explicit compare-and-branch the speculated load can elide.
+#define TRAPJIT_SPECULATE_BENCH(kernel, preset)                           \
+    void BM_Speculate_On_##kernel(benchmark::State &state)                \
+    {                                                                     \
+        runRegallocBenchmark(state, preset, makeNoOptNoTrapConfig,        \
+                             RegallocMode::Optimized);                    \
+    }                                                                     \
+    void BM_Speculate_Off_##kernel(benchmark::State &state)               \
+    {                                                                     \
+        runRegallocBenchmark(state, preset, makeNoOptNoTrapConfig,        \
+                             RegallocMode::NoSpec);                       \
+    }                                                                     \
+    BENCHMARK(BM_Speculate_On_##kernel);                                  \
+    BENCHMARK(BM_Speculate_Off_##kernel)
+
+TRAPJIT_SPECULATE_BENCH(pointer_chase, "pointer_chase");
+TRAPJIT_SPECULATE_BENCH(array_stream, "array_stream");
+
+#undef TRAPJIT_SPECULATE_BENCH
+
+// The deopt storm: null_storm dereferences null bases constantly, so
+// speculated loads fault and replay in the interpreter every few
+// records — the worst case for speculation and the bench that proves
+// the side-exit path is on the measured profile (deopts_taken > 0).
+void
+BM_Speculate_DeoptStorm(benchmark::State &state)
+{
+    runRegallocBenchmark(state, "null_storm", makeNoOptNoTrapConfig,
+                         RegallocMode::Optimized);
+}
+BENCHMARK(BM_Speculate_DeoptStorm);
+
+} // namespace
+} // namespace trapjit
+
+BENCHMARK_MAIN();

@@ -161,6 +161,20 @@ main()
                          engineTotals.nativeCompileSeconds * 1e3, 3)
                   << " ms (excluded from compile columns)";
     std::cout << "\n";
+    if (tieringTotals.functionsRegalloc > 0) {
+        // Only nonzero under TRAPJIT_NATIVE_BACKEND=optimized: the
+        // regalloc+speculation backend's compile- and run-side story.
+        std::cout << "Optimized native backend (ours runs): "
+                  << tieringTotals.functionsRegalloc
+                  << " functions register-allocated in "
+                  << TextTable::num(
+                         tieringTotals.regallocSeconds * 1e3, 3)
+                  << " ms, " << tieringTotals.spillsEmitted
+                  << " spills emitted, " << tieringTotals.loadsSpeculated
+                  << " loads speculated, " << tieringTotals.deoptsTaken
+                  << " deopts taken (regalloc time is native-compile "
+                     "host time, excluded from compile columns)\n";
+    }
     if (interpEngineFromEnv() == InterpEngineKind::Tiered) {
         std::cout << "Profile-guided tiering (ours runs): "
                   << tieringTotals.functionsPromoted

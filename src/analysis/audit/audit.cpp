@@ -8,6 +8,7 @@
 #include "analysis/audit/nonnull_oracle.h"
 #include "analysis/dominators.h"
 #include "codegen/native/native_compiler.h"
+#include "codegen/native/x64_emitter.h"
 #include "interp/decoded_program.h"
 #include "runtime/heap.h"
 #include "support/bitset.h"
@@ -764,6 +765,144 @@ auditNativeTrapSites(const Function &func, const Target &target,
         }
     }
 
+    // ---- Optimized-backend obligations --------------------------------
+    // Deopt metadata and register homes are load-bearing: a wrong
+    // deoptRecord replays the wrong instruction, a wrong budgetAdjust
+    // desynchronizes the instruction budget, and a home on a reserved
+    // register silently corrupts the pinned engine state.
+    for (size_t s = 0; s < code.sites.size(); ++s) {
+        const NativeTrapSite &site = code.sites[s];
+        if (site.recordIndex >= df.code.size())
+            continue; // already reported above
+        if (!code.optimized) {
+            if (site.deoptIndex != -1) {
+                fail(site.recordIndex, kNoValue,
+                     "trap site " + std::to_string(s) +
+                         " carries deopt metadata in the baseline "
+                         "backend");
+            }
+            continue;
+        }
+        if (site.deoptIndex < 0 ||
+            static_cast<size_t>(site.deoptIndex) >= code.deopts.size()) {
+            fail(site.recordIndex, kNoValue,
+                 "optimized trap site " + std::to_string(s) +
+                     " has no in-range deopt record");
+            continue;
+        }
+        const NativeDeoptInfo &info =
+            code.deopts[static_cast<size_t>(site.deoptIndex)];
+        if (info.budgetAdjust > df.code.size() ||
+            info.deoptRecord > site.recordIndex) {
+            fail(site.recordIndex, kNoValue,
+                 "trap site " + std::to_string(s) +
+                     " has an implausible deopt target or budget "
+                     "refund");
+            continue;
+        }
+        if (info.speculated) {
+            // A speculated access runs *above* its explicit NullCheck:
+            // the deopt must point back at that check, which guards the
+            // same reference, immediately precedes the access, and is a
+            // GetField / ArrayLength the guard region covers.
+            const DecodedInst &acc = df.code[site.recordIndex];
+            bool ok = info.deoptRecord + 1 == site.recordIndex &&
+                      (acc.srcOp == Opcode::GetField ||
+                       acc.srcOp == Opcode::ArrayLength);
+            if (ok) {
+                const DecodedInst &chk = df.code[info.deoptRecord];
+                ok = chk.srcOp == Opcode::NullCheck &&
+                     chk.flavor == CheckFlavor::Explicit &&
+                     chk.a == acc.a;
+            }
+            if (!ok) {
+                fail(site.recordIndex,
+                     df.code[site.recordIndex].a,
+                     "speculated trap site " + std::to_string(s) +
+                         " does not deopt to the explicit NullCheck "
+                         "guarding its base");
+            }
+        } else if (info.deoptRecord != site.recordIndex) {
+            fail(site.recordIndex, kNoValue,
+                 "non-speculated trap site " + std::to_string(s) +
+                     " deopts to a different record than it faults in");
+        }
+    }
+
+    if (code.optimized) {
+        // Register homes: only allocatable scratch GPRs, one value per
+        // register, one register per value.  RBX/R12/R13/R14 carry the
+        // slot base, context, heap bias and budget; RAX/RCX/RDX are the
+        // lowering's scratch; RSP is the stack.
+        auto allocatable = [](uint8_t reg) {
+            switch (static_cast<X64Reg>(reg)) {
+              case X64Reg::RBP: case X64Reg::RSI: case X64Reg::RDI:
+              case X64Reg::R8: case X64Reg::R9: case X64Reg::R10:
+              case X64Reg::R11: case X64Reg::R15:
+                return true;
+              default:
+                return false;
+            }
+        };
+        std::vector<bool> valueSeen(df.numValues, false);
+        std::vector<bool> regSeen(16, false);
+        for (const NativeRegLoc &loc : code.regLocs) {
+            if (loc.value >= df.numValues) {
+                fail(0, kNoValue,
+                     "register home names a non-existent value " +
+                         std::to_string(loc.value));
+                continue;
+            }
+            if (!allocatable(loc.reg)) {
+                fail(0, static_cast<ValueId>(loc.value),
+                     "value " + std::to_string(loc.value) +
+                         " is homed in a reserved register (encoding " +
+                         std::to_string(loc.reg) + ")");
+            } else if (regSeen[loc.reg]) {
+                fail(0, static_cast<ValueId>(loc.value),
+                     "register encoding " + std::to_string(loc.reg) +
+                         " is assigned to two values");
+            }
+            if (loc.reg < regSeen.size())
+                regSeen[loc.reg] = true;
+            if (valueSeen[loc.value]) {
+                fail(0, static_cast<ValueId>(loc.value),
+                     "value " + std::to_string(loc.value) +
+                         " has two register homes");
+            }
+            valueSeen[loc.value] = true;
+        }
+
+        // A zero-byte explicit NullCheck is only sound as the elided
+        // half of a speculation pair: some site must deopt back to it
+        // with the speculated flag set, or its NPE is simply lost.
+        for (size_t i = 0; i < df.code.size(); ++i) {
+            const DecodedInst &rec = df.code[i];
+            if (rec.srcOp != Opcode::NullCheck ||
+                rec.flavor != CheckFlavor::Explicit ||
+                code.recordOffsets[i] != code.recordOffsets[i + 1])
+                continue;
+            bool covered = false;
+            for (const NativeTrapSite &site : code.sites) {
+                if (site.deoptIndex < 0 ||
+                    static_cast<size_t>(site.deoptIndex) >=
+                        code.deopts.size())
+                    continue;
+                const NativeDeoptInfo &info =
+                    code.deopts[static_cast<size_t>(site.deoptIndex)];
+                if (info.speculated && info.deoptRecord == i) {
+                    covered = true;
+                    break;
+                }
+            }
+            if (!covered) {
+                fail(i, rec.a,
+                     "explicit NullCheck compiled to zero bytes but no "
+                     "speculated trap site deopts back to it");
+            }
+        }
+    }
+
     // Every reachable implicit-check access must be mapped: its static
     // offset must land in the heap guard region and a site must cover
     // its record — unless its base is provably non-null, in which case
@@ -786,7 +925,12 @@ auditNativeTrapSites(const Function &func, const Target &target,
         for (size_t i = 0; i < bb.insts().size(); ++i) {
             const size_t record = df.blockStart[b] + i;
             const Instruction &inst = bb.insts()[i];
-            if (inst.exceptionSite && record < df.code.size()) {
+            // Calls are exempt: both backends lower them to the call
+            // helper, which re-checks a null virtual receiver in
+            // software (decideNullAccess) — no hardware trap is
+            // involved, so no NativeTrapSite exists or is needed.
+            if (inst.exceptionSite && inst.op != Opcode::Call &&
+                record < df.code.size()) {
                 const DecodedInst &rec = df.code[record];
                 const int64_t offset = inst.slotOffset();
                 if (offset < 0 ||

@@ -182,6 +182,9 @@ nativeCodeKey(const Function &fn, const Target &target,
     h.update(base.lo);
     h.update(static_cast<uint64_t>(native_options.recordTrace ? 1 : 0));
     h.update(static_cast<uint64_t>(native_options.tiered ? 1 : 0));
+    h.update(static_cast<uint64_t>(native_options.optimized ? 1 : 0));
+    h.update(static_cast<uint64_t>(
+        native_options.optimized && native_options.speculate ? 1 : 0));
     return h.digest();
 }
 
@@ -189,6 +192,8 @@ NativeCompileResult
 compileNative(const Function &fn, const DecodedFunction &df,
               const NativeCompileOptions &options)
 {
+    if (options.optimized)
+        return compileNativeOptimized(fn, df, options);
     (void)fn; // identity lives in the cache key; codegen is decode-only
     NativeCompileResult out;
     if (!nativeTierSupported()) {

@@ -66,6 +66,42 @@ struct NativeTrapSite
     uint32_t accessEnd = 0;
     uint32_t recordIndex = 0; ///< DecodedFunction::code index
     uint32_t resumeNext = 0;  ///< code offset of the next record
+    /**
+     * Index into NativeCode::deopts, or -1 in the baseline backend.
+     * Optimized-backend traps never resume in native code; the engine
+     * deopts the frame into the fast interpreter at the record named
+     * by the deopt info instead.
+     */
+    int32_t deoptIndex = -1;
+};
+
+/**
+ * Deopt metadata of one optimized-backend trap site: where the fast
+ * interpreter picks the frame up, and how to reconstruct the
+ * interpreter's budget from the register-resident r14 value the trap
+ * captured (the optimized backend pre-charges whole straight-line runs,
+ * so at a trap r14 has already paid for records the interpreter has
+ * yet to re-charge; see DESIGN.md section 15).
+ */
+struct NativeDeoptInfo
+{
+    /** Record the interpreter re-executes (the speculated access's
+     *  guarding NullCheck for speculated sites, the faulting record
+     *  itself otherwise). */
+    uint32_t deoptRecord = 0;
+    /** Records pre-charged at/after @p deoptRecord in its budget run:
+     *  budget at deopt = trapped r14 + budgetAdjust. */
+    uint32_t budgetAdjust = 0;
+    /** True when the access ran *above* its guarding explicit
+     *  NullCheck (the paper's section 5.4 speculation). */
+    bool speculated = false;
+};
+
+/** Register home of one IR value in an optimized-backend function. */
+struct NativeRegLoc
+{
+    uint32_t value = 0; ///< DecodedFunction value id
+    uint8_t reg = 0;    ///< X64Reg hardware encoding
 };
 
 /**
@@ -110,6 +146,19 @@ struct NativeCode
     size_t codeSize = 0; ///< instruction bytes (table excluded)
     std::vector<uint32_t> recordOffsets; ///< per record, + end sentinel
     std::vector<NativeTrapSite> sites;   ///< sorted by accessBegin
+
+    // ---- optimized-backend extras (empty/zero in baseline) ----------
+    /** Compiled by the optimized (regalloc + speculation) backend. */
+    bool optimized = false;
+    /** Deopt records, indexed by NativeTrapSite::deoptIndex and by the
+     *  in-code deopt stubs (via NativeContext::deoptRecord). */
+    std::vector<NativeDeoptInfo> deopts;
+    /** Register homes assigned by linear scan (audited; the write-
+     *  through discipline keeps slots canonical regardless). */
+    std::vector<NativeRegLoc> regLocs;
+    size_t loadsSpeculated = 0; ///< section 5.4 hoisted loads
+    size_t spillsEmitted = 0;   ///< ranked values left slot-resident
+    size_t regsAllocated = 0;   ///< values given register homes
 
     // ---- tiered-mode extras (empty/zero in classic mode) ------------
     bool tiered = false;
@@ -164,6 +213,16 @@ struct NativeCompileOptions
      * owns them together with a keepalive of the decoded function.
      */
     bool tiered = false;
+    /**
+     * Optimized backend: linear-scan register allocation over the
+     * callee-saved + caller-saved GPR file, batched budget runs, and
+     * deopt side-exits instead of in-code exception dispatch (see
+     * DESIGN.md section 15).  Mutually exclusive with @p tiered.
+     */
+    bool optimized = false;
+    /** Hoist loads above their guarding explicit null checks (section
+     *  5.4).  Only read when @p optimized is set. */
+    bool speculate = true;
 };
 
 /** What compiling one function produced. */
@@ -181,6 +240,16 @@ struct NativeCompileResult
 NativeCompileResult compileNative(const Function &fn,
                                   const DecodedFunction &df,
                                   const NativeCompileOptions &options);
+
+/**
+ * The optimized backend: lower @p df with linear-scan register
+ * allocation, batched budget runs and section-5.4 load speculation.
+ * Called by compileNative when options.optimized is set; exposed for
+ * tests.  Same fallback contract as compileNative.
+ */
+NativeCompileResult
+compileNativeOptimized(const Function &fn, const DecodedFunction &df,
+                       const NativeCompileOptions &options);
 
 /** True when this build can execute natively compiled code at all. */
 constexpr bool

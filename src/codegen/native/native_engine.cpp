@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "interp/java_semantics.h"
@@ -33,6 +34,23 @@ NativeEngine::NativeEngine(const Module &mod, const Target &target,
           decode_options)
 {
     nativeOptions_.recordTrace = options.recordTrace;
+    NativeBackend backend = engineOptions_.backend;
+    if (backend == NativeBackend::FromEnv) {
+        const char *env = std::getenv("TRAPJIT_NATIVE_BACKEND");
+        backend = (env != nullptr && std::strcmp(env, "optimized") == 0)
+                      ? NativeBackend::Optimized
+                      : NativeBackend::Baseline;
+    }
+    if (backend == NativeBackend::Optimized) {
+        nativeOptions_.optimized = true;
+        if (engineOptions_.speculate >= 0) {
+            nativeOptions_.speculate = engineOptions_.speculate != 0;
+        } else {
+            const char *spec = std::getenv("TRAPJIT_SPECULATE");
+            nativeOptions_.speculate =
+                !(spec != nullptr && std::strcmp(spec, "0") == 0);
+        }
+    }
     if (nativeTierSupported()) {
         nativeInstallSegvHandler();
         handlerInstalled_ = true;
@@ -51,6 +69,17 @@ NativeEngine::reset()
     fi_.reset();
     hardFaultPending_ = false;
     hardFaultMsg_.clear();
+    deoptsTaken_ = 0;
+}
+
+void
+NativeEngine::addOptimizedCounters(ServiceCounters &c) const
+{
+    c.functionsRegalloc += functionsRegalloc_;
+    c.spillsEmitted += spillsEmitted_;
+    c.loadsSpeculated += loadsSpeculated_;
+    c.deoptsTaken += deoptsTaken_;
+    c.regallocSeconds += regallocSeconds_;
 }
 
 void
@@ -85,8 +114,15 @@ NativeEngine::ensureCompiled(FunctionId id)
             NativeCompileResult result =
                 compileNative(fn, fi_.decoded(id), nativeOptions_);
             if (result.code) {
-                fi_.stats_.nativeCompileSeconds += watch.elapsed();
+                double elapsed = watch.elapsed();
+                fi_.stats_.nativeCompileSeconds += elapsed;
                 ++fi_.stats_.functionsNativeCompiled;
+                if (result.code->optimized) {
+                    ++functionsRegalloc_;
+                    spillsEmitted_ += result.code->spillsEmitted;
+                    loadsSpeculated_ += result.code->loadsSpeculated;
+                    regallocSeconds_ += elapsed;
+                }
             }
             compiled_[id] = nativeCache_->insert(key, std::move(result));
         }
@@ -150,9 +186,13 @@ NativeEngine::FrameResult
 NativeEngine::callFrame(FunctionId id, std::vector<Slot> args, size_t depth)
 {
     const NativeCodeCache::Entry &entry = ensureCompiled(id);
-    if (entry.code)
+    if (entry.code) {
+        if (entry.code->optimized)
+            return optimizedInvokeFrame(fi_.decoded(id), *entry.code,
+                                        std::move(args), depth);
         return nativeInvokeFrame(fi_.decoded(id), *entry.code,
                                  std::move(args), depth);
+    }
     // Fallback: the whole subtree below this frame runs interpreted.
     // execFrame can throw HardFault; when native frames sit above us on
     // the C++ stack the throw must not cross their JIT frames, so it is
@@ -292,6 +332,105 @@ NativeEngine::nativeInvokeFrame(const DecodedFunction &df,
         static_cast<uint64_t>(
             static_cast<int64_t>(options_.maxInstructions) -
             ctx.budgetRemaining);
+
+    FrameResult result;
+    if (status == 0) {
+        result.value.bits = ctx.retBits;
+    } else if (!hardFaultPending_ && ctx.pendingKind != 0) {
+        result.exc = ThrownExc{static_cast<ExcKind>(ctx.pendingKind),
+                               static_cast<SiteId>(ctx.pendingSite)};
+    }
+    return result;
+}
+
+NativeEngine::FrameResult
+NativeEngine::optimizedInvokeFrame(const DecodedFunction &df,
+                                   const NativeCode &nc,
+                                   std::vector<Slot> args, size_t depth)
+{
+    if (depth > options_.maxCallDepth) {
+        parkHardFault("call depth limit exceeded in " + df.name);
+        return FrameResult{};
+    }
+    TRAPJIT_ASSERT(args.size() == df.numParams,
+                   "bad argument count calling ", df.name);
+
+    std::vector<Slot> regs(df.numValues);
+    for (size_t i = 0; i < args.size(); ++i)
+        regs[i] = args[i];
+
+    NativeContext ctx;
+    ctx.budgetRemaining =
+        static_cast<int64_t>(options_.maxInstructions) -
+        static_cast<int64_t>(fi_.stats_.instructions);
+    NativeFrame frame{&df, &nc, regs.data(), nullptr};
+    ctx.frame = &frame;
+    ctx.engine = this;
+    ctx.depth = static_cast<uint32_t>(depth);
+
+    NativeActivation act;
+    act.codeLo = reinterpret_cast<uintptr_t>(nc.buffer.base());
+    act.codeHi = act.codeLo + nc.codeSize;
+    act.guardLo = fi_.heap_.guardLo();
+    act.guardHi = fi_.heap_.guardHi();
+
+    // Single-shot: a guard trap never resumes native code here.  The
+    // write-through register allocator keeps the slot file canonical at
+    // every record boundary, so a speculated load's fault (or any cold
+    // path) becomes a deopt — the run's pre-charged budget is refunded
+    // and the frame replays on the fast interpreter from the check
+    // record.  Statuses 2 and 3 are the stub-side equivalents.
+    uint32_t status;
+    nativePushActivation(&act);
+    if (sigsetjmp(act.jmp, 1) == 0) {
+        status =
+            nc.entry()(&ctx, regs.data(), fi_.heap_.hostBase(), nullptr);
+        nativePopActivation(&act);
+    } else {
+        nativePopActivation(&act);
+        const NativeTrapSite *site =
+            nc.findSite(static_cast<uint32_t>(act.faultPc - act.codeLo));
+        const DecodedInst *rec =
+            site ? &df.code[site->recordIndex] : nullptr;
+        if (rec == nullptr || site->deoptIndex < 0 ||
+            regs[rec->a].ref != 0) {
+            ctx.budgetRemaining = act.faultBudget;
+            parkHardFault("wild native memory access in " + df.name);
+            status = 1;
+        } else {
+            const NativeDeoptInfo &info =
+                nc.deopts[static_cast<size_t>(site->deoptIndex)];
+            ctx.budgetRemaining = act.faultBudget + info.budgetAdjust;
+            ctx.deoptRecord = info.deoptRecord;
+            status = 2;
+        }
+    }
+
+    fi_.stats_.instructions =
+        static_cast<uint64_t>(
+            static_cast<int64_t>(options_.maxInstructions) -
+            ctx.budgetRemaining);
+
+    if (status == 2 || status == 3) {
+        ++deoptsTaken_;
+        ThrownExc pend;
+        if (status == 3) {
+            pend = ThrownExc{static_cast<ExcKind>(ctx.pendingKind),
+                             static_cast<SiteId>(ctx.pendingSite)};
+        }
+        // The slot file is canonical (write-through homes) and the
+        // deopt stub refunded every un-retired record, so the
+        // interpreter replay is exact: budget faults, traps and
+        // null-access decisions land on the same records with the same
+        // messages as a pure interpreter run.
+        try {
+            return fi_.resumeFrame(df, std::move(regs), depth,
+                                   ctx.deoptRecord, pend);
+        } catch (const HardFault &fault) {
+            parkHardFault(fault.what());
+            return FrameResult{};
+        }
+    }
 
     FrameResult result;
     if (status == 0) {

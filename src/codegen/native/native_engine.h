@@ -35,9 +35,22 @@
 #include "codegen/native/native_compiler.h"
 #include "codegen/native/native_runtime.h"
 #include "interp/fast_interpreter.h"
+#include "jit/stats.h"
 
 namespace trapjit
 {
+
+/** Which native lowering the engine compiles with. */
+enum class NativeBackend : uint8_t
+{
+    /** Resolve from TRAPJIT_NATIVE_BACKEND ("optimized" selects the
+     *  optimized backend, anything else — including unset — the
+     *  baseline); TRAPJIT_SPECULATE=0 then disables section-5.4 load
+     *  speculation within the optimized backend. */
+    FromEnv,
+    Baseline,  ///< slot-resident tier (native_compiler.cpp)
+    Optimized, ///< regalloc + speculation (optimized_compiler.cpp)
+};
 
 /** Engine-level knobs (testing hooks, not part of the cache key). */
 struct NativeEngineOptions
@@ -49,6 +62,14 @@ struct NativeEngineOptions
      * interpreted call-stack interleavings with it.
      */
     std::function<bool(FunctionId)> nativeFilter;
+    /** Backend selection; resolved once in the constructor. */
+    NativeBackend backend = NativeBackend::FromEnv;
+    /**
+     * Section-5.4 load speculation override for the optimized backend:
+     * -1 follows TRAPJIT_SPECULATE (default on), 0 forces it off, 1
+     * forces it on.  Ignored under the baseline backend.
+     */
+    int speculate = -1;
 };
 
 /** Executes a module with the native tier (+ per-function fallback). */
@@ -86,6 +107,17 @@ class NativeEngine
     /** Why @p id is not native ("" when it is). */
     std::string unsupportedReason(FunctionId id);
 
+    /** Deopt side-exits taken since construction / the last reset(). */
+    size_t deoptsTaken() const { return deoptsTaken_; }
+
+    /**
+     * Fold this engine's optimized-backend totals into @p c: compile
+     * side (functionsRegalloc / spillsEmitted / loadsSpeculated /
+     * regallocSeconds, counted on native-cache misses like
+     * functionsNativeCompiled) and runtime deoptsTaken.
+     */
+    void addOptimizedCounters(ServiceCounters &c) const;
+
     // ---- internal protocol, called by the extern "C" JIT helpers ----
     uint32_t helperNewObject(NativeContext &ctx, uint32_t rec);
     uint32_t helperNewArray(NativeContext &ctx, uint32_t rec);
@@ -116,6 +148,21 @@ class NativeEngine
                                   std::vector<Slot> args, size_t depth);
 
     /**
+     * Run one optimized-backend frame.  Single-shot sigsetjmp: a trap
+     * never resumes native code — it becomes a deopt, and the frame
+     * continues on the fast interpreter (FastInterpreter::resumeFrame)
+     * with the canonical slot file.  Entry statuses: 0 = returned,
+     * 1 = unwound (pending exception or parked HardFault), 2 = deopt,
+     * replay ctx->deoptRecord, 3 = deopt, dispatch the pending
+     * exception from ctx->deoptRecord's try region (the record was
+     * already retired by its helper).
+     */
+    FrameResult optimizedInvokeFrame(const DecodedFunction &df,
+                                     const NativeCode &nc,
+                                     std::vector<Slot> args,
+                                     size_t depth);
+
+    /**
      * FastInterpreter::handleNullAccess, native calling convention:
      * 0 = continue (silent zero), 1 = NPE pending in @p ctx, 2 = hard
      * unwind (message parked).  Shared by the trap wrapper and the
@@ -141,6 +188,16 @@ class NativeEngine
     bool handlerInstalled_ = false;
     bool hardFaultPending_ = false;
     std::string hardFaultMsg_;
+
+    // ---- optimized-backend counters ---------------------------------
+    // Compile-side totals accumulate on native-cache misses (mirroring
+    // functionsNativeCompiled); deoptsTaken_ is a runtime statistic and
+    // clears with reset() like the ExecStats block.
+    size_t deoptsTaken_ = 0;
+    size_t functionsRegalloc_ = 0;
+    size_t spillsEmitted_ = 0;
+    size_t loadsSpeculated_ = 0;
+    double regallocSeconds_ = 0.0;
 };
 
 } // namespace trapjit

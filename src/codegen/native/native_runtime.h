@@ -92,6 +92,14 @@ struct NativeContext
     int64_t depthRemaining = 0;
     /** Calls retired by linked tiered code since the last sync. */
     uint64_t linkedCalls = 0;
+    /**
+     * Record index the optimized backend's deopt stubs leave behind:
+     * where the fast interpreter should pick the frame up (entry
+     * status 2 = re-execute that record, 3 = dispatch the pending
+     * exception from its try region without re-executing).
+     */
+    uint32_t deoptRecord = 0;
+    uint32_t pad2_ = 0;
 
     // ---- cold, C++-only fields --------------------------------------
     NativeFrame *frame = nullptr;
@@ -116,6 +124,7 @@ constexpr uint8_t kNativeCtxPoolTopOffset = 48;
 constexpr uint8_t kNativeCtxPoolEndOffset = 56;
 constexpr uint8_t kNativeCtxDepthRemainingOffset = 64;
 constexpr uint8_t kNativeCtxLinkedCallsOffset = 72;
+constexpr uint8_t kNativeCtxDeoptRecordOffset = 80;
 
 static_assert(offsetof(NativeContext, budgetRemaining) ==
               kNativeCtxBudgetOffset);
@@ -138,6 +147,8 @@ static_assert(offsetof(NativeContext, depthRemaining) ==
               kNativeCtxDepthRemainingOffset);
 static_assert(offsetof(NativeContext, linkedCalls) ==
               kNativeCtxLinkedCallsOffset);
+static_assert(offsetof(NativeContext, deoptRecord) ==
+              kNativeCtxDeoptRecordOffset);
 
 /** One native frame's trap-recovery record (thread-local stack). */
 struct NativeActivation

@@ -262,6 +262,15 @@ X64Emitter::imulRegSlot(X64Reg dst, uint32_t slot, bool wide64)
 }
 
 void
+X64Emitter::imulRegReg(X64Reg dst, X64Reg src, bool wide64)
+{
+    rex(wide64, static_cast<uint8_t>(dst), 0, static_cast<uint8_t>(src));
+    u8(0x0f);
+    u8(0xaf);
+    modrm(3, lo3(dst), lo3(src));
+}
+
+void
 X64Emitter::negReg(X64Reg reg, bool wide64)
 {
     rex(wide64, 0, 0, static_cast<uint8_t>(reg));

@@ -38,6 +38,9 @@ enum class X64Reg : uint8_t
     RSI = 6,
     RDI = 7,
     R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
     R12 = 12,
     R13 = 13,
     R14 = 14,
@@ -118,6 +121,7 @@ class X64Emitter
     void aluSlotImm32(Alu op, uint32_t slot, int32_t imm, bool wide64);
     void decReg64(X64Reg reg); ///< dec r64
     void imulRegSlot(X64Reg dst, uint32_t slot, bool wide64);
+    void imulRegReg(X64Reg dst, X64Reg src, bool wide64);
     void negReg(X64Reg reg, bool wide64);
     void notReg(X64Reg reg, bool wide64);
     void cqo();                 ///< sign-extend rax into rdx:rax

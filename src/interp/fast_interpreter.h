@@ -133,6 +133,26 @@ class FastInterpreter
                           size_t depth);
 
     /**
+     * Re-enter a frame at an arbitrary record with an already-built
+     * register file: the deopt path of the optimized native backend.
+     * The slot file is canonical at every record boundary there
+     * (write-through register allocation), so @p regs is the complete
+     * frame state.  A pending exception in @p pendingIn is dispatched
+     * from @p startRecord's try region without re-executing the record
+     * (the native helper already retired it); otherwise execution
+     * resumes by re-executing @p startRecord.  No depth or argument
+     * checks — the frame already passed them when it first entered.
+     */
+    FrameResult resumeFrame(const DecodedFunction &df,
+                            std::vector<Slot> regs, size_t depth,
+                            uint32_t startRecord, ThrownExc pendingIn);
+
+    /** Shared engine of execFrame and resumeFrame. */
+    FrameResult execFrameAt(const DecodedFunction &df,
+                            std::vector<Slot> regs, size_t depth,
+                            uint32_t startRecord, ThrownExc pendingIn);
+
+    /**
      * Decoded-form twin of Interpreter::handleNullAccess.  @p cycles8
      * is the frame's register-resident eighth-cycle accumulator (trap
      * dispatch charges land there, in reference order).

@@ -86,6 +86,11 @@ ServiceCounters::operator+=(const ServiceCounters &other)
     slotsPatched += other.slotsPatched;
     blocksInvalidated += other.blocksInvalidated;
     tierUpLatencySeconds += other.tierUpLatencySeconds;
+    functionsRegalloc += other.functionsRegalloc;
+    spillsEmitted += other.spillsEmitted;
+    loadsSpeculated += other.loadsSpeculated;
+    deoptsTaken += other.deoptsTaken;
+    regallocSeconds += other.regallocSeconds;
     return *this;
 }
 

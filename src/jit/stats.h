@@ -88,6 +88,16 @@ struct ServiceCounters
     size_t blocksInvalidated = 0;  ///< published blocks unlinked
     double tierUpLatencySeconds = 0.0; ///< request-to-publish, summed
 
+    // Optimized native backend (codegen/native/optimized_compiler.cpp):
+    // linear-scan register allocation + section-5.4 load speculation.
+    // Compile-side totals come from the NativeCode blocks; deoptsTaken
+    // is a runtime count filled by NativeEngine::addOptimizedCounters.
+    size_t functionsRegalloc = 0; ///< functions through linear scan
+    size_t spillsEmitted = 0;     ///< ranked values left slot-resident
+    size_t loadsSpeculated = 0;   ///< loads hoisted above their checks
+    size_t deoptsTaken = 0;       ///< side-exits into the interpreter
+    double regallocSeconds = 0.0; ///< host time in the optimized backend
+
     size_t
     total() const
     {

@@ -154,6 +154,7 @@ struct CaseDelta
     uint64_t instructions = 0;
     uint64_t auditErrors = 0;
     bool nativeRan = false;
+    bool optimizedRan = false;
     bool tieredRan = false;
     std::vector<FuzzDivergence> divergences;
 };
@@ -248,6 +249,24 @@ runOneCase(uint64_t seed, const std::string &profile, const FuzzArm &arm,
         delta.nativeRan = true;
         delta.traps += native.trapsTaken;
         delta.instructions += native.instructionsExecuted;
+    }
+
+    if (opts.useOptimizedEngine && fuzzNativeTierUsable()) {
+        // The optimized backend: linear-scan register allocation plus
+        // speculated loads whose guard-page traps deopt into the fast
+        // interpreter — the oracle covers regalloc homes, batched
+        // budget refunds and mid-run replay all at once.
+        NativeEngineOptions eopts;
+        eopts.backend = NativeBackend::Optimized;
+        EquivalenceReport optimized =
+            compareNativeEngine(*mod, target, {}, eopts);
+        if (!optimized.equivalent) {
+            record(delta, seed, profile, arm, "fast-vs-optimized",
+                   optimized.message);
+        }
+        delta.optimizedRan = true;
+        delta.traps += optimized.trapsTaken;
+        delta.instructions += optimized.instructionsExecuted;
     }
 
     if (opts.useTieredEngine && fuzzNativeTierUsable()) {
@@ -363,6 +382,8 @@ runFuzzFarm(const FuzzOptions &options)
             result.stats.auditFindings += delta.auditErrors;
             if (delta.nativeRan)
                 result.stats.nativeComparisons += 1;
+            if (delta.optimizedRan)
+                result.stats.optimizedComparisons += 1;
             if (delta.tieredRan)
                 result.stats.tieredComparisons += 1;
             for (FuzzDivergence &d : delta.divergences) {

@@ -11,9 +11,11 @@
  * module (testing/workload_gen/), compiles it under the arm with the
  * soundness auditor collecting, and then runs the differential oracles:
  * reference vs fast interpreter (bit-exact, cycles included) and — on
- * hosts with the native tier — fast vs native x86-64 and fast vs the
- * profile-guided tiered engine (threshold 2, so functions promote in
- * the middle of the case and publish/patch runs under live traps).
+ * hosts with the native tier — fast vs native x86-64, fast vs the
+ * optimized backend (linear-scan regalloc + speculated loads, so real
+ * deopt side-exits replay mid-case) and fast vs the profile-guided
+ * tiered engine (threshold 2, so functions promote in the middle of
+ * the case and publish/patch runs under live traps).
  * Any audit finding, any engine disagreement, and any agreed-upon
  * HardFault is a divergence, reported with the exact (seed, profile,
  * arm) tuple that regenerates it on any machine (the generator is
@@ -77,8 +79,8 @@ struct FuzzDivergence
     std::string profile;
     std::string arm;
     /** Which oracle disagreed: "audit", "ref-vs-fast", "fast-vs-native",
-     *  "fast-vs-tiered", or "hardfault" (both engines died identically —
-     *  still a bug). */
+     *  "fast-vs-optimized", "fast-vs-tiered", or "hardfault" (both
+     *  engines died identically — still a bug). */
     std::string oracle;
     std::string message;
 
@@ -95,6 +97,7 @@ struct FuzzStats
     uint64_t trapsTaken = 0;    ///< hardware-trap NPEs across all runs
     uint64_t instructionsExecuted = 0;
     uint64_t nativeComparisons = 0;
+    uint64_t optimizedComparisons = 0;
     uint64_t tieredComparisons = 0;
     uint64_t auditFindings = 0;
     double elapsedSeconds = 0.0;
@@ -143,6 +146,14 @@ struct FuzzOptions
      * guard-page SIGSEGV recovery.
      */
     bool useNativeEngine = true;
+
+    /**
+     * Also run the fast-vs-optimized oracle: the regalloc+speculation
+     * backend (NativeBackend::Optimized) against the fast interpreter,
+     * so speculated loads that actually trap deopt and replay mid-case.
+     * Skipped on the same hosts as the native oracle.
+     */
+    bool useOptimizedEngine = true;
 
     /**
      * Also run the fast-vs-tiered oracle with a promotion threshold of

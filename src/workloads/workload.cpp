@@ -49,6 +49,11 @@ runWorkload(const Workload &workload, const Compiler &compiler,
                             std::move(decoded_cache), DecodeOptions{},
                             std::move(native_cache));
         result = engine.run(entry, {});
+        // No-ops under the baseline backend; under
+        // TRAPJIT_NATIVE_BACKEND=optimized this surfaces the regalloc
+        // and speculation counters in the same ServiceCounters slot
+        // the tiered engine reports through.
+        engine.addOptimizedCounters(tiering);
         break;
       }
       case InterpEngineKind::Tiered: {

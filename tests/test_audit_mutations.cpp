@@ -14,6 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/audit/audit.h"
+#include "codegen/native/native_compiler.h"
+#include "codegen/native/native_mutation_hooks.h"
+#include "interp/decoded_program.h"
 #include "jit/compiler.h"
 #include "opt/nullcheck/mutation_hooks.h"
 #include "testing/random_program.h"
@@ -124,6 +128,115 @@ mutationName(const ::testing::TestParamInfo<NullCheckMutation> &info)
 INSTANTIATE_TEST_SUITE_P(AllTen, AuditMutationDetection,
                          ::testing::ValuesIn(kAllMutations),
                          mutationName);
+
+// -----------------------------------------------------------------------
+// Optimized native backend: the regalloc/speculation obligations of
+// auditNativeTrapSites must catch deliberately corrupted install-time
+// metadata (codegen/native/native_mutation_hooks.h).  The no-opt trap
+// pipeline keeps checks explicit, which is what section-5.4 speculation
+// pairs on, so these seeds produce plenty of speculated sites.
+// -----------------------------------------------------------------------
+
+struct NativeSweepResult
+{
+    AuditReport report;
+    size_t compiles = 0;       ///< functions the backend accepted
+    size_t mutationTargets = 0; ///< compiles the armed mutation could bite
+};
+
+/** Optimized-compile seeds [kSeedBegin, kSeedEnd), auditing each block. */
+NativeSweepResult
+nativeAuditSweep(NativeMutation mutation)
+{
+    ScopedNativeMutation armed(mutation);
+    Target target = makeIA32WindowsTarget();
+    Compiler compiler(target, makeNoOptTrapConfig());
+
+    NativeCompileOptions nopts;
+    nopts.optimized = true;
+    nopts.speculate = true;
+
+    NativeSweepResult result;
+    for (uint64_t seed = kSeedBegin; seed < kSeedEnd; ++seed) {
+        GeneratorOptions opts;
+        opts.seed = seed;
+        opts.statementsPerFunction = 30;
+        opts.numFunctions = 4;
+        opts.maxDepth = 4;
+        auto mod = generateRandomModule(opts);
+        compiler.compile(*mod);
+        for (FunctionId f = 0; f < mod->numFunctions(); ++f) {
+            const Function &fn = mod->function(f);
+            auto df = decodeFunction(fn, target, {});
+            NativeCompileResult res = compileNative(fn, *df, nopts);
+            if (!res.code)
+                continue;
+            ++result.compiles;
+            const bool bites =
+                mutation == NativeMutation::RegLocReservedReg
+                    ? !res.code->regLocs.empty()
+                    : res.code->loadsSpeculated > 0;
+            if (mutation != NativeMutation::None && bites)
+                ++result.mutationTargets;
+            result.report +=
+                auditNativeTrapSites(fn, target, *df, *res.code);
+        }
+    }
+    return result;
+}
+
+/** Unmutated optimized blocks must pass the grown audit clean. */
+TEST(NativeAuditMutations, BaselineIsClean)
+{
+    if (!nativeTierSupported())
+        GTEST_SKIP() << "native tier requires x86-64 Linux";
+    NativeSweepResult result = nativeAuditSweep(NativeMutation::None);
+    ASSERT_GT(result.compiles, 0u);
+    EXPECT_TRUE(result.report.clean()) << result.report.format();
+}
+
+class NativeAuditMutationDetection
+    : public ::testing::TestWithParam<NativeMutation>
+{
+};
+
+TEST_P(NativeAuditMutationDetection, AuditorFlagsTheSeededBug)
+{
+    if (!nativeTierSupported())
+        GTEST_SKIP() << "native tier requires x86-64 Linux";
+    NativeSweepResult result = nativeAuditSweep(GetParam());
+    ASSERT_GT(result.mutationTargets, 0u)
+        << "no compile in the seed window produced metadata this "
+           "mutation corrupts; widen the window";
+    EXPECT_FALSE(result.report.findings.empty())
+        << "the auditor missed this native-backend mutation on every "
+           "seed in ["
+        << kSeedBegin << ", " << kSeedEnd << ")";
+}
+
+const NativeMutation kAllNativeMutations[] = {
+    NativeMutation::SpecWrongDeoptRecord,
+    NativeMutation::SpecDropFlag,
+    NativeMutation::RegLocReservedReg,
+};
+
+const char *
+nativeMutationName(const ::testing::TestParamInfo<NativeMutation> &info)
+{
+    switch (info.param) {
+      case NativeMutation::None: return "None";
+      case NativeMutation::SpecWrongDeoptRecord:
+        return "SpecWrongDeoptRecord";
+      case NativeMutation::SpecDropFlag: return "SpecDropFlag";
+      case NativeMutation::RegLocReservedReg:
+        return "RegLocReservedReg";
+    }
+    return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThree, NativeAuditMutationDetection,
+                         ::testing::ValuesIn(kAllNativeMutations),
+                         nativeMutationName);
 
 } // namespace
 } // namespace trapjit

@@ -11,11 +11,14 @@
 #include "codegen/check_bytes.h"
 #include "codegen/emitter.h"
 #include "codegen/linear_scan.h"
+#include "codegen/native/native_compiler.h"
 #include "codegen/scheduler.h"
+#include "interp/decoded_program.h"
 #include "interp/interpreter.h"
 #include "ir/builder.h"
 #include "ir/module.h"
 #include "ir/verifier.h"
+#include "runtime/heap.h"
 
 namespace trapjit
 {
@@ -275,6 +278,136 @@ TEST(Emitter, BranchFixupsPointAtBlockStarts)
     EmittedCode code = emitFunction(fn, ia32);
     EXPECT_GT(code.bytes.size(), 0u);
     EXPECT_EQ(fn.instructionCount(), code.instructionsEmitted);
+}
+
+// ---------------------------------------------------------------------------
+// Optimized native backend: section-5.4 speculation shape
+// ---------------------------------------------------------------------------
+
+// The acceptance shape of the optimized x86-64 backend, asserted via
+// the published trap-site table: an explicit NullCheck whose guarded
+// load is speculated compiles to ZERO bytes, and the load's machine
+// code occupies the check's former position — it executes *above* its
+// check site, with a deopt record pointing back at the check.  This is
+// compile-only (no execution), so it runs wherever compileNative does.
+
+TEST(OptimizedNativeShape, SpeculatedLoadRunsAboveItsEliminatedCheck)
+{
+    if (!nativeTierSupported())
+        GTEST_SKIP() << "native tier requires x86-64 Linux";
+
+    // Build: obj non-null, one explicit check, one guarded field read.
+    Module mod;
+    Function &fn = mod.addFunction("spec", Type::I32);
+    ValueId obj = fn.addParam(Type::Ref, "obj");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(obj);
+    ValueId v = b.getField(obj, 8, Type::I32);
+    b.ret(v);
+    fn.recomputeCFG();
+
+    auto df = decodeFunction(fn, ia32, {});
+
+    NativeCompileOptions opts;
+    opts.optimized = true;
+    opts.speculate = true;
+    NativeCompileResult res = compileNative(fn, *df, opts);
+    ASSERT_NE(nullptr, res.code) << res.unsupportedReason;
+    const NativeCode &nc = *res.code;
+    ASSERT_TRUE(nc.optimized);
+    ASSERT_EQ(1u, nc.loadsSpeculated);
+
+    // Locate the check/access pair in the decoded stream.
+    int32_t check = -1;
+    for (size_t i = 0; i + 1 < df->code.size(); ++i) {
+        if (df->code[i].srcOp == Opcode::NullCheck &&
+            df->code[i].flavor == CheckFlavor::Explicit &&
+            df->code[i + 1].srcOp == Opcode::GetField) {
+            check = static_cast<int32_t>(i);
+            break;
+        }
+    }
+    ASSERT_GE(check, 0) << "decoded stream lost the check/load pair";
+    const size_t access = static_cast<size_t>(check) + 1;
+
+    // 1. The eliminated explicit check emits zero bytes.
+    EXPECT_EQ(nc.recordOffsets[check], nc.recordOffsets[check + 1])
+        << "the speculated-over explicit check still emits code";
+
+    // 2. The load's trap-site window occupies the position the check
+    //    records share — the load executes above its check site.
+    const NativeTrapSite *site = nullptr;
+    for (const NativeTrapSite &s : nc.sites) {
+        if (s.recordIndex == access)
+            site = &s;
+    }
+    ASSERT_NE(nullptr, site) << "speculated load has no trap site";
+    EXPECT_GE(site->accessBegin, nc.recordOffsets[check]);
+    EXPECT_LT(site->accessBegin, nc.recordOffsets[access + 1]);
+
+    // 3. The deopt metadata replays the *check*, not the load.
+    ASSERT_GE(site->deoptIndex, 0);
+    ASSERT_LT(static_cast<size_t>(site->deoptIndex), nc.deopts.size());
+    const NativeDeoptInfo &info =
+        nc.deopts[static_cast<size_t>(site->deoptIndex)];
+    EXPECT_TRUE(info.speculated);
+    EXPECT_EQ(static_cast<uint32_t>(check), info.deoptRecord);
+}
+
+TEST(OptimizedNativeShape, SpeculationOffKeepsTheExplicitCheck)
+{
+    if (!nativeTierSupported())
+        GTEST_SKIP() << "native tier requires x86-64 Linux";
+
+    Module mod;
+    Function &fn = mod.addFunction("nospec", Type::I32);
+    ValueId obj = fn.addParam(Type::Ref, "obj");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(obj);
+    ValueId v = b.getField(obj, 8, Type::I32);
+    b.ret(v);
+    fn.recomputeCFG();
+
+    auto df = decodeFunction(fn, ia32, {});
+    NativeCompileOptions opts;
+    opts.optimized = true;
+    opts.speculate = false;
+    NativeCompileResult res = compileNative(fn, *df, opts);
+    ASSERT_NE(nullptr, res.code) << res.unsupportedReason;
+    EXPECT_EQ(0u, res.code->loadsSpeculated);
+    EXPECT_GT(res.code->explicitNullCheckBytes, 0u);
+    for (const NativeDeoptInfo &d : res.code->deopts)
+        EXPECT_FALSE(d.speculated);
+}
+
+TEST(OptimizedNativeShape, BigOffsetFieldIsNeverSpeculated)
+{
+    if (!nativeTierSupported())
+        GTEST_SKIP() << "native tier requires x86-64 Linux";
+
+    // The field offset lands outside the heap guard region, so a
+    // speculated null-base load would NOT fault — the backend must
+    // keep the explicit check.
+    Module mod;
+    Function &fn = mod.addFunction("big", Type::I32);
+    ValueId obj = fn.addParam(Type::Ref, "obj");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.nullCheck(obj);
+    ValueId v = b.getField(obj, static_cast<int64_t>(kHeapBase), Type::I32);
+    b.ret(v);
+    fn.recomputeCFG();
+
+    auto df = decodeFunction(fn, ia32, {});
+    NativeCompileOptions opts;
+    opts.optimized = true;
+    opts.speculate = true;
+    NativeCompileResult res = compileNative(fn, *df, opts);
+    ASSERT_NE(nullptr, res.code) << res.unsupportedReason;
+    EXPECT_EQ(0u, res.code->loadsSpeculated);
+    EXPECT_GT(res.code->explicitNullCheckBytes, 0u);
 }
 
 } // namespace

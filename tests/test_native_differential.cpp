@@ -256,7 +256,13 @@ TEST(NativeCheckBytes, ImplicitChecksCompileToZeroInstructions)
     compiler.compile(*mod);
 
     FunctionId entry = mod->findFunction("main");
-    NativeEngine engine(*mod, target);
+    // Pin the baseline backend: these byte-layout assertions describe
+    // the per-record lowering, and must not flip when the suite runs
+    // under TRAPJIT_NATIVE_BACKEND=optimized.
+    NativeEngineOptions baselineOpts;
+    baselineOpts.backend = NativeBackend::Baseline;
+    NativeEngine engine(*mod, target, {}, nullptr, {}, nullptr,
+                        baselineOpts);
     const NativeCode *nc = engine.nativeCode(entry);
     ASSERT_NE(nullptr, nc) << engine.unsupportedReason(entry);
     ASSERT_GT(nc->implicitChecksCompiled, 0u)
@@ -304,7 +310,10 @@ TEST(NativeCheckBytes, ExplicitChecksCarryTheCompareAndBranch)
     compiler.compile(*mod);
 
     FunctionId entry = mod->findFunction("main");
-    NativeEngine engine(*mod, target);
+    NativeEngineOptions baselineOpts;
+    baselineOpts.backend = NativeBackend::Baseline;
+    NativeEngine engine(*mod, target, {}, nullptr, {}, nullptr,
+                        baselineOpts);
     const NativeCode *nc = engine.nativeCode(entry);
     ASSERT_NE(nullptr, nc) << engine.unsupportedReason(entry);
     EXPECT_EQ(0u, nc->implicitChecksCompiled);
@@ -540,8 +549,195 @@ TEST(NativeBigOffset, BigOffsetProgramsMatchAcrossEngines)
 }
 
 // ---------------------------------------------------------------------------
+// Optimized backend: regalloc + section-5.4 speculation sweep
+// ---------------------------------------------------------------------------
+
+/** compareNativeEngine with the optimized backend pinned. */
+EquivalenceReport
+compareOptimized(Module &mod, const Target &target)
+{
+    NativeEngineOptions opts;
+    opts.backend = NativeBackend::Optimized;
+    return compareNativeEngine(mod, target, {}, opts);
+}
+
+class OptimizedDifferential : public ::testing::TestWithParam<SeedAndArm>
+{
+};
+
+// The same 11-arm matrix as the baseline sweep, with linear-scan
+// register allocation, batched budget runs and speculated loads in the
+// code under test.  Every deopt side-exit replays on the fast
+// interpreter, so bit-identity here covers the whole deopt protocol.
+TEST_P(OptimizedDifferential, OptimizedMatchesFastInterpreter)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    const auto [seed, armIdx] = GetParam();
+    const Arm &arm = kArms[armIdx];
+
+    GeneratorOptions opts;
+    opts.seed = seed;
+    std::unique_ptr<Module> mod = generateRandomModule(opts);
+
+    Target target = arm.makeTarget();
+    Compiler compiler(target, arm.makeConfig());
+    compiler.compile(*mod);
+
+    EquivalenceReport report = compareOptimized(*mod, target);
+    EXPECT_TRUE(report.equivalent)
+        << "seed " << seed << " on " << arm.targetName << " / "
+        << arm.makeConfig().name << " (optimized): " << report.message;
+}
+
+// Seeds 800..860 (disjoint from the baseline sweep) × 11 arms.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimizedDifferential,
+    ::testing::Combine(::testing::Range<uint64_t>(800, 860),
+                       ::testing::Range<size_t>(0, std::size(kArms))),
+    armName);
+
+// Mid-loop deopt, for real: the null_storm profile pushes nulls through
+// checked accesses, so under the no-opt trap arms (checks stay explicit
+// — exactly what section-5.4 speculation pairs on) speculated loads
+// actually trap and the frame must resume on the interpreter with the
+// canonical slot file.  At least one seed must take a real deopt or the
+// sweep is vacuous.
+TEST(OptimizedDeopt, NullStormSpeculatedLoadsTrapAndReplay)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+    const WorkloadProfile *preset = findWorkloadProfile("null_storm");
+    ASSERT_NE(preset, nullptr);
+
+    size_t deopts = 0;
+    size_t speculated = 0;
+    for (uint64_t seed = 900; seed < 916; ++seed) {
+        WorkloadProfile p = *preset;
+        p.seed = seed;
+        auto mod = generateWorkloadModule(p);
+        Compiler compiler(target, makeNoOptTrapConfig());
+        compiler.compile(*mod);
+
+        EquivalenceReport report = compareOptimized(*mod, target);
+        EXPECT_TRUE(report.equivalent)
+            << "null_storm seed " << seed << ": " << report.message;
+
+        NativeEngineOptions opts;
+        opts.backend = NativeBackend::Optimized;
+        NativeEngine engine(*mod, target, {}, nullptr, {}, nullptr,
+                            opts);
+        ServiceCounters c;
+        engine.run(mod->findFunction("main"), {});
+        engine.addOptimizedCounters(c);
+        deopts += c.deoptsTaken;
+        speculated += c.loadsSpeculated;
+    }
+    EXPECT_GT(speculated, 0u)
+        << "no null_storm seed produced a speculated load";
+    EXPECT_GT(deopts, 0u)
+        << "no null_storm seed took a deopt side-exit";
+}
+
+// The big-offset regime under the optimized backend: accesses past the
+// protected area keep their explicit checks (they are never speculated
+// — a trap there would not be a guard-page fault), and the programs
+// stay bit-identical.
+TEST(OptimizedDeopt, BigOffsetProgramsMatchUnderOptimizedBackend)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    for (const Arm &arm : kTrapArms) {
+        Target target = arm.makeTarget();
+        for (uint64_t seed = 700; seed < 708; ++seed) {
+            auto mod = buildBigOffsetModule(seed);
+            Compiler compiler(target, arm.makeConfig());
+            compiler.compile(*mod);
+            EquivalenceReport report = compareOptimized(*mod, target);
+            EXPECT_TRUE(report.equivalent)
+                << "big_offset seed " << seed << " on " << arm.targetName
+                << " / " << arm.makeConfig().name
+                << " (optimized): " << report.message;
+        }
+    }
+}
+
+// Mixed dispatch under the optimized backend: deopt replays and
+// interpreted callees share one frame protocol.
+TEST(OptimizedDeopt, MixedDispatchMatchesUnderOptimizedBackend)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+    PipelineConfig config = makeNewFullConfig();
+    for (uint64_t seed = 800; seed < 808; ++seed) {
+        GeneratorOptions opts;
+        opts.seed = seed;
+        auto mod = generateRandomModule(opts);
+        Compiler compiler(target, config);
+        compiler.compile(*mod);
+
+        NativeEngineOptions alternate;
+        alternate.backend = NativeBackend::Optimized;
+        alternate.nativeFilter = [](FunctionId id) { return id % 2 == 0; };
+        EquivalenceReport mixed =
+            compareNativeEngine(*mod, target, {}, alternate);
+        EXPECT_TRUE(mixed.equivalent)
+            << "seed " << seed
+            << " optimized mixed-dispatch: " << mixed.message;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Engine selection
 // ---------------------------------------------------------------------------
+
+TEST(NativeBackendSelection, EnvVariablePicksOptimizedAndSpeculation)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+
+    // Unset env: FromEnv resolves to the baseline.
+    ASSERT_EQ(0, unsetenv("TRAPJIT_NATIVE_BACKEND"));
+    ASSERT_EQ(0, unsetenv("TRAPJIT_SPECULATE"));
+    {
+        auto mod = buildFieldReadModule(false);
+        Compiler compiler(target, makeNoOptTrapConfig());
+        compiler.compile(*mod);
+        NativeEngine engine(*mod, target);
+        const NativeCode *nc = engine.nativeCode(mod->findFunction("main"));
+        ASSERT_NE(nullptr, nc);
+        EXPECT_FALSE(nc->optimized);
+    }
+
+    // TRAPJIT_NATIVE_BACKEND=optimized selects the optimized backend.
+    ASSERT_EQ(0, setenv("TRAPJIT_NATIVE_BACKEND", "optimized", 1));
+    {
+        auto mod = buildFieldReadModule(false);
+        Compiler compiler(target, makeNoOptTrapConfig());
+        compiler.compile(*mod);
+        NativeEngine engine(*mod, target);
+        const NativeCode *nc = engine.nativeCode(mod->findFunction("main"));
+        ASSERT_NE(nullptr, nc);
+        EXPECT_TRUE(nc->optimized);
+        ExecResult r = engine.run(mod->findFunction("main"), {});
+        ASSERT_EQ(ExecResult::Outcome::Returned, r.outcome);
+        EXPECT_EQ(42, r.value.i);
+    }
+
+    // TRAPJIT_SPECULATE=0 keeps the backend but disables section 5.4.
+    ASSERT_EQ(0, setenv("TRAPJIT_SPECULATE", "0", 1));
+    {
+        auto mod = buildFieldReadModule(false);
+        Compiler compiler(target, makeNoOptNoTrapConfig());
+        compiler.compile(*mod);
+        NativeEngine engine(*mod, target);
+        const NativeCode *nc = engine.nativeCode(mod->findFunction("main"));
+        ASSERT_NE(nullptr, nc);
+        EXPECT_TRUE(nc->optimized);
+        EXPECT_EQ(0u, nc->loadsSpeculated);
+    }
+
+    ASSERT_EQ(0, unsetenv("TRAPJIT_NATIVE_BACKEND"));
+    ASSERT_EQ(0, unsetenv("TRAPJIT_SPECULATE"));
+}
 
 TEST(NativeEngineSelection, EnvVariablePicksNative)
 {

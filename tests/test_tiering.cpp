@@ -589,6 +589,51 @@ TEST(TieredDecodeSharing, NoRedundantDecodeAcrossServiceAndEngines)
     EXPECT_EQ(0u, tiered.stats().functionsDecoded);
 }
 
+// The optimized backend's deopt side-exits resume frames on the
+// fallback interpreter mid-function.  That replay must execute from the
+// same shared DecodedProgramCache entry the compile used — a re-decode
+// on the deopt path would double the decode cost of exactly the runs
+// that are already paying for a trap.
+TEST(TieredDecodeSharing, DeoptReplayDoesNotRedecode)
+{
+    TRAPJIT_REQUIRE_NATIVE_TIER();
+    Target target = makeIA32WindowsTarget();
+    const WorkloadProfile *preset = findWorkloadProfile("null_storm");
+    ASSERT_NE(preset, nullptr);
+
+    size_t deopts = 0;
+    for (uint64_t seed = 900; seed < 916; ++seed) {
+        WorkloadProfile p = *preset;
+        p.seed = seed;
+        auto mod = generateWorkloadModule(p);
+        Compiler compiler(target, makeNoOptTrapConfig());
+        compiler.compile(*mod);
+        FunctionId entry = mod->findFunction("main");
+
+        // First engine populates the shared cache (pays the decodes).
+        auto cache = std::make_shared<DecodedProgramCache>();
+        NativeEngineOptions opts;
+        opts.backend = NativeBackend::Optimized;
+        {
+            NativeEngine warm(*mod, target, {}, cache, {}, nullptr,
+                              opts);
+            warm.run(entry, {});
+        }
+
+        // Second engine shares it; its run deopts (null_storm pushes
+        // nulls through speculated loads) and the replay must not
+        // decode anything.
+        NativeEngine engine(*mod, target, {}, cache, {}, nullptr, opts);
+        engine.run(entry, {});
+        deopts += engine.deoptsTaken();
+        EXPECT_EQ(0u, engine.stats().functionsDecoded)
+            << "seed " << seed
+            << ": the deopt replay re-decoded a cached function";
+    }
+    // The sweep is only meaningful if deopt side-exits actually ran.
+    EXPECT_GT(deopts, 0u) << "no null_storm seed took a deopt";
+}
+
 // ---------------------------------------------------------------------------
 // Engine selection + option parsing (host-independent)
 // ---------------------------------------------------------------------------

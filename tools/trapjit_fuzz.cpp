@@ -10,7 +10,8 @@
  *   trapjit-fuzz [--cases N] [--seed S] [--threads N]
  *                [--profile NAME[,NAME...]] [--arm LABEL[,LABEL...]]
  *                [--time-budget SECONDS] [--json FILE]
- *                [--no-native] [--no-tiered] [--no-service] [-v]
+ *                [--no-native] [--no-optimized] [--no-tiered]
+ *                [--no-service] [-v]
  *   trapjit-fuzz --repro seed=S,profile=P,arm=A
  *   trapjit-fuzz --mutate MUTATION   (exit 0 iff the bug is CAUGHT)
  *
@@ -49,6 +50,8 @@ usage()
         << "  --time-budget SEC    stop claiming cases after SEC\n"
         << "  --json FILE          write a BENCH-style JSON report\n"
         << "  --no-native          skip the fast-vs-native oracle\n"
+        << "  --no-optimized       skip the fast-vs-optimized oracle\n"
+        << "                       (regalloc + speculated-load deopts)\n"
         << "  --no-tiered          skip the fast-vs-tiered oracle\n"
         << "                       (mid-case promotion at threshold 2)\n"
         << "  --no-service         sequential Compiler per case\n"
@@ -118,6 +121,8 @@ writeJson(const std::string &path, const FuzzResult &result,
         << "  \"modules_built\": " << s.modulesBuilt << ",\n"
         << "  \"functions_compiled\": " << s.functionsCompiled << ",\n"
         << "  \"native_comparisons\": " << s.nativeComparisons << ",\n"
+        << "  \"optimized_comparisons\": " << s.optimizedComparisons
+        << ",\n"
         << "  \"tiered_comparisons\": " << s.tieredComparisons << ",\n"
         << "  \"traps_taken\": " << s.trapsTaken << ",\n"
         << "  \"instructions\": " << s.instructionsExecuted << ",\n"
@@ -140,10 +145,12 @@ printSummary(const FuzzResult &result)
                 s.elapsedSeconds, s.casesPerSecond(), s.trapsPerSecond(),
                 s.compilesPerSecond());
     std::printf("  modules=%llu compiled=%llu native-cmp=%llu "
-                "tiered-cmp=%llu traps=%llu instructions=%llu\n",
+                "optimized-cmp=%llu tiered-cmp=%llu traps=%llu "
+                "instructions=%llu\n",
                 static_cast<unsigned long long>(s.modulesBuilt),
                 static_cast<unsigned long long>(s.functionsCompiled),
                 static_cast<unsigned long long>(s.nativeComparisons),
+                static_cast<unsigned long long>(s.optimizedComparisons),
                 static_cast<unsigned long long>(s.tieredComparisons),
                 static_cast<unsigned long long>(s.trapsTaken),
                 static_cast<unsigned long long>(s.instructionsExecuted));
@@ -213,6 +220,8 @@ run(int argc, char **argv)
             jsonPath = value();
         } else if (flag == "--no-native") {
             opts.useNativeEngine = false;
+        } else if (flag == "--no-optimized") {
+            opts.useOptimizedEngine = false;
         } else if (flag == "--no-tiered") {
             opts.useTieredEngine = false;
         } else if (flag == "--no-service") {
