@@ -175,6 +175,24 @@ main()
                   << " deopts taken (regalloc time is native-compile "
                      "host time, excluded from compile columns)\n";
     }
+    if (tieringTotals.persistentHits + tieringTotals.persistentMisses >
+            0 ||
+        tieringTotals.blocksEvicted > 0 ||
+        tieringTotals.codeBytesLive > 0) {
+        // Serving-tier governance: the persistent cross-run cache and
+        // the W^X memory budget (DESIGN.md section 16).
+        std::cout << "Serving tier (ours runs): "
+                  << tieringTotals.persistentHits
+                  << " persistent hits, "
+                  << tieringTotals.persistentMisses
+                  << " persistent misses, "
+                  << tieringTotals.bytesMapped
+                  << " cache bytes mapped, "
+                  << tieringTotals.blocksEvicted
+                  << " blocks evicted over budget, "
+                  << tieringTotals.codeBytesLive
+                  << " code bytes live\n";
+    }
     if (interpEngineFromEnv() == InterpEngineKind::Tiered) {
         std::cout << "Profile-guided tiering (ours runs): "
                   << tieringTotals.functionsPromoted

@@ -23,10 +23,12 @@ CodeBuffer::CodeBuffer(size_t capacity)
 
 CodeBuffer::CodeBuffer(CodeBuffer &&other) noexcept
     : base_(other.base_), capacity_(other.capacity_),
-      executable_(other.executable_)
+      executable_(other.executable_), patchable_(other.patchable_)
 {
     other.base_ = nullptr;
     other.capacity_ = 0;
+    other.executable_ = false;
+    other.patchable_ = false;
 }
 
 CodeBuffer::~CodeBuffer()

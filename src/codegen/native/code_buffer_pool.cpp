@@ -1,0 +1,144 @@
+#include "codegen/native/code_buffer_pool.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace trapjit
+{
+
+namespace
+{
+
+/** Idle retention when TRAPJIT_CODE_BUDGET is unset. */
+constexpr uint64_t kDefaultRetainBudget = 64ull << 20;
+
+constexpr size_t kMinClass = 4096;
+
+} // namespace
+
+uint64_t
+codeBudgetFromEnv()
+{
+    const char *raw = std::getenv("TRAPJIT_CODE_BUDGET");
+    if (raw == nullptr || *raw == '\0')
+        return 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end == raw)
+        return 0;
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k':
+        value <<= 10;
+        break;
+    case 'm':
+        value <<= 20;
+        break;
+    case 'g':
+        value <<= 30;
+        break;
+    default:
+        break;
+    }
+    return static_cast<uint64_t>(value);
+}
+
+CodeBufferPool &
+globalCodeBufferPool()
+{
+    // Leaky singleton: buffers released during static destruction (a
+    // registry graveyard draining at exit) must still find the pool.
+    uint64_t env = codeBudgetFromEnv();
+    static CodeBufferPool *pool =
+        new CodeBufferPool(env != 0 ? env : kDefaultRetainBudget);
+    return *pool;
+}
+
+CodeBufferPool::CodeBufferPool(uint64_t retainBudget)
+    : retainBudget_(retainBudget)
+{
+}
+
+size_t
+CodeBufferPool::sizeClass(size_t minCapacity)
+{
+    size_t cls = kMinClass;
+    while (cls < minCapacity)
+        cls *= 2;
+    return cls;
+}
+
+CodeBuffer
+CodeBufferPool::acquire(size_t minCapacity)
+{
+    size_t cls = sizeClass(minCapacity);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++acquires_;
+        for (auto &bucket : classes_) {
+            if (bucket.first != cls || bucket.second.empty())
+                continue;
+            CodeBuffer buf = std::move(bucket.second.back());
+            bucket.second.pop_back();
+            ++reuses_;
+            bytesPooled_ -= buf.capacity();
+            bytesLoaned_ += buf.capacity();
+            return buf;
+        }
+        // Construct outside the lock? The mmap is cheap relative to a
+        // compile; keeping it here keeps the accounting exact.
+        CodeBuffer buf(cls);
+        bytesLoaned_ += buf.capacity();
+        return buf;
+    }
+}
+
+void
+CodeBufferPool::release(CodeBuffer buf)
+{
+    if (buf.base() == nullptr)
+        return; // moved-from shell
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++releases_;
+    // Clamp: a buffer constructed outside the pool (tests build
+    // CodeBuffers directly) may still be routed here at destruction.
+    uint64_t cap = buf.capacity();
+    bytesLoaned_ -= cap < bytesLoaned_ ? cap : bytesLoaned_;
+    if (bytesPooled_ + buf.capacity() > retainBudget_) {
+        ++drops_;
+        return; // CodeBuffer dtor unmaps on scope exit
+    }
+    buf.makeWritable();
+    bytesPooled_ += buf.capacity();
+    size_t cls = buf.capacity();
+    for (auto &bucket : classes_) {
+        if (bucket.first == cls) {
+            bucket.second.push_back(std::move(buf));
+            return;
+        }
+    }
+    classes_.emplace_back(cls, std::vector<CodeBuffer>{});
+    classes_.back().second.push_back(std::move(buf));
+}
+
+uint64_t
+CodeBufferPool::bytesLive() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytesPooled_ + bytesLoaned_;
+}
+
+CodeBufferPoolStats
+CodeBufferPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CodeBufferPoolStats s;
+    s.acquires = acquires_;
+    s.reuses = reuses_;
+    s.releases = releases_;
+    s.drops = drops_;
+    s.bytesPooled = bytesPooled_;
+    s.bytesLoaned = bytesLoaned_;
+    return s;
+}
+
+} // namespace trapjit

@@ -1,0 +1,90 @@
+#ifndef TRAPJIT_CODEGEN_NATIVE_CODE_BUFFER_POOL_H_
+#define TRAPJIT_CODEGEN_NATIVE_CODE_BUFFER_POOL_H_
+
+/**
+ * @file
+ * Size-classed pool of W^X code buffers.
+ *
+ * Every native compile allocates a CodeBuffer (an mmap + two mprotect
+ * flips); under a compile service churning thousands of functions that
+ * is real syscall traffic and real RSS.  The pool recycles retired
+ * buffers by power-of-two size class: acquire() hands back a pooled
+ * mapping (flipped writable) when one fits, release() returns a
+ * buffer — NativeCode's destructor routes every buffer here — and
+ * retains it while the pool's retained bytes stay under budget.
+ *
+ * The retention budget comes from TRAPJIT_CODE_BUDGET (bytes, with
+ * optional k/m/g suffix); unset, the pool keeps at most 64 MiB of idle
+ * mappings.  The same variable drives CodeRegistry's published-block
+ * eviction (codegen/native/code_registry.h) — one knob for both faces
+ * of code-memory governance.
+ *
+ * Safety: a buffer must only be released once no thread can execute
+ * it.  NativeCode destruction already guarantees that (blocks owned by
+ * a CodeRegistry sit in its graveyard until the registry itself dies;
+ * cache-owned blocks die with the cache), so the pool adds no new
+ * lifetime rules.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "codegen/native/code_buffer.h"
+
+namespace trapjit
+{
+
+/** Snapshot of a pool's accounting. */
+struct CodeBufferPoolStats
+{
+    uint64_t acquires = 0;    ///< total acquire() calls
+    uint64_t reuses = 0;      ///< acquires served from the pool
+    uint64_t releases = 0;    ///< total release() calls
+    uint64_t drops = 0;       ///< releases unmapped (over budget)
+    uint64_t bytesPooled = 0; ///< idle mappings retained
+    uint64_t bytesLoaned = 0; ///< mappings currently handed out
+};
+
+/** Thread-safe recycler of CodeBuffer mappings. */
+class CodeBufferPool
+{
+  public:
+    /** @p retainBudget caps idle retained bytes; 0 = pool nothing. */
+    explicit CodeBufferPool(uint64_t retainBudget);
+
+    /** A writable buffer of at least @p minCapacity bytes. */
+    CodeBuffer acquire(size_t minCapacity);
+
+    /** Return @p buf; retained under budget, unmapped otherwise. */
+    void release(CodeBuffer buf);
+
+    /** Bytes in live code mappings: loaned out + idle in the pool. */
+    uint64_t bytesLive() const;
+
+    CodeBufferPoolStats stats() const;
+
+  private:
+    static size_t sizeClass(size_t minCapacity);
+
+    mutable std::mutex mutex_;
+    /** class size -> idle buffers of exactly that capacity. */
+    std::vector<std::pair<size_t, std::vector<CodeBuffer>>> classes_;
+    uint64_t retainBudget_;
+    uint64_t bytesPooled_ = 0;
+    uint64_t bytesLoaned_ = 0;
+    uint64_t acquires_ = 0;
+    uint64_t reuses_ = 0;
+    uint64_t releases_ = 0;
+    uint64_t drops_ = 0;
+};
+
+/** The process-wide pool both native backends allocate from. */
+CodeBufferPool &globalCodeBufferPool();
+
+/** TRAPJIT_CODE_BUDGET in bytes (k/m/g suffixes), or 0 when unset. */
+uint64_t codeBudgetFromEnv();
+
+} // namespace trapjit
+
+#endif // TRAPJIT_CODEGEN_NATIVE_CODE_BUFFER_POOL_H_

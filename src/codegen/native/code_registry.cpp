@@ -3,19 +3,31 @@
 #include <algorithm>
 #include <limits>
 
+#include "codegen/native/code_buffer_pool.h"
 #include "support/diagnostics.h"
 
 namespace trapjit
 {
 
 CodeRegistry::CodeRegistry(size_t numFunctions)
-    : published_(numFunctions), states_(numFunctions)
+    : published_(numFunctions), states_(numFunctions),
+      publishEpoch_(numFunctions, 0)
 {
     for (size_t i = 0; i < numFunctions; ++i) {
         published_[i].store(nullptr, std::memory_order_relaxed);
         states_[i].store(static_cast<uint32_t>(TierState::Cold),
                          std::memory_order_relaxed);
     }
+    codeBudget_.store(codeBudgetFromEnv(), std::memory_order_relaxed);
+}
+
+void
+CodeRegistry::setCodeBudget(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    codeBudget_.store(bytes, std::memory_order_relaxed);
+    // A budget below the current total takes effect at the next
+    // publish (eviction needs a just-published anchor to protect).
 }
 
 bool
@@ -126,6 +138,35 @@ CodeRegistry::publish(FunctionId fn,
     }
     if (linkedAny)
         blocksLinked_.fetch_add(1, std::memory_order_relaxed);
+
+    // 5. Memory governance: account the new block and, if the budget
+    //    is now exceeded, retire the oldest published blocks.
+    publishedBytes_.fetch_add(nc->codeSize, std::memory_order_relaxed);
+    lruOrder_.emplace_back(fn, ++publishEpoch_[fn]);
+    evictOverBudgetLocked(fn);
+}
+
+void
+CodeRegistry::evictOverBudgetLocked(FunctionId justPublished)
+{
+    uint64_t budget = codeBudget_.load(std::memory_order_relaxed);
+    if (budget == 0)
+        return;
+    while (publishedBytes_.load(std::memory_order_relaxed) > budget &&
+           !lruOrder_.empty()) {
+        auto [fn, epoch] = lruOrder_.front();
+        if (fn == justPublished)
+            break; // never evict the block we are publishing
+        lruOrder_.pop_front();
+        // Stale row: the function re-published since (a newer row
+        // exists further back) or is no longer published at all.
+        if (epoch != publishEpoch_[fn] ||
+            static_cast<TierState>(states_[fn].load(
+                std::memory_order_relaxed)) != TierState::Published)
+            continue;
+        invalidateLocked(fn);
+        blocksEvicted_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 void
@@ -139,6 +180,12 @@ void
 CodeRegistry::invalidate(FunctionId fn)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    invalidateLocked(fn);
+}
+
+void
+CodeRegistry::invalidateLocked(FunctionId fn)
+{
     if (static_cast<TierState>(states_[fn].load(
             std::memory_order_relaxed)) != TierState::Published)
         return;
@@ -150,6 +197,11 @@ CodeRegistry::invalidate(FunctionId fn)
         for (const SlotRef &ref : it->second)
             patchSlot(*ref.block, ref.block->callSlots[ref.slotIndex],
                       nullptr);
+    const NativeCode *nc =
+        published_[fn].load(std::memory_order_relaxed);
+    if (nc != nullptr)
+        publishedBytes_.fetch_sub(nc->codeSize,
+                                  std::memory_order_relaxed);
     published_[fn].store(nullptr, std::memory_order_release);
     states_[fn].store(static_cast<uint32_t>(TierState::Cold),
                       std::memory_order_release);

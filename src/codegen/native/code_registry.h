@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -104,6 +105,26 @@ class CodeRegistry
             states_[fn].load(std::memory_order_acquire));
     }
 
+    /**
+     * Cap the bytes of *published* (reachable-by-call) code.  When a
+     * publish pushes the total past the budget, the registry invalidates
+     * the oldest-published blocks (publish-order LRU) through the normal
+     * invalidation path until the total fits again — their functions
+     * drop back to Cold and may re-tier later.  The blocks themselves
+     * stay in the graveyard (frames may still be executing them), so
+     * this governs *linkable* code, and their memory returns to the
+     * CodeBufferPool when the registry dies.  0 = unlimited.  The
+     * constructor seeds this from TRAPJIT_CODE_BUDGET.
+     */
+    void setCodeBudget(uint64_t bytes);
+
+    /** Bytes of currently published code (the evictor's gauge). */
+    uint64_t
+    publishedCodeBytes() const
+    {
+        return publishedBytes_.load(std::memory_order_relaxed);
+    }
+
     /** The atomic pc-map slot TieredRun descriptors point at. */
     const std::atomic<const TieredPcMap *> *
     pcMapSlot() const
@@ -120,6 +141,7 @@ class CodeRegistry
     {
         return blocksInvalidated_.load();
     }
+    uint64_t blocksEvicted() const { return blocksEvicted_.load(); }
 
   private:
     struct SlotRef
@@ -131,6 +153,13 @@ class CodeRegistry
     /** Retarget one slot; direct to @p callee, or back to its stub. */
     void patchSlot(const NativeCode &block, const NativeCallSlot &slot,
                    const NativeCode *callee);
+
+    /** invalidate() without taking mutex_ (the evictor holds it). */
+    void invalidateLocked(FunctionId fn);
+
+    /** Evict oldest-published blocks until the budget fits;
+     *  @p justPublished is never evicted.  Caller holds mutex_. */
+    void evictOverBudgetLocked(FunctionId justPublished);
 
     std::vector<std::atomic<const NativeCode *>> published_;
     std::vector<std::atomic<uint32_t>> states_;
@@ -149,6 +178,15 @@ class CodeRegistry
     std::atomic<uint64_t> slotsPatched_{0};
     std::atomic<uint64_t> blocksLinked_{0};
     std::atomic<uint64_t> blocksInvalidated_{0};
+    std::atomic<uint64_t> blocksEvicted_{0};
+
+    // ---- code-budget governance (all mutated under mutex_) ----------
+    std::atomic<uint64_t> codeBudget_{0}; ///< 0 = unlimited
+    std::atomic<uint64_t> publishedBytes_{0};
+    /** Publish order, stale entries skipped via the epoch check. */
+    std::deque<std::pair<FunctionId, uint64_t>> lruOrder_;
+    /** Bumped every publish of fn; identifies the live lruOrder_ row. */
+    std::vector<uint64_t> publishEpoch_;
 };
 
 } // namespace trapjit

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "codegen/check_bytes.h"
+#include "codegen/native/code_buffer_pool.h"
 #include "codegen/native/native_runtime.h"
 #include "codegen/native/x64_emitter.h"
 #include "ir/layout.h"
@@ -154,6 +155,11 @@ helperAddr(uint32_t (*fn)(NativeContext *, uint32_t))
 }
 
 } // namespace
+
+NativeCode::~NativeCode()
+{
+    globalCodeBufferPool().release(std::move(buffer));
+}
 
 const NativeTrapSite *
 NativeCode::findSite(uint32_t off) const
@@ -1417,7 +1423,8 @@ compileNative(const Function &fn, const DecodedFunction &df,
     // ---- install -------------------------------------------------------
     const size_t codeSize = e.size();
     const size_t tableOffset = (codeSize + 7) & ~size_t(7);
-    CodeBuffer buf(tableOffset + 8 * nrec);
+    CodeBuffer buf =
+        globalCodeBufferPool().acquire(tableOffset + 8 * nrec);
     uint8_t *base = buf.base();
     std::memcpy(base, e.code().data(), codeSize);
 

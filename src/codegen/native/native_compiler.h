@@ -183,6 +183,14 @@ struct NativeCode
 
     explicit NativeCode(CodeBuffer buf) : buffer(std::move(buf)) {}
 
+    /** Returns the buffer to the global CodeBufferPool.  Callers only
+     *  destroy a NativeCode once no thread can still execute it (the
+     *  registry graveyard enforces that for tiered blocks). */
+    ~NativeCode();
+
+    NativeCode(const NativeCode &) = delete;
+    NativeCode &operator=(const NativeCode &) = delete;
+
     EntryFn
     entry() const
     {

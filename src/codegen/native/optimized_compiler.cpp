@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "codegen/check_bytes.h"
+#include "codegen/native/code_buffer_pool.h"
 #include "codegen/native/native_mutation_hooks.h"
 #include "codegen/native/native_runtime.h"
 #include "codegen/native/x64_emitter.h"
@@ -1152,7 +1153,7 @@ compileNativeOptimized(const Function &fn, const DecodedFunction &df,
 
     // ---- install -------------------------------------------------------
     const size_t codeSize = e.size();
-    CodeBuffer buf(codeSize);
+    CodeBuffer buf = globalCodeBufferPool().acquire(codeSize);
     uint8_t *base = buf.base();
     std::memcpy(base, e.code().data(), codeSize);
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "codegen/native/code_buffer_pool.h"
 #include "interp/java_semantics.h"
 #include "ir/layout.h"
 #include "support/diagnostics.h"
@@ -131,6 +132,10 @@ TieredEngine::addTieringCounters(ServiceCounters &counters) const
     counters.blocksLinked += registry_->blocksLinked();
     counters.slotsPatched += registry_->slotsPatched();
     counters.blocksInvalidated += registry_->blocksInvalidated();
+    counters.blocksEvicted += registry_->blocksEvicted();
+    uint64_t live = globalCodeBufferPool().bytesLive();
+    if (live > counters.codeBytesLive)
+        counters.codeBytesLive = live; // gauge: merge with max
 }
 
 void

@@ -1,10 +1,13 @@
 #include "ir/serializer.h"
 
+#include <array>
+#include <charconv>
 #include <cstring>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "support/diagnostics.h"
 
@@ -34,10 +37,12 @@ constexpr Opcode kAllOpcodes[] = {
 };
 
 Opcode
-opcodeFromName(const std::string &name)
+opcodeFromName(std::string_view name)
 {
-    static const std::map<std::string, Opcode> table = [] {
-        std::map<std::string, Opcode> t;
+    // Transparent comparator so lookups take string_views without
+    // allocating a key — this runs once per instruction parsed.
+    static const std::map<std::string, Opcode, std::less<>> table = [] {
+        std::map<std::string, Opcode, std::less<>> t;
         for (Opcode op : kAllOpcodes)
             t[opcodeName(op)] = op;
         return t;
@@ -55,7 +60,7 @@ typeToken(Type type)
 }
 
 Type
-typeFromName(const std::string &name)
+typeFromName(std::string_view name)
 {
     for (Type t : {Type::Void, Type::I32, Type::I64, Type::F64, Type::Ref})
         if (name == typeName(t))
@@ -64,7 +69,7 @@ typeFromName(const std::string &name)
 }
 
 CmpPred
-predFromName(const std::string &name)
+predFromName(std::string_view name)
 {
     for (CmpPred p : {CmpPred::EQ, CmpPred::NE, CmpPred::LT, CmpPred::LE,
                       CmpPred::GT, CmpPred::GE})
@@ -74,7 +79,7 @@ predFromName(const std::string &name)
 }
 
 ExcKind
-excFromName(const std::string &name)
+excFromName(std::string_view name)
 {
     for (ExcKind k :
          {ExcKind::None, ExcKind::NullPointer,
@@ -102,7 +107,7 @@ intrinsicToken(Intrinsic intrinsic)
 }
 
 Intrinsic
-intrinsicFromName(const std::string &name)
+intrinsicFromName(std::string_view name)
 {
     for (Intrinsic i : {Intrinsic::None, Intrinsic::Exp, Intrinsic::Sqrt,
                         Intrinsic::Sin, Intrinsic::Cos, Intrinsic::Log,
@@ -112,18 +117,65 @@ intrinsicFromName(const std::string &name)
     TRAPJIT_FATAL("unknown intrinsic '", name, "'");
 }
 
-std::string
-idToken(uint32_t id)
+// ---------------------------------------------------------------------
+// Write side: append-formatted into a std::string.  Serialization is
+// the other half of the serving tier's snapshot/install path, so it
+// avoids ostream formatting the same way the parser avoids streams.
+// ---------------------------------------------------------------------
+
+void
+appendInt(std::string &out, int64_t value)
 {
-    return id == UINT32_MAX ? "-" : std::to_string(id);
+    char buf[24];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    out.append(buf, ptr);
+}
+
+void
+appendU64(std::string &out, uint64_t value)
+{
+    char buf[24];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    out.append(buf, ptr);
+}
+
+void
+appendId(std::string &out, uint32_t id)
+{
+    if (id == UINT32_MAX)
+        out.push_back('-');
+    else
+        appendU64(out, id);
+}
+
+int64_t
+parseInt(std::string_view token, int line_no)
+{
+    int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size())
+        TRAPJIT_FATAL("line ", line_no, ": bad integer '", token, "'");
+    return value;
+}
+
+uint64_t
+parseU64(std::string_view token, int line_no)
+{
+    uint64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size())
+        TRAPJIT_FATAL("line ", line_no, ": bad integer '", token, "'");
+    return value;
 }
 
 uint32_t
-idFromToken(const std::string &token)
+idFromToken(std::string_view token, int line_no)
 {
     if (token == "-")
         return UINT32_MAX;
-    return static_cast<uint32_t>(std::stoul(token));
+    return static_cast<uint32_t>(parseU64(token, line_no));
 }
 
 /** Names must be whitespace-free to serialize on one line. */
@@ -135,68 +187,162 @@ checkName(const std::string &name)
                    "'");
 }
 
-/** key=value field reader over the tokens of one line. */
+/**
+ * key=value field reader over the tokens of one line.
+ *
+ * This is the deserializer's inner loop — one Fields per record, one
+ * record per IR instruction — so it allocates nothing: tokens are
+ * string_views into the caller's line and land in fixed inline arrays
+ * (the record grammar has at most 14 key=value fields and 2 flags).
+ */
 class Fields
 {
   public:
-    explicit Fields(const std::string &line, int line_no)
-        : lineNo_(line_no)
+    Fields(std::string_view line, int line_no) : lineNo_(line_no)
     {
-        std::istringstream is(line);
-        std::string token;
-        is >> kind_;
-        while (is >> token) {
-            auto eq = token.find('=');
-            if (eq == std::string::npos)
-                flags_.push_back(token);
-            else
-                values_[token.substr(0, eq)] = token.substr(eq + 1);
+        size_t pos = 0;
+        kind_ = nextToken(line, pos);
+        for (std::string_view token = nextToken(line, pos);
+             !token.empty(); token = nextToken(line, pos)) {
+            size_t eq = token.find('=');
+            if (eq == std::string_view::npos) {
+                TRAPJIT_ASSERT(numFlags_ < kMaxFlags, "line ", line_no,
+                               ": too many flags");
+                flags_[numFlags_++] = token;
+            } else {
+                TRAPJIT_ASSERT(numValues_ < kMaxValues, "line ", line_no,
+                               ": too many fields");
+                values_[numValues_++] = {token.substr(0, eq),
+                                         token.substr(eq + 1)};
+            }
         }
     }
 
-    const std::string &kind() const { return kind_; }
+    std::string_view kind() const { return kind_; }
 
     bool
-    hasFlag(const std::string &flag) const
+    hasFlag(std::string_view flag) const
     {
-        for (const auto &f : flags_)
-            if (f == flag)
+        for (size_t i = 0; i < numFlags_; ++i)
+            if (flags_[i] == flag)
                 return true;
         return false;
     }
 
-    std::string
-    get(const std::string &key) const
+    std::string_view
+    get(std::string_view key) const
     {
-        auto it = values_.find(key);
-        if (it == values_.end())
-            TRAPJIT_FATAL("line ", lineNo_, ": missing field '", key,
-                          "' in '", kind_, "' record");
-        return it->second;
+        // Readers request fields in emission order, so the rotating
+        // cursor hits on the first probe; the wrap-around scan keeps
+        // any order correct (hand-edited test fixtures reorder).
+        for (size_t probe = 0; probe < numValues_; ++probe) {
+            size_t i = (cursor_ + probe) % numValues_;
+            if (values_[i].first == key) {
+                cursor_ = i + 1;
+                return values_[i].second;
+            }
+        }
+        TRAPJIT_FATAL("line ", lineNo_, ": missing field '", key,
+                      "' in '", kind_, "' record");
     }
 
-    std::string
-    getOr(const std::string &key, const std::string &fallback) const
+    std::string_view
+    getOr(std::string_view key, std::string_view fallback) const
     {
-        auto it = values_.find(key);
-        return it == values_.end() ? fallback : it->second;
+        for (size_t i = 0; i < numValues_; ++i)
+            if (values_[i].first == key)
+                return values_[i].second;
+        return fallback;
     }
 
-    int64_t getInt(const std::string &key) const
+    int64_t getInt(std::string_view key) const
     {
-        return std::stoll(get(key));
+        return parseInt(get(key), lineNo_);
     }
 
-    uint32_t getId(const std::string &key) const
+    uint64_t getU64(std::string_view key) const
     {
-        return idFromToken(get(key));
+        return parseU64(get(key), lineNo_);
     }
+
+    uint32_t getId(std::string_view key) const
+    {
+        return idFromToken(get(key), lineNo_);
+    }
+
+    int lineNo() const { return lineNo_; }
 
   private:
+    static constexpr size_t kMaxValues = 16;
+    static constexpr size_t kMaxFlags = 4;
+
+    static std::string_view
+    nextToken(std::string_view line, size_t &pos)
+    {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t'))
+            ++pos;
+        size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ' &&
+               line[pos] != '\t')
+            ++pos;
+        return line.substr(start, pos - start);
+    }
+
     int lineNo_;
-    std::string kind_;
-    std::map<std::string, std::string> values_;
-    std::vector<std::string> flags_;
+    std::string_view kind_;
+    std::array<std::pair<std::string_view, std::string_view>, kMaxValues>
+        values_;
+    std::array<std::string_view, kMaxFlags> flags_;
+    size_t numValues_ = 0;
+    size_t numFlags_ = 0;
+    mutable size_t cursor_ = 0;
+};
+
+/** Reads logical records off a text buffer in place: skips blank lines
+ *  and '#' comments, hands out views, never copies a line. */
+class LineReader
+{
+  public:
+    explicit LineReader(std::string_view text) : text_(text) {}
+
+    bool
+    next(std::string_view &line)
+    {
+        while (pos_ < text_.size()) {
+            size_t nl = text_.find('\n', pos_);
+            std::string_view l =
+                nl == std::string_view::npos
+                    ? text_.substr(pos_)
+                    : text_.substr(pos_, nl - pos_);
+            pos_ = nl == std::string_view::npos ? text_.size() : nl + 1;
+            ++lineNo_;
+            size_t start = l.find_first_not_of(" \t");
+            if (start == std::string_view::npos)
+                continue;
+            l.remove_prefix(start);
+            if (l[0] == '#')
+                continue;
+            line = l;
+            return true;
+        }
+        return false;
+    }
+
+    int lineNo() const { return lineNo_; }
+
+  private:
+    std::string_view text_;
+    size_t pos_ = 0;
+    int lineNo_ = 0;
+};
+
+/** Parse state inside one `func ... end` record group. */
+struct FunctionParse
+{
+    Function *fn = nullptr;
+    BasicBlock *bb = nullptr;
+    uint32_t paramTarget = 0;
 };
 
 uint64_t
@@ -215,42 +361,99 @@ bitsToDouble(uint64_t bits)
     return value;
 }
 
-/** Reads logical records: skips blank lines and '#' comments. */
-class LineReader
+/**
+ * Positional fast path for `inst` records — the bulk of any function
+ * text.  The writer emits instruction fields in one fixed order, so
+ * the common case parses in a single left-to-right pass with no field
+ * lookup at all; any deviation (a hand-edited fixture, a reordered
+ * line) returns false and the caller retries through Fields.
+ */
+bool
+parseInstLine(std::string_view line, int line_no, FunctionParse &parse)
 {
-  public:
-    explicit LineReader(std::istream &is) : is_(is) {}
+    if (!parse.bb)
+        return false; // let the generic path report the error
 
-    bool
-    next(std::string &line)
-    {
-        while (std::getline(is_, line)) {
-            ++lineNo_;
-            size_t start = line.find_first_not_of(" \t");
-            if (start == std::string::npos)
-                continue;
-            line = line.substr(start);
-            if (line[0] == '#')
-                continue;
-            return true;
-        }
+    size_t pos = 4; // past "inst"
+    auto next = [&line, &pos]() -> std::string_view {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t'))
+            ++pos;
+        size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ' &&
+               line[pos] != '\t')
+            ++pos;
+        return line.substr(start, pos - start);
+    };
+    auto field = [&next](std::string_view key) -> std::string_view {
+        std::string_view token = next();
+        if (token.size() <= key.size() ||
+            token.compare(0, key.size(), key) != 0)
+            return {};
+        return token.substr(key.size());
+    };
+
+    std::string_view op = field("op=");
+    std::string_view dst = field("dst=");
+    std::string_view a = field("a=");
+    std::string_view b = field("b=");
+    std::string_view c = field("c=");
+    std::string_view imm = field("imm=");
+    std::string_view imm2 = field("imm2=");
+    std::string_view fimm = field("fimm=");
+    std::string_view elem = field("elem=");
+    std::string_view pred = field("pred=");
+    std::string_view flavor = field("flavor=");
+    std::string_view callKind = field("kind=");
+    std::string_view site = field("site=");
+    if (op.empty() || dst.empty() || a.empty() || b.empty() ||
+        c.empty() || imm.empty() || imm2.empty() || fimm.empty() ||
+        elem.empty() || pred.empty() || flavor.empty() ||
+        callKind.empty() || site.empty())
         return false;
+
+    Instruction inst;
+    inst.op = opcodeFromName(op);
+    inst.dst = idFromToken(dst, line_no);
+    inst.a = idFromToken(a, line_no);
+    inst.b = idFromToken(b, line_no);
+    inst.c = idFromToken(c, line_no);
+    inst.imm = parseInt(imm, line_no);
+    inst.imm2 = parseInt(imm2, line_no);
+    inst.fimm = bitsToDouble(parseU64(fimm, line_no));
+    inst.elemType = typeFromName(elem);
+    inst.pred = predFromName(pred);
+    inst.flavor = flavor == "implicit" ? CheckFlavor::Implicit
+                                       : CheckFlavor::Explicit;
+    inst.callKind = callKind == "virtual"   ? CallKind::Virtual
+                    : callKind == "special" ? CallKind::Special
+                                            : CallKind::Static;
+    inst.site = static_cast<SiteId>(parseInt(site, line_no));
+
+    for (std::string_view token = next(); !token.empty();
+         token = next()) {
+        if (token == "excsite") {
+            inst.exceptionSite = true;
+        } else if (token == "spec") {
+            inst.speculative = true;
+        } else if (token.rfind("args=", 0) == 0) {
+            std::string_view args = token.substr(5);
+            size_t apos = 0;
+            while (apos < args.size()) {
+                size_t comma = args.find(',', apos);
+                if (comma == std::string_view::npos)
+                    comma = args.size();
+                inst.args.push_back(static_cast<ValueId>(parseU64(
+                    args.substr(apos, comma - apos), line_no)));
+                apos = comma + 1;
+            }
+        } else {
+            return false; // unknown trailer: retry generically
+        }
     }
-
-    int lineNo() const { return lineNo_; }
-
-  private:
-    std::istream &is_;
-    int lineNo_ = 0;
-};
-
-/** Parse state inside one `func ... end` record group. */
-struct FunctionParse
-{
-    Function *fn = nullptr;
-    BasicBlock *bb = nullptr;
-    uint32_t paramTarget = 0;
-};
+    parse.bb->insts().push_back(std::move(inst));
+    return true;
+}
 
 /**
  * Apply one record *inside* a function (value/region/block/inst/end) to
@@ -261,7 +464,7 @@ struct FunctionParse
 bool
 applyFunctionRecord(FunctionParse &parse, const Fields &fields)
 {
-    const std::string &kind = fields.kind();
+    std::string_view kind = fields.kind();
     Function *fn = parse.fn;
 
     if (kind == "value") {
@@ -269,7 +472,7 @@ applyFunctionRecord(FunctionParse &parse, const Fields &fields)
         bool isLocal = fields.get("kind") == "local";
         Type type = typeFromName(fields.get("type"));
         ClassId cls = fields.getId("class");
-        std::string name = fields.get("name");
+        std::string name(fields.get("name"));
         // Parameters come first and are re-created as such.
         if (fn->numValues() < parse.paramTarget) {
             fn->addParam(type, std::move(name), cls);
@@ -299,27 +502,27 @@ applyFunctionRecord(FunctionParse &parse, const Fields &fields)
         inst.c = fields.getId("c");
         inst.imm = fields.getInt("imm");
         inst.imm2 = fields.getInt("imm2");
-        inst.fimm = bitsToDouble(std::stoull(fields.get("fimm")));
+        inst.fimm = bitsToDouble(fields.getU64("fimm"));
         inst.elemType = typeFromName(fields.get("elem"));
         inst.pred = predFromName(fields.get("pred"));
         inst.flavor = fields.get("flavor") == "implicit"
                           ? CheckFlavor::Implicit
                           : CheckFlavor::Explicit;
-        std::string callKind = fields.get("kind");
+        std::string_view callKind = fields.get("kind");
         inst.callKind = callKind == "virtual"   ? CallKind::Virtual
                         : callKind == "special" ? CallKind::Special
                                                 : CallKind::Static;
         inst.site = static_cast<SiteId>(fields.getInt("site"));
         inst.exceptionSite = fields.hasFlag("excsite");
         inst.speculative = fields.hasFlag("spec");
-        std::string args = fields.getOr("args", "");
+        std::string_view args = fields.getOr("args", "");
         size_t pos = 0;
         while (pos < args.size()) {
             size_t comma = args.find(',', pos);
-            if (comma == std::string::npos)
+            if (comma == std::string_view::npos)
                 comma = args.size();
-            inst.args.push_back(static_cast<ValueId>(
-                std::stoul(args.substr(pos, comma - pos))));
+            inst.args.push_back(static_cast<ValueId>(parseU64(
+                args.substr(pos, comma - pos), fields.lineNo())));
             pos = comma + 1;
         }
         parse.bb->insts().push_back(std::move(inst));
@@ -334,130 +537,12 @@ applyFunctionRecord(FunctionParse &parse, const Fields &fields)
     return true;
 }
 
-} // namespace
-
-void
-serializeModule(std::ostream &os, const Module &mod)
-{
-    os << "trapjit-module v1\n";
-    serializeClassTable(os, mod);
-    for (FunctionId f = 0; f < mod.numFunctions(); ++f)
-        serializeFunction(os, mod.function(f));
-}
-
-void
-serializeClassTable(std::ostream &os, const Module &mod)
-{
-    for (ClassId c = 0; c < mod.numClasses(); ++c) {
-        const ClassInfo &cls = mod.cls(c);
-        checkName(cls.name);
-        os << "class name=" << cls.name
-           << " super=" << idToken(cls.superId)
-           << " size=" << cls.instanceSize << "\n";
-        for (const FieldInfo &field : cls.fields) {
-            checkName(field.name);
-            os << "  field name=" << field.name
-               << " type=" << typeToken(field.type)
-               << " offset=" << field.offset << "\n";
-        }
-        for (size_t slot = 0; slot < cls.vtable.size(); ++slot) {
-            os << "  vslot index=" << slot
-               << " fn=" << idToken(cls.vtable[slot]) << "\n";
-        }
-    }
-}
-
-void
-serializeFunction(std::ostream &os, const Function &fn)
-{
-    checkName(fn.name());
-    os << "func name=" << fn.name()
-       << " ret=" << typeToken(fn.returnType())
-       << " params=" << fn.numParams()
-       << " instance=" << (fn.isInstanceMethod() ? 1 : 0)
-       << " neverinline=" << (fn.neverInline() ? 1 : 0)
-       << " intrinsic=" << intrinsicToken(fn.intrinsic()) << "\n";
-
-    for (ValueId v = 0; v < fn.numValues(); ++v) {
-        const Value &value = fn.value(v);
-        checkName(value.name);
-        os << "  value kind="
-           << (value.kind == Value::Kind::Local ? "local" : "temp")
-           << " type=" << typeToken(value.type)
-           << " class=" << idToken(value.classId)
-           << " name=" << value.name << "\n";
-    }
-    for (TryRegionId r = 1; r < fn.numTryRegions(); ++r) {
-        const TryRegion &region = fn.tryRegion(r);
-        os << "  region handler=" << region.handlerBlock
-           << " catches=" << excName(region.catches)
-           << " parent=" << region.parent << "\n";
-    }
-    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
-        const BasicBlock &bb = fn.block(b);
-        os << "  block region=" << bb.tryRegion() << "\n";
-        for (const Instruction &inst : bb.insts()) {
-            os << "    inst op=" << opcodeName(inst.op)
-               << " dst=" << idToken(inst.dst)
-               << " a=" << idToken(inst.a)
-               << " b=" << idToken(inst.b)
-               << " c=" << idToken(inst.c) << " imm=" << inst.imm
-               << " imm2=" << inst.imm2
-               << " fimm=" << doubleToBits(inst.fimm)
-               << " elem=" << typeToken(inst.elemType)
-               << " pred=" << predName(inst.pred) << " flavor="
-               << (inst.flavor == CheckFlavor::Explicit ? "explicit"
-                                                        : "implicit")
-               << " kind="
-               << (inst.callKind == CallKind::Static    ? "static"
-                   : inst.callKind == CallKind::Special ? "special"
-                                                        : "virtual")
-               << " site=" << inst.site;
-            if (inst.exceptionSite)
-                os << " excsite";
-            if (inst.speculative)
-                os << " spec";
-            if (!inst.args.empty()) {
-                os << " args=";
-                for (size_t i = 0; i < inst.args.size(); ++i)
-                    os << (i ? "," : "") << inst.args[i];
-            }
-            os << "\n";
-        }
-    }
-    os << "end\n";
-}
-
-std::string
-serializeModuleToString(const Module &mod)
-{
-    std::ostringstream os;
-    serializeModule(os, mod);
-    return os.str();
-}
-
-std::string
-serializeClassTableToString(const Module &mod)
-{
-    std::ostringstream os;
-    serializeClassTable(os, mod);
-    return os.str();
-}
-
-std::string
-serializeFunctionToString(const Function &fn)
-{
-    std::ostringstream os;
-    serializeFunction(os, fn);
-    return os.str();
-}
-
 std::unique_ptr<Module>
-deserializeModule(std::istream &is)
+deserializeModuleText(std::string_view text)
 {
     auto mod = std::make_unique<Module>();
-    LineReader reader(is);
-    std::string line;
+    LineReader reader(text);
+    std::string_view line;
 
     if (!reader.next(line) || line.rfind("trapjit-module", 0) != 0)
         TRAPJIT_FATAL("line ", reader.lineNo(), ": missing module header");
@@ -466,11 +551,14 @@ deserializeModule(std::istream &is)
     ClassId curClass = kUnknownClass;
 
     while (reader.next(line)) {
+        if (line.rfind("inst ", 0) == 0 &&
+            parseInstLine(line, reader.lineNo(), parse))
+            continue;
         Fields fields(line, reader.lineNo());
-        const std::string &kind = fields.kind();
+        std::string_view kind = fields.kind();
 
         if (kind == "class") {
-            curClass = mod->addClass(fields.get("name"),
+            curClass = mod->addClass(std::string(fields.get("name")),
                                      fields.getId("super"));
             mod->cls(curClass).instanceSize = fields.getInt("size");
             // addClass copied the parent vtable; records override below.
@@ -478,7 +566,7 @@ deserializeModule(std::istream &is)
         } else if (kind == "field") {
             TRAPJIT_ASSERT(curClass != kUnknownClass, "field before class");
             mod->cls(curClass).fields.push_back(
-                FieldInfo{fields.get("name"),
+                FieldInfo{std::string(fields.get("name")),
                           fields.getInt("offset"),
                           typeFromName(fields.get("type"))});
         } else if (kind == "vslot") {
@@ -489,7 +577,7 @@ deserializeModule(std::istream &is)
                 vtable.resize(index + 1, kNoFunction);
             vtable[index] = fields.getId("fn");
         } else if (kind == "func") {
-            parse.fn = &mod->addFunction(fields.get("name"),
+            parse.fn = &mod->addFunction(std::string(fields.get("name")),
                                          typeFromName(fields.get("ret")),
                                          fields.getInt("instance") != 0);
             parse.fn->setNeverInline(fields.getInt("neverinline") != 0);
@@ -506,19 +594,203 @@ deserializeModule(std::istream &is)
     return mod;
 }
 
+} // namespace
+
+namespace
+{
+
+void
+appendClassTable(std::string &out, const Module &mod)
+{
+    for (ClassId c = 0; c < mod.numClasses(); ++c) {
+        const ClassInfo &cls = mod.cls(c);
+        checkName(cls.name);
+        out += "class name=";
+        out += cls.name;
+        out += " super=";
+        appendId(out, cls.superId);
+        out += " size=";
+        appendInt(out, cls.instanceSize);
+        out += '\n';
+        for (const FieldInfo &field : cls.fields) {
+            checkName(field.name);
+            out += "  field name=";
+            out += field.name;
+            out += " type=";
+            out += typeToken(field.type);
+            out += " offset=";
+            appendInt(out, field.offset);
+            out += '\n';
+        }
+        for (size_t slot = 0; slot < cls.vtable.size(); ++slot) {
+            out += "  vslot index=";
+            appendU64(out, slot);
+            out += " fn=";
+            appendId(out, cls.vtable[slot]);
+            out += '\n';
+        }
+    }
+}
+
+void
+appendFunction(std::string &out, const Function &fn)
+{
+    checkName(fn.name());
+    out += "func name=";
+    out += fn.name();
+    out += " ret=";
+    out += typeToken(fn.returnType());
+    out += " params=";
+    appendU64(out, fn.numParams());
+    out += " instance=";
+    out += fn.isInstanceMethod() ? '1' : '0';
+    out += " neverinline=";
+    out += fn.neverInline() ? '1' : '0';
+    out += " intrinsic=";
+    out += intrinsicToken(fn.intrinsic());
+    out += '\n';
+
+    for (ValueId v = 0; v < fn.numValues(); ++v) {
+        const Value &value = fn.value(v);
+        checkName(value.name);
+        out += "  value kind=";
+        out += value.kind == Value::Kind::Local ? "local" : "temp";
+        out += " type=";
+        out += typeToken(value.type);
+        out += " class=";
+        appendId(out, value.classId);
+        out += " name=";
+        out += value.name;
+        out += '\n';
+    }
+    for (TryRegionId r = 1; r < fn.numTryRegions(); ++r) {
+        const TryRegion &region = fn.tryRegion(r);
+        out += "  region handler=";
+        appendInt(out, region.handlerBlock);
+        out += " catches=";
+        out += excName(region.catches);
+        out += " parent=";
+        appendInt(out, region.parent);
+        out += '\n';
+    }
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock &bb = fn.block(b);
+        out += "  block region=";
+        appendInt(out, bb.tryRegion());
+        out += '\n';
+        for (const Instruction &inst : bb.insts()) {
+            out += "    inst op=";
+            out += opcodeName(inst.op);
+            out += " dst=";
+            appendId(out, inst.dst);
+            out += " a=";
+            appendId(out, inst.a);
+            out += " b=";
+            appendId(out, inst.b);
+            out += " c=";
+            appendId(out, inst.c);
+            out += " imm=";
+            appendInt(out, inst.imm);
+            out += " imm2=";
+            appendInt(out, inst.imm2);
+            out += " fimm=";
+            appendU64(out, doubleToBits(inst.fimm));
+            out += " elem=";
+            out += typeToken(inst.elemType);
+            out += " pred=";
+            out += predName(inst.pred);
+            out += " flavor=";
+            out += inst.flavor == CheckFlavor::Explicit ? "explicit"
+                                                        : "implicit";
+            out += " kind=";
+            out += inst.callKind == CallKind::Static    ? "static"
+                   : inst.callKind == CallKind::Special ? "special"
+                                                        : "virtual";
+            out += " site=";
+            appendInt(out, inst.site);
+            if (inst.exceptionSite)
+                out += " excsite";
+            if (inst.speculative)
+                out += " spec";
+            if (!inst.args.empty()) {
+                out += " args=";
+                for (size_t i = 0; i < inst.args.size(); ++i) {
+                    if (i)
+                        out += ',';
+                    appendU64(out, inst.args[i]);
+                }
+            }
+            out += '\n';
+        }
+    }
+    out += "end\n";
+}
+
+} // namespace
+
+void
+serializeModule(std::ostream &os, const Module &mod)
+{
+    os << serializeModuleToString(mod);
+}
+
+void
+serializeClassTable(std::ostream &os, const Module &mod)
+{
+    os << serializeClassTableToString(mod);
+}
+
+void
+serializeFunction(std::ostream &os, const Function &fn)
+{
+    os << serializeFunctionToString(fn);
+}
+
+std::string
+serializeModuleToString(const Module &mod)
+{
+    std::string out = "trapjit-module v1\n";
+    appendClassTable(out, mod);
+    for (FunctionId f = 0; f < mod.numFunctions(); ++f)
+        appendFunction(out, mod.function(f));
+    return out;
+}
+
+std::string
+serializeClassTableToString(const Module &mod)
+{
+    std::string out;
+    appendClassTable(out, mod);
+    return out;
+}
+
+std::string
+serializeFunctionToString(const Function &fn)
+{
+    std::string out;
+    appendFunction(out, fn);
+    return out;
+}
+
+std::unique_ptr<Module>
+deserializeModule(std::istream &is)
+{
+    std::string text{std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>()};
+    return deserializeModuleText(text);
+}
+
 std::unique_ptr<Module>
 deserializeModuleFromString(const std::string &text)
 {
-    std::istringstream is(text);
-    return deserializeModule(is);
+    return deserializeModuleText(text);
 }
 
 std::unique_ptr<Function>
 deserializeFunctionFromString(const std::string &text, FunctionId id)
 {
-    std::istringstream is(text);
-    LineReader reader(is);
-    std::string line;
+    LineReader reader(text);
+    std::string_view line;
 
     if (!reader.next(line))
         TRAPJIT_FATAL("empty function record");
@@ -529,7 +801,8 @@ deserializeFunctionFromString(const std::string &text, FunctionId id)
                       "'");
 
     auto fn = std::make_unique<Function>(
-        id, header.get("name"), typeFromName(header.get("ret")),
+        id, std::string(header.get("name")),
+        typeFromName(header.get("ret")),
         header.getInt("instance") != 0);
     fn->setNeverInline(header.getInt("neverinline") != 0);
     fn->setIntrinsic(intrinsicFromName(header.get("intrinsic")));
@@ -539,6 +812,9 @@ deserializeFunctionFromString(const std::string &text, FunctionId id)
     parse.paramTarget = static_cast<uint32_t>(header.getInt("params"));
 
     while (parse.fn && reader.next(line)) {
+        if (line.rfind("inst ", 0) == 0 &&
+            parseInstLine(line, reader.lineNo(), parse))
+            continue;
         Fields fields(line, reader.lineNo());
         if (!applyFunctionRecord(parse, fields))
             TRAPJIT_FATAL("line ", reader.lineNo(), ": unexpected '",

@@ -1,8 +1,265 @@
 #include "jit/compile_cache.h"
 
+#include <mutex>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
 namespace trapjit
 {
 
-// Header-only component; this translation unit anchors it.
+namespace
+{
+
+void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_pause();
+#endif
+}
+
+constexpr size_t kInitialCapacity = 64;
+
+} // namespace
+
+/** One shard: current table, retired tables, owned entries, spinlock.
+ *  Cache-line aligned so one shard's counters and lock never share a
+ *  line with a neighbor's. */
+struct alignas(64) CompileCache::Shard
+{
+    Shard() : table(new Table(kInitialCapacity)) {}
+
+    std::atomic<const Table *> table;
+
+    /** Per-shard op counters (relaxed; stats() sums across shards) so
+     *  the lock-free lookup path never touches a cache line shared by
+     *  every other shard's readers. */
+    mutable std::atomic<uint64_t> hits{0};
+    mutable std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> insertRaces{0};
+
+    // Everything below is written only under `lock`.
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    size_t population = 0;
+    std::vector<std::unique_ptr<Entry>> entries;
+    std::vector<std::unique_ptr<const Table>> retired;
+
+    void
+    acquire()
+    {
+        // Bounded spin, then yield: on an oversubscribed (or single)
+        // core the lock holder may be preempted, and a pure spin would
+        // burn the rest of our timeslice waiting for it to run again.
+        int spins = 0;
+        while (lock.test_and_set(std::memory_order_acquire)) {
+            if (++spins < 64) {
+                cpuRelax();
+            } else {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+
+    void release() { lock.clear(std::memory_order_release); }
+};
+
+CompileCache::Table::Table(size_t cap)
+    : capacity(cap), mask(cap - 1),
+      slots(new std::atomic<const Entry *>[cap])
+{
+    for (size_t i = 0; i < cap; ++i)
+        slots[i].store(nullptr, std::memory_order_relaxed);
+}
+
+CompileCache::CompileCache() : shards_(new Shard[kNumShards]) {}
+
+CompileCache::~CompileCache()
+{
+    for (size_t s = 0; s < kNumShards; ++s)
+        delete shards_[s].table.load(std::memory_order_relaxed);
+}
+
+const CompileCache::Entry *
+CompileCache::find(const Table &table, const Hash128 &key)
+{
+    // Probe position mixes the low bits (the shard already consumed the
+    // top four of hi); linear probing matches the insert path.
+    size_t idx = static_cast<size_t>(key.lo) & table.mask;
+    for (size_t n = 0; n < table.capacity; ++n) {
+        const Entry *e =
+            table.slots[idx].load(std::memory_order_acquire);
+        if (e == nullptr)
+            return nullptr;
+        if (e->key == key)
+            return e;
+        idx = (idx + 1) & table.mask;
+    }
+    return nullptr;
+}
+
+CompileCache::Value
+CompileCache::lookup(const Hash128 &key) const
+{
+    const Shard &shard = shards_[shardIndex(key)];
+    const Table *table = shard.table.load(std::memory_order_acquire);
+    const Entry *e = find(*table, key);
+    if (e != nullptr) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        return e->value;
+    }
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+void
+CompileCache::publishLocked(Shard &shard, const Entry *entry)
+{
+    const Table *table = shard.table.load(std::memory_order_relaxed);
+    if ((shard.population + 1) * 4 > table->capacity * 3) {
+        // Grow by retirement: build a doubled table, copy the published
+        // slots (plain stores — nobody can see it yet), publish it with
+        // a release store, and keep the old generation alive for
+        // readers still probing it.
+        auto grown = std::make_unique<Table>(table->capacity * 2);
+        for (size_t i = 0; i < table->capacity; ++i) {
+            const Entry *e =
+                table->slots[i].load(std::memory_order_relaxed);
+            if (e == nullptr)
+                continue;
+            size_t idx = static_cast<size_t>(e->key.lo) & grown->mask;
+            while (grown->slots[idx].load(std::memory_order_relaxed) !=
+                   nullptr)
+                idx = (idx + 1) & grown->mask;
+            grown->slots[idx].store(e, std::memory_order_relaxed);
+        }
+        shard.retired.emplace_back(table);
+        table = grown.release();
+        shard.table.store(table, std::memory_order_release);
+    }
+    size_t idx = static_cast<size_t>(entry->key.lo) & table->mask;
+    while (table->slots[idx].load(std::memory_order_relaxed) != nullptr)
+        idx = (idx + 1) & table->mask;
+    // The release store is the publication point: it makes the fully
+    // constructed Entry (and its string) visible to lock-free readers.
+    table->slots[idx].store(entry, std::memory_order_release);
+    ++shard.population;
+}
+
+CompileCache::Value
+CompileCache::insert(const Hash128 &key, std::string compiled_ir)
+{
+    Shard &shard = shards_[shardIndex(key)];
+
+    // Contended fast path: if an earlier writer already published this
+    // key, return its value without allocating anything.
+    {
+        const Table *table = shard.table.load(std::memory_order_acquire);
+        if (const Entry *e = find(*table, key)) {
+            shard.insertRaces.fetch_add(1, std::memory_order_relaxed);
+            return e->value;
+        }
+    }
+
+    shard.acquire();
+    // Re-check under the lock, still before allocating: a racer may
+    // have published between the check above and lock acquisition.
+    const Table *table = shard.table.load(std::memory_order_relaxed);
+    if (const Entry *e = find(*table, key)) {
+        shard.release();
+        shard.insertRaces.fetch_add(1, std::memory_order_relaxed);
+        return e->value;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->key = key;
+    entry->value =
+        std::make_shared<const std::string>(std::move(compiled_ir));
+    Value result = entry->value;
+    const Entry *raw = entry.get();
+    shard.entries.push_back(std::move(entry));
+    publishLocked(shard, raw);
+    shard.release();
+    shard.inserts.fetch_add(1, std::memory_order_relaxed);
+    return result;
+}
+
+CompileCache::Value
+CompileCache::insertValue(const Hash128 &key, Value value)
+{
+    Shard &shard = shards_[shardIndex(key)];
+    {
+        const Table *table = shard.table.load(std::memory_order_acquire);
+        if (const Entry *e = find(*table, key)) {
+            shard.insertRaces.fetch_add(1, std::memory_order_relaxed);
+            return e->value;
+        }
+    }
+    shard.acquire();
+    const Table *table = shard.table.load(std::memory_order_relaxed);
+    if (const Entry *e = find(*table, key)) {
+        shard.release();
+        shard.insertRaces.fetch_add(1, std::memory_order_relaxed);
+        return e->value;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->key = key;
+    entry->value = std::move(value);
+    Value result = entry->value;
+    const Entry *raw = entry.get();
+    shard.entries.push_back(std::move(entry));
+    publishLocked(shard, raw);
+    shard.release();
+    shard.inserts.fetch_add(1, std::memory_order_relaxed);
+    return result;
+}
+
+size_t
+CompileCache::size() const
+{
+    size_t total = 0;
+    for (size_t s = 0; s < kNumShards; ++s) {
+        Shard &shard = shards_[s];
+        shard.acquire();
+        total += shard.population;
+        shard.release();
+    }
+    return total;
+}
+
+void
+CompileCache::clear()
+{
+    for (size_t s = 0; s < kNumShards; ++s) {
+        Shard &shard = shards_[s];
+        shard.acquire();
+        const Table *old = shard.table.load(std::memory_order_relaxed);
+        shard.table.store(new Table(kInitialCapacity),
+                          std::memory_order_release);
+        delete old;
+        shard.retired.clear();
+        shard.entries.clear();
+        shard.population = 0;
+        shard.release();
+    }
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    CompileCacheStats s;
+    for (size_t i = 0; i < kNumShards; ++i) {
+        const Shard &shard = shards_[i];
+        s.hits += shard.hits.load(std::memory_order_relaxed);
+        s.misses += shard.misses.load(std::memory_order_relaxed);
+        s.inserts += shard.inserts.load(std::memory_order_relaxed);
+        s.insertRaces +=
+            shard.insertRaces.load(std::memory_order_relaxed);
+    }
+    return s;
+}
 
 } // namespace trapjit

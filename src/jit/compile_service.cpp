@@ -3,8 +3,10 @@
 #include <exception>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "codegen/native/code_buffer_pool.h"
 #include "ir/module.h"
 #include "ir/serializer.h"
 #include "jit/timing.h"
@@ -32,6 +34,13 @@ struct ModuleSnapshot
     std::string classText;
     std::vector<std::string> funcTexts;
 
+    /** FNV-1a/128 of classText / each funcTexts[i], hashed once per
+     *  snapshot so per-job keys compose fixed-width digests instead of
+     *  rehashing every closure body (jobKey is O(|closure|), not
+     *  O(|closure| * |text|)). */
+    Hash128 classDigest;
+    std::vector<Hash128> funcDigests;
+
     /**
      * closures[f]: sorted ids of every function whose body the
      * pipeline may read while compiling f — f itself, its transitive
@@ -50,13 +59,17 @@ snapshotModule(Module &mod)
     snap.mod = &mod;
     snap.classText = serializeClassTableToString(mod);
 
+    snap.classDigest = hashBytes(snap.classText);
+
     size_t n = mod.numFunctions();
     snap.funcTexts.reserve(n);
+    snap.funcDigests.reserve(n);
     std::vector<std::vector<FunctionId>> callees(n);
     std::vector<bool> hasVirtual(n, false);
     for (FunctionId f = 0; f < n; ++f) {
         const Function &fn = mod.function(f);
         snap.funcTexts.push_back(serializeFunctionToString(fn));
+        snap.funcDigests.push_back(hashBytes(snap.funcTexts.back()));
         for (size_t b = 0; b < fn.numBlocks(); ++b) {
             for (const Instruction &inst :
                  fn.block(static_cast<BlockId>(b)).insts()) {
@@ -100,7 +113,16 @@ snapshotModule(Module &mod)
     return snap;
 }
 
-/** Content address of one (function, config, target) compile job. */
+/**
+ * Content address of one (function, config, target) compile job.
+ *
+ * Composed from per-text digests the snapshot computed once: every
+ * variable-length text enters through its own FNV-1a/128 digest (a
+ * fixed-width field, so no delimiters are needed), which keeps the
+ * per-job cost at 16 bytes per closure member instead of rehashing
+ * each closure body for every job that can read it.  Still a pure
+ * function of the texts, so keys stay stable across processes.
+ */
 Hash128
 jobKey(const ModuleSnapshot &snap, FunctionId f,
        const std::string &target_fp, const std::string &config_fp)
@@ -112,12 +134,29 @@ jobKey(const ModuleSnapshot &snap, FunctionId f,
     };
     feed(target_fp);
     feed(config_fp);
-    feed(snap.classText);
+    hasher.update(snap.classDigest.hi);
+    hasher.update(snap.classDigest.lo);
     for (FunctionId id : snap.closures[f]) {
         hasher.update(static_cast<uint64_t>(id));
-        feed(snap.funcTexts[id]);
+        hasher.update(snap.funcDigests[id].hi);
+        hasher.update(snap.funcDigests[id].lo);
     }
     return hasher.digest();
+}
+
+/** Resolve the persistent tier per the CompileServiceOptions rules. */
+std::shared_ptr<PersistentCache>
+resolvePersistent(const CompileServiceOptions &options)
+{
+    if (!options.enablePersistent || !options.enableCache)
+        return nullptr;
+    if (options.persistent)
+        return options.persistent;
+    std::string dir =
+        !options.cacheDir.empty() ? options.cacheDir : cacheDirFromEnv();
+    if (dir.empty())
+        return nullptr;
+    return PersistentCache::open(dir); // null on failure: degrade
 }
 
 } // namespace
@@ -128,6 +167,7 @@ CompileService::CompileService(const Target &target,
       options_(options),
       cache_(options.cache ? options.cache
                            : std::make_shared<CompileCache>()),
+      persistent_(resolvePersistent(options)),
       decodedCache_(options.decodedCache
                         ? options.decodedCache
                         : std::make_shared<DecodedProgramCache>()),
@@ -194,6 +234,20 @@ CompileService::compileModules(const std::vector<Module *> &mods,
                     CompileCache::Value compiled;
                     if (options_.enableCache)
                         compiled = cache_->lookup(key);
+                    if (!compiled && persistent_) {
+                        // Second-chance tier: compiles that another
+                        // process (or an earlier run) already did.
+                        // Promote hits into the in-memory cache so the
+                        // next lookup of this key stays lock-free.
+                        compiled = persistent_->lookup(key);
+                        if (compiled) {
+                            compiled =
+                                cache_->insertValue(key, compiled);
+                            local.persistentHits = 1;
+                        } else {
+                            local.persistentMisses = 1;
+                        }
+                    }
                     if (compiled) {
                         local.cacheHits = 1;
                     } else {
@@ -223,6 +277,8 @@ CompileService::compileModules(const std::vector<Module *> &mods,
                                 ? cache_->insert(key, std::move(text))
                                 : std::make_shared<const std::string>(
                                       std::move(text));
+                        if (persistent_)
+                            persistent_->insert(key, compiled);
                         local.functionsCompiled = 1;
                     }
                     results[m][f] = std::move(compiled);
@@ -247,10 +303,22 @@ CompileService::compileModules(const std::vector<Module *> &mods,
         std::rethrow_exception(firstError);
 
     // ---- Install results (single-threaded, after the barrier) ----------
-    for (size_t m = 0; m < snaps.size(); ++m)
-        for (FunctionId f = 0; f < results[m].size(); ++f)
+    // First-writer-wins caching hands every job with the same key the
+    // *same* shared string, so pointer identity spots duplicates:
+    // each unique text parses once and later slots deep-copy the
+    // already-installed function, which is several times cheaper.
+    std::unordered_map<const std::string *, const Function *> installed;
+    for (size_t m = 0; m < snaps.size(); ++m) {
+        for (FunctionId f = 0; f < results[m].size(); ++f) {
+            const std::string *text = results[m][f].get();
+            auto it = installed.find(text);
             mods[m]->replaceFunction(
-                f, deserializeFunctionFromString(*results[m][f], f));
+                f, it != installed.end()
+                       ? it->second->cloneWithId(f)
+                       : deserializeFunctionFromString(*text, f));
+            installed.try_emplace(text, &mods[m]->function(f));
+        }
+    }
 
     // ---- Pre-decode for the fast interpreter ---------------------------
     // Decoding is content-addressed like compilation, so identical
@@ -312,6 +380,12 @@ CompileService::compileModules(const std::vector<Module *> &mods,
             }
         }
     }
+
+    // Gauges for the serving-tier counters: current persistent-cache
+    // mapping size and live W^X pool bytes (merged with max upstream).
+    if (persistent_)
+        report.counters.bytesMapped = persistent_->bytesMapped();
+    report.counters.codeBytesLive = globalCodeBufferPool().bytesLive();
 
     report.timings = timing.timings();
     report.busySeconds = timing.busySeconds();

@@ -48,6 +48,7 @@
 #include "codegen/native/native_compiler.h"
 #include "interp/decoded_program.h"
 #include "jit/compile_cache.h"
+#include "jit/persistent_cache.h"
 #include "jit/pipeline.h"
 #include "jit/stats.h"
 #include "opt/pass_manager.h"
@@ -82,6 +83,22 @@ struct CompileServiceOptions
      * A no-op on hosts the native tier does not support.
      */
     bool precompileNative = true;
+
+    /**
+     * Consult/fill the persistent cross-run cache behind the in-memory
+     * one.  Only effective while enableCache is set (the persistent
+     * tier shares the in-memory tier's job keys and hit accounting).
+     * Resolution order: this flag gates everything; an explicit
+     * `persistent` handle wins; else a non-empty `cacheDir` is opened;
+     * else TRAPJIT_CACHE_DIR is consulted; else the tier is off.
+     */
+    bool enablePersistent = true;
+
+    /** Cache directory to open when no handle is supplied. */
+    std::string cacheDir;
+
+    /** Share an already-open persistent cache across services. */
+    std::shared_ptr<PersistentCache> persistent;
 
     /**
      * Share a cache across services (e.g. across worker-count arms of
@@ -139,6 +156,13 @@ class CompileService
     CompileCache &cache() { return *cache_; }
     const CompileCache &cache() const { return *cache_; }
 
+    /** The persistent tier, or null when disabled/unconfigured. */
+    const std::shared_ptr<PersistentCache> &
+    persistentCache() const
+    {
+        return persistent_;
+    }
+
     /**
      * Decoded programs of everything this service compiled (one decode
      * per (function, target) content hash); hand it to FastInterpreter
@@ -165,6 +189,7 @@ class CompileService
     Target target_;
     CompileServiceOptions options_;
     std::shared_ptr<CompileCache> cache_;
+    std::shared_ptr<PersistentCache> persistent_;
     std::shared_ptr<DecodedProgramCache> decodedCache_;
     std::shared_ptr<NativeCodeCache> nativeCodeCache_;
     WorkerPool pool_;

@@ -91,6 +91,15 @@ ServiceCounters::operator+=(const ServiceCounters &other)
     loadsSpeculated += other.loadsSpeculated;
     deoptsTaken += other.deoptsTaken;
     regallocSeconds += other.regallocSeconds;
+    persistentHits += other.persistentHits;
+    persistentMisses += other.persistentMisses;
+    blocksEvicted += other.blocksEvicted;
+    // Gauges: two snapshots of the same mapping/pool must not add.
+    bytesMapped = bytesMapped > other.bytesMapped ? bytesMapped
+                                                  : other.bytesMapped;
+    codeBytesLive = codeBytesLive > other.codeBytesLive
+                        ? codeBytesLive
+                        : other.codeBytesLive;
     return *this;
 }
 

@@ -9,6 +9,8 @@
  * check-count bench and handy when debugging a pipeline.
  */
 
+#include <cstdint>
+
 #include "ir/module.h"
 
 namespace trapjit
@@ -97,6 +99,17 @@ struct ServiceCounters
     size_t loadsSpeculated = 0;   ///< loads hoisted above their checks
     size_t deoptsTaken = 0;       ///< side-exits into the interpreter
     double regallocSeconds = 0.0; ///< host time in the optimized backend
+
+    // Serving-tier memory + persistence governance.  The first three
+    // are monotonic event counts (summed on merge); the last two are
+    // gauges — "how much is live/mapped right now" — merged with max,
+    // since adding two snapshots of the same mapping would double
+    // count it.
+    size_t persistentHits = 0;   ///< jobs served from the on-disk cache
+    size_t persistentMisses = 0; ///< jobs that missed the on-disk cache
+    size_t blocksEvicted = 0;    ///< registry blocks evicted over budget
+    uint64_t bytesMapped = 0;    ///< persistent-cache mapping bytes
+    uint64_t codeBytesLive = 0;  ///< W^X pool bytes (loaned + pooled)
 
     size_t
     total() const

@@ -11,8 +11,10 @@
 #include <thread>
 
 #include "codegen/native/native_compiler.h"
+#include "ir/serializer.h"
 #include "jit/compile_service.h"
 #include "jit/compiler.h"
+#include "jit/persistent_cache.h"
 #include "testing/equivalence.h"
 #include "testing/random_program.h"
 
@@ -156,6 +158,7 @@ struct CaseDelta
     bool nativeRan = false;
     bool optimizedRan = false;
     bool tieredRan = false;
+    bool persistentRan = false;
     std::vector<FuzzDivergence> divergences;
 };
 
@@ -192,9 +195,61 @@ recordAuditErrors(CaseDelta &delta, uint64_t seed,
     record(delta, seed, profile, arm, "audit", os.str());
 }
 
+/**
+ * The persistent-cache soundness oracle: replay the case through a
+ * throwaway single-worker service whose *only* source of compiled IR
+ * besides the pipeline is @p persistent (its in-memory cache starts
+ * empty).  Every key of this case was persisted by the cold compile —
+ * all of the farm's services share the handle — so a clean cache must
+ * serve the whole module: any pipeline compile, and any byte of IR
+ * that differs from the cold result, is a divergence.
+ */
+void
+runPersistentOracle(CaseDelta &delta, uint64_t seed,
+                    const std::string &profile, const FuzzArm &arm,
+                    const Module &coldMod, const Target &target,
+                    const PipelineConfig &config,
+                    const std::shared_ptr<PersistentCache> &persistent)
+{
+    std::unique_ptr<Module> warmMod = buildCaseModule(profile, seed);
+    CompileServiceOptions so;
+    so.numWorkers = 1;
+    so.predecode = false;
+    so.precompileNative = false;
+    so.persistent = persistent;
+    CompileService warm(target, so);
+    ServiceReport rep = warm.compileModule(*warmMod, config);
+    delta.persistentRan = true;
+    if (rep.counters.functionsCompiled != 0) {
+        std::ostringstream os;
+        os << "warm replay ran the pipeline on "
+           << rep.counters.functionsCompiled << " of "
+           << rep.counters.functionsRequested
+           << " functions (expected pure persistent hits)";
+        record(delta, seed, profile, arm, "persistent-cache", os.str());
+        return;
+    }
+    for (FunctionId f = 0; f < coldMod.numFunctions(); ++f) {
+        std::string coldText =
+            serializeFunctionToString(coldMod.function(f));
+        std::string warmText =
+            serializeFunctionToString(warmMod->function(f));
+        if (coldText != warmText) {
+            std::ostringstream os;
+            os << "function " << f
+               << ": IR served from the persistent cache differs "
+                  "from the cold compile";
+            record(delta, seed, profile, arm, "persistent-cache",
+                   os.str());
+            return;
+        }
+    }
+}
+
 CaseDelta
 runOneCase(uint64_t seed, const std::string &profile, const FuzzArm &arm,
-           const FuzzOptions &opts, CompileService *service)
+           const FuzzOptions &opts, CompileService *service,
+           const std::shared_ptr<PersistentCache> &persistent)
 {
     CaseDelta delta;
     std::unique_ptr<Module> mod = buildCaseModule(profile, seed);
@@ -226,6 +281,10 @@ runOneCase(uint64_t seed, const std::string &profile, const FuzzArm &arm,
         delta.functionsCompiled = rep.functionsCompiled;
         recordAuditErrors(delta, seed, profile, arm, rep.audit);
     }
+
+    if (service != nullptr && persistent != nullptr)
+        runPersistentOracle(delta, seed, profile, arm, *mod, target,
+                            config, persistent);
 
     EquivalenceReport engines = compareEngines(*mod, target);
     if (!engines.equivalent) {
@@ -328,6 +387,19 @@ runFuzzFarm(const FuzzOptions &options)
     if (opts.useService)
         sharedCache = std::make_shared<CompileCache>();
 
+    // Persistent-cache oracle mode: one on-disk cache handle shared by
+    // every service (cold compiles persist through it, warm replays
+    // read through it).  Sharing the handle is what makes the oracle's
+    // invariant hold: any key the in-memory cache can serve was also
+    // persisted.
+    std::shared_ptr<PersistentCache> sharedPersistent;
+    if (opts.useService && !opts.cacheDir.empty()) {
+        sharedPersistent = PersistentCache::open(opts.cacheDir);
+        if (!sharedPersistent && opts.log)
+            opts.log("fuzz: could not open cache dir '" +
+                     opts.cacheDir + "'; persistent oracle disabled");
+    }
+
     auto elapsed = [&start] {
         return std::chrono::duration<double>(Clock::now() - start)
             .count();
@@ -364,14 +436,16 @@ runFuzzFarm(const FuzzOptions &options)
                     so.predecode = false;
                     so.precompileNative = false;
                     so.cache = sharedCache;
+                    so.enablePersistent = sharedPersistent != nullptr;
+                    so.persistent = sharedPersistent;
                     slot = std::make_unique<CompileService>(
                         arm.makeTarget(), so);
                 }
                 service = slot.get();
             }
 
-            CaseDelta delta =
-                runOneCase(seed, profile, arm, opts, service);
+            CaseDelta delta = runOneCase(seed, profile, arm, opts,
+                                         service, sharedPersistent);
 
             std::lock_guard<std::mutex> lock(mu);
             result.stats.casesRun += 1;
@@ -386,6 +460,8 @@ runFuzzFarm(const FuzzOptions &options)
                 result.stats.optimizedComparisons += 1;
             if (delta.tieredRan)
                 result.stats.tieredComparisons += 1;
+            if (delta.persistentRan)
+                result.stats.persistentComparisons += 1;
             for (FuzzDivergence &d : delta.divergences) {
                 if (opts.log)
                     opts.log("DIVERGENCE " + d.reproLine() + " " +

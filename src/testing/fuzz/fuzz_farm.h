@@ -79,8 +79,10 @@ struct FuzzDivergence
     std::string profile;
     std::string arm;
     /** Which oracle disagreed: "audit", "ref-vs-fast", "fast-vs-native",
-     *  "fast-vs-optimized", "fast-vs-tiered", or "hardfault" (both
-     *  engines died identically — still a bug). */
+     *  "fast-vs-optimized", "fast-vs-tiered", "persistent-cache" (a
+     *  warm replay from the on-disk cache compiled something or
+     *  produced different IR), or "hardfault" (both engines died
+     *  identically — still a bug). */
     std::string oracle;
     std::string message;
 
@@ -99,6 +101,7 @@ struct FuzzStats
     uint64_t nativeComparisons = 0;
     uint64_t optimizedComparisons = 0;
     uint64_t tieredComparisons = 0;
+    uint64_t persistentComparisons = 0;
     uint64_t auditFindings = 0;
     double elapsedSeconds = 0.0;
 
@@ -172,6 +175,17 @@ struct FuzzOptions
      * hook is thread-local and must stay on the arming thread.
      */
     bool useService = true;
+
+    /**
+     * Persistent-cache soundness oracle: when non-empty, every compile
+     * goes through a PersistentCache opened on this directory, and
+     * every case is replayed *warm* through a throwaway service with a
+     * fresh in-memory cache — the replay must perform zero pipeline
+     * compiles and reproduce bit-identical IR, else the case diverges
+     * (oracle "persistent-cache").  Requires useService; inert in
+     * mutation mode (which forces the sequential compiler).
+     */
+    std::string cacheDir;
 
     /** Deliberate optimizer bug to inject into every compile. */
     NullCheckMutation mutation = NullCheckMutation::None;

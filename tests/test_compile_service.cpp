@@ -158,6 +158,11 @@ TEST(CompileCache, ColdBatchMissesWarmBatchHits)
     Target target = makeIA32WindowsTarget();
     CompileServiceOptions options;
     options.numWorkers = 4;
+    // These tests assert exact miss/hit counts for the in-memory tier;
+    // a TRAPJIT_CACHE_DIR warmed by an earlier run (the CI warm-start
+    // smoke does exactly that) would turn the cold misses into
+    // persistent hits, so keep the on-disk tier out of the accounting.
+    options.enablePersistent = false;
     CompileService service(target, options);
     PipelineConfig config = makeNewFullConfig();
 
@@ -212,6 +217,7 @@ TEST(CompileCache, SharedCacheHitsAcrossServices)
     CompileServiceOptions a;
     a.numWorkers = 1;
     a.cache = shared;
+    a.enablePersistent = false;
     CompileService producer(target, a);
     auto mods = buildRandomModules(21, 3);
     auto ptrs = pointers(mods);
@@ -220,6 +226,7 @@ TEST(CompileCache, SharedCacheHitsAcrossServices)
     CompileServiceOptions b;
     b.numWorkers = 8;
     b.cache = shared;
+    b.enablePersistent = false;
     CompileService consumer(target, b);
     auto again = buildRandomModules(21, 3);
     auto againPtrs = pointers(again);
@@ -263,6 +270,7 @@ TEST(CompileService, DrainsManyMoreJobsThanWorkers)
     constexpr size_t kModules = 24;
     CompileServiceOptions options;
     options.numWorkers = 3;
+    options.enablePersistent = false;
     CompileService service(target, options);
 
     auto mods = buildRandomModules(500, kModules);
@@ -304,6 +312,7 @@ TEST(CompileService, ReportsTimingsAndEmptyBatches)
     Target target = makeIA32WindowsTarget();
     CompileServiceOptions options;
     options.numWorkers = 2;
+    options.enablePersistent = false;
     CompileService service(target, options);
 
     std::vector<Module *> none;

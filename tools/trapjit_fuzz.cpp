@@ -10,6 +10,7 @@
  *   trapjit-fuzz [--cases N] [--seed S] [--threads N]
  *                [--profile NAME[,NAME...]] [--arm LABEL[,LABEL...]]
  *                [--time-budget SECONDS] [--json FILE]
+ *                [--cache-dir DIR]
  *                [--no-native] [--no-optimized] [--no-tiered]
  *                [--no-service] [-v]
  *   trapjit-fuzz --repro seed=S,profile=P,arm=A
@@ -49,6 +50,11 @@ usage()
         << "  --arm A[,A...]       arms: " << fuzzArmLabels() << "\n"
         << "  --time-budget SEC    stop claiming cases after SEC\n"
         << "  --json FILE          write a BENCH-style JSON report\n"
+        << "  --cache-dir DIR      persistent-cache soundness oracle:\n"
+        << "                       compile through an on-disk cache in\n"
+        << "                       DIR and replay every case warm; any\n"
+        << "                       pipeline compile or IR byte diff on\n"
+        << "                       the replay is a divergence\n"
         << "  --no-native          skip the fast-vs-native oracle\n"
         << "  --no-optimized       skip the fast-vs-optimized oracle\n"
         << "                       (regalloc + speculated-load deopts)\n"
@@ -124,6 +130,8 @@ writeJson(const std::string &path, const FuzzResult &result,
         << "  \"optimized_comparisons\": " << s.optimizedComparisons
         << ",\n"
         << "  \"tiered_comparisons\": " << s.tieredComparisons << ",\n"
+        << "  \"persistent_comparisons\": " << s.persistentComparisons
+        << ",\n"
         << "  \"traps_taken\": " << s.trapsTaken << ",\n"
         << "  \"instructions\": " << s.instructionsExecuted << ",\n"
         << "  \"audit_findings\": " << s.auditFindings << ",\n"
@@ -145,13 +153,15 @@ printSummary(const FuzzResult &result)
                 s.elapsedSeconds, s.casesPerSecond(), s.trapsPerSecond(),
                 s.compilesPerSecond());
     std::printf("  modules=%llu compiled=%llu native-cmp=%llu "
-                "optimized-cmp=%llu tiered-cmp=%llu traps=%llu "
-                "instructions=%llu\n",
+                "optimized-cmp=%llu tiered-cmp=%llu "
+                "persistent-cmp=%llu traps=%llu instructions=%llu\n",
                 static_cast<unsigned long long>(s.modulesBuilt),
                 static_cast<unsigned long long>(s.functionsCompiled),
                 static_cast<unsigned long long>(s.nativeComparisons),
                 static_cast<unsigned long long>(s.optimizedComparisons),
                 static_cast<unsigned long long>(s.tieredComparisons),
+                static_cast<unsigned long long>(
+                    s.persistentComparisons),
                 static_cast<unsigned long long>(s.trapsTaken),
                 static_cast<unsigned long long>(s.instructionsExecuted));
     for (const FuzzDivergence &d : result.divergences)
@@ -218,6 +228,8 @@ run(int argc, char **argv)
             opts.timeBudgetSeconds = std::atof(value().c_str());
         } else if (flag == "--json") {
             jsonPath = value();
+        } else if (flag == "--cache-dir") {
+            opts.cacheDir = value();
         } else if (flag == "--no-native") {
             opts.useNativeEngine = false;
         } else if (flag == "--no-optimized") {
